@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"boundedg/internal/exp"
+)
+
+// tinyOpt keeps the smoke run fast.
+func tinyOpt() exp.Options {
+	return exp.Options{
+		NumQueries:    3,
+		Seed:          2,
+		BaselineSteps: 20_000,
+		MatchLimit:    500,
+		Scales:        []float64{0.1},
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, name := range []string{"bounded-pct", "fig6", "exp3"} {
+		if err := run(name, "", tinyOpt()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for _, name := range []string{"fig5-varyg", "fig5-varya", "fig5-accessed", "ablation"} {
+		if err := run(name, "imdb", tinyOpt()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	if err := run("exp3,bounded-pct", "", tinyOpt()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nonsense", "", tinyOpt()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	outCSV = dir
+	defer func() { outCSV = "" }()
+	if err := run("exp3", "", tinyOpt()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want 1 csv file, got %d", len(entries))
+	}
+	b, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "EBChk") {
+		t.Fatalf("csv content unexpected: %s", b)
+	}
+}

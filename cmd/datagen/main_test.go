@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+)
+
+func TestRunWritesLoadableFiles(t *testing.T) {
+	dir := t.TempDir()
+	g := filepath.Join(dir, "g.json")
+	a := filepath.Join(dir, "a.json")
+	if err := run("webbase", 0.05, 3, g, a); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	in := graph.NewInterner()
+	gf, err := os.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	gg, _, err := graph.ReadJSON(gf, in)
+	if err != nil {
+		t.Fatalf("graph unreadable: %v", err)
+	}
+	af, err := os.Open(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+	schema, err := access.ReadJSON(af, in)
+	if err != nil {
+		t.Fatalf("schema unreadable: %v", err)
+	}
+	// The written pair is consistent: the graph satisfies its schema.
+	if viols := access.Validate(gg, schema); viols != nil {
+		t.Fatalf("generated graph violates generated schema: %v", viols[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("nope", 1, 1, filepath.Join(dir, "g"), filepath.Join(dir, "a")); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("imdb", 0.01, 1, "/no/such/dir/g.json", filepath.Join(dir, "a")); err == nil {
+		t.Error("unwritable graph path accepted")
+	}
+	if err := run("imdb", 0.01, 1, filepath.Join(dir, "g.json"), "/no/such/dir/a.json"); err == nil {
+		t.Error("unwritable schema path accepted")
+	}
+}

@@ -1,0 +1,221 @@
+// Command qbound answers pattern queries on a graph using the
+// effective-boundedness machinery of the paper: it checks whether the
+// query is effectively bounded under the access schema, prints the
+// worst-case-optimal query plan, and evaluates the query either through
+// the plan (bounded) or directly (baseline).
+//
+// Usage:
+//
+//	qbound -graph g.json -schema a.json -query q.pat [-sem subgraph] [-mode run]
+//
+// Modes:
+//
+//	check   decide effective boundedness, print the cover diagnosis
+//	explain print the plan with its worst-case cost accounting
+//	plan    also print the generated query plan
+//	run     plan + execute (bounded evaluation); falls back with an error
+//	        if the query is unbounded (use -instance to extend)
+//	direct  conventional evaluation (VF2 / gsim), for comparison
+//
+// With -instance M, an unbounded query is made instance-bounded by an
+// M-bounded extension of the schema (§V of the paper) before running.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"boundedg/internal/access"
+	"boundedg/internal/core"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/pattern"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "graph JSON (from datagen or WriteJSON)")
+		schemaPath = flag.String("schema", "", "access schema JSON")
+		queryPath  = flag.String("query", "", "pattern file in the qbound DSL")
+		semName    = flag.String("sem", "subgraph", "semantics: subgraph or simulation")
+		mode       = flag.String("mode", "run", "check | plan | explain | run | direct")
+		instanceM  = flag.Int("instance", 0, "if > 0, extend the schema with an M-bounded extension when the query is unbounded")
+		maxMatches = flag.Int("max-matches", 10, "matches to print (subgraph)")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *schemaPath, *queryPath, *semName, *mode, *instanceM, *maxMatches); err != nil {
+		fmt.Fprintln(os.Stderr, "qbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, schemaPath, queryPath, semName, mode string, instanceM, maxMatches int) error {
+	if graphPath == "" || schemaPath == "" || queryPath == "" {
+		return fmt.Errorf("-graph, -schema and -query are required")
+	}
+	var sem core.Semantics
+	switch semName {
+	case "subgraph":
+		sem = core.Subgraph
+	case "simulation":
+		sem = core.Simulation
+	default:
+		return fmt.Errorf("unknown semantics %q", semName)
+	}
+
+	in := graph.NewInterner()
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	g, _, err := graph.ReadJSON(gf, in)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(schemaPath)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	schema, err := access.ReadJSON(sf, in)
+	if err != nil {
+		return err
+	}
+	qsrc, err := os.ReadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	q, err := pattern.Parse(string(qsrc), in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: |V|=%d |E|=%d; schema: %d constraints; query: %d nodes, %d edges; semantics: %s\n",
+		g.NumNodes(), g.NumEdges(), schema.Count(), q.NumNodes(), q.NumEdges(), sem)
+
+	if mode == "direct" {
+		return runDirect(q, g, sem, maxMatches)
+	}
+
+	cov := core.EBnd(q, schema, sem)
+	if cov.Bounded {
+		fmt.Println("effectively bounded: YES")
+	} else {
+		fmt.Printf("effectively bounded: NO (uncovered nodes %v, uncovered edges %v)\n",
+			names(q, cov.UncoveredNodes()), edgeNames(q, cov.UncoveredEdges()))
+		if instanceM > 0 {
+			ok, am := core.EEChk([]*pattern.Pattern{q}, schema, instanceM, g, sem)
+			if !ok {
+				return fmt.Errorf("no %d-bounded extension makes the query instance-bounded", instanceM)
+			}
+			fmt.Printf("instance-bounded under a %d-bounded extension (%d constraints)\n", instanceM, am.Count())
+			schema = am
+		} else if mode != "check" {
+			return fmt.Errorf("query is not effectively bounded; retry with -instance M or -mode direct")
+		}
+	}
+	if mode == "check" {
+		return nil
+	}
+
+	plan, err := core.NewPlan(q, schema, sem)
+	if err != nil {
+		return err
+	}
+	if mode == "explain" {
+		fmt.Print(plan.Explain())
+		return nil
+	}
+	fmt.Println(plan)
+	fmt.Printf("worst-case GQ nodes: %.0f\n", plan.EstGQNodes())
+	if mode == "plan" {
+		return nil
+	}
+
+	idx, viols := access.Build(g, schema)
+	if viols != nil {
+		return fmt.Errorf("graph does not satisfy the schema: %v", viols[0])
+	}
+	switch sem {
+	case core.Subgraph:
+		res, stats, err := plan.EvalSubgraph(g, idx, match.SubgraphOptions{StoreMatches: true, MaxMatches: maxMatches})
+		if err != nil {
+			return err
+		}
+		printStats(stats)
+		fmt.Printf("matches: %d (showing up to %d)\n", res.Count, maxMatches)
+		for _, m := range res.Matches {
+			printMatch(q, g, m)
+		}
+	case core.Simulation:
+		res, stats, err := plan.EvalSim(g, idx)
+		if err != nil {
+			return err
+		}
+		printStats(stats)
+		if !res.Matched {
+			fmt.Println("maximum match relation: empty")
+			return nil
+		}
+		fmt.Printf("maximum match relation: %d pairs\n", res.Pairs())
+		for ui, vs := range res.Sim {
+			fmt.Printf("  %s -> %d matches\n", q.Name(pattern.Node(ui)), len(vs))
+		}
+	}
+	return nil
+}
+
+func runDirect(q *pattern.Pattern, g *graph.Graph, sem core.Semantics, maxMatches int) error {
+	switch sem {
+	case core.Subgraph:
+		res := match.VF2(q, g, match.SubgraphOptions{StoreMatches: true, MaxMatches: maxMatches})
+		fmt.Printf("VF2 matches: %d (complete: %v, steps: %d)\n", res.Count, res.Completed, res.Steps)
+		for _, m := range res.Matches {
+			printMatch(q, g, m)
+		}
+	case core.Simulation:
+		res := match.GSim(q, g)
+		if !res.Matched {
+			fmt.Println("gsim: empty relation")
+			return nil
+		}
+		fmt.Printf("gsim: %d pairs\n", res.Pairs())
+	}
+	return nil
+}
+
+func printStats(st *core.ExecStats) {
+	fmt.Printf("accessed: %d nodes + %d edges via %d index lookups; GQ: %d nodes, %d edges\n",
+		st.NodesAccessed, st.EdgesAccessed, st.IndexLookups, st.GQNodes, st.GQEdges)
+}
+
+func printMatch(q *pattern.Pattern, g *graph.Graph, m []graph.NodeID) {
+	fmt.Print("  {")
+	for ui, v := range m {
+		if ui > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s=%d", q.Name(pattern.Node(ui)), v)
+		if val := g.ValueOf(v); val.Kind != graph.KindNone {
+			fmt.Printf("(%s)", val)
+		}
+	}
+	fmt.Println("}")
+}
+
+func names(q *pattern.Pattern, us []pattern.Node) []string {
+	out := make([]string, len(us))
+	for i, u := range us {
+		out[i] = q.Name(u)
+	}
+	return out
+}
+
+func edgeNames(q *pattern.Pattern, es [][2]pattern.Node) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = q.Name(e[0]) + "->" + q.Name(e[1])
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/workload"
+)
+
+// writeFixture generates a small dataset and a query file on disk.
+func writeFixture(t *testing.T) (graphPath, schemaPath, queryPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	d := workload.IMDb(0.05, 1)
+	graphPath = filepath.Join(dir, "g.json")
+	schemaPath = filepath.Join(dir, "a.json")
+	queryPath = filepath.Join(dir, "q.pat")
+
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.G.WriteJSON(gf); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+	sf, err := os.Create(schemaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Schema.WriteJSON(sf, d.In); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	q := `
+u1: award
+u2: year (>= 1990, <= 2000)
+u3: movie
+u4: actor
+u3 -> u1, u2
+u3 -> u4
+`
+	if err := os.WriteFile(queryPath, []byte(q), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return graphPath, schemaPath, queryPath
+}
+
+func TestRunModes(t *testing.T) {
+	g, a, q := writeFixture(t)
+	for _, mode := range []string{"check", "plan", "explain", "run", "direct"} {
+		if err := run(g, a, q, "subgraph", mode, 0, 3); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+	// Simulation: Q with movie->actor is not sim-bounded under the IMDb
+	// schema? movie->actor means actor is movie's child, coverable via
+	// movie->(actor,N)... actor's own children are absent, but coverage
+	// only needs a constraint keyed on u's children. Just exercise both
+	// outcomes without asserting: check mode never errors.
+	if err := run(g, a, q, "simulation", "check", 0, 3); err != nil {
+		t.Errorf("simulation check: %v", err)
+	}
+	if err := run(g, a, q, "simulation", "direct", 0, 3); err != nil {
+		t.Errorf("simulation direct: %v", err)
+	}
+}
+
+func TestRunInstanceExtension(t *testing.T) {
+	g, _, q := writeFixture(t)
+	// An empty schema: the query is unbounded; -instance must fix it.
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	f, err := os.Create(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := access.NewSchema().WriteJSON(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(g, empty, q, "subgraph", "run", 0, 3); err == nil {
+		t.Fatalf("unbounded query without -instance should fail")
+	}
+	if err := run(g, empty, q, "subgraph", "run", 1_000_000, 3); err != nil {
+		t.Fatalf("instance-bounded run: %v", err)
+	}
+	if err := run(g, empty, q, "subgraph", "run", 1, 3); err == nil {
+		t.Fatalf("M = 1 cannot bound the query")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g, a, q := writeFixture(t)
+	if err := run("", a, q, "subgraph", "run", 0, 1); err == nil {
+		t.Error("missing -graph should fail")
+	}
+	if err := run(g, a, q, "nonsense", "run", 0, 1); err == nil {
+		t.Error("bad semantics should fail")
+	}
+	if err := run(g, a, "/does/not/exist", "subgraph", "run", 0, 1); err == nil {
+		t.Error("missing query file should fail")
+	}
+	if err := run("/does/not/exist", a, q, "subgraph", "run", 0, 1); err == nil {
+		t.Error("missing graph file should fail")
+	}
+	if err := run(g, "/does/not/exist", q, "subgraph", "run", 0, 1); err == nil {
+		t.Error("missing schema file should fail")
+	}
+}

@@ -1,0 +1,110 @@
+// Package access implements the access schema of the ICDE 2015 paper
+// "Making Pattern Queries Bounded in Big Graphs": sets of access
+// constraints S -> (l, N) on node labels — each a cardinality bound on
+// common neighbors combined with an index that retrieves those neighbors
+// in O(N) time, independent of |G| — plus validation (G |= A), discovery
+// of constraints from data, and incremental index maintenance.
+package access
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"boundedg/internal/graph"
+)
+
+// Constraint is an access constraint S -> (l, N): for any S-labeled set VS
+// of nodes of a graph satisfying it, there are at most N common neighbors
+// of VS labeled l, and an index retrieves them in O(N) time.
+//
+// S is kept sorted and duplicate-free; construct Constraints with New.
+type Constraint struct {
+	S []graph.Label // sorted, duplicate-free (possibly empty)
+	L graph.Label   // the target label l
+	N int           // the cardinality bound
+}
+
+// New returns a normalized constraint S -> (l, N). It errors on a negative
+// bound or an invalid label. Note that l ∈ S is legal: it bounds the
+// l-labeled common neighbors of node sets that themselves include an
+// l-labeled node.
+func New(s []graph.Label, l graph.Label, n int) (Constraint, error) {
+	if n < 0 {
+		return Constraint{}, fmt.Errorf("access: negative bound %d", n)
+	}
+	if l < 0 {
+		return Constraint{}, errors.New("access: invalid target label")
+	}
+	sorted := append([]graph.Label(nil), s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	for i, lab := range sorted {
+		if lab < 0 {
+			return Constraint{}, errors.New("access: invalid source label")
+		}
+		if i > 0 && lab == sorted[i-1] {
+			continue
+		}
+		out = append(out, lab)
+	}
+	return Constraint{S: out, L: l, N: n}, nil
+}
+
+// MustNew is New, panicking on error; for fixtures and generators.
+func MustNew(s []graph.Label, l graph.Label, n int) Constraint {
+	c, err := New(s, l, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Type1 reports whether the constraint is of type (1): |S| = 0, a global
+// cardinality bound on l-labeled nodes.
+func (c Constraint) Type1() bool { return len(c.S) == 0 }
+
+// Type2 reports whether the constraint is of type (2): |S| = 1, a bound on
+// l-neighbors of each S-labeled node.
+func (c Constraint) Type2() bool { return len(c.S) == 1 }
+
+// Arity returns |S|.
+func (c Constraint) Arity() int { return len(c.S) }
+
+// Len returns the constraint's contribution to |A| (the total length of
+// constraints): |S| + 1 labels plus the bound.
+func (c Constraint) Len() int { return len(c.S) + 2 }
+
+// Key returns a canonical comparable key for the constraint's (S, l) part,
+// used to deduplicate schemas.
+func (c Constraint) Key() string {
+	var b strings.Builder
+	for _, l := range c.S {
+		fmt.Fprintf(&b, "%d,", l)
+	}
+	fmt.Fprintf(&b, "->%d", c.L)
+	return b.String()
+}
+
+// Format renders the constraint with label names, e.g.
+// "(year, award) -> (movie, 4)".
+func (c Constraint) Format(in *graph.Interner) string {
+	if c.Type1() {
+		return fmt.Sprintf("{} -> (%s, %d)", in.Name(c.L), c.N)
+	}
+	names := make([]string, len(c.S))
+	for i, l := range c.S {
+		names[i] = in.Name(l)
+	}
+	return fmt.Sprintf("(%s) -> (%s, %d)", strings.Join(names, ", "), in.Name(c.L), c.N)
+}
+
+// String renders the constraint with raw label numbers.
+func (c Constraint) String() string {
+	parts := make([]string, len(c.S))
+	for i, l := range c.S {
+		parts[i] = fmt.Sprint(int(l))
+	}
+	return fmt.Sprintf("{%s} -> (%d, %d)", strings.Join(parts, ","), int(c.L), c.N)
+}

@@ -1,0 +1,129 @@
+package access
+
+import (
+	"sort"
+
+	"boundedg/internal/graph"
+)
+
+// DiscoverOptions tunes the constraint-discovery heuristics of §II of the
+// paper ("Discovering access constraints"). All four families the paper
+// lists are implemented:
+//
+//  1. degree bounds        -> type-2 constraints l -> (l', N)
+//  2. global label counts  -> type-1 constraints {} -> (l, N)
+//  3. functional deps      -> the N = 1 subset of (1)/(4)
+//  4. aggregate queries    -> general constraints S -> (l, N), |S| >= 2,
+//     for caller-supplied candidate label sets
+type DiscoverOptions struct {
+	// MaxType1 keeps {} -> (l, N) only when N <= MaxType1 (0 disables
+	// type-1 discovery).
+	MaxType1 int
+	// MaxType2 keeps l -> (l', N) only when N <= MaxType2 (0 disables).
+	MaxType2 int
+	// GeneralSets lists candidate (S, l) shapes for |S| >= 2 discovery,
+	// mirroring the paper's group-by aggregate queries.
+	GeneralSets []GeneralCandidate
+	// MaxGeneral keeps S -> (l, N) only when N <= MaxGeneral (0 means no
+	// cap for the supplied candidates).
+	MaxGeneral int
+}
+
+// GeneralCandidate names a candidate general constraint shape.
+type GeneralCandidate struct {
+	S []graph.Label
+	L graph.Label
+}
+
+// Discover extracts an access schema from g per opt. The discovered bounds
+// are exact maxima over g (the tightest N such that g satisfies the
+// constraint), so g |= Discover(g, opt) always holds.
+func Discover(g *graph.Graph, opt DiscoverOptions) *Schema {
+	st := graph.ComputeStats(g)
+	schema := NewSchema()
+
+	if opt.MaxType1 > 0 {
+		// Deterministic order: by label.
+		labels := make([]graph.Label, 0, len(st.LabelCounts))
+		for l := range st.LabelCounts {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		for _, l := range labels {
+			if n := st.LabelCounts[l]; n <= opt.MaxType1 {
+				schema.Add(MustNew(nil, l, n))
+			}
+		}
+	}
+
+	if opt.MaxType2 > 0 {
+		keys := make([][2]graph.Label, 0, len(st.MaxLabelNeighbors))
+		for k := range st.MaxLabelNeighbors {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			// k = (l, l'): each l-node has at most N l'-neighbors.
+			if n := st.MaxLabelNeighbors[k]; n <= opt.MaxType2 {
+				schema.Add(MustNew([]graph.Label{k[0]}, k[1], n))
+			}
+		}
+	}
+
+	for _, cand := range opt.GeneralSets {
+		c, ok := DiscoverConstraint(g, cand.S, cand.L)
+		if !ok {
+			continue
+		}
+		if opt.MaxGeneral > 0 && c.N > opt.MaxGeneral {
+			continue
+		}
+		schema.Add(c)
+	}
+	return schema
+}
+
+// DiscoverConstraint computes the tightest constraint S -> (l, N) that g
+// satisfies, by materializing the index and taking the maximum entry size.
+// ok is false if the shape is ill-formed (e.g. l ∈ S).
+func DiscoverConstraint(g *graph.Graph, s []graph.Label, l graph.Label) (Constraint, bool) {
+	c, err := New(s, l, 0)
+	if err != nil {
+		return Constraint{}, false
+	}
+	x := BuildIndex(g, c)
+	c.N = x.MaxEntry()
+	if c.Type1() {
+		c.N = g.CountLabel(l)
+	}
+	return c, true
+}
+
+// DiscoverFDs returns the discovered constraints with bound N = 1 — the
+// functional dependencies of discovery family (3) — drawn from type-2
+// shapes over g.
+func DiscoverFDs(g *graph.Graph) []Constraint {
+	st := graph.ComputeStats(g)
+	var out []Constraint
+	keys := make([][2]graph.Label, 0, len(st.MaxLabelNeighbors))
+	for k := range st.MaxLabelNeighbors {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if st.MaxLabelNeighbors[k] == 1 {
+			out = append(out, MustNew([]graph.Label{k[0]}, k[1], 1))
+		}
+	}
+	return out
+}

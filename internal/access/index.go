@@ -1,0 +1,315 @@
+package access
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"boundedg/internal/graph"
+)
+
+// Index is the index component of one access constraint φ = S -> (l, N):
+// it maps every S-labeled node set VS of G that has at least one common
+// neighbor labeled l to the list of those common neighbors. Lookup cost is
+// O(answer) — meeting the paper's requirement of O(N) time independent of
+// |G|. This replaces the MySQL tables the paper's prototype used.
+type Index struct {
+	c Constraint
+
+	// entries maps the encoded sorted node IDs of VS to the common
+	// l-labeled neighbors of VS. For type-1 constraints the single key is
+	// the empty string and the entry lists all l-labeled nodes.
+	entries map[string][]graph.NodeID
+
+	// memberKeys is the reverse map: for each l-labeled node, the entry
+	// keys it appears in. It powers incremental maintenance.
+	memberKeys map[graph.NodeID]map[string]struct{}
+}
+
+// Constraint returns the constraint this index serves.
+func (x *Index) Constraint() Constraint { return x.c }
+
+// encodeKey canonicalizes VS as a sorted node-ID tuple.
+func encodeKey(vs []graph.NodeID) string {
+	sorted := append([]graph.NodeID(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buf := make([]byte, 0, len(sorted)*3)
+	for _, v := range sorted {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return string(buf)
+}
+
+// BuildIndex constructs the index of constraint c over g. It does not
+// check the cardinality bound; see Violations.
+func BuildIndex(g *graph.Graph, c Constraint) *Index {
+	x := &Index{
+		c:          c,
+		entries:    make(map[string][]graph.NodeID),
+		memberKeys: make(map[graph.NodeID]map[string]struct{}),
+	}
+	for _, v := range g.NodesByLabel(c.L) {
+		x.addRow(g, v)
+	}
+	return x
+}
+
+// addRow inserts node v (labeled c.L) into every entry whose VS is an
+// S-labeled subset of v's neighborhood.
+func (x *Index) addRow(g *graph.Graph, v graph.NodeID) {
+	if x.c.Type1() {
+		x.insert("", v)
+		return
+	}
+	// Group v's neighbors by the labels of S.
+	groups := make([][]graph.NodeID, len(x.c.S))
+	for _, w := range g.Neighbors(v) {
+		wl := g.LabelOf(w)
+		for i, sl := range x.c.S {
+			if wl == sl {
+				groups[i] = append(groups[i], w)
+				break
+			}
+		}
+	}
+	for _, grp := range groups {
+		if len(grp) == 0 {
+			return // no S-labeled set exists in v's neighborhood
+		}
+	}
+	// Enumerate the cartesian product of the groups.
+	combo := make([]graph.NodeID, len(groups))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(groups) {
+			x.insert(encodeKey(combo), v)
+			return
+		}
+		for _, w := range groups[i] {
+			combo[i] = w
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func (x *Index) insert(key string, v graph.NodeID) {
+	x.entries[key] = append(x.entries[key], v)
+	ks, ok := x.memberKeys[v]
+	if !ok {
+		ks = make(map[string]struct{})
+		x.memberKeys[v] = ks
+	}
+	ks[key] = struct{}{}
+}
+
+// removeRow deletes node v from every entry it appears in.
+func (x *Index) removeRow(v graph.NodeID) {
+	for key := range x.memberKeys[v] {
+		entry := x.entries[key]
+		for i, w := range entry {
+			if w == v {
+				entry[i] = entry[len(entry)-1]
+				entry = entry[:len(entry)-1]
+				break
+			}
+		}
+		if len(entry) == 0 {
+			delete(x.entries, key)
+		} else {
+			x.entries[key] = entry
+		}
+	}
+	delete(x.memberKeys, v)
+}
+
+// Lookup returns the common l-labeled neighbors of the S-labeled set vs.
+// The order of vs does not matter. The returned slice is shared; do not
+// mutate it. Lookup time is O(len(result)) and allocation-free for
+// |S| <= 8 (the map access through string(buf) does not copy).
+func (x *Index) Lookup(vs []graph.NodeID) []graph.NodeID {
+	if x.c.Type1() {
+		return x.entries[""]
+	}
+	if len(vs) != len(x.c.S) {
+		return nil
+	}
+	if len(vs) > 8 {
+		return x.entries[encodeKey(vs)]
+	}
+	var tuple [8]graph.NodeID
+	n := copy(tuple[:], vs)
+	sorted := tuple[:n]
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var buf [8 * binary.MaxVarintLen64]byte
+	k := 0
+	for _, v := range sorted {
+		k += binary.PutUvarint(buf[k:], uint64(v))
+	}
+	return x.entries[string(buf[:k])]
+}
+
+// MaxEntry returns the size of the largest entry (0 for an empty index) —
+// the actual maximum common-neighbor count realized in G.
+func (x *Index) MaxEntry() int {
+	m := 0
+	for _, e := range x.entries {
+		if len(e) > m {
+			m = len(e)
+		}
+	}
+	return m
+}
+
+// NumEntries returns the number of materialized entries.
+func (x *Index) NumEntries() int { return len(x.entries) }
+
+// SizeNodes returns the total number of node references stored — the
+// |index| figure reported in Fig 5(d,h,l) of the paper.
+func (x *Index) SizeNodes() int {
+	t := 0
+	for _, e := range x.entries {
+		t += len(e)
+	}
+	return t
+}
+
+// Violation records an entry exceeding its constraint's bound.
+type Violation struct {
+	Constraint Constraint
+	// Count is the offending common-neighbor count (> Constraint.N).
+	Count int
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("access: constraint %v violated: %d common neighbors (bound %d)", v.Constraint, v.Count, v.Constraint.N)
+}
+
+// check returns a violation if any entry exceeds the bound.
+func (x *Index) check() *Violation {
+	if m := x.MaxEntry(); m > x.c.N {
+		return &Violation{Constraint: x.c, Count: m}
+	}
+	return nil
+}
+
+// IndexSet bundles one Index per constraint of a schema — the runtime form
+// of "G |= A with indices in place".
+type IndexSet struct {
+	schema  *Schema
+	indexes []*Index
+}
+
+// Build constructs indices for every constraint of A over g and verifies
+// that g satisfies the cardinality bounds; it returns the violations (and
+// a nil IndexSet) if not.
+func Build(g *graph.Graph, a *Schema) (*IndexSet, []Violation) {
+	s := BuildUnchecked(g, a)
+	var viols []Violation
+	for _, x := range s.indexes {
+		if v := x.check(); v != nil {
+			viols = append(viols, *v)
+		}
+	}
+	if len(viols) > 0 {
+		return nil, viols
+	}
+	return s, nil
+}
+
+// BuildUnchecked constructs indices without checking cardinality bounds.
+// Per-constraint indices are independent, so they are built in parallel
+// (the graph is only read); this is the offline preprocessing step the
+// bounded-evaluation approach amortizes across queries.
+func BuildUnchecked(g *graph.Graph, a *Schema) *IndexSet {
+	s := &IndexSet{schema: a, indexes: make([]*Index, a.Count())}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Count() {
+		workers = a.Count()
+	}
+	if workers <= 1 {
+		for i, c := range a.Constraints() {
+			s.indexes[i] = BuildIndex(g, c)
+		}
+		return s
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s.indexes[i] = BuildIndex(g, a.At(i))
+			}
+		}()
+	}
+	for i := range a.Constraints() {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return s
+}
+
+// Validate reports whether g satisfies the cardinality constraints of A,
+// returning the violations found.
+func Validate(g *graph.Graph, a *Schema) []Violation {
+	_, viols := Build(g, a)
+	return viols
+}
+
+// Schema returns the schema this set serves.
+func (s *IndexSet) Schema() *Schema { return s.schema }
+
+// Index returns the index of the i-th constraint (in schema order).
+func (s *IndexSet) Index(i int) *Index { return s.indexes[i] }
+
+// SizeNodes returns the total stored node references across all indices.
+func (s *IndexSet) SizeNodes() int {
+	t := 0
+	for _, x := range s.indexes {
+		t += x.SizeNodes()
+	}
+	return t
+}
+
+// ApplyDelta applies d to g and incrementally maintains every index,
+// touching only ΔG ∪ NbG(ΔG) per §II of the paper. It returns the IDs
+// assigned to the delta's inserted nodes, any cardinality violations
+// introduced by the update (the indices are still maintained correctly in
+// that case), and the first structural error from applying the delta.
+func (s *IndexSet) ApplyDelta(g *graph.Graph, d *graph.Delta) ([]graph.NodeID, []Violation, error) {
+	touched := d.Touched(g)
+	newIDs, err := d.Apply(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	recompute := make([]graph.NodeID, 0, len(touched)+len(newIDs))
+	for v := range touched {
+		recompute = append(recompute, v)
+	}
+	recompute = append(recompute, newIDs...)
+	for _, x := range s.indexes {
+		for _, v := range recompute {
+			x.removeRow(v)
+			if g.Contains(v) && g.LabelOf(v) == x.c.L {
+				x.addRow(g, v)
+			}
+		}
+	}
+	var viols []Violation
+	for _, x := range s.indexes {
+		if v := x.check(); v != nil {
+			viols = append(viols, *v)
+		}
+	}
+	return newIDs, viols, nil
+}

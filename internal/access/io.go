@@ -1,0 +1,61 @@
+package access
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"boundedg/internal/graph"
+)
+
+// jsonSchema is the on-disk form of a Schema, with labels spelled out.
+type jsonSchema struct {
+	Constraints []jsonConstraint `json:"constraints"`
+}
+
+type jsonConstraint struct {
+	S []string `json:"s,omitempty"`
+	L string   `json:"l"`
+	N int      `json:"n"`
+}
+
+// WriteJSON serializes the schema with label names resolved through in.
+func (s *Schema) WriteJSON(w io.Writer, in *graph.Interner) error {
+	js := jsonSchema{Constraints: make([]jsonConstraint, 0, s.Count())}
+	for _, c := range s.Constraints() {
+		jc := jsonConstraint{L: in.Name(c.L), N: c.N}
+		for _, l := range c.S {
+			jc.S = append(jc.S, in.Name(l))
+		}
+		js.Constraints = append(js.Constraints, jc)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(js); err != nil {
+		return fmt.Errorf("access: encode schema: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a schema written by WriteJSON, interning labels in in.
+func ReadJSON(r io.Reader, in *graph.Interner) (*Schema, error) {
+	var js jsonSchema
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&js); err != nil {
+		return nil, fmt.Errorf("access: decode schema: %w", err)
+	}
+	s := NewSchema()
+	for i, jc := range js.Constraints {
+		labels := make([]graph.Label, len(jc.S))
+		for j, name := range jc.S {
+			labels[j] = in.Intern(name)
+		}
+		c, err := New(labels, in.Intern(jc.L), jc.N)
+		if err != nil {
+			return nil, fmt.Errorf("access: constraint %d: %w", i, err)
+		}
+		s.Add(c)
+	}
+	return s, nil
+}

@@ -1,0 +1,61 @@
+package access
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"boundedg/internal/graph"
+)
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	in := graph.NewInterner()
+	y, a, m := in.Intern("year"), in.Intern("award"), in.Intern("movie")
+	s := NewSchema(
+		MustNew(nil, y, 135),
+		MustNew([]graph.Label{y, a}, m, 4),
+		MustNew([]graph.Label{m}, a, 3),
+	)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, in); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	// Decode into a fresh interner: labels must resolve by name.
+	in2 := graph.NewInterner()
+	s2, err := ReadJSON(bytes.NewReader(buf.Bytes()), in2)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if s2.Count() != s.Count() {
+		t.Fatalf("count %d vs %d", s2.Count(), s.Count())
+	}
+	if s.Format(in) != s2.Format(in2) {
+		t.Fatalf("formats differ:\n%s\nvs\n%s", s.Format(in), s2.Format(in2))
+	}
+}
+
+func TestSchemaReadJSONErrors(t *testing.T) {
+	in := graph.NewInterner()
+	if _, err := ReadJSON(strings.NewReader("{oops"), in); err == nil {
+		t.Fatalf("malformed JSON accepted")
+	}
+	bad := `{"constraints":[{"l":"movie","n":-2}]}`
+	if _, err := ReadJSON(strings.NewReader(bad), in); err == nil {
+		t.Fatalf("negative bound accepted")
+	}
+}
+
+func TestSchemaJSONDedups(t *testing.T) {
+	in := graph.NewInterner()
+	src := `{"constraints":[
+		{"s":["a"],"l":"b","n":9},
+		{"s":["a"],"l":"b","n":4}
+	]}`
+	s, err := ReadJSON(strings.NewReader(src), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 || s.At(0).N != 4 {
+		t.Fatalf("dedup on read failed: %d constraints, N=%d", s.Count(), s.At(0).N)
+	}
+}

@@ -1,0 +1,140 @@
+package access
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"boundedg/internal/graph"
+)
+
+// Index persistence: the paper builds its constraint indices offline (in
+// MySQL tables) and reuses them across queries. WriteJSON/ReadIndexSet
+// give this repository the same lifecycle — build once with Build, save,
+// and reload next to the graph without rescanning it.
+//
+// The on-disk format stores, per constraint, its entries as (VS tuple,
+// members) pairs using the graph's node IDs, so a saved index set is only
+// valid against the exact graph it was built from (the loader re-derives
+// the reverse maps; it does not re-verify entries — use Validate for
+// that).
+
+type jsonIndexSet struct {
+	Schema  jsonSchema  `json:"schema"`
+	Indexes []jsonIndex `json:"indexes"`
+}
+
+type jsonIndex struct {
+	Entries []jsonEntry `json:"entries"`
+}
+
+type jsonEntry struct {
+	VS      []graph.NodeID `json:"vs,omitempty"`
+	Members []graph.NodeID `json:"members"`
+}
+
+// WriteJSON serializes the index set (schema + all entries). Label names
+// are resolved through in so the file is self-contained.
+func (s *IndexSet) WriteJSON(w io.Writer, in *graph.Interner) error {
+	js := jsonIndexSet{}
+	for _, c := range s.schema.Constraints() {
+		jc := jsonConstraint{L: in.Name(c.L), N: c.N}
+		for _, l := range c.S {
+			jc.S = append(jc.S, in.Name(l))
+		}
+		js.Schema.Constraints = append(js.Schema.Constraints, jc)
+	}
+	for _, x := range s.indexes {
+		ji := jsonIndex{Entries: make([]jsonEntry, 0, len(x.entries))}
+		keys := make([]string, 0, len(x.entries))
+		for k := range x.entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic output
+		for _, k := range keys {
+			members := append([]graph.NodeID(nil), x.entries[k]...)
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			ji.Entries = append(ji.Entries, jsonEntry{VS: decodeTupleKey(k), Members: members})
+		}
+		js.Indexes = append(js.Indexes, ji)
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(js); err != nil {
+		return fmt.Errorf("access: encode index set: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadIndexSet loads an index set written by WriteJSON. Node IDs are
+// taken verbatim, so the result is only meaningful against the graph the
+// set was built from.
+func ReadIndexSet(r io.Reader, in *graph.Interner) (*IndexSet, error) {
+	var js jsonIndexSet
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&js); err != nil {
+		return nil, fmt.Errorf("access: decode index set: %w", err)
+	}
+	schema := NewSchema()
+	for i, jc := range js.Schema.Constraints {
+		labels := make([]graph.Label, len(jc.S))
+		for j, name := range jc.S {
+			labels[j] = in.Intern(name)
+		}
+		c, err := New(labels, in.Intern(jc.L), jc.N)
+		if err != nil {
+			return nil, fmt.Errorf("access: constraint %d: %w", i, err)
+		}
+		schema.Add(c)
+	}
+	if len(js.Indexes) != schema.Count() {
+		return nil, fmt.Errorf("access: %d indexes for %d constraints", len(js.Indexes), schema.Count())
+	}
+	set := &IndexSet{schema: schema, indexes: make([]*Index, schema.Count())}
+	for i, ji := range js.Indexes {
+		x := &Index{
+			c:          schema.At(i),
+			entries:    make(map[string][]graph.NodeID, len(ji.Entries)),
+			memberKeys: make(map[graph.NodeID]map[string]struct{}),
+		}
+		for _, e := range ji.Entries {
+			if len(e.VS) != x.c.Arity() {
+				return nil, fmt.Errorf("access: constraint %d: entry arity %d != |S| %d", i, len(e.VS), x.c.Arity())
+			}
+			key := encodeKey(e.VS)
+			for _, m := range e.Members {
+				x.insert(key, m)
+			}
+		}
+		set.indexes[i] = x
+	}
+	return set, nil
+}
+
+// decodeTupleKey inverts encodeKey.
+func decodeTupleKey(key string) []graph.NodeID {
+	var out []graph.NodeID
+	b := []byte(key)
+	for len(b) > 0 {
+		v, n := uvarintBytes(b)
+		if n <= 0 {
+			break
+		}
+		out = append(out, graph.NodeID(v))
+		b = b[n:]
+	}
+	return out
+}
+
+func uvarintBytes(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

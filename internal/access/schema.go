@@ -1,0 +1,114 @@
+package access
+
+import (
+	"sort"
+	"strings"
+
+	"boundedg/internal/graph"
+)
+
+// Schema is an access schema A: a set of access constraints. Constraints
+// are deduplicated by (S, l), keeping the tightest bound N.
+type Schema struct {
+	constraints []Constraint
+	byKey       map[string]int // Constraint.Key() -> index
+	byTarget    map[graph.Label][]int
+}
+
+// NewSchema returns a schema holding the given constraints.
+func NewSchema(cs ...Constraint) *Schema {
+	s := &Schema{
+		byKey:    make(map[string]int),
+		byTarget: make(map[graph.Label][]int),
+	}
+	for _, c := range cs {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts c, replacing an existing constraint with the same (S, l) if
+// c's bound is tighter. It reports whether the schema changed.
+func (s *Schema) Add(c Constraint) bool {
+	k := c.Key()
+	if i, ok := s.byKey[k]; ok {
+		if c.N < s.constraints[i].N {
+			s.constraints[i] = c
+			return true
+		}
+		return false
+	}
+	s.byKey[k] = len(s.constraints)
+	s.byTarget[c.L] = append(s.byTarget[c.L], len(s.constraints))
+	s.constraints = append(s.constraints, c)
+	return true
+}
+
+// Constraints returns the constraints in insertion order. Shared slice; do
+// not mutate.
+func (s *Schema) Constraints() []Constraint { return s.constraints }
+
+// At returns the i-th constraint.
+func (s *Schema) At(i int) Constraint { return s.constraints[i] }
+
+// ByTarget returns the indices of constraints whose target label is l.
+func (s *Schema) ByTarget(l graph.Label) []int { return s.byTarget[l] }
+
+// Type1Bound returns the tightest type-1 bound for label l (the N of
+// {} -> (l, N)); ok is false if the schema has no type-1 constraint on l.
+func (s *Schema) Type1Bound(l graph.Label) (n int, ok bool) {
+	n = -1
+	for _, i := range s.byTarget[l] {
+		c := s.constraints[i]
+		if c.Type1() && (n < 0 || c.N < n) {
+			n = c.N
+		}
+	}
+	return n, n >= 0
+}
+
+// Count returns ||A||, the number of constraints.
+func (s *Schema) Count() int { return len(s.constraints) }
+
+// TotalLen returns |A|, the total length of the constraints.
+func (s *Schema) TotalLen() int {
+	t := 0
+	for _, c := range s.constraints {
+		t += c.Len()
+	}
+	return t
+}
+
+// OnlyType12 reports whether every constraint is of type (1) or (2) — the
+// second special case of Theorem 2.
+func (s *Schema) OnlyType12() bool {
+	for _, c := range s.constraints {
+		if len(c.S) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the schema.
+func (s *Schema) Clone() *Schema { return NewSchema(s.constraints...) }
+
+// Subset returns a new schema with the first k constraints (in insertion
+// order); used by the ||A||-sweep experiment (Fig 5c/g/k).
+func (s *Schema) Subset(k int) *Schema {
+	if k > len(s.constraints) {
+		k = len(s.constraints)
+	}
+	return NewSchema(s.constraints[:k]...)
+}
+
+// Format renders the schema with label names, one constraint per line, in
+// a deterministic order.
+func (s *Schema) Format(in *graph.Interner) string {
+	lines := make([]string, len(s.constraints))
+	for i, c := range s.constraints {
+		lines[i] = c.Format(in)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// actualized is an actualized constraint φ: V̄ᵤS ↦ (u, N) — the projection
+// of an access constraint S -> (l, N) onto a concrete pattern node u with
+// fQ(u) = l (§III for subgraph queries; §VI adds the child restriction for
+// simulation queries). Nbrs is the maximum neighbor set V̄ᵤS of u whose
+// labels lie in S; an actualized constraint exists only when every label
+// of S is represented in Nbrs (so an S-labeled subset exists).
+type actualized struct {
+	CIdx int          // constraint index within the schema
+	U    pattern.Node // the covered node u
+	Nbrs []pattern.Node
+}
+
+// actualize computes the set Γ of all actualized constraints of A on Q
+// under the given semantics. Type-1 constraints are not actualized (they
+// apply directly). The cost is O(|A|·|EQ|), per Theorem 2.
+func actualize(q *pattern.Pattern, a *access.Schema, sem Semantics) []actualized {
+	var out []actualized
+	for ci, c := range a.Constraints() {
+		if c.Type1() {
+			continue
+		}
+		inS := make(map[graph.Label]bool, len(c.S))
+		for _, s := range c.S {
+			inS[s] = true
+		}
+		for _, u := range q.NodesWithLabel(c.L) {
+			var nbrs []pattern.Node
+			have := make(map[graph.Label]bool, len(c.S))
+			for _, w := range neighborsFor(q, u, sem) {
+				wl := labelOf(q, w)
+				if inS[wl] {
+					nbrs = append(nbrs, w)
+					have[wl] = true
+				}
+			}
+			if len(have) != len(c.S) {
+				continue // no S-labeled subset in the neighborhood
+			}
+			out = append(out, actualized{CIdx: ci, U: u, Nbrs: nbrs})
+		}
+	}
+	return out
+}

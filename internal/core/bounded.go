@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/pattern"
+)
+
+// EvalSubgraph answers an effectively bounded subgraph query on g by
+// executing the plan (fetching GQ through the indices only) and running
+// VF2 inside GQ — the paper's bVF2. Matches are reported in g's node IDs.
+func (p *Plan) EvalSubgraph(g *graph.Graph, idx *access.IndexSet, opt match.SubgraphOptions) (*match.SubgraphResult, *ExecStats, error) {
+	bg, stats, err := p.Exec(g, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := match.VF2WithCandidates(p.Q, bg.G, bg.Cands, opt)
+	for _, m := range res.Matches {
+		for i, v := range m {
+			m[i] = bg.ToOrig[v]
+		}
+	}
+	return res, stats, nil
+}
+
+// EvalSim answers an effectively bounded simulation query on g by
+// executing the plan and computing the maximum simulation inside GQ — the
+// paper's bSim. The relation is reported in g's node IDs.
+func (p *Plan) EvalSim(g *graph.Graph, idx *access.IndexSet) (*match.SimResult, *ExecStats, error) {
+	bg, stats, err := p.Exec(g, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := match.GSimWithCandidates(p.Q, bg.G, bg.Cands)
+	if res.Matched {
+		for ui := range res.Sim {
+			mapped := make([]graph.NodeID, len(res.Sim[ui]))
+			for i, v := range res.Sim[ui] {
+				mapped[i] = bg.ToOrig[v]
+			}
+			sortNodeIDs(mapped)
+			res.Sim[ui] = mapped
+		}
+	}
+	return res, stats, nil
+}
+
+// BVF2 checks boundedness, plans, and evaluates a subgraph query in one
+// call. It returns ErrNotBounded when no effectively bounded plan exists.
+func BVF2(q *pattern.Pattern, g *graph.Graph, idx *access.IndexSet, opt match.SubgraphOptions) (*match.SubgraphResult, *ExecStats, error) {
+	p, err := NewPlan(q, idx.Schema(), Subgraph)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.EvalSubgraph(g, idx, opt)
+}
+
+// BSim checks boundedness, plans, and evaluates a simulation query in one
+// call. It returns ErrNotBounded when no effectively bounded plan exists.
+func BSim(q *pattern.Pattern, g *graph.Graph, idx *access.IndexSet) (*match.SimResult, *ExecStats, error) {
+	p, err := NewPlan(q, idx.Schema(), Simulation)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.EvalSim(g, idx)
+}
+
+func sortNodeIDs(s []graph.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// CoverResult reports the node and edge covers of an access schema on a
+// pattern, and whether the pattern is effectively bounded (Theorem 1 for
+// subgraph queries: VCov = VQ ∧ ECov = EQ; Theorem 7 for simulation
+// queries with sVCov/sECov).
+type CoverResult struct {
+	// Sem records which semantics the covers were computed under.
+	Sem Semantics
+	// NodeCovered[u] reports u ∈ VCov(Q, A) (resp. sVCov).
+	NodeCovered []bool
+	// EdgeCovered reports (u1, u2) ∈ ECov(Q, A) (resp. sECov) for every
+	// pattern edge.
+	EdgeCovered map[[2]pattern.Node]bool
+	// Bounded is the answer to EBnd(Q, A).
+	Bounded bool
+}
+
+// UncoveredNodes lists the pattern nodes outside the node cover.
+func (r *CoverResult) UncoveredNodes() []pattern.Node {
+	var out []pattern.Node
+	for u, c := range r.NodeCovered {
+		if !c {
+			out = append(out, pattern.Node(u))
+		}
+	}
+	return out
+}
+
+// UncoveredEdges lists the pattern edges outside the edge cover.
+func (r *CoverResult) UncoveredEdges() [][2]pattern.Node {
+	var out [][2]pattern.Node
+	for e, c := range r.EdgeCovered {
+		if !c {
+			out = append(out, [2]pattern.Node{e[0], e[1]})
+		}
+	}
+	return out
+}
+
+// EBnd decides whether Q is effectively bounded under A for the chosen
+// semantics, returning the full cover diagnosis. It is the paper's
+// algorithm EBChk (Fig. 3) / sEBChk (§VI-B), O(|A||EQ| + ||A|||VQ|²).
+//
+// Theorem 2's O(|A||EQ| + |VQ|²) counter optimization is applied when the
+// schema has only type-(1)/(2) constraints: with |S| ≤ 1 a plain counter
+// per actualized constraint is exact (every decrement retires the single
+// remaining label). The theorem's other special case — parents with
+// distinct labels — does not by itself preclude duplicate labels among
+// the neighbor sets V̄ᵤS our actualization produces (children count too),
+// so for general schemas we keep the always-correct set-based ct[φ];
+// TestCounterEqualsSetProperty pins the equivalence.
+func EBnd(q *pattern.Pattern, a *access.Schema, sem Semantics) *CoverResult {
+	return ebnd(q, a, sem, a.OnlyType12())
+}
+
+// ebnd is EBnd with the counter fast path made explicit for testing.
+func ebnd(q *pattern.Pattern, a *access.Schema, sem Semantics, useCounter bool) *CoverResult {
+	gamma := actualize(q, a, sem)
+	n := q.NumNodes()
+	res := &CoverResult{
+		Sem:         sem,
+		NodeCovered: make([]bool, n),
+		EdgeCovered: make(map[[2]pattern.Node]bool, q.NumEdges()),
+	}
+
+	// Auxiliary structures of EBChk (Fig. 3).
+	// L[v]: actualized constraints usable through v (v ∈ V̄ᵤS).
+	L := make([][]int, n)
+	// ct[φ]: labels of S not yet represented by a covered node in V̄ᵤS;
+	// nct[φ] is the counter variant (remaining distinct labels).
+	var ct []map[graph.Label]struct{}
+	var nct []int
+	if useCounter {
+		nct = make([]int, len(gamma))
+	} else {
+		ct = make([]map[graph.Label]struct{}, len(gamma))
+	}
+	for fi, phi := range gamma {
+		c := a.At(phi.CIdx)
+		if useCounter {
+			nct[fi] = len(c.S)
+		} else {
+			set := make(map[graph.Label]struct{}, len(c.S))
+			for _, s := range c.S {
+				set[s] = struct{}{}
+			}
+			ct[fi] = set
+		}
+		for _, v := range phi.Nbrs {
+			L[v] = append(L[v], fi)
+		}
+	}
+
+	// B: worklist of covered nodes whose consequences are unprocessed.
+	// Initialize from type-1 constraints (line 3 of Fig. 3).
+	var b []pattern.Node
+	for ui := 0; ui < n; ui++ {
+		if _, ok := a.Type1Bound(labelOf(q, pattern.Node(ui))); ok {
+			res.NodeCovered[ui] = true
+			b = append(b, pattern.Node(ui))
+		}
+	}
+
+	// satisfied[φ] records ct[φ] = ∅ (used later for edge coverage).
+	satisfied := make([]bool, len(gamma))
+
+	for len(b) > 0 {
+		v := b[len(b)-1]
+		b = b[:len(b)-1]
+		for _, fi := range L[v] {
+			if satisfied[fi] {
+				continue
+			}
+			if useCounter {
+				nct[fi]--
+				if nct[fi] > 0 {
+					continue
+				}
+			} else {
+				delete(ct[fi], labelOf(q, v))
+				if len(ct[fi]) > 0 {
+					continue
+				}
+			}
+			satisfied[fi] = true
+			u := gamma[fi].U
+			if !res.NodeCovered[u] {
+				res.NodeCovered[u] = true
+				b = append(b, u)
+			}
+		}
+	}
+
+	// Edge coverage: (from, to) ∈ ECov iff some actualized constraint
+	// lets the index verify it — a φ targeting one endpoint whose V̄ᵤS
+	// contains the other, with an S-labeled subset of covered nodes
+	// through that other endpoint.
+	byTarget := make([][]int, n)
+	for fi, phi := range gamma {
+		byTarget[phi.U] = append(byTarget[phi.U], fi)
+	}
+	edgeOK := func(target, other pattern.Node) bool {
+		for _, fi := range byTarget[target] {
+			if nbrsContain(gamma[fi], other) && formable(q, a, gamma[fi], other, res.NodeCovered) {
+				return true
+			}
+		}
+		return false
+	}
+	q.Edges(func(from, to pattern.Node) bool {
+		res.EdgeCovered[[2]pattern.Node{from, to}] = edgeOK(to, from) || edgeOK(from, to)
+		return true
+	})
+
+	res.Bounded = true
+	for _, c := range res.NodeCovered {
+		if !c {
+			res.Bounded = false
+			break
+		}
+	}
+	if res.Bounded {
+		for _, c := range res.EdgeCovered {
+			if !c {
+				res.Bounded = false
+				break
+			}
+		}
+	}
+	return res
+}
+
+// nbrsContain reports x ∈ V̄ᵤS of φ.
+func nbrsContain(phi actualized, x pattern.Node) bool {
+	for _, w := range phi.Nbrs {
+		if w == x {
+			return true
+		}
+	}
+	return false
+}
+
+// formable reports whether an S-labeled set VS ⊆ VCov with x ∈ VS can be
+// drawn from φ's neighbor set: x must be covered and every other label of
+// S must have a covered representative in V̄ᵤS.
+func formable(q *pattern.Pattern, a *access.Schema, phi actualized, x pattern.Node, covered []bool) bool {
+	if !covered[x] {
+		return false
+	}
+	c := a.At(phi.CIdx)
+	for _, s := range c.S {
+		if s == labelOf(q, x) {
+			continue // x itself represents its label
+		}
+		ok := false
+		for _, w := range phi.Nbrs {
+			if labelOf(q, w) == s && covered[w] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EBChk decides EBnd(Q, A) for subgraph queries (Theorem 2).
+func EBChk(q *pattern.Pattern, a *access.Schema) bool {
+	return EBnd(q, a, Subgraph).Bounded
+}
+
+// SEBChk decides EBnd(Q, A) for simulation queries (Theorem 8).
+func SEBChk(q *pattern.Pattern, a *access.Schema) bool {
+	return EBnd(q, a, Simulation).Bounded
+}

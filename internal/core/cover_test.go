@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// TestExample4And5 reproduces Examples 4 and 5: Q0 is effectively bounded
+// under A0 (VCov = V0, ECov = E0).
+func TestExample4And5(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	a := fixtureA0(in)
+	res := EBnd(q, a, Subgraph)
+	if !res.Bounded {
+		t.Fatalf("Q0 must be effectively bounded under A0: uncovered nodes %v edges %v",
+			res.UncoveredNodes(), res.UncoveredEdges())
+	}
+	for u, c := range res.NodeCovered {
+		if !c {
+			t.Fatalf("node u%d uncovered", u+1)
+		}
+	}
+	for e, c := range res.EdgeCovered {
+		if !c {
+			t.Fatalf("edge %v uncovered", e)
+		}
+	}
+	if !EBChk(q, a) {
+		t.Fatalf("EBChk disagrees with EBnd")
+	}
+}
+
+// TestQ0IncompleteSchema removes constraints from A0 one family at a time
+// and checks that boundedness is lost exactly when coverage breaks.
+func TestQ0IncompleteSchema(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	full := fixtureA0(in).Constraints()
+
+	// Drop φ1 ((year,award)->movie): u3 becomes uncoverable.
+	a := access.NewSchema(full[1:]...)
+	res := EBnd(q, a, Subgraph)
+	if res.Bounded {
+		t.Fatalf("dropping φ1 must break boundedness")
+	}
+	movieCovered := res.NodeCovered[2]
+	if movieCovered {
+		t.Fatalf("movie node should be uncovered without φ1")
+	}
+
+	// Drop only φ6 ({}->country): u6 still coverable via actor->country?
+	// φ3a covers u6 from u4 (actor covered via movie chain). So still
+	// bounded.
+	var withoutT1Country []access.Constraint
+	for i, c := range full {
+		if i == 7 {
+			continue
+		}
+		withoutT1Country = append(withoutT1Country, c)
+	}
+	if !EBnd(q, access.NewSchema(withoutT1Country...), Subgraph).Bounded {
+		t.Fatalf("Q0 should stay bounded without the type-1 country constraint (actor->country covers u6)")
+	}
+
+	// Drop φ4 and φ5 (type-1 year and award): nothing seeds the
+	// deduction for u1/u2, so Q0 must become unbounded.
+	a = access.NewSchema(full[0], full[1], full[2], full[3], full[4], full[7])
+	if EBnd(q, a, Subgraph).Bounded {
+		t.Fatalf("without year/award seeds Q0 must be unbounded")
+	}
+}
+
+// TestExample8And9Simulation reproduces Examples 8 and 9: Q1 is NOT
+// effectively bounded under A1 for simulation (u1, u2 ∉ sVCov), while Q2
+// (reversed (u3,u2), (u4,u2)) is.
+func TestExample8And9Simulation(t *testing.T) {
+	in := graph.NewInterner()
+	q1 := fixtureQ1(in)
+	q2 := fixtureQ2(in)
+	a1 := fixtureA1(in)
+
+	res1 := EBnd(q1, a1, Simulation)
+	if res1.Bounded {
+		t.Fatalf("Q1 must not be effectively bounded under A1 (simulation)")
+	}
+	if res1.NodeCovered[0] || res1.NodeCovered[1] {
+		t.Fatalf("u1/u2 must be outside sVCov: %v", res1.NodeCovered)
+	}
+	if !res1.NodeCovered[2] || !res1.NodeCovered[3] {
+		t.Fatalf("u3/u4 (type-1 C/D) must be covered")
+	}
+
+	res2 := EBnd(q2, a1, Simulation)
+	if !res2.Bounded {
+		t.Fatalf("Q2 must be effectively bounded under A1 (simulation): uncovered %v / %v",
+			res2.UncoveredNodes(), res2.UncoveredEdges())
+	}
+	if !SEBChk(q2, a1) || SEBChk(q1, a1) {
+		t.Fatalf("SEBChk wrappers disagree")
+	}
+}
+
+// TestSubgraphVsSimulationCovers checks sVCov ⊆ VCov: Q1 under A1 is
+// effectively bounded for SUBGRAPH queries (Example 8 notes VCov = V1 and
+// ECov = E1) but not for simulation.
+func TestSubgraphVsSimulationCovers(t *testing.T) {
+	in := graph.NewInterner()
+	q1 := fixtureQ1(in)
+	a1 := fixtureA1(in)
+	sub := EBnd(q1, a1, Subgraph)
+	if !sub.Bounded {
+		t.Fatalf("Q1 must be effectively bounded under A1 for subgraph queries (VCov = V1, ECov = E1); uncovered %v / %v",
+			sub.UncoveredNodes(), sub.UncoveredEdges())
+	}
+	sim := EBnd(q1, a1, Simulation)
+	for u := range sim.NodeCovered {
+		if sim.NodeCovered[u] && !sub.NodeCovered[u] {
+			t.Fatalf("sVCov ⊄ VCov at node %d", u)
+		}
+	}
+}
+
+// TestCoverMonotoneInSchema: adding constraints never shrinks covers.
+func TestCoverMonotoneInSchema(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	full := fixtureA0(in)
+	cs := full.Constraints()
+	for k := 0; k <= len(cs); k++ {
+		sub := access.NewSchema(cs[:k]...)
+		rSub := EBnd(q, sub, Subgraph)
+		rFull := EBnd(q, full, Subgraph)
+		for u := range rSub.NodeCovered {
+			if rSub.NodeCovered[u] && !rFull.NodeCovered[u] {
+				t.Fatalf("k=%d: node cover not monotone at %d", k, u)
+			}
+		}
+		for e, c := range rSub.EdgeCovered {
+			if c && !rFull.EdgeCovered[e] {
+				t.Fatalf("k=%d: edge cover not monotone at %v", k, e)
+			}
+		}
+	}
+}
+
+// TestEmptySchema: nothing is covered without constraints.
+func TestEmptySchema(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	res := EBnd(q, access.NewSchema(), Subgraph)
+	if res.Bounded {
+		t.Fatalf("empty schema cannot bound anything")
+	}
+	if len(res.UncoveredNodes()) != q.NumNodes() {
+		t.Fatalf("all nodes should be uncovered: %v", res.UncoveredNodes())
+	}
+	if len(res.UncoveredEdges()) != q.NumEdges() {
+		t.Fatalf("all edges should be uncovered")
+	}
+}
+
+// TestType1OnlyCoversNodesNotEdges: with only type-1 constraints every
+// node is covered but no edge is, so the pattern is not bounded (type-1
+// indices cannot verify adjacency).
+func TestType1OnlyCoversNodesNotEdges(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	aN := q.AddNodeNamed("A", nil)
+	bN := q.AddNodeNamed("B", nil)
+	q.MustAddEdge(aN, bN)
+	a := access.NewSchema(
+		access.MustNew(nil, in.Intern("A"), 5),
+		access.MustNew(nil, in.Intern("B"), 5),
+	)
+	res := EBnd(q, a, Subgraph)
+	if !res.NodeCovered[0] || !res.NodeCovered[1] {
+		t.Fatalf("type-1 must cover both nodes")
+	}
+	if res.EdgeCovered[[2]pattern.Node{aN, bN}] {
+		t.Fatalf("type-1 must not cover the edge")
+	}
+	if res.Bounded {
+		t.Fatalf("pattern must not be bounded")
+	}
+	// Adding A -> (B, N) covers the edge and bounds the query.
+	a.Add(access.MustNew([]graph.Label{in.Intern("A")}, in.Intern("B"), 3))
+	if !EBnd(q, a, Subgraph).Bounded {
+		t.Fatalf("adding the type-2 constraint must bound the query")
+	}
+}
+
+// TestSimulationChildRestriction: a constraint usable through a PARENT
+// neighbor covers for subgraph but not for simulation.
+func TestSimulationChildRestriction(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	aN := q.AddNodeNamed("A", nil)
+	bN := q.AddNodeNamed("B", nil)
+	q.MustAddEdge(aN, bN) // B is A's child; A is B's parent
+	// {} -> (A, 5) seeds A; A -> (B, 3) can cover B.
+	a := access.NewSchema(
+		access.MustNew(nil, in.Intern("A"), 5),
+		access.MustNew([]graph.Label{in.Intern("A")}, in.Intern("B"), 3),
+	)
+	// Subgraph: B covered through its parent A.
+	if !EBnd(q, a, Subgraph).Bounded {
+		t.Fatalf("subgraph semantics should bound the query")
+	}
+	// Simulation: B's only A-neighbor is its parent, so the actualized
+	// constraint does not exist; B is uncovered.
+	res := EBnd(q, a, Simulation)
+	if res.NodeCovered[bN] {
+		t.Fatalf("simulation must not cover B through a parent")
+	}
+	// Reversing the edge (B -> A) makes A a child of B: now covered.
+	q2 := pattern.New(in)
+	a2N := q2.AddNodeNamed("A", nil)
+	b2N := q2.AddNodeNamed("B", nil)
+	q2.MustAddEdge(b2N, a2N)
+	if !EBnd(q2, a, Simulation).Bounded {
+		t.Fatalf("child-direction constraint must bound the reversed query")
+	}
+	_ = a2N
+}
+
+// TestActualizeRequiresAllLabels: an actualized constraint exists only if
+// every label of S occurs among the node's neighbors.
+func TestActualizeRequiresAllLabels(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	bN := q.AddNodeNamed("B", nil)
+	cN := q.AddNodeNamed("C", nil)
+	q.MustAddEdge(cN, bN)
+	// (C,D) -> (B, 2): B has a C neighbor but no D neighbor.
+	a := access.NewSchema(
+		access.MustNew([]graph.Label{in.Intern("C"), in.Intern("D")}, in.Intern("B"), 2),
+	)
+	gamma := actualize(q, a, Subgraph)
+	if len(gamma) != 0 {
+		t.Fatalf("no actualized constraint should exist, got %v", gamma)
+	}
+	_ = bN
+}
+
+// TestActualizeExample10 reproduces Example 10: actualized constraints of
+// A1 on Q2 for simulation are φ1 = (u3,u4) ↦ (u2,2) and φ2 = u2 ↦ (u1,2).
+func TestActualizeExample10(t *testing.T) {
+	in := graph.NewInterner()
+	q2 := fixtureQ2(in)
+	a1 := fixtureA1(in)
+	gamma := actualize(q2, a1, Simulation)
+	if len(gamma) != 2 {
+		t.Fatalf("Γ should have 2 actualized constraints, got %d", len(gamma))
+	}
+	seenB, seenA := false, false
+	for _, phi := range gamma {
+		switch phi.U {
+		case 1: // u2 labeled B, via (C,D) -> (B,2), neighbors {u3,u4}
+			seenB = true
+			if len(phi.Nbrs) != 2 {
+				t.Fatalf("V̄S for u2 = %v", phi.Nbrs)
+			}
+		case 0: // u1 labeled A, via B -> (A,2), neighbors {u2}
+			seenA = true
+			if len(phi.Nbrs) != 1 || phi.Nbrs[0] != 1 {
+				t.Fatalf("V̄S for u1 = %v", phi.Nbrs)
+			}
+		default:
+			t.Fatalf("unexpected actualized target %d", phi.U)
+		}
+	}
+	if !seenA || !seenB {
+		t.Fatalf("missing actualized constraints: %v", gamma)
+	}
+}
+
+// TestCounterEqualsSetProperty pins the Theorem 2 special case: for
+// type-(1)/(2)-only schemas the counter-based EBChk equals the set-based
+// one on random patterns.
+func TestCounterEqualsSetProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := graph.NewInterner()
+		labels := make([]graph.Label, 4)
+		for i := range labels {
+			labels[i] = in.Intern(string(rune('a' + i)))
+		}
+		// Random type-1/2-only schema.
+		a := access.NewSchema()
+		for i := 0; i < 2+r.Intn(4); i++ {
+			l := labels[r.Intn(4)]
+			if r.Intn(2) == 0 {
+				a.Add(access.MustNew(nil, l, 1+r.Intn(9)))
+			} else {
+				a.Add(access.MustNew([]graph.Label{labels[r.Intn(4)]}, l, 1+r.Intn(9)))
+			}
+		}
+		if !a.OnlyType12() {
+			return false
+		}
+		// Random connected pattern, possibly with duplicate labels.
+		q := pattern.New(in)
+		qn := 2 + r.Intn(4)
+		for i := 0; i < qn; i++ {
+			q.AddNode(labels[r.Intn(4)], nil)
+		}
+		for i := 1; i < qn; i++ {
+			j := r.Intn(i)
+			if r.Intn(2) == 0 {
+				_ = q.AddEdge(pattern.Node(i), pattern.Node(j))
+			} else {
+				_ = q.AddEdge(pattern.Node(j), pattern.Node(i))
+			}
+		}
+		for _, sem := range []Semantics{Subgraph, Simulation} {
+			fast := ebnd(q, a, sem, true)
+			slow := ebnd(q, a, sem, false)
+			if fast.Bounded != slow.Bounded {
+				t.Logf("seed %d (%v): bounded %v vs %v", seed, sem, fast.Bounded, slow.Bounded)
+				return false
+			}
+			for u := range fast.NodeCovered {
+				if fast.NodeCovered[u] != slow.NodeCovered[u] {
+					t.Logf("seed %d (%v): node %d cover differs", seed, sem, u)
+					return false
+				}
+			}
+			for e, c := range fast.EdgeCovered {
+				if c != slow.EdgeCovered[e] {
+					t.Logf("seed %d (%v): edge %v cover differs", seed, sem, e)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

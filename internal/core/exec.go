@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// ErrSchemaMismatch is returned when the index set was built for a schema
+// other than the plan's.
+var ErrSchemaMismatch = errors.New("core: index set does not serve the plan's schema")
+
+// ExecStats accounts for the data a plan execution accessed — the
+// |accessedQ| measurements of Fig 5(d,h,l). With the paper's accounting
+// (Example 1), nodes accessed are all index-lookup results during the
+// fetch phase (pre-predicate filtering), and edges accessed are all
+// candidates returned during the edge-verification phase.
+type ExecStats struct {
+	// NodesAccessed counts nodes returned by index lookups in the fetch
+	// phase.
+	NodesAccessed int
+	// EdgesAccessed counts edge candidates returned by index lookups in
+	// the edge-verification phase.
+	EdgesAccessed int
+	// IndexLookups counts index probes across both phases.
+	IndexLookups int
+	// GQNodes and GQEdges are the size of the fetched subgraph.
+	GQNodes, GQEdges int
+}
+
+// Accessed returns the total amount of data accessed (nodes + edges).
+func (s *ExecStats) Accessed() int { return s.NodesAccessed + s.EdgesAccessed }
+
+// BoundedGraph is the subgraph GQ identified by a plan, together with the
+// per-pattern-node candidate sets (in GQ's node IDs) and the mapping back
+// to the original graph's IDs.
+type BoundedGraph struct {
+	// G is the fetched subgraph GQ (fresh node IDs).
+	G *graph.Graph
+	// Cands[u] lists GQ nodes that are candidate matches for pattern node
+	// u (maximally reduced cmat(u)).
+	Cands [][]graph.NodeID
+	// ToOrig maps GQ node IDs back to the source graph's IDs.
+	ToOrig map[graph.NodeID]graph.NodeID
+}
+
+// Exec runs the plan against g using the pre-built index set, fetching the
+// bounded subgraph GQ. It accesses g only through the constraint indices
+// (plus O(1) direction checks on already-fetched edge candidates), so the
+// work is determined by Q and A, independent of |G|.
+func (p *Plan) Exec(g *graph.Graph, idx *access.IndexSet) (*BoundedGraph, *ExecStats, error) {
+	if idx == nil || idx.Schema() != p.A {
+		return nil, nil, ErrSchemaMismatch
+	}
+	n := p.Q.NumNodes()
+	stats := &ExecStats{}
+
+	// cmat[u]: candidate matches for u, as ordered slice + set.
+	cmat := make([][]graph.NodeID, n)
+	cset := make([]map[graph.NodeID]struct{}, n)
+	fetched := make([]bool, n)
+
+	for _, op := range p.Ops {
+		var result []graph.NodeID
+		seen := make(map[graph.NodeID]struct{})
+		add := func(v graph.NodeID) {
+			if !p.Q.MatchesNode(op.U, g, v) {
+				return
+			}
+			if _, dup := seen[v]; dup {
+				return
+			}
+			seen[v] = struct{}{}
+			result = append(result, v)
+		}
+		if op.Deps == nil {
+			vs := idx.Index(op.CIdx).Lookup(nil)
+			stats.IndexLookups++
+			stats.NodesAccessed += len(vs)
+			for _, v := range vs {
+				add(v)
+			}
+		} else {
+			// Every dependency must have been fetched by an earlier op.
+			for _, d := range op.Deps {
+				if !fetched[d] {
+					return nil, nil, fmt.Errorf("core: plan op for %s depends on unfetched node %s", p.Q.Name(op.U), p.Q.Name(d))
+				}
+			}
+			// Union of lookups over the product of dependency candidates.
+			forEachTuple(cmat, op.Deps, func(tuple []graph.NodeID) {
+				vs := idx.Index(op.CIdx).Lookup(tuple)
+				stats.IndexLookups++
+				stats.NodesAccessed += len(vs)
+				for _, v := range vs {
+					add(v)
+				}
+			})
+		}
+		if fetched[op.U] {
+			// Later ops reduce earlier candidate sets (§IV): intersect.
+			old := cset[op.U]
+			reduced := result[:0]
+			for _, v := range result {
+				if _, ok := old[v]; ok {
+					reduced = append(reduced, v)
+				}
+			}
+			result = reduced
+		}
+		set := make(map[graph.NodeID]struct{}, len(result))
+		for _, v := range result {
+			set[v] = struct{}{}
+		}
+		cmat[op.U] = result
+		cset[op.U] = set
+		fetched[op.U] = true
+	}
+	for ui := 0; ui < n; ui++ {
+		if !fetched[ui] {
+			return nil, nil, fmt.Errorf("core: plan fetched no candidates for node %s", p.Q.Name(pattern.Node(ui)))
+		}
+	}
+
+	// Build GQ: nodes are the union of candidate sets.
+	gq := graph.New(g.Interner())
+	toGQ := make(map[graph.NodeID]graph.NodeID)
+	bg := &BoundedGraph{G: gq, Cands: make([][]graph.NodeID, n), ToOrig: make(map[graph.NodeID]graph.NodeID)}
+	for ui := 0; ui < n; ui++ {
+		for _, v := range cmat[ui] {
+			nv, ok := toGQ[v]
+			if !ok {
+				nv = gq.AddNode(g.LabelOf(v), g.ValueOf(v))
+				toGQ[v] = nv
+				bg.ToOrig[nv] = v
+			}
+			bg.Cands[ui] = append(bg.Cands[ui], nv)
+		}
+	}
+	stats.GQNodes = gq.NumNodes()
+
+	// Edge verification through the covering constraints' indices.
+	for _, ec := range p.EdgeChecks {
+		oi := -1
+		for i, d := range ec.Deps {
+			if d == ec.Other() {
+				oi = i
+				break
+			}
+		}
+		if oi < 0 {
+			return nil, nil, fmt.Errorf("core: edge check for (%s, %s) misses its endpoint dependency", p.Q.Name(ec.From), p.Q.Name(ec.To))
+		}
+		forEachTuple(cmat, ec.Deps, func(tuple []graph.NodeID) {
+			cands := idx.Index(ec.CIdx).Lookup(tuple)
+			stats.IndexLookups++
+			stats.EdgesAccessed += len(cands)
+			vo := tuple[oi]
+			for _, vt := range cands {
+				if _, ok := cset[ec.Target][vt]; !ok {
+					continue
+				}
+				var vf, vtto graph.NodeID
+				if ec.Target == ec.To {
+					vf, vtto = vo, vt
+				} else {
+					vf, vtto = vt, vo
+				}
+				// The index certifies neighborship; confirm direction on
+				// the fetched pair (an O(1) check).
+				if g.HasEdge(vf, vtto) {
+					gq.AddEdgeIfAbsent(toGQ[vf], toGQ[vtto])
+				}
+			}
+		})
+	}
+	stats.GQEdges = gq.NumEdges()
+	return bg, stats, nil
+}
+
+// forEachTuple enumerates the cartesian product of the candidate sets of
+// deps, invoking fn with a reused tuple slice (one node per dep, in dep
+// order).
+func forEachTuple(cmat [][]graph.NodeID, deps []pattern.Node, fn func([]graph.NodeID)) {
+	tuple := make([]graph.NodeID, len(deps))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(deps) {
+			fn(tuple)
+			return
+		}
+		for _, v := range cmat[deps[i]] {
+			tuple[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}

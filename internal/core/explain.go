@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan with its worst-case cost accounting: for each
+// fetch operation the bound on fetched candidates, for each edge check
+// the bound on index probes and returned candidates, and the totals that
+// Theorem 4's optimality is measured in. All numbers are functions of Q
+// and A only — what makes the plan effectively bounded.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	in := p.Q.Interner()
+	fmt.Fprintf(&b, "plan (%s), worst-case accounting:\n", p.Sem)
+	totalNodes := 0.0
+	for i, op := range p.Ops {
+		c := p.A.At(op.CIdx)
+		var probes, fetched float64
+		if op.Deps == nil {
+			probes = 1
+			fetched = float64(c.N)
+		} else {
+			probes = 1
+			for _, d := range op.Deps {
+				probes *= p.EstSize[d]
+			}
+			fetched = probes * float64(c.N)
+		}
+		deps := "nil"
+		if op.Deps != nil {
+			names := make([]string, len(op.Deps))
+			for j, d := range op.Deps {
+				names[j] = p.Q.Name(d)
+			}
+			deps = "{" + strings.Join(names, ", ") + "}"
+		}
+		fmt.Fprintf(&b, "  ft%d %s <- %s via %s: <=%.0f probes, <=%.0f nodes; |cmat(%s)| <= %.0f\n",
+			i+1, p.Q.Name(op.U), deps, c.Format(in), probes, fetched, p.Q.Name(op.U), p.EstSize[op.U])
+		totalNodes += fetched
+	}
+	totalEdges := 0.0
+	for _, ec := range p.EdgeChecks {
+		c := p.A.At(ec.CIdx)
+		probes := 1.0
+		for _, d := range ec.Deps {
+			probes *= p.EstSize[d]
+		}
+		cands := probes * float64(c.N)
+		fmt.Fprintf(&b, "  edge (%s, %s) via %s: <=%.0f probes, <=%.0f edge candidates\n",
+			p.Q.Name(ec.From), p.Q.Name(ec.To), c.Format(in), probes, cands)
+		totalEdges += cands
+	}
+	fmt.Fprintf(&b, "  worst case: <=%.0f nodes fetched, <=%.0f edge candidates, GQ <= %.0f nodes\n",
+		totalNodes, totalEdges, p.EstGQNodes())
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// GreedyExtension finds a SMALL (not minimum) M-bounded extension of A
+// under which every query of the load is instance-bounded in g, or
+// ok = false when even the maximum M-bounded extension fails (then use a
+// larger M; see Proposition 5).
+//
+// Finding a minimum extension is logAPX-hard (§V, Remark), so we
+// approximate greedily in the style of set cover: starting from A,
+// repeatedly add the candidate type-1/type-2 constraint that newly covers
+// the most still-uncovered pattern nodes and edges across the load,
+// breaking ties toward smaller bounds N. The result is always a subset of
+// MaxExtension's additions, so g satisfies it whenever g ⊨ A.
+//
+// Compared to EEChk's maximum extension this typically builds far fewer
+// indices — the quantity that matters for index storage and maintenance.
+func GreedyExtension(queries []*pattern.Pattern, a *access.Schema, m int, g *graph.Graph, sem Semantics) (*access.Schema, bool) {
+	// Candidate constraints: exactly MaxExtension's additions.
+	full := MaxExtension(g, a, queries, m)
+	var candidates []access.Constraint
+	base := make(map[string]bool, a.Count())
+	for _, c := range a.Constraints() {
+		base[c.Key()] = true
+	}
+	for _, c := range full.Constraints() {
+		if !base[c.Key()] {
+			candidates = append(candidates, c)
+		}
+	}
+	// Deterministic order: smaller N first, then key.
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].N != candidates[j].N {
+			return candidates[i].N < candidates[j].N
+		}
+		return candidates[i].Key() < candidates[j].Key()
+	})
+
+	// Feasibility check against the maximum extension first.
+	feasible := true
+	for _, q := range queries {
+		if !EBnd(q, full, sem).Bounded {
+			feasible = false
+			break
+		}
+	}
+	if !feasible {
+		return full, false
+	}
+
+	cur := a.Clone()
+	uncoveredCount := func(s *access.Schema) int {
+		total := 0
+		for _, q := range queries {
+			res := EBnd(q, s, sem)
+			total += len(res.UncoveredNodes()) + len(res.UncoveredEdges())
+		}
+		return total
+	}
+	remaining := uncoveredCount(cur)
+	used := make([]bool, len(candidates))
+	for remaining > 0 {
+		bestIdx, bestRemaining := -1, remaining
+		for i, c := range candidates {
+			if used[i] {
+				continue
+			}
+			trial := cur.Clone()
+			trial.Add(c)
+			if r := uncoveredCount(trial); r < bestRemaining {
+				bestIdx, bestRemaining = i, r
+			}
+		}
+		if bestIdx < 0 {
+			// No single constraint helps, but the maximum extension is
+			// feasible — add the cheapest unused candidate and continue
+			// (progress is guaranteed because coverage is monotone and
+			// the full set succeeds).
+			for i := range candidates {
+				if !used[i] {
+					bestIdx = i
+					break
+				}
+			}
+			if bestIdx < 0 {
+				return full, true // exhausted: fall back to the maximum
+			}
+			trial := cur.Clone()
+			trial.Add(candidates[bestIdx])
+			bestRemaining = uncoveredCount(trial)
+		}
+		used[bestIdx] = true
+		cur.Add(candidates[bestIdx])
+		remaining = bestRemaining
+	}
+	return cur, true
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/pattern"
+)
+
+// TestGreedyExtensionSmallerThanMax: the greedy extension bounds the load
+// with (usually far) fewer added constraints than the maximum extension.
+func TestGreedyExtensionSmallerThanMax(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	g := fixtureIMDb(t, in, 3, 12, 4, 5, 2, 3)
+	empty := access.NewSchema()
+	load := []*pattern.Pattern{q}
+
+	ok, full := EEChk(load, empty, 1000, g, Subgraph)
+	if !ok {
+		t.Fatalf("max extension must work at M = 1000")
+	}
+	greedy, gok := GreedyExtension(load, empty, 1000, g, Subgraph)
+	if !gok {
+		t.Fatalf("greedy must succeed when the max extension does")
+	}
+	if !EBnd(q, greedy, Subgraph).Bounded {
+		t.Fatalf("greedy extension does not bound the query")
+	}
+	if greedy.Count() > full.Count() {
+		t.Fatalf("greedy (%d) larger than max (%d)", greedy.Count(), full.Count())
+	}
+	if greedy.Count() == full.Count() {
+		t.Logf("note: greedy did not shrink the extension (%d constraints)", greedy.Count())
+	}
+	// g must satisfy the greedy extension (bounds are exact maxima).
+	if viols := access.Validate(g, greedy); viols != nil {
+		t.Fatalf("g violates greedy extension: %v", viols[0])
+	}
+	t.Logf("max extension: %d constraints; greedy: %d", full.Count(), greedy.Count())
+}
+
+// TestGreedyExtensionInfeasible: when even the maximum extension fails,
+// GreedyExtension reports it.
+func TestGreedyExtensionInfeasible(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	g := fixtureIMDb(t, in, 3, 12, 4, 5, 2, 3)
+	// M = 2 is below every useful bound.
+	if _, ok := GreedyExtension([]*pattern.Pattern{q}, access.NewSchema(), 2, g, Subgraph); ok {
+		t.Fatalf("M = 2 must be infeasible")
+	}
+}
+
+// TestGreedyExtensionKeepsBase: constraints of A are retained.
+func TestGreedyExtensionKeepsBase(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	g := fixtureIMDb(t, in, 3, 12, 4, 5, 2, 3)
+	base := fixtureA0(in)
+	greedy, ok := GreedyExtension([]*pattern.Pattern{q}, base, 1000, g, Subgraph)
+	if !ok {
+		t.Fatalf("greedy failed")
+	}
+	// Q0 is already bounded under A0, so greedy should add nothing.
+	if greedy.Count() != base.Count() {
+		t.Fatalf("greedy added %d constraints to an already-sufficient base", greedy.Count()-base.Count())
+	}
+}
+
+// TestRebindTemplates: plan once, instantiate predicates per request.
+func TestRebindTemplates(t *testing.T) {
+	in := graph.NewInterner()
+	q, a, g, idx := buildIMDbIndexed(t, in, 10, 3, 4, 2, 3)
+	tmplPlan, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, yr := range []int64{2008, 2011, 2013} {
+		inst := WithPredicates(q, map[pattern.Node]pattern.Predicate{
+			1: {pattern.Eq(graph.IntValue(yr))}, // u2 = year
+		})
+		p2, err := tmplPlan.Rebind(inst)
+		if err != nil {
+			t.Fatalf("Rebind(%d): %v", yr, err)
+		}
+		bres, _, err := p2.EvalSubgraph(g, idx, match.SubgraphOptions{StoreMatches: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres := match.VF2(inst, g, match.SubgraphOptions{StoreMatches: true})
+		match.SortMatches(bres.Matches)
+		match.SortMatches(dres.Matches)
+		if bres.Count != dres.Count || !reflect.DeepEqual(bres.Matches, dres.Matches) {
+			t.Fatalf("year %d: rebound plan wrong: %d vs %d", yr, bres.Count, dres.Count)
+		}
+	}
+}
+
+// TestRebindRejectsStructuralChange: different labels or edges refuse.
+func TestRebindRejectsStructuralChange(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	a := fixtureA0(in)
+	p, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different node count.
+	q2 := pattern.New(in)
+	q2.AddNodeNamed("award", nil)
+	if _, err := p.Rebind(q2); !errors.Is(err, ErrRebindMismatch) {
+		t.Fatalf("node count mismatch accepted: %v", err)
+	}
+	// Same shape, different label.
+	q3 := WithPredicates(q, nil)
+	q4 := pattern.New(in)
+	for i := 0; i < q3.NumNodes(); i++ {
+		l := q3.LabelOf(pattern.Node(i))
+		if i == 0 {
+			l = in.Intern("genre")
+		}
+		q4.AddNode(l, nil)
+	}
+	q3.Edges(func(from, to pattern.Node) bool {
+		q4.MustAddEdge(from, to)
+		return true
+	})
+	if _, err := p.Rebind(q4); !errors.Is(err, ErrRebindMismatch) {
+		t.Fatalf("label mismatch accepted: %v", err)
+	}
+	// Same labels, different edge set (same count).
+	q5 := pattern.New(in)
+	for i := 0; i < q.NumNodes(); i++ {
+		q5.AddNode(q.LabelOf(pattern.Node(i)), nil)
+	}
+	edges := q.EdgeList()
+	for i, e := range edges {
+		if i == 0 {
+			q5.MustAddEdge(e[1], e[0]) // flip one edge
+			continue
+		}
+		q5.MustAddEdge(e[0], e[1])
+	}
+	if _, err := p.Rebind(q5); !errors.Is(err, ErrRebindMismatch) {
+		t.Fatalf("edge mismatch accepted: %v", err)
+	}
+	// Identical structure with new predicates: accepted.
+	q6 := WithPredicates(q, map[pattern.Node]pattern.Predicate{2: {pattern.Ge(graph.IntValue(1))}})
+	if _, err := p.Rebind(q6); err != nil {
+		t.Fatalf("valid rebind rejected: %v", err)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// fixtureQ0 builds the paper's Fig. 1 pattern Q0 over the shared interner.
+// Node order: u1=award, u2=year, u3=movie, u4=actor, u5=actress,
+// u6=country — matching the paper's numbering.
+func fixtureQ0(in *graph.Interner) *pattern.Pattern {
+	q := pattern.New(in)
+	u1 := q.AddNodeNamed("award", nil)
+	u2 := q.AddNodeNamed("year", pattern.Predicate{
+		pattern.Ge(graph.IntValue(2011)), pattern.Le(graph.IntValue(2013)),
+	})
+	u3 := q.AddNodeNamed("movie", nil)
+	u4 := q.AddNodeNamed("actor", nil)
+	u5 := q.AddNodeNamed("actress", nil)
+	u6 := q.AddNodeNamed("country", nil)
+	q.MustAddEdge(u3, u1)
+	q.MustAddEdge(u3, u2)
+	q.MustAddEdge(u3, u4)
+	q.MustAddEdge(u3, u5)
+	q.MustAddEdge(u4, u6)
+	q.MustAddEdge(u5, u6)
+	return q
+}
+
+// fixtureA0 builds Example 3's access schema A0 (8 constraints).
+func fixtureA0(in *graph.Interner) *access.Schema {
+	l := func(s string) graph.Label { return in.Intern(s) }
+	return access.NewSchema(
+		access.MustNew([]graph.Label{l("year"), l("award")}, l("movie"), 4), // φ1
+		access.MustNew([]graph.Label{l("movie")}, l("actor"), 30),           // φ2a
+		access.MustNew([]graph.Label{l("movie")}, l("actress"), 30),         // φ2b
+		access.MustNew([]graph.Label{l("actor")}, l("country"), 1),          // φ3a
+		access.MustNew([]graph.Label{l("actress")}, l("country"), 1),        // φ3b
+		access.MustNew(nil, l("year"), 135),                                 // φ4
+		access.MustNew(nil, l("award"), 24),                                 // φ5
+		access.MustNew(nil, l("country"), 196),                              // φ6
+	)
+}
+
+// fixtureIMDb generates a small IMDb-shaped graph satisfying A0: years
+// 2005..2014, a few awards and countries, moviesPerPair movies per
+// (year, award), castPerMovie actors + actresses per movie, one country
+// per person.
+func fixtureIMDb(t testing.TB, in *graph.Interner, seed int64, years, awards, countries, moviesPerPair, castPerMovie int) *graph.Graph {
+	t.Helper()
+	if moviesPerPair > 4 || castPerMovie > 30 {
+		t.Fatalf("fixture would violate A0")
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(in)
+	yearIDs := make([]graph.NodeID, years)
+	for i := range yearIDs {
+		yearIDs[i] = g.AddNodeNamed("year", graph.IntValue(int64(2014-i)))
+	}
+	awardIDs := make([]graph.NodeID, awards)
+	for i := range awardIDs {
+		awardIDs[i] = g.AddNodeNamed("award", graph.StringValue("award"+string(rune('A'+i))))
+	}
+	countryIDs := make([]graph.NodeID, countries)
+	for i := range countryIDs {
+		countryIDs[i] = g.AddNodeNamed("country", graph.StringValue("c"+string(rune('A'+i))))
+	}
+	movieNo := 0
+	for _, y := range yearIDs {
+		for _, a := range awardIDs {
+			for k := 0; k < moviesPerPair; k++ {
+				m := g.AddNodeNamed("movie", graph.IntValue(int64(movieNo)))
+				movieNo++
+				g.MustAddEdge(m, y)
+				g.MustAddEdge(m, a)
+				for c := 0; c < castPerMovie; c++ {
+					ac := g.AddNodeNamed("actor", graph.NoValue())
+					g.MustAddEdge(m, ac)
+					g.MustAddEdge(ac, countryIDs[r.Intn(countries)])
+					as := g.AddNodeNamed("actress", graph.NoValue())
+					g.MustAddEdge(m, as)
+					g.MustAddEdge(as, countryIDs[r.Intn(countries)])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// fixtureQ1 and fixtureQ2 build Fig. 2's Q1 and Example 9's Q2 (Q1 with
+// (u3,u2) and (u4,u2) reversed). Node order: u1=A, u2=B, u3=C, u4=D.
+func fixtureQ1(in *graph.Interner) *pattern.Pattern {
+	q := pattern.New(in)
+	u1 := q.AddNodeNamed("A", nil)
+	u2 := q.AddNodeNamed("B", nil)
+	u3 := q.AddNodeNamed("C", nil)
+	u4 := q.AddNodeNamed("D", nil)
+	q.MustAddEdge(u1, u2)
+	q.MustAddEdge(u2, u1)
+	q.MustAddEdge(u3, u2)
+	q.MustAddEdge(u4, u2)
+	return q
+}
+
+func fixtureQ2(in *graph.Interner) *pattern.Pattern {
+	q := pattern.New(in)
+	u1 := q.AddNodeNamed("A", nil)
+	u2 := q.AddNodeNamed("B", nil)
+	u3 := q.AddNodeNamed("C", nil)
+	u4 := q.AddNodeNamed("D", nil)
+	q.MustAddEdge(u1, u2)
+	q.MustAddEdge(u2, u1)
+	q.MustAddEdge(u2, u3)
+	q.MustAddEdge(u2, u4)
+	return q
+}
+
+// fixtureA1 builds Example 8's schema A1.
+func fixtureA1(in *graph.Interner) *access.Schema {
+	l := func(s string) graph.Label { return in.Intern(s) }
+	return access.NewSchema(
+		access.MustNew([]graph.Label{l("B")}, l("A"), 2),         // φA
+		access.MustNew([]graph.Label{l("C"), l("D")}, l("B"), 2), // φB
+		access.MustNew(nil, l("C"), 1),                           // φC
+		access.MustNew(nil, l("D"), 1),                           // φD
+	)
+}
+
+// fixtureG1 builds Fig. 2's G1: an alternating A/B cycle of nPairs pairs
+// with C and D nodes pointing at the last B.
+func fixtureG1(in *graph.Interner, nPairs int) *graph.Graph {
+	g := graph.New(in)
+	cycle := make([]graph.NodeID, 0, 2*nPairs)
+	for i := 0; i < nPairs; i++ {
+		cycle = append(cycle, g.AddNodeNamed("A", graph.NoValue()))
+		cycle = append(cycle, g.AddNodeNamed("B", graph.NoValue()))
+	}
+	for i := range cycle {
+		g.MustAddEdge(cycle[i], cycle[(i+1)%len(cycle)])
+	}
+	vc := g.AddNodeNamed("C", graph.NoValue())
+	vd := g.AddNodeNamed("D", graph.NoValue())
+	g.MustAddEdge(vc, cycle[len(cycle)-1])
+	g.MustAddEdge(vd, cycle[len(cycle)-1])
+	return g
+}

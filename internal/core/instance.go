@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// MaxExtension computes the maximum M-bounded extension AM of A with
+// respect to g and the query load (step (1) of algorithm EEChk, §V): it
+// adds every type-1 constraint {} -> (l, N) and type-2 constraint
+// l -> (l', N) over labels occurring in the queries whose exact bound N in
+// g is at most M. Bounds are exact maxima over g, so g |= AM whenever
+// g |= A. Scanning cost is O(|G|), per Theorem 6.
+//
+// Labels of the queries absent from g get {} -> (l, 0): g vacuously
+// satisfies them and they make such queries trivially answerable (the
+// paper restricts enumeration to labels "in both Q and G" purely to bound
+// the scan; absent labels have N = 0 ≤ M).
+func MaxExtension(g *graph.Graph, a *access.Schema, queries []*pattern.Pattern, m int) *access.Schema {
+	qLabels := make(map[graph.Label]struct{})
+	for _, q := range queries {
+		for _, l := range q.LabelSet() {
+			qLabels[l] = struct{}{}
+		}
+	}
+	labels := make([]graph.Label, 0, len(qLabels))
+	for l := range qLabels {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+
+	st := graph.ComputeStats(g)
+	am := a.Clone()
+	for _, l := range labels {
+		if n := st.LabelCounts[l]; n <= m {
+			am.Add(access.MustNew(nil, l, n))
+		}
+	}
+	for _, l := range labels {
+		for _, l2 := range labels {
+			// l == l2 is legal: l -> (l, N) bounds same-label neighbors.
+			if n := st.MaxLabelNeighbors[[2]graph.Label{l, l2}]; n <= m {
+				am.Add(access.MustNew([]graph.Label{l}, l2, n))
+			}
+		}
+	}
+	return am
+}
+
+// EEChk decides EEP(Q, A, M, G): does an M-bounded extension AM of A exist
+// under which every query of the load is instance-bounded in g? It
+// suffices to test the maximum extension (§V): if any extension works, the
+// maximum one does, because covers are monotone in the schema. The
+// returned schema is that maximum extension (useful even on "no", to see
+// how far it got). Complexity: O(|G| + (|A|+|Q|)|EQ| + (||A||+|Q|)|VQ|²),
+// Theorems 6 and 10.
+func EEChk(queries []*pattern.Pattern, a *access.Schema, m int, g *graph.Graph, sem Semantics) (bool, *access.Schema) {
+	am := MaxExtension(g, a, queries, m)
+	for _, q := range queries {
+		if !EBnd(q, am, sem).Bounded {
+			return false, am
+		}
+	}
+	return true, am
+}
+
+// MinimalM returns the smallest M such that q is instance-bounded in g
+// under the maximum M-bounded extension of a (0 when q is already
+// effectively bounded under a). ok is false when even the unbounded
+// extension (M = ∞) cannot make q instance-bounded — which, per
+// Proposition 5, cannot happen for connected patterns over g's labels but
+// is reported for robustness. The search is a binary search over the
+// distinct exact bounds of the candidate constraints, valid because
+// coverage is monotone in M.
+func MinimalM(q *pattern.Pattern, a *access.Schema, g *graph.Graph, sem Semantics) (int, bool) {
+	if EBnd(q, a, sem).Bounded {
+		return 0, true
+	}
+	// Candidate constraints with their exact bounds.
+	st := graph.ComputeStats(g)
+	labels := q.LabelSet()
+	type cand struct {
+		c access.Constraint
+		n int
+	}
+	var cands []cand
+	for _, l := range labels {
+		cands = append(cands, cand{access.MustNew(nil, l, st.LabelCounts[l]), st.LabelCounts[l]})
+	}
+	for _, l := range labels {
+		for _, l2 := range labels {
+			n := st.MaxLabelNeighbors[[2]graph.Label{l, l2}]
+			cands = append(cands, cand{access.MustNew([]graph.Label{l}, l2, n), n})
+		}
+	}
+	bounds := make([]int, 0, len(cands))
+	seen := make(map[int]struct{})
+	for _, c := range cands {
+		if _, dup := seen[c.n]; !dup {
+			seen[c.n] = struct{}{}
+			bounds = append(bounds, c.n)
+		}
+	}
+	sort.Ints(bounds)
+
+	boundedAt := func(m int) bool {
+		am := a.Clone()
+		for _, c := range cands {
+			if c.n <= m {
+				am.Add(c.c)
+			}
+		}
+		return EBnd(q, am, sem).Bounded
+	}
+	if len(bounds) == 0 || !boundedAt(bounds[len(bounds)-1]) {
+		return 0, false
+	}
+	lo, hi := 0, len(bounds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if boundedAt(bounds[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return bounds[lo], true
+}

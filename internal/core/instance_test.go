@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// TestExample7 reproduces Example 7: with A = A0 minus φ4 ({}→year) and
+// φ5 ({}→award), Q0 is not effectively bounded; EEChk with M = 150 finds
+// the maximum extension (re-adding year/award type-1 constraints with the
+// instance's exact counts) and accepts.
+func TestExample7(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	full := fixtureA0(in).Constraints()
+	// Drop φ4 and φ5 (indices 5 and 6 in fixtureA0's order).
+	a := access.NewSchema(full[0], full[1], full[2], full[3], full[4], full[7])
+	if EBnd(q, a, Subgraph).Bounded {
+		t.Fatalf("Q0 must be unbounded without the year/award seeds")
+	}
+	// Instance with ≤150 years and awards.
+	g := fixtureIMDb(t, in, 3, 12, 4, 5, 2, 3)
+	ok, am := EEChk([]*pattern.Pattern{q}, a, 150, g, Subgraph)
+	if !ok {
+		t.Fatalf("EEChk(M=150) must accept")
+	}
+	// The extension must contain exact type-1 bounds for year and award.
+	ly, la := in.Intern("year"), in.Intern("award")
+	if n, ok := am.Type1Bound(ly); !ok || n != 12 {
+		t.Fatalf("year bound = %d, %v; want 12", n, ok)
+	}
+	if n, ok := am.Type1Bound(la); !ok || n != 4 {
+		t.Fatalf("award bound = %d, %v; want 4", n, ok)
+	}
+	// Q0 effectively bounded under AM, and g |= AM.
+	if !EBnd(q, am, Subgraph).Bounded {
+		t.Fatalf("Q0 must be bounded under AM")
+	}
+	if viols := access.Validate(g, am); viols != nil {
+		t.Fatalf("g must satisfy AM: %v", viols)
+	}
+}
+
+// TestEEChkRejectsTightM: an M below the instance's label counts yields no
+// usable extension.
+func TestEEChkRejectsTightM(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	full := fixtureA0(in).Constraints()
+	a := access.NewSchema(full[0], full[1], full[2], full[3], full[4], full[7])
+	g := fixtureIMDb(t, in, 3, 12, 4, 5, 2, 3)
+	// M = 2: years (12) and awards (4) both exceed it; their type-2
+	// in-neighbor bounds from movie-side also exceed nothing useful.
+	ok, _ := EEChk([]*pattern.Pattern{q}, a, 2, g, Subgraph)
+	if ok {
+		t.Fatalf("EEChk(M=2) must reject")
+	}
+}
+
+// TestProposition5 checks that a sufficiently large M always works (for a
+// query load over labels of the instance): the maximum extension with
+// M = |G| makes every connected query instance-bounded.
+func TestProposition5(t *testing.T) {
+	in := graph.NewInterner()
+	g := fixtureIMDb(t, in, 3, 8, 3, 3, 2, 2)
+	empty := access.NewSchema()
+	queries := []*pattern.Pattern{fixtureQ0(in)}
+	ok, am := EEChk(queries, empty, g.Size(), g, Subgraph)
+	if !ok {
+		t.Fatalf("Proposition 5: M = |G| must make the load instance-bounded")
+	}
+	if viols := access.Validate(g, am); viols != nil {
+		t.Fatalf("g must satisfy AM: %v", viols)
+	}
+	// The extension adds at most LQ(LQ+1) type-1/2 constraints over the
+	// load's labels (the paper's LQ(LQ+1)/2 counts unordered pairs; we
+	// enumerate ordered (l,l') plus type-1, still O(LQ²)).
+	lq := len(queries[0].LabelSet())
+	if am.Count() > lq*(lq+1) {
+		t.Fatalf("extension has %d constraints; bound %d", am.Count(), lq*(lq+1))
+	}
+}
+
+// TestMinimalMAlreadyBounded: a query bounded under A has minimal M = 0.
+func TestMinimalMAlreadyBounded(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	a := fixtureA0(in)
+	g := fixtureIMDb(t, in, 3, 6, 2, 3, 2, 2)
+	m, ok := MinimalM(q, a, g, Subgraph)
+	if !ok || m != 0 {
+		t.Fatalf("MinimalM = %d, %v; want 0, true", m, ok)
+	}
+}
+
+// TestMinimalMExactThreshold: the minimal M is exactly the largest
+// cardinality the deduction chain needs.
+func TestMinimalMExactThreshold(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	empty := access.NewSchema()
+	g := fixtureIMDb(t, in, 3, 12, 4, 5, 2, 3)
+	m, ok := MinimalM(q, empty, g, Subgraph)
+	if !ok {
+		t.Fatalf("MinimalM must exist for Q0 over the fixture")
+	}
+	if m <= 0 {
+		t.Fatalf("MinimalM = %d; empty schema cannot bound at 0 unless the pattern's labels are absent", m)
+	}
+	// Verification: bounded at m, not bounded at m-1.
+	okAt := func(mm int) bool {
+		ok2, _ := EEChk([]*pattern.Pattern{q}, empty, mm, g, Subgraph)
+		return ok2
+	}
+	if !okAt(m) {
+		t.Fatalf("EEChk at MinimalM must accept")
+	}
+	if okAt(m - 1) {
+		t.Fatalf("EEChk below MinimalM must reject (m=%d)", m)
+	}
+}
+
+// TestMinimalMSimulationGEQSubgraph: simulation needs at least as large an
+// M as subgraph semantics (covers are more restrictive).
+func TestMinimalMSimulationGEQSubgraph(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := graph.NewInterner()
+		labels := []string{"A", "B", "C"}
+		g := graph.New(in)
+		n := 10 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			g.AddNodeNamed(labels[r.Intn(3)], graph.NoValue())
+		}
+		for i := 0; i < 2*n; i++ {
+			a, b := graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))
+			if a != b {
+				_ = g.AddEdge(a, b)
+			}
+		}
+		q := pattern.New(in)
+		qn := 2 + r.Intn(2)
+		for i := 0; i < qn; i++ {
+			q.AddNodeNamed(labels[r.Intn(3)], nil)
+		}
+		for i := 1; i < qn; i++ {
+			_ = q.AddEdge(pattern.Node(i-1), pattern.Node(i))
+		}
+		empty := access.NewSchema()
+		mSub, okSub := MinimalM(q, empty, g, Subgraph)
+		mSim, okSim := MinimalM(q, empty, g, Simulation)
+		if okSim && !okSub {
+			t.Logf("seed %d: simulation bounded but subgraph not", seed)
+			return false
+		}
+		if okSub && okSim && mSim < mSub {
+			t.Logf("seed %d: mSim %d < mSub %d", seed, mSim, mSub)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxExtensionAddsZeroBounds: labels absent from G get {}->(l,0),
+// making queries over them trivially bounded.
+func TestMaxExtensionAddsZeroBounds(t *testing.T) {
+	in := graph.NewInterner()
+	g := graph.New(in)
+	g.AddNodeNamed("A", graph.NoValue())
+	q := pattern.New(in)
+	aN := q.AddNodeNamed("A", nil)
+	bN := q.AddNodeNamed("Z", nil) // absent from g
+	q.MustAddEdge(aN, bN)
+	ok, am := EEChk([]*pattern.Pattern{q}, access.NewSchema(), 10, g, Subgraph)
+	if !ok {
+		t.Fatalf("query over absent label must be instance-bounded")
+	}
+	lz := in.Intern("Z")
+	if n, ok := am.Type1Bound(lz); !ok || n != 0 {
+		t.Fatalf("Z bound = %d, %v; want 0", n, ok)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"boundedg/internal/access"
+	"boundedg/internal/pattern"
+)
+
+// NewNaivePlan builds a correct but unoptimized query plan for an
+// effectively bounded query: it seeds type-1 fetches and then fetches each
+// remaining node through the FIRST applicable actualized constraint, with
+// no size-based choice and no candidate reductions.
+//
+// It exists as the ablation baseline for QPlan's worst-case optimality
+// (Theorem 4): both plans compute the same Q(G), but the naive plan's
+// worst-case GQ (EstGQNodes) is never smaller and often dramatically
+// larger. cmd/benchrunner's ablation and BenchmarkAblationPlans measure
+// the difference.
+func NewNaivePlan(q *pattern.Pattern, a *access.Schema, sem Semantics) (*Plan, error) {
+	cov := EBnd(q, a, sem)
+	if !cov.Bounded {
+		return nil, fmt.Errorf("%w: uncovered nodes %v, uncovered edges %v",
+			ErrNotBounded, cov.UncoveredNodes(), cov.UncoveredEdges())
+	}
+	gamma := actualize(q, a, sem)
+	n := q.NumNodes()
+	byTarget := make([][]int, n)
+	for fi, phi := range gamma {
+		byTarget[phi.U] = append(byTarget[phi.U], fi)
+	}
+
+	p := &Plan{Sem: sem, Q: q, A: a, EstSize: make([]float64, n)}
+	sn := make([]bool, n)
+	for i := range p.EstSize {
+		p.EstSize[i] = math.Inf(1)
+	}
+	for ui := 0; ui < n; ui++ {
+		u := pattern.Node(ui)
+		for _, ci := range a.ByTarget(labelOf(q, u)) {
+			c := a.At(ci)
+			if !c.Type1() {
+				continue
+			}
+			p.Ops = append(p.Ops, FetchOp{U: u, CIdx: ci})
+			sn[ui] = true
+			p.EstSize[ui] = float64(c.N)
+			break // first type-1, not the tightest
+		}
+	}
+
+	// Fetch each unseeded node through the first actualized constraint
+	// whose dependencies are available, in pattern-node order, looping
+	// until no progress. One fetch per node — no reductions.
+	for progress := true; progress; {
+		progress = false
+		for ui := 0; ui < n; ui++ {
+			if sn[ui] {
+				continue
+			}
+			for _, fi := range byTarget[ui] {
+				phi := gamma[fi]
+				c := a.At(phi.CIdx)
+				deps := make([]pattern.Node, 0, len(c.S))
+				prod := float64(c.N)
+				ok := true
+				for _, s := range c.S {
+					var w pattern.Node = -1
+					for _, x := range phi.Nbrs {
+						if labelOf(q, x) == s && sn[x] {
+							w = x // first available, not the smallest
+							break
+						}
+					}
+					if w == -1 {
+						ok = false
+						break
+					}
+					deps = append(deps, w)
+					prod *= p.EstSize[w]
+				}
+				if !ok {
+					continue
+				}
+				p.Ops = append(p.Ops, FetchOp{U: pattern.Node(ui), Deps: deps, CIdx: phi.CIdx})
+				p.EstSize[ui] = prod
+				sn[ui] = true
+				progress = true
+				break
+			}
+		}
+	}
+	for ui := 0; ui < n; ui++ {
+		if !sn[ui] {
+			return nil, fmt.Errorf("core: internal: naive plan cannot reach node %s", q.Name(pattern.Node(ui)))
+		}
+	}
+	if err := p.planEdgeChecks(gamma, sn); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

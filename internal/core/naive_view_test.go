@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+)
+
+// TestNaivePlanCorrectButNotOptimal: on Q0/A0 the naive plan evaluates to
+// the same result, but its worst-case GQ estimate is at least QPlan's.
+func TestNaivePlanCorrectButNotOptimal(t *testing.T) {
+	in := graph.NewInterner()
+	q, a, g, idx := buildIMDbIndexed(t, in, 8, 3, 4, 2, 3)
+	opt, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewNaivePlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.EstGQNodes() < opt.EstGQNodes() {
+		t.Fatalf("naive worst case %v smaller than optimal %v", naive.EstGQNodes(), opt.EstGQNodes())
+	}
+	r1, _, err := opt.EvalSubgraph(g, idx, match.SubgraphOptions{StoreMatches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := naive.EvalSubgraph(g, idx, match.SubgraphOptions{StoreMatches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match.SortMatches(r1.Matches)
+	match.SortMatches(r2.Matches)
+	if r1.Count != r2.Count || !reflect.DeepEqual(r1.Matches, r2.Matches) {
+		t.Fatalf("naive plan answer differs: %d vs %d", r1.Count, r2.Count)
+	}
+}
+
+// TestNaivePlanStrictlyWorseSomewhere: construct a schema where QPlan's
+// reduction beats the naive first-choice by a wide margin.
+func TestNaivePlanStrictlyWorseSomewhere(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	a := fixtureA0(in)
+	// Add a loose type-1 on movie: the naive plan seeds movie with it and
+	// never reduces; QPlan reduces movie through (year, award).
+	a.Add(access.MustNew(nil, in.Intern("movie"), 1_000_000))
+	opt, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewNaivePlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.EstSize[2] != 4*24*135 {
+		t.Fatalf("QPlan should reduce movie to 12960, got %v", opt.EstSize[2])
+	}
+	if naive.EstSize[2] != 1_000_000 {
+		t.Fatalf("naive should keep the type-1 bound, got %v", naive.EstSize[2])
+	}
+	if naive.EstGQNodes() <= opt.EstGQNodes() {
+		t.Fatalf("expected a strict gap: naive %v vs optimal %v", naive.EstGQNodes(), opt.EstGQNodes())
+	}
+}
+
+// TestNaivePlanRejectsUnbounded mirrors NewPlan's contract.
+func TestNaivePlanRejectsUnbounded(t *testing.T) {
+	in := graph.NewInterner()
+	if _, err := NewNaivePlan(fixtureQ1(in), fixtureA1(in), Simulation); !errors.Is(err, ErrNotBounded) {
+		t.Fatalf("err = %v, want ErrNotBounded", err)
+	}
+}
+
+// Property: naive and optimal plans agree on results for random bounded
+// cases, and the optimal worst case never exceeds the naive one.
+func TestNaiveVsOptimalProperty(t *testing.T) {
+	checked := 0
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q, g, idx, ok := randomBoundedCase(r, Subgraph)
+		if !ok {
+			return true
+		}
+		checked++
+		opt, err1 := NewPlan(q, idx.Schema(), Subgraph)
+		naive, err2 := NewNaivePlan(q, idx.Schema(), Subgraph)
+		if err1 != nil || err2 != nil {
+			t.Logf("seed %d: %v / %v", seed, err1, err2)
+			return false
+		}
+		if naive.EstGQNodes() < opt.EstGQNodes() {
+			t.Logf("seed %d: optimality violated: naive %v < optimal %v", seed, naive.EstGQNodes(), opt.EstGQNodes())
+			return false
+		}
+		r1, _, err1 := opt.EvalSubgraph(g, idx, match.SubgraphOptions{StoreMatches: true})
+		r2, _, err2 := naive.EvalSubgraph(g, idx, match.SubgraphOptions{StoreMatches: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		match.SortMatches(r1.Matches)
+		match.SortMatches(r2.Matches)
+		return r1.Count == r2.Count && reflect.DeepEqual(r1.Matches, r2.Matches)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatalf("generator produced no bounded cases")
+	}
+}
+
+// TestViewRefresh: a standing view answers correctly across update
+// batches, matching from-scratch evaluation after every delta.
+func TestViewRefresh(t *testing.T) {
+	in := graph.NewInterner()
+	q, a, g, idx := buildIMDbIndexed(t, in, 8, 3, 4, 2, 3)
+	p, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := NewView(p, g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Plan() != p || view.Stats() == nil {
+		t.Fatalf("accessors broken")
+	}
+	checkAgainstDirect := func() {
+		t.Helper()
+		bg := view.Result()
+		res := match.VF2WithCandidates(q, bg.G, bg.Cands, match.SubgraphOptions{})
+		direct := match.VF2(q, g, match.SubgraphOptions{})
+		if res.Count != direct.Count {
+			t.Fatalf("view count %d != direct %d", res.Count, direct.Count)
+		}
+	}
+	checkAgainstDirect()
+
+	lMovie := in.Intern("movie")
+	lActor := in.Intern("actor")
+	lYear, _ := in.Lookup("year")
+	year := g.NodesByLabel(lYear)[0]
+
+	// Insert a movie with an actor; refresh; compare.
+	d1 := &graph.Delta{
+		AddNodes: []graph.NodeSpec{
+			{Label: lMovie, Value: graph.IntValue(777)},
+			{Label: lActor, Value: graph.NoValue()},
+		},
+		AddEdges: [][2]graph.NodeID{
+			{graph.NewNodeRef(0), year},
+			{graph.NewNodeRef(0), graph.NewNodeRef(1)},
+		},
+	}
+	newIDs, viols, err := view.Apply(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 0 {
+		t.Fatalf("unexpected violations: %v", viols)
+	}
+	checkAgainstDirect()
+
+	// Delete the inserted movie; refresh; compare.
+	d2 := &graph.Delta{DelNodes: newIDs[:1]}
+	if _, _, err := view.Apply(d2); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstDirect()
+}
+
+// TestViewApplyBadDelta: structural errors surface and the view keeps its
+// previous result.
+func TestViewApplyBadDelta(t *testing.T) {
+	in := graph.NewInterner()
+	q, a, g, idx := buildIMDbIndexed(t, in, 6, 2, 3, 2, 2)
+	p, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := NewView(p, g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := view.Result()
+	bad := &graph.Delta{DelNodes: []graph.NodeID{999999}}
+	if _, _, err := view.Apply(bad); err == nil {
+		t.Fatalf("want error for bad delta")
+	}
+	if view.Result() != before {
+		t.Fatalf("failed apply must not clobber the result")
+	}
+}
+
+// Property: a view refreshed after a random delta equals a from-scratch
+// execution of the same plan on the updated graph.
+func TestViewRefreshEqualsFreshExecProperty(t *testing.T) {
+	checked := 0
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q, g, idx, ok := randomBoundedCase(r, Subgraph)
+		if !ok {
+			return true
+		}
+		p, err := NewPlan(q, idx.Schema(), Subgraph)
+		if err != nil {
+			return false
+		}
+		view, err := NewView(p, g, idx)
+		if err != nil {
+			return false
+		}
+		// Random delta: insert a node wired to an existing one; delete a
+		// random edge if any.
+		labels := g.Labels()
+		d := &graph.Delta{
+			AddNodes: []graph.NodeSpec{{Label: labels[r.Intn(len(labels))], Value: graph.IntValue(int64(r.Intn(5)))}},
+		}
+		nodes := g.NodeList()
+		d.AddEdges = [][2]graph.NodeID{{graph.NewNodeRef(0), nodes[r.Intn(len(nodes))]}}
+		var edges [][2]graph.NodeID
+		g.Edges(func(from, to graph.NodeID) bool {
+			edges = append(edges, [2]graph.NodeID{from, to})
+			return true
+		})
+		if len(edges) > 0 {
+			d.DelEdges = [][2]graph.NodeID{edges[r.Intn(len(edges))]}
+		}
+		if _, _, err := view.Apply(d); err != nil {
+			t.Logf("seed %d: apply: %v", seed, err)
+			return false
+		}
+		checked++
+		// Fresh evaluation on the updated graph with rebuilt indices.
+		fresh := access.BuildUnchecked(g, idx.Schema())
+		bgFresh, _, err := p.Exec(g, fresh)
+		if err != nil {
+			t.Logf("seed %d: fresh exec: %v", seed, err)
+			return false
+		}
+		a := match.VF2WithCandidates(q, view.Result().G, view.Result().Cands, match.SubgraphOptions{})
+		b := match.VF2WithCandidates(q, bgFresh.G, bgFresh.Cands, match.SubgraphOptions{})
+		if a.Count != b.Count {
+			t.Logf("seed %d: view %d vs fresh %d", seed, a.Count, b.Count)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatalf("no case exercised")
+	}
+}

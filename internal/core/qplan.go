@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"boundedg/internal/pattern"
+
+	"boundedg/internal/access"
+)
+
+// NewPlan generates an effectively bounded and worst-case optimal query
+// plan for Q under A (algorithm QPlan of §IV, Fig. 4; sQPlan of §VI-C when
+// sem is Simulation). It returns ErrNotBounded if Q is not effectively
+// bounded under A. Complexity: O(|VQ||EQ||A|) per Theorems 4 and 9.
+func NewPlan(q *pattern.Pattern, a *access.Schema, sem Semantics) (*Plan, error) {
+	cov := EBnd(q, a, sem)
+	if !cov.Bounded {
+		return nil, fmt.Errorf("%w: uncovered nodes %v, uncovered edges %v",
+			ErrNotBounded, cov.UncoveredNodes(), cov.UncoveredEdges())
+	}
+	gamma := actualize(q, a, sem)
+	n := q.NumNodes()
+
+	byTarget := make([][]int, n)
+	for fi, phi := range gamma {
+		byTarget[phi.U] = append(byTarget[phi.U], fi)
+	}
+
+	p := &Plan{Sem: sem, Q: q, A: a, EstSize: make([]float64, n)}
+	sn := make([]bool, n)
+	for i := range p.EstSize {
+		p.EstSize[i] = math.Inf(1)
+	}
+
+	// Seed with type-1 fetches (lines 4-6 of Fig. 4).
+	for ui := 0; ui < n; ui++ {
+		u := pattern.Node(ui)
+		bestC, bestN := -1, -1
+		for _, ci := range a.ByTarget(labelOf(q, u)) {
+			c := a.At(ci)
+			if c.Type1() && (bestN < 0 || c.N < bestN) {
+				bestC, bestN = ci, c.N
+			}
+		}
+		if bestC >= 0 {
+			p.Ops = append(p.Ops, FetchOp{U: u, CIdx: bestC})
+			sn[ui] = true
+			p.EstSize[ui] = float64(bestN)
+		}
+	}
+
+	// check/ocheck of Fig. 4: repeatedly find a node whose candidate set
+	// can be fetched (or reduced) more tightly through some actualized
+	// constraint whose dependencies are all available. The per-label
+	// greedy minimum gives the minimal product since sizes are positive.
+	// The paper bounds the iterations by |VQ|²; we cap defensively.
+	maxRounds := n*n + n + 1
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for ui := 0; ui < n; ui++ {
+			u := pattern.Node(ui)
+			best := p.EstSize[ui]
+			var bestDeps []pattern.Node
+			bestC := -1
+			for _, fi := range byTarget[ui] {
+				phi := gamma[fi]
+				c := a.At(phi.CIdx)
+				prod := float64(c.N)
+				deps := make([]pattern.Node, 0, len(c.S))
+				ok := true
+				for _, s := range c.S {
+					var w pattern.Node = -1
+					for _, x := range phi.Nbrs {
+						if labelOf(q, x) != s || !sn[x] {
+							continue
+						}
+						if w == -1 || p.EstSize[x] < p.EstSize[w] {
+							w = x
+						}
+					}
+					if w == -1 {
+						ok = false
+						break
+					}
+					deps = append(deps, w)
+					prod *= p.EstSize[w]
+				}
+				if ok && prod < best {
+					best = prod
+					bestDeps = deps
+					bestC = phi.CIdx
+				}
+			}
+			if bestC >= 0 {
+				p.EstSize[ui] = best
+				sn[ui] = true
+				p.Ops = append(p.Ops, FetchOp{U: u, Deps: bestDeps, CIdx: bestC})
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	for ui := 0; ui < n; ui++ {
+		if !sn[ui] {
+			// Cannot happen when EBnd accepted: every covered node is
+			// derivable through available dependencies.
+			return nil, fmt.Errorf("core: internal: node %s covered but unreachable by fetch operations", q.Name(pattern.Node(ui)))
+		}
+	}
+
+	if err := p.planEdgeChecks(gamma, sn); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// planEdgeChecks selects, for every pattern edge, the cheapest verification
+// strategy: an actualized constraint targeting one endpoint whose neighbor
+// set contains the other, with dependencies chosen per label to minimize
+// the worst-case number of index probes N · Π EstSize(dep).
+func (p *Plan) planEdgeChecks(gamma []actualized, sn []bool) error {
+	q, a := p.Q, p.A
+	n := q.NumNodes()
+	byTarget := make([][]int, n)
+	for fi, phi := range gamma {
+		byTarget[phi.U] = append(byTarget[phi.U], fi)
+	}
+
+	// tryTarget builds the cheapest EdgeCheck with the given target/other
+	// split, or ok=false.
+	tryTarget := func(from, to, target, other pattern.Node) (EdgeCheck, float64, bool) {
+		bestCost := math.Inf(1)
+		var best EdgeCheck
+		found := false
+		for _, fi := range byTarget[target] {
+			phi := gamma[fi]
+			if !nbrsContain(phi, other) {
+				continue
+			}
+			c := a.At(phi.CIdx)
+			cost := float64(c.N)
+			deps := make([]pattern.Node, 0, len(c.S))
+			ok := true
+			for _, s := range c.S {
+				if s == labelOf(q, other) {
+					deps = append(deps, other)
+					cost *= p.EstSize[other]
+					continue
+				}
+				var w pattern.Node = -1
+				for _, x := range phi.Nbrs {
+					if labelOf(q, x) != s || !sn[x] {
+						continue
+					}
+					if w == -1 || p.EstSize[x] < p.EstSize[w] {
+						w = x
+					}
+				}
+				if w == -1 {
+					ok = false
+					break
+				}
+				deps = append(deps, w)
+				cost *= p.EstSize[w]
+			}
+			if ok && cost < bestCost {
+				bestCost = cost
+				best = EdgeCheck{From: from, To: to, Target: target, CIdx: phi.CIdx, Deps: deps}
+				found = true
+			}
+		}
+		return best, bestCost, found
+	}
+
+	var firstErr error
+	q.Edges(func(from, to pattern.Node) bool {
+		ec1, cost1, ok1 := tryTarget(from, to, to, from)
+		ec2, cost2, ok2 := tryTarget(from, to, from, to)
+		switch {
+		case ok1 && (!ok2 || cost1 <= cost2):
+			p.EdgeChecks = append(p.EdgeChecks, ec1)
+		case ok2:
+			p.EdgeChecks = append(p.EdgeChecks, ec2)
+		default:
+			firstErr = fmt.Errorf("core: internal: edge (%s, %s) covered but no verification constraint found",
+				q.Name(from), q.Name(to))
+			return false
+		}
+		return true
+	})
+	return firstErr
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// TestExample6Plan reproduces Example 6: QPlan on (Q0, A0) yields six
+// fetch operations — type-1 fetches for u1 (award), u2 (year), u6
+// (country), then u3 (movie) from {u1, u2} via φ1, then u4/u5 via φ2.
+func TestExample6Plan(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	a := fixtureA0(in)
+	p, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if len(p.Ops) != 6 {
+		t.Fatalf("got %d ops, want 6:\n%s", len(p.Ops), p)
+	}
+	// First three ops are the type-1 seeds (order: u1, u2, u6 by node id).
+	type1Targets := map[pattern.Node]bool{}
+	for _, op := range p.Ops[:3] {
+		if op.Deps != nil {
+			t.Fatalf("seed op for %s has deps", q.Name(op.U))
+		}
+		type1Targets[op.U] = true
+	}
+	for _, u := range []pattern.Node{0, 1, 5} { // u1, u2, u6
+		if !type1Targets[u] {
+			t.Fatalf("node %s not seeded by type-1", q.Name(u))
+		}
+	}
+	// The movie fetch depends on the award and year nodes.
+	var movieOp *FetchOp
+	for i := range p.Ops {
+		if p.Ops[i].U == 2 {
+			movieOp = &p.Ops[i]
+		}
+	}
+	if movieOp == nil || len(movieOp.Deps) != 2 {
+		t.Fatalf("movie op = %+v", movieOp)
+	}
+	depSet := map[pattern.Node]bool{movieOp.Deps[0]: true, movieOp.Deps[1]: true}
+	if !depSet[0] || !depSet[1] {
+		t.Fatalf("movie deps = %v, want {u1, u2}", movieOp.Deps)
+	}
+	// Size estimates: movie = 4·24·135 = 12960; actor = 30·12960.
+	if p.EstSize[2] != 4*24*135 {
+		t.Fatalf("EstSize[movie] = %v", p.EstSize[2])
+	}
+	if p.EstSize[3] != 30*4*24*135 || p.EstSize[4] != 30*4*24*135 {
+		t.Fatalf("EstSize[actor/actress] = %v / %v", p.EstSize[3], p.EstSize[4])
+	}
+	if p.EstSize[5] != 196 {
+		t.Fatalf("EstSize[country] = %v (country should keep its type-1 bound; the FD would give 1·size[actor], much larger)", p.EstSize[5])
+	}
+	// Every pattern edge has a verification strategy.
+	if len(p.EdgeChecks) != q.NumEdges() {
+		t.Fatalf("edge checks: %d, want %d", len(p.EdgeChecks), q.NumEdges())
+	}
+	// The plan renders with the paper's vocabulary.
+	s := p.String()
+	if !strings.Contains(s, "ft1(") || !strings.Contains(s, "check edge") {
+		t.Fatalf("plan rendering:\n%s", s)
+	}
+}
+
+// TestExample11Plan reproduces Example 11: sQPlan on (Q2, A1) seeds u3,
+// u4 by type-1, then fetches u2 from {u3, u4} via φB and u1 from {u2} via
+// φA — four operations.
+func TestExample11Plan(t *testing.T) {
+	in := graph.NewInterner()
+	q2 := fixtureQ2(in)
+	a1 := fixtureA1(in)
+	p, err := NewPlan(q2, a1, Simulation)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if len(p.Ops) != 4 {
+		t.Fatalf("got %d ops, want 4:\n%s", len(p.Ops), p)
+	}
+	// u3(C) and u4(D) seeded; u2 from both; u1 from u2.
+	var u2op, u1op *FetchOp
+	for i := range p.Ops {
+		switch p.Ops[i].U {
+		case 1:
+			u2op = &p.Ops[i]
+		case 0:
+			u1op = &p.Ops[i]
+		}
+	}
+	if u2op == nil || len(u2op.Deps) != 2 {
+		t.Fatalf("u2 op = %+v", u2op)
+	}
+	if u1op == nil || len(u1op.Deps) != 1 || u1op.Deps[0] != 1 {
+		t.Fatalf("u1 op = %+v", u1op)
+	}
+	// Example 11's estimates: |cmat(u3)| = |cmat(u4)| = 1, |cmat(u2)| ≤
+	// 2·1·1 = 2, |cmat(u1)| ≤ 2·2 = 4.
+	want := []float64{4, 2, 1, 1}
+	for i, w := range want {
+		if p.EstSize[i] != w {
+			t.Fatalf("EstSize[u%d] = %v, want %v", i+1, p.EstSize[i], w)
+		}
+	}
+}
+
+// TestPlanRejectsUnbounded: Q1 under A1 for simulation must be refused.
+func TestPlanRejectsUnbounded(t *testing.T) {
+	in := graph.NewInterner()
+	q1 := fixtureQ1(in)
+	a1 := fixtureA1(in)
+	if _, err := NewPlan(q1, a1, Simulation); !errors.Is(err, ErrNotBounded) {
+		t.Fatalf("err = %v, want ErrNotBounded", err)
+	}
+	// ... but accepted for subgraph semantics (Example 8: VCov = V1).
+	if _, err := NewPlan(q1, a1, Subgraph); err != nil {
+		t.Fatalf("subgraph plan: %v", err)
+	}
+}
+
+// TestPlanReducesWithTighterConstraint: when a non-type-1 constraint gives
+// a smaller bound than a type-1 seed, QPlan appends a reducing fetch.
+func TestPlanReducesWithTighterConstraint(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	aN := q.AddNodeNamed("A", nil)
+	bN := q.AddNodeNamed("B", nil)
+	q.MustAddEdge(aN, bN)
+	// B has a loose type-1 bound 1000 but a tight A -> (B, 2): the plan
+	// should fetch B twice, ending at estimate 5·2 = 10 < 1000.
+	a := access.NewSchema(
+		access.MustNew(nil, in.Intern("A"), 5),
+		access.MustNew(nil, in.Intern("B"), 1000),
+		access.MustNew([]graph.Label{in.Intern("A")}, in.Intern("B"), 2),
+	)
+	p, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if p.EstSize[bN] != 10 {
+		t.Fatalf("EstSize[B] = %v, want 10", p.EstSize[bN])
+	}
+	nB := 0
+	for _, op := range p.Ops {
+		if op.U == bN {
+			nB++
+		}
+	}
+	if nB != 2 {
+		t.Fatalf("B fetched %d times, want 2 (seed + reduction)", nB)
+	}
+}
+
+// TestPlanKeepsType1WhenTighter: the reduction is not taken when the
+// type-1 bound is already smaller.
+func TestPlanKeepsType1WhenTighter(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	aN := q.AddNodeNamed("A", nil)
+	bN := q.AddNodeNamed("B", nil)
+	q.MustAddEdge(aN, bN)
+	a := access.NewSchema(
+		access.MustNew(nil, in.Intern("A"), 5),
+		access.MustNew(nil, in.Intern("B"), 3),
+		access.MustNew([]graph.Label{in.Intern("A")}, in.Intern("B"), 2),
+	)
+	p, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if p.EstSize[bN] != 3 {
+		t.Fatalf("EstSize[B] = %v, want 3 (type-1 already tighter than 5·2)", p.EstSize[bN])
+	}
+}
+
+// TestWorstCaseOptimalityChain: on a chain A -> B -> C with generous
+// type-1 bounds and tight type-2 constraints, the plan must propagate the
+// products (the worst-case-optimal choice).
+func TestWorstCaseOptimalityChain(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	aN := q.AddNodeNamed("A", nil)
+	bN := q.AddNodeNamed("B", nil)
+	cN := q.AddNodeNamed("C", nil)
+	q.MustAddEdge(aN, bN)
+	q.MustAddEdge(bN, cN)
+	a := access.NewSchema(
+		access.MustNew(nil, in.Intern("A"), 2),
+		access.MustNew(nil, in.Intern("B"), 1000),
+		access.MustNew(nil, in.Intern("C"), 1000),
+		access.MustNew([]graph.Label{in.Intern("A")}, in.Intern("B"), 3),
+		access.MustNew([]graph.Label{in.Intern("B")}, in.Intern("C"), 4),
+	)
+	p, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if p.EstSize[aN] != 2 || p.EstSize[bN] != 6 || p.EstSize[cN] != 24 {
+		t.Fatalf("EstSize = %v, want [2 6 24]", p.EstSize)
+	}
+	if p.EstGQNodes() != 32 {
+		t.Fatalf("EstGQNodes = %v", p.EstGQNodes())
+	}
+}
+
+// TestPlanEdgeCheckEndpointsConsistent: each edge check's Target is one of
+// the edge's endpoints and its Deps include the other.
+func TestPlanEdgeCheckEndpointsConsistent(t *testing.T) {
+	in := graph.NewInterner()
+	q := fixtureQ0(in)
+	a := fixtureA0(in)
+	p, err := NewPlan(q, a, Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ec := range p.EdgeChecks {
+		if ec.Target != ec.From && ec.Target != ec.To {
+			t.Fatalf("target %v not an endpoint of (%v,%v)", ec.Target, ec.From, ec.To)
+		}
+		found := false
+		for _, d := range ec.Deps {
+			if d == ec.Other() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("deps %v of edge (%v,%v) miss the other endpoint", ec.Deps, ec.From, ec.To)
+		}
+		c := p.A.At(ec.CIdx)
+		if c.L != q.LabelOf(ec.Target) {
+			t.Fatalf("constraint target label mismatch")
+		}
+		if len(ec.Deps) != len(c.S) {
+			t.Fatalf("deps arity %d != |S| %d", len(ec.Deps), len(c.S))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+
+	"boundedg/internal/pattern"
+)
+
+// ErrRebindMismatch is returned by Rebind when the new pattern is not
+// structurally identical to the plan's pattern.
+var ErrRebindMismatch = errors.New("core: rebind pattern differs structurally from the plan's pattern")
+
+// Rebind returns a plan for q2 that reuses this plan's fetch operations
+// and edge checks. q2 must be structurally identical to the plan's
+// pattern — same node count, labels (in node order) and edges — and may
+// differ only in node predicates.
+//
+// This serves §V's parameterized query templates: a recommendation
+// service plans each template once and re-instantiates it per request
+// with fresh constants. Effective boundedness and worst-case optimality
+// are properties of the pattern's labels and edges alone, so they carry
+// over; predicates only filter the fetched candidates further.
+func (p *Plan) Rebind(q2 *pattern.Pattern) (*Plan, error) {
+	q := p.Q
+	if q2.NumNodes() != q.NumNodes() || q2.NumEdges() != q.NumEdges() {
+		return nil, ErrRebindMismatch
+	}
+	for i := 0; i < q.NumNodes(); i++ {
+		if q2.LabelOf(pattern.Node(i)) != q.LabelOf(pattern.Node(i)) {
+			return nil, ErrRebindMismatch
+		}
+	}
+	same := true
+	q.Edges(func(from, to pattern.Node) bool {
+		if !q2.HasEdge(from, to) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if !same {
+		return nil, ErrRebindMismatch
+	}
+	clone := &Plan{
+		Sem:        p.Sem,
+		Q:          q2,
+		A:          p.A,
+		Ops:        p.Ops,
+		EdgeChecks: p.EdgeChecks,
+		EstSize:    p.EstSize,
+	}
+	return clone, nil
+}
+
+// WithPredicates builds the instantiated pattern for a template: a copy
+// of q whose node predicates are replaced by preds (missing entries mean
+// "true"). It lives here rather than in package pattern because its
+// purpose is plan rebinding.
+func WithPredicates(q *pattern.Pattern, preds map[pattern.Node]pattern.Predicate) *pattern.Pattern {
+	q2 := pattern.New(q.Interner())
+	for i := 0; i < q.NumNodes(); i++ {
+		u := pattern.Node(i)
+		q2.AddNode(q.LabelOf(u), preds[u])
+		q2.SetName(u, q.Name(u))
+	}
+	q.Edges(func(from, to pattern.Node) bool {
+		q2.MustAddEdge(from, to)
+		return true
+	})
+	return q2
+}

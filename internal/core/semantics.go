@@ -1,0 +1,61 @@
+// Package core implements the contribution of the ICDE 2015 paper "Making
+// Pattern Queries Bounded in Big Graphs" (Cao, Fan, Huai, Huang):
+//
+//   - node and edge covers characterizing effectively bounded pattern
+//     queries under an access schema (Theorems 1 and 7);
+//   - the decision algorithms EBChk / sEBChk (Theorems 2 and 8);
+//   - worst-case-optimal query-plan generation QPlan / sQPlan (Theorems 4
+//     and 9) and plan execution, which fetches a bounded subgraph GQ with
+//     Q(GQ) = Q(G) using only the access-constraint indices;
+//   - instance boundedness: M-bounded extensions and EEChk / sEEChk
+//     (Theorems 6 and 10, Proposition 5).
+//
+// Everything is parameterized by the query semantics (subgraph isomorphism
+// or graph simulation); the simulation variants use the stronger
+// child-restricted notions of §VI.
+package core
+
+import (
+	"fmt"
+
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// Semantics selects how a pattern is interpreted.
+type Semantics uint8
+
+const (
+	// Subgraph interprets patterns via subgraph isomorphism (localized).
+	Subgraph Semantics = iota
+	// Simulation interprets patterns via graph simulation (non-localized).
+	Simulation
+)
+
+// String names the semantics.
+func (s Semantics) String() string {
+	switch s {
+	case Subgraph:
+		return "subgraph"
+	case Simulation:
+		return "simulation"
+	}
+	return fmt.Sprintf("semantics(%d)", uint8(s))
+}
+
+// neighborsFor returns the neighbor set of u relevant for actualized
+// constraints under the semantics: all neighbors for subgraph queries
+// (§III), only children for simulation queries (§VI, condition (iii) of
+// sVCov: (u, uS) must be an edge of Q).
+func neighborsFor(q *pattern.Pattern, u pattern.Node, sem Semantics) []pattern.Node {
+	if sem == Simulation {
+		return q.Out(u)
+	}
+	return q.Neighbors(u)
+}
+
+// edgeKeyQ is a pattern edge used as a map key.
+type edgeKeyQ struct{ from, to pattern.Node }
+
+// labelOf is a tiny alias to keep call sites short.
+func labelOf(q *pattern.Pattern, u pattern.Node) graph.Label { return q.LabelOf(u) }

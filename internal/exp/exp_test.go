@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"boundedg/internal/core"
+)
+
+// smallOpt keeps experiment smoke tests fast.
+func smallOpt(ds string) Options {
+	return Options{
+		Dataset:       ds,
+		Seed:          3,
+		NumQueries:    8,
+		BaselineSteps: 100_000,
+		MatchLimit:    2_000,
+		Scales:        []float64{0.1, 0.3},
+	}
+}
+
+func renderOK(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	s := buf.String()
+	if !strings.Contains(s, tab.Title) {
+		t.Fatalf("render missing title:\n%s", s)
+	}
+	return s
+}
+
+func TestBoundedPct(t *testing.T) {
+	tab, err := BoundedPct(smallOpt("imdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 datasets", len(tab.Rows))
+	}
+	renderOK(t, tab)
+}
+
+func TestFig5VaryG(t *testing.T) {
+	tab, err := Fig5VaryG(smallOpt("imdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per scale", len(tab.Rows))
+	}
+	t.Log("\n" + renderOK(t, tab))
+}
+
+func TestFig5VaryQ(t *testing.T) {
+	opt := smallOpt("imdb")
+	opt.NumQueries = 5
+	tab, err := Fig5VaryQ(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (#n = 3..7)", len(tab.Rows))
+	}
+	t.Log("\n" + renderOK(t, tab))
+}
+
+func TestFig5VaryA(t *testing.T) {
+	tab, err := Fig5VaryA(smallOpt("imdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("no sweep rows")
+	}
+	t.Log("\n" + renderOK(t, tab))
+}
+
+func TestFig5Accessed(t *testing.T) {
+	tab, err := Fig5Accessed(smallOpt("imdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	t.Log("\n" + renderOK(t, tab))
+}
+
+func TestFig6(t *testing.T) {
+	opt := smallOpt("imdb")
+	opt.NumQueries = 6
+	for _, sem := range []core.Semantics{core.Subgraph, core.Simulation} {
+		tab, err := Fig6(opt, sem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 3 {
+			t.Fatalf("rows = %d", len(tab.Rows))
+		}
+		t.Log("\n" + renderOK(t, tab))
+	}
+}
+
+func TestExp3(t *testing.T) {
+	opt := smallOpt("imdb")
+	opt.NumQueries = 10
+	tab, err := Exp3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	t.Log("\n" + renderOK(t, tab))
+}
+
+func TestGenUnknownDataset(t *testing.T) {
+	if _, err := Gen("nope", 1, 1); err == nil {
+		t.Fatalf("want error for unknown dataset")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	opt := smallOpt("imdb")
+	opt.NumQueries = 6
+	tab, err := Ablation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	t.Log("\n" + renderOK(t, tab))
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{Title: "t", Header: []string{"a", "b"}}
+	tab.AddRow("1", "x,y") // comma requires quoting
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{-1, "n/a"},
+		{0.0000015, "2µs"},
+		{0.0025, "2.5ms"},
+		{1.5, "1.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtSecs(c.in); got != c.want {
+			t.Errorf("fmtSecs(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	pcts := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0%"},
+		{0.00005, "0.00500%"},
+		{0.005, "0.5000%"},
+		{0.5, "50.00%"},
+	}
+	for _, c := range pcts {
+		if got := fmtPct(c.in); got != c.want {
+			t.Errorf("fmtPct(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package exp is the experiment harness reproducing the paper's
+// evaluation (§VII): one runner per figure/table, each printing the same
+// rows/series the paper reports. The cmd/benchrunner binary and the
+// repository-root benchmarks drive these runners.
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, a header row, and data
+// rows. Runners return Tables so tests can assert on values and the CLI
+// can print them.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtDur renders a duration in seconds with adaptive precision.
+func fmtSecs(sec float64) string {
+	switch {
+	case sec < 0:
+		return "n/a"
+	case sec < 0.001:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+// fmtPct renders a ratio as a percentage.
+func fmtPct(x float64) string {
+	switch {
+	case x <= 0:
+		return "0%"
+	case x < 0.0001:
+		return fmt.Sprintf("%.5f%%", x*100)
+	case x < 0.01:
+		return fmt.Sprintf("%.4f%%", x*100)
+	default:
+		return fmt.Sprintf("%.2f%%", x*100)
+	}
+}
+
+// WriteCSV emits the table as CSV (header + rows) for plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

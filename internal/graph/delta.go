@@ -1,0 +1,102 @@
+package graph
+
+// Delta is a batch of updates ΔG to a graph: node insertions, edge
+// insertions, edge deletions, and node deletions (which also delete
+// incident edges). It is the unit of change used by the access-schema
+// incremental maintenance of §II ("Maintaining access constraints").
+type Delta struct {
+	// AddNodes lists nodes to insert.
+	AddNodes []NodeSpec
+	// AddEdges and DelEdges list directed edges to insert / remove. For
+	// AddEdges, negative indices -1-k refer to AddNodes[k], so a delta can
+	// wire up nodes it inserts itself.
+	AddEdges [][2]NodeID
+	DelEdges [][2]NodeID
+	// DelNodes lists nodes to remove (with their incident edges).
+	DelNodes []NodeID
+}
+
+// NodeSpec describes a node inserted by a Delta.
+type NodeSpec struct {
+	Label Label
+	Value Value
+}
+
+// NewNodeRef returns the AddEdges endpoint encoding for the k-th node of
+// Delta.AddNodes.
+func NewNodeRef(k int) NodeID { return NodeID(-1 - k) }
+
+// IsNewNodeRef reports whether id encodes a reference to a delta-inserted
+// node, and if so which index.
+func IsNewNodeRef(id NodeID) (k int, ok bool) {
+	if id < 0 {
+		return int(-id) - 1, true
+	}
+	return 0, false
+}
+
+// Touched returns the set of pre-existing nodes whose neighborhoods the
+// delta affects: endpoints of inserted/deleted edges, deleted nodes, and
+// their neighbors (NbG(ΔG) in the paper). It must be computed against the
+// graph state *before* Apply.
+func (d *Delta) Touched(g *Graph) map[NodeID]struct{} {
+	touched := make(map[NodeID]struct{})
+	addWithNeighbors := func(v NodeID) {
+		if v < 0 || !g.Contains(v) {
+			return
+		}
+		touched[v] = struct{}{}
+		for _, w := range g.Neighbors(v) {
+			touched[w] = struct{}{}
+		}
+	}
+	for _, e := range d.AddEdges {
+		addWithNeighbors(e[0])
+		addWithNeighbors(e[1])
+	}
+	for _, e := range d.DelEdges {
+		addWithNeighbors(e[0])
+		addWithNeighbors(e[1])
+	}
+	for _, v := range d.DelNodes {
+		addWithNeighbors(v)
+	}
+	return touched
+}
+
+// Apply applies the delta to g in the order: node inserts, edge inserts,
+// edge deletes, node deletes. It returns the IDs assigned to AddNodes and
+// the first error encountered (the graph may be partially updated on
+// error).
+func (d *Delta) Apply(g *Graph) ([]NodeID, error) {
+	newIDs := make([]NodeID, len(d.AddNodes))
+	for i, spec := range d.AddNodes {
+		newIDs[i] = g.AddNode(spec.Label, spec.Value)
+	}
+	resolve := func(id NodeID) NodeID {
+		if k, ok := IsNewNodeRef(id); ok {
+			if k < len(newIDs) {
+				return newIDs[k]
+			}
+			return InvalidNode
+		}
+		return id
+	}
+	for _, e := range d.AddEdges {
+		from, to := resolve(e[0]), resolve(e[1])
+		if err := g.AddEdge(from, to); err != nil && err != ErrDupEdge {
+			return newIDs, err
+		}
+	}
+	for _, e := range d.DelEdges {
+		if err := g.RemoveEdge(e[0], e[1]); err != nil {
+			return newIDs, err
+		}
+	}
+	for _, v := range d.DelNodes {
+		if err := g.RemoveNode(v); err != nil {
+			return newIDs, err
+		}
+	}
+	return newIDs, nil
+}

@@ -1,0 +1,61 @@
+package graph
+
+import "fmt"
+
+// Label is an interned node label (an element of the alphabet Σ in the
+// paper). Labels are small dense integers so they can index slices.
+type Label int32
+
+// NoLabel is the invalid label value.
+const NoLabel Label = -1
+
+// Interner maps label names to dense Label values and back. A single
+// Interner is shared between a data graph, the pattern queries posed on it,
+// and the access schema, so that label comparisons are integer comparisons.
+//
+// The zero Interner is not ready to use; call NewInterner.
+type Interner struct {
+	byName map[string]Label
+	names  []string
+}
+
+// NewInterner returns an empty Interner.
+func NewInterner() *Interner {
+	return &Interner{byName: make(map[string]Label)}
+}
+
+// Intern returns the Label for name, allocating a fresh one on first use.
+func (in *Interner) Intern(name string) Label {
+	if l, ok := in.byName[name]; ok {
+		return l
+	}
+	l := Label(len(in.names))
+	in.byName[name] = l
+	in.names = append(in.names, name)
+	return l
+}
+
+// Lookup returns the Label for name without allocating; ok is false if the
+// name has never been interned.
+func (in *Interner) Lookup(name string) (l Label, ok bool) {
+	l, ok = in.byName[name]
+	return l, ok
+}
+
+// Name returns the string for l, or a placeholder for unknown labels.
+func (in *Interner) Name(l Label) string {
+	if l < 0 || int(l) >= len(in.names) {
+		return fmt.Sprintf("<label %d>", int(l))
+	}
+	return in.names[l]
+}
+
+// Len reports the number of distinct labels interned so far.
+func (in *Interner) Len() int { return len(in.names) }
+
+// Names returns a copy of all interned names, indexed by Label.
+func (in *Interner) Names() []string {
+	out := make([]string, len(in.names))
+	copy(out, in.names)
+	return out
+}

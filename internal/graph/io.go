@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk form of a Graph: a flat node table plus an edge
+// list, with labels spelled out as strings so files are self-contained.
+type jsonGraph struct {
+	Nodes []jsonNode  `json:"nodes"`
+	Edges [][2]NodeID `json:"edges"`
+}
+
+type jsonNode struct {
+	ID    NodeID `json:"id"`
+	Label string `json:"label"`
+	Value Value  `json:"value,omitempty"`
+}
+
+// WriteJSON serializes g to w as a single JSON document.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Nodes: make([]jsonNode, 0, g.numNodes)}
+	g.Nodes(func(v NodeID) bool {
+		jg.Nodes = append(jg.Nodes, jsonNode{
+			ID:    v,
+			Label: g.interner.Name(g.labels[v]),
+			Value: g.values[v],
+		})
+		return true
+	})
+	jg.Edges = make([][2]NodeID, 0, g.numEdges)
+	g.Edges(func(from, to NodeID) bool {
+		jg.Edges = append(jg.Edges, [2]NodeID{from, to})
+		return true
+	})
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jg); err != nil {
+		return fmt.Errorf("graph: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a graph previously written by WriteJSON. Node IDs in the
+// file are remapped to fresh dense IDs; the returned map translates file IDs
+// to graph IDs. The interner in may be nil.
+func ReadJSON(r io.Reader, in *Interner) (*Graph, map[NodeID]NodeID, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&jg); err != nil {
+		return nil, nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	g := New(in)
+	idmap := make(map[NodeID]NodeID, len(jg.Nodes))
+	for _, n := range jg.Nodes {
+		if _, dup := idmap[n.ID]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate node id %d in input", n.ID)
+		}
+		idmap[n.ID] = g.AddNodeNamed(n.Label, n.Value)
+	}
+	for _, e := range jg.Edges {
+		from, ok1 := idmap[e[0]]
+		to, ok2 := idmap[e[1]]
+		if !ok1 || !ok2 {
+			return nil, nil, fmt.Errorf("graph: edge (%d,%d) references unknown node", e[0], e[1])
+		}
+		if err := g.AddEdge(from, to); err != nil && err != ErrDupEdge {
+			return nil, nil, err
+		}
+	}
+	return g, idmap, nil
+}

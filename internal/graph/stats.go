@@ -1,0 +1,72 @@
+package graph
+
+import "sort"
+
+// Stats summarizes a graph's shape; the constraint-discovery heuristics of
+// §II ("Discovering access constraints") consume these numbers.
+type Stats struct {
+	NumNodes  int
+	NumEdges  int
+	NumLabels int
+	// LabelCounts maps each label to its node count (type-1 candidates).
+	LabelCounts map[Label]int
+	// MaxDegreeByLabel maps each label l to the maximum neighbor count of
+	// any l-labeled node (degree-bound candidates).
+	MaxDegreeByLabel map[Label]int
+	// MaxLabelNeighbors maps (l, l') to the maximum number of l'-labeled
+	// neighbors of any l-labeled node (type-2 candidates).
+	MaxLabelNeighbors map[[2]Label]int
+}
+
+// ComputeStats scans g once and returns its Stats.
+func ComputeStats(g *Graph) *Stats {
+	s := &Stats{
+		NumNodes:          g.NumNodes(),
+		NumEdges:          g.NumEdges(),
+		LabelCounts:       make(map[Label]int),
+		MaxDegreeByLabel:  make(map[Label]int),
+		MaxLabelNeighbors: make(map[[2]Label]int),
+	}
+	perNode := make(map[Label]int) // scratch: neighbor label -> count
+	g.Nodes(func(v NodeID) bool {
+		l := g.LabelOf(v)
+		s.LabelCounts[l]++
+		nbs := g.Neighbors(v)
+		if len(nbs) > s.MaxDegreeByLabel[l] {
+			s.MaxDegreeByLabel[l] = len(nbs)
+		}
+		for k := range perNode {
+			delete(perNode, k)
+		}
+		for _, w := range nbs {
+			perNode[g.LabelOf(w)]++
+		}
+		for wl, c := range perNode {
+			key := [2]Label{l, wl}
+			if c > s.MaxLabelNeighbors[key] {
+				s.MaxLabelNeighbors[key] = c
+			}
+		}
+		return true
+	})
+	s.NumLabels = len(s.LabelCounts)
+	return s
+}
+
+// DegreeHistogram returns the sorted distinct degrees and their node counts.
+func DegreeHistogram(g *Graph) (degrees []int, counts []int) {
+	h := make(map[int]int)
+	g.Nodes(func(v NodeID) bool {
+		h[g.Degree(v)]++
+		return true
+	})
+	for d := range h {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = h[d]
+	}
+	return degrees, counts
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadNodeTSV parses a tab- or space-separated node table, one node per
+// line:
+//
+//	<id> <label> [<value>]
+//
+// where <id> is any integer key (remapped to dense NodeIDs), <label> is a
+// bare token, and the optional <value> is an int64 or a double-quoted
+// string. Lines starting with '#' and blank lines are skipped. The
+// returned map translates file IDs to graph IDs. Use together with
+// ReadEdgeTSV to load datasets shipped as node/edge tables (e.g. SNAP
+// exports enriched with labels).
+func ReadNodeTSV(r io.Reader, g *Graph) (map[int64]NodeID, error) {
+	idmap := make(map[int64]NodeID)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: node line %d: want \"id label [value]\", got %q", lineno, line)
+		}
+		id, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: node line %d: bad id %q: %w", lineno, fields[0], err)
+		}
+		if _, dup := idmap[id]; dup {
+			return nil, fmt.Errorf("graph: node line %d: duplicate id %d", lineno, id)
+		}
+		val := NoValue()
+		if len(fields) >= 3 {
+			raw := strings.Join(fields[2:], " ")
+			if strings.HasPrefix(raw, `"`) {
+				s, err := strconv.Unquote(raw)
+				if err != nil {
+					return nil, fmt.Errorf("graph: node line %d: bad string value %q: %w", lineno, raw, err)
+				}
+				val = StringValue(s)
+			} else {
+				i, err := strconv.ParseInt(raw, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: node line %d: bad value %q: %w", lineno, raw, err)
+				}
+				val = IntValue(i)
+			}
+		}
+		idmap[id] = g.AddNodeNamed(fields[1], val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return idmap, nil
+}
+
+// ReadEdgeTSV parses a whitespace-separated edge list, one directed edge
+// per line ("<from> <to>"), resolving endpoints through the id map
+// produced by ReadNodeTSV. Duplicate edges are skipped silently (common
+// in web-crawl exports); unknown endpoints are errors.
+func ReadEdgeTSV(r io.Reader, g *Graph, idmap map[int64]NodeID) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineno, added := 0, 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return added, fmt.Errorf("graph: edge line %d: want \"from to\", got %q", lineno, line)
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return added, fmt.Errorf("graph: edge line %d: bad from id: %w", lineno, err)
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return added, fmt.Errorf("graph: edge line %d: bad to id: %w", lineno, err)
+		}
+		vf, ok1 := idmap[from]
+		vt, ok2 := idmap[to]
+		if !ok1 || !ok2 {
+			return added, fmt.Errorf("graph: edge line %d: unknown endpoint (%d, %d)", lineno, from, to)
+		}
+		switch err := g.AddEdge(vf, vt); err {
+		case nil:
+			added++
+		case ErrDupEdge:
+			// skip
+		default:
+			return added, err
+		}
+	}
+	return added, sc.Err()
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+const nodesTSV = `
+# id label value
+0 movie "Up"
+1 year 2009
+2 actor
+`
+
+const edgesTSV = `
+# from to
+0 1
+0 2
+0 1
+`
+
+func TestReadNodeAndEdgeTSV(t *testing.T) {
+	g := New(nil)
+	idmap, err := ReadNodeTSV(strings.NewReader(nodesTSV), g)
+	if err != nil {
+		t.Fatalf("ReadNodeTSV: %v", err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("|V| = %d", g.NumNodes())
+	}
+	if !g.ValueOf(idmap[0]).Equal(StringValue("Up")) {
+		t.Fatalf("string value lost: %v", g.ValueOf(idmap[0]))
+	}
+	if !g.ValueOf(idmap[1]).Equal(IntValue(2009)) {
+		t.Fatalf("int value lost")
+	}
+	if g.ValueOf(idmap[2]).Kind != KindNone {
+		t.Fatalf("missing value should be none")
+	}
+	added, err := ReadEdgeTSV(strings.NewReader(edgesTSV), g, idmap)
+	if err != nil {
+		t.Fatalf("ReadEdgeTSV: %v", err)
+	}
+	if added != 2 {
+		t.Fatalf("added = %d, want 2 (duplicate skipped)", added)
+	}
+	if !g.HasEdge(idmap[0], idmap[1]) || !g.HasEdge(idmap[0], idmap[2]) {
+		t.Fatalf("edges missing")
+	}
+}
+
+func TestReadNodeTSVErrors(t *testing.T) {
+	cases := []string{
+		"0\n",           // too few fields
+		"x movie\n",     // bad id
+		"0 a\n0 b\n",    // duplicate id
+		"0 movie 1.5\n", // bad numeric value
+		"0 movie \"x\n", // bad string value
+	}
+	for i, src := range cases {
+		g := New(nil)
+		if _, err := ReadNodeTSV(strings.NewReader(src), g); err == nil {
+			t.Errorf("case %d (%q): want error", i, src)
+		}
+	}
+}
+
+func TestReadEdgeTSVErrors(t *testing.T) {
+	g := New(nil)
+	idmap, err := ReadNodeTSV(strings.NewReader("0 A\n1 B\n"), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"0\n",    // wrong arity
+		"x 1\n",  // bad from
+		"0 y\n",  // bad to
+		"0 99\n", // unknown endpoint
+	}
+	for i, src := range cases {
+		if _, err := ReadEdgeTSV(strings.NewReader(src), g, idmap); err == nil {
+			t.Errorf("case %d (%q): want error", i, src)
+		}
+	}
+}
+
+// TestTSVRoundTripWithJSON: a TSV-loaded graph survives the JSON round
+// trip (the formats interoperate through the same Graph).
+func TestTSVRoundTripWithJSON(t *testing.T) {
+	g := New(nil)
+	idmap, err := ReadNodeTSV(strings.NewReader(nodesTSV), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEdgeTSV(strings.NewReader(edgesTSV), g, idmap); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadJSON(strings.NewReader(sb.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch")
+	}
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates the dynamic type of a Value.
+type ValueKind uint8
+
+const (
+	// KindNone marks the zero Value, used for nodes without attributes.
+	KindNone ValueKind = iota
+	// KindInt marks an int64-valued attribute (e.g. year = 2011).
+	KindInt
+	// KindString marks a string-valued attribute (e.g. country = "UK").
+	KindString
+)
+
+// Value is the attribute value ν(v) attached to a node: the value of the
+// node's label, per §II of the paper ("ν(v) is the attribute value of f(v),
+// e.g., year = 2011"). It is a small sum type over int64 and string.
+//
+// The zero Value (KindNone) compares unequal to everything except another
+// zero Value, so unattributed nodes never satisfy value predicates.
+type Value struct {
+	Kind ValueKind
+	I    int64
+	S    string
+}
+
+// IntValue returns an int64-typed Value.
+func IntValue(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// StringValue returns a string-typed Value.
+func StringValue(s string) Value { return Value{Kind: KindString, S: s} }
+
+// NoValue returns the zero Value.
+func NoValue() Value { return Value{} }
+
+// Equal reports whether v and w have the same kind and payload.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.I == w.I
+	case KindString:
+		return v.S == w.S
+	default:
+		return true
+	}
+}
+
+// Compare orders two Values of the same kind: it returns a negative number
+// if v < w, zero if v == w, and a positive number if v > w. The boolean is
+// false when the values are of different kinds (incomparable), in which
+// case the int result is meaningless.
+func (v Value) Compare(w Value) (int, bool) {
+	if v.Kind != w.Kind || v.Kind == KindNone {
+		return 0, v.Kind == w.Kind
+	}
+	switch v.Kind {
+	case KindInt:
+		switch {
+		case v.I < w.I:
+			return -1, true
+		case v.I > w.I:
+			return 1, true
+		}
+		return 0, true
+	default: // KindString
+		switch {
+		case v.S < w.S:
+			return -1, true
+		case v.S > w.S:
+			return 1, true
+		}
+		return 0, true
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindString:
+		return strconv.Quote(v.S)
+	default:
+		return "<none>"
+	}
+}
+
+// MarshalJSON encodes the value as a bare int, a string, or null.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.Kind {
+	case KindInt:
+		return strconv.AppendInt(nil, v.I, 10), nil
+	case KindString:
+		return []byte(strconv.Quote(v.S)), nil
+	default:
+		return []byte("null"), nil
+	}
+}
+
+// UnmarshalJSON decodes null, a JSON number (must be integral), or a string.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	switch {
+	case s == "null":
+		*v = Value{}
+		return nil
+	case len(s) > 0 && s[0] == '"':
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return fmt.Errorf("graph: bad string value %s: %w", s, err)
+		}
+		*v = StringValue(u)
+		return nil
+	default:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("graph: bad numeric value %s: %w", s, err)
+		}
+		*v = IntValue(i)
+		return nil
+	}
+}

@@ -1,0 +1,115 @@
+package match
+
+import (
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// BruteSubgraph enumerates Q(G) under subgraph isomorphism by exhaustive
+// injective assignment with leaf-only verification. It is deliberately
+// unoptimized and structurally independent of VF2, serving as the oracle
+// in property-based tests. Use only on tiny inputs.
+func BruteSubgraph(q *pattern.Pattern, g *graph.Graph) [][]graph.NodeID {
+	n := q.NumNodes()
+	var out [][]graph.NodeID
+	assign := make([]graph.NodeID, n)
+	nodes := g.NodeList()
+
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			if bruteCheck(q, g, assign) {
+				out = append(out, append([]graph.NodeID(nil), assign...))
+			}
+			return
+		}
+		for _, v := range nodes {
+			dup := false
+			for i := 0; i < u; i++ {
+				if assign[i] == v {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			assign[u] = v
+			rec(u + 1)
+		}
+	}
+	rec(0)
+	SortMatches(out)
+	return out
+}
+
+// bruteCheck verifies a full assignment: injectivity is ensured by the
+// enumeration; check labels, predicates and every pattern edge.
+func bruteCheck(q *pattern.Pattern, g *graph.Graph, assign []graph.NodeID) bool {
+	for ui := range assign {
+		if !q.MatchesNode(pattern.Node(ui), g, assign[ui]) {
+			return false
+		}
+	}
+	ok := true
+	q.Edges(func(from, to pattern.Node) bool {
+		if !g.HasEdge(assign[from], assign[to]) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// BruteSim computes the maximum simulation by the naive "remove until no
+// change" fixpoint, as the oracle for GSim in property tests.
+func BruteSim(q *pattern.Pattern, g *graph.Graph) *SimResult {
+	n := q.NumNodes()
+	sim := make([]map[graph.NodeID]struct{}, n)
+	for ui := 0; ui < n; ui++ {
+		u := pattern.Node(ui)
+		set := make(map[graph.NodeID]struct{})
+		for _, v := range g.NodesByLabel(q.LabelOf(u)) {
+			if q.MatchesNode(u, g, v) {
+				set[v] = struct{}{}
+			}
+		}
+		sim[ui] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		q.Edges(func(from, to pattern.Node) bool {
+			for v := range sim[from] {
+				ok := false
+				for _, w := range g.Out(v) {
+					if _, in := sim[to][w]; in {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					delete(sim[from], v)
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	res := &SimResult{Sim: make([][]graph.NodeID, n), Matched: true}
+	for ui := 0; ui < n; ui++ {
+		if len(sim[ui]) == 0 {
+			res.Matched = false
+		}
+	}
+	if !res.Matched {
+		return res
+	}
+	for ui := 0; ui < n; ui++ {
+		for v := range sim[ui] {
+			res.Sim[ui] = append(res.Sim[ui], v)
+		}
+		sortIDs(res.Sim[ui])
+	}
+	return res
+}

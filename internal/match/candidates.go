@@ -1,0 +1,20 @@
+package match
+
+import (
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// VF2WithCandidates runs the VF2 search with externally supplied candidate
+// sets (cands[u] restricts pattern node u; nil entries mean unrestricted).
+// Bounded evaluation (bVF2) uses this to match inside the fetched subgraph
+// GQ with the plan's maximally reduced cmat sets.
+func VF2WithCandidates(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeID, opt SubgraphOptions) *SubgraphResult {
+	return vf2(q, g, cands, opt)
+}
+
+// GSimWithCandidates runs graph simulation with externally supplied
+// initial candidate sets; bounded evaluation (bSim) uses it on GQ.
+func GSimWithCandidates(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeID) *SimResult {
+	return gsim(q, g, cands)
+}

@@ -1,0 +1,203 @@
+// Package match implements the graph-pattern matching substrates of the
+// reproduction: VF2-style subgraph isomorphism and graph simulation (the
+// two semantics of §II of the paper), their index-optimized variants
+// (optVF2, optgsim), and brute-force references used by property tests.
+package match
+
+import (
+	"sort"
+
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// SimResult is the outcome of evaluating a simulation query: the unique
+// maximum match relation R ⊆ VQ × V. If any pattern node has no match,
+// the relation is empty (Matched is false and Sim holds empty sets).
+type SimResult struct {
+	// Sim[u] lists the data nodes v with (u, v) ∈ R, indexed by pattern
+	// node.
+	Sim [][]graph.NodeID
+	// Matched reports whether every pattern node has at least one match.
+	Matched bool
+	// Steps counts candidate-set element removals plus initial inserts —
+	// a machine-independent work measure.
+	Steps int
+}
+
+// Pairs returns |R|, the total number of matched pairs.
+func (r *SimResult) Pairs() int {
+	if !r.Matched {
+		return 0
+	}
+	t := 0
+	for _, s := range r.Sim {
+		t += len(s)
+	}
+	return t
+}
+
+// Has reports whether (u, v) is in the relation.
+func (r *SimResult) Has(u pattern.Node, v graph.NodeID) bool {
+	if !r.Matched || int(u) >= len(r.Sim) {
+		return false
+	}
+	for _, w := range r.Sim[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// GSim computes the maximum graph simulation of q in g under the paper's
+// semantics: (u, v) ∈ R requires label and predicate compatibility, and
+// for every pattern edge (u, u') some data edge (v, v') with (u', v') ∈ R.
+// The worklist refinement is the counter-based O(|EQ|·|E|) scheme in the
+// style of Henzinger, Henzinger & Kopke (FOCS 1995), the algorithm the
+// paper's gsim baseline uses.
+func GSim(q *pattern.Pattern, g *graph.Graph) *SimResult {
+	return gsim(q, g, nil)
+}
+
+// gsim runs simulation with optional initial candidate sets (used by
+// OptGSim and by bounded evaluation); initCands[u] == nil means "all
+// label-compatible nodes of g".
+func gsim(q *pattern.Pattern, g *graph.Graph, initCands [][]graph.NodeID) *SimResult {
+	n := q.NumNodes()
+	res := &SimResult{Sim: make([][]graph.NodeID, n)}
+
+	// sim[u] as a set for O(1) membership.
+	sim := make([]map[graph.NodeID]struct{}, n)
+	for ui := 0; ui < n; ui++ {
+		u := pattern.Node(ui)
+		var source []graph.NodeID
+		if initCands != nil && initCands[ui] != nil {
+			source = initCands[ui]
+		} else {
+			source = g.NodesByLabel(q.LabelOf(u))
+		}
+		set := make(map[graph.NodeID]struct{})
+		for _, v := range source {
+			if q.MatchesNode(u, g, v) {
+				set[v] = struct{}{}
+				res.Steps++
+			}
+		}
+		sim[ui] = set
+	}
+
+	// cnt[u'][v] = |out(v) ∩ sim(u')| for v that might need it. Built
+	// lazily per pattern edge target.
+	type edgeT struct{ u, uc int } // pattern edge (u, uc)
+	var edges []edgeT
+	q.Edges(func(from, to pattern.Node) bool {
+		edges = append(edges, edgeT{int(from), int(to)})
+		return true
+	})
+
+	// For each pattern node u', the pattern edges (u, u') entering it.
+	inEdges := make([][]int, n)
+	for ei, e := range edges {
+		inEdges[e.uc] = append(inEdges[e.uc], ei)
+	}
+
+	// cnt[ei][v] = number of out-neighbors of v in sim(edges[ei].uc),
+	// maintained for v in sim(edges[ei].u) (and any v we ever computed).
+	cnt := make([]map[graph.NodeID]int, len(edges))
+	for ei := range edges {
+		cnt[ei] = make(map[graph.NodeID]int)
+	}
+
+	// removeQueue holds (u, v) pairs removed from sim(u) whose effect has
+	// not been propagated yet.
+	type rem struct {
+		u int
+		v graph.NodeID
+	}
+	var queue []rem
+
+	remove := func(u int, v graph.NodeID) {
+		if _, ok := sim[u][v]; !ok {
+			return
+		}
+		delete(sim[u], v)
+		res.Steps++
+		queue = append(queue, rem{u, v})
+	}
+
+	// Initialize ALL counters against the initial candidate sets before
+	// enforcing anything: interleaving initialization with removals would
+	// double-subtract (a removal already excluded from a later-initialized
+	// counter would be decremented again during propagation).
+	for ei, e := range edges {
+		for v := range sim[e.u] {
+			c := 0
+			for _, w := range g.Out(v) {
+				if _, ok := sim[e.uc][w]; ok {
+					c++
+				}
+			}
+			cnt[ei][v] = c
+		}
+	}
+	for ei, e := range edges {
+		for v, c := range cnt[ei] {
+			if c == 0 {
+				remove(e.u, v)
+			}
+		}
+	}
+
+	// Propagate removals to fixpoint.
+	for len(queue) > 0 {
+		r := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		// r.v left sim(r.u): every in-neighbor v of r.v loses a witness
+		// for each pattern edge (u, r.u).
+		for _, ei := range inEdges[r.u] {
+			e := edges[ei]
+			for _, v := range g.In(r.v) {
+				if _, ok := sim[e.u][v]; !ok {
+					continue
+				}
+				c, seen := cnt[ei][v]
+				if !seen {
+					continue // v was never a candidate for e.u
+				}
+				c--
+				cnt[ei][v] = c
+				if c <= 0 {
+					remove(e.u, v)
+				}
+			}
+		}
+	}
+
+	res.Matched = true
+	for ui := 0; ui < n; ui++ {
+		if len(sim[ui]) == 0 {
+			res.Matched = false
+			break
+		}
+	}
+	if !res.Matched {
+		for ui := range res.Sim {
+			res.Sim[ui] = nil
+		}
+		return res
+	}
+	for ui := 0; ui < n; ui++ {
+		out := make([]graph.NodeID, 0, len(sim[ui]))
+		for v := range sim[ui] {
+			out = append(out, v)
+		}
+		sortIDs(out)
+		res.Sim[ui] = out
+	}
+	return res
+}
+
+func sortIDs(s []graph.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,418 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// triangleFixture: pattern A->B->C->A over a graph with one real triangle
+// and assorted noise.
+func triangleFixture(t testing.TB) (*pattern.Pattern, *graph.Graph, [3]graph.NodeID) {
+	t.Helper()
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	a := q.AddNodeNamed("A", nil)
+	b := q.AddNodeNamed("B", nil)
+	c := q.AddNodeNamed("C", nil)
+	q.MustAddEdge(a, b)
+	q.MustAddEdge(b, c)
+	q.MustAddEdge(c, a)
+
+	g := graph.New(in)
+	va := g.AddNodeNamed("A", graph.NoValue())
+	vb := g.AddNodeNamed("B", graph.NoValue())
+	vc := g.AddNodeNamed("C", graph.NoValue())
+	g.MustAddEdge(va, vb)
+	g.MustAddEdge(vb, vc)
+	g.MustAddEdge(vc, va)
+	// Noise: a broken triangle (missing closing edge).
+	na := g.AddNodeNamed("A", graph.NoValue())
+	nb := g.AddNodeNamed("B", graph.NoValue())
+	nc := g.AddNodeNamed("C", graph.NoValue())
+	g.MustAddEdge(na, nb)
+	g.MustAddEdge(nb, nc)
+	return q, g, [3]graph.NodeID{va, vb, vc}
+}
+
+func TestVF2FindsTriangle(t *testing.T) {
+	q, g, tri := triangleFixture(t)
+	res := VF2(q, g, SubgraphOptions{StoreMatches: true})
+	if !res.Completed || res.Count != 1 {
+		t.Fatalf("count = %d completed = %v", res.Count, res.Completed)
+	}
+	want := []graph.NodeID{tri[0], tri[1], tri[2]}
+	if !reflect.DeepEqual(res.Matches[0], want) {
+		t.Fatalf("match = %v, want %v", res.Matches[0], want)
+	}
+}
+
+func TestVF2NoMatch(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	a := q.AddNodeNamed("A", nil)
+	b := q.AddNodeNamed("B", nil)
+	q.MustAddEdge(a, b)
+	g := graph.New(in)
+	g.AddNodeNamed("A", graph.NoValue()) // no B at all
+	res := VF2(q, g, SubgraphOptions{})
+	if res.Count != 0 || !res.Completed {
+		t.Fatalf("want zero matches, completed")
+	}
+}
+
+func TestVF2PredicateFilter(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	y := q.AddNodeNamed("year", pattern.Predicate{pattern.Ge(graph.IntValue(2011))})
+	m := q.AddNodeNamed("movie", nil)
+	q.MustAddEdge(m, y)
+
+	g := graph.New(in)
+	y1 := g.AddNodeNamed("year", graph.IntValue(2012))
+	y2 := g.AddNodeNamed("year", graph.IntValue(2009))
+	m1 := g.AddNodeNamed("movie", graph.NoValue())
+	m2 := g.AddNodeNamed("movie", graph.NoValue())
+	g.MustAddEdge(m1, y1)
+	g.MustAddEdge(m2, y2)
+	res := VF2(q, g, SubgraphOptions{StoreMatches: true})
+	if res.Count != 1 {
+		t.Fatalf("count = %d, want 1", res.Count)
+	}
+	if res.Matches[0][m] != m1 {
+		t.Fatalf("wrong movie matched")
+	}
+}
+
+func TestVF2MaxMatches(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	a := q.AddNodeNamed("A", nil)
+	b := q.AddNodeNamed("B", nil)
+	q.MustAddEdge(a, b)
+	g := graph.New(in)
+	va := g.AddNodeNamed("A", graph.NoValue())
+	for i := 0; i < 10; i++ {
+		vb := g.AddNodeNamed("B", graph.NoValue())
+		g.MustAddEdge(va, vb)
+	}
+	res := VF2(q, g, SubgraphOptions{MaxMatches: 3, StoreMatches: true})
+	if res.Count != 3 || res.Completed {
+		t.Fatalf("count = %d completed = %v, want 3, false", res.Count, res.Completed)
+	}
+	if len(res.Matches) != 3 {
+		t.Fatalf("stored %d", len(res.Matches))
+	}
+}
+
+func TestVF2StepBudget(t *testing.T) {
+	q, g, _ := triangleFixture(t)
+	res := VF2(q, g, SubgraphOptions{MaxSteps: 1})
+	if res.Completed {
+		t.Fatalf("budget of 1 step should not complete")
+	}
+}
+
+func TestVF2InjectivityRequired(t *testing.T) {
+	// Pattern with two A-nodes both pointing at B needs two distinct
+	// A-nodes in the data.
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	a1 := q.AddNodeNamed("A", nil)
+	a2 := q.AddNodeNamed("A", nil)
+	b := q.AddNodeNamed("B", nil)
+	q.MustAddEdge(a1, b)
+	q.MustAddEdge(a2, b)
+
+	g := graph.New(in)
+	va := g.AddNodeNamed("A", graph.NoValue())
+	vb := g.AddNodeNamed("B", graph.NoValue())
+	g.MustAddEdge(va, vb)
+	if res := VF2(q, g, SubgraphOptions{}); res.Count != 0 {
+		t.Fatalf("single A node cannot host two pattern A nodes; count=%d", res.Count)
+	}
+	va2 := g.AddNodeNamed("A", graph.NoValue())
+	g.MustAddEdge(va2, vb)
+	if res := VF2(q, g, SubgraphOptions{}); res.Count != 2 {
+		t.Fatalf("count = %d, want 2 (both orderings)", res.Count)
+	}
+}
+
+func TestGSimBasics(t *testing.T) {
+	q, g, tri := triangleFixture(t)
+	res := GSim(q, g)
+	if !res.Matched {
+		t.Fatalf("triangle should simulate")
+	}
+	// Only the real triangle participates: the broken one has no C->A
+	// edge, so nc fails, hence nb fails, hence na fails.
+	for ui, want := range tri {
+		if len(res.Sim[ui]) != 1 || res.Sim[ui][0] != want {
+			t.Fatalf("sim[%d] = %v, want [%d]", ui, res.Sim[ui], want)
+		}
+	}
+	if res.Pairs() != 3 {
+		t.Fatalf("pairs = %d", res.Pairs())
+	}
+	if !res.Has(0, tri[0]) || res.Has(0, tri[1]) {
+		t.Fatalf("Has wrong")
+	}
+}
+
+func TestGSimEmptyWhenSomeNodeUnmatched(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	a := q.AddNodeNamed("A", nil)
+	b := q.AddNodeNamed("B", nil)
+	q.MustAddEdge(a, b)
+	g := graph.New(in)
+	g.AddNodeNamed("A", graph.NoValue())
+	res := GSim(q, g)
+	if res.Matched || res.Pairs() != 0 {
+		t.Fatalf("should be empty relation")
+	}
+	if res.Has(a, 0) {
+		t.Fatalf("Has on empty relation")
+	}
+}
+
+// q1g1 builds the paper's Fig. 2 fixture. Q1: u1(A) <-> u2(B) with
+// u3(C) -> u2 and u4(D) -> u2 (Example 9 constructs Q2 by reversing
+// (u3,u2) and (u4,u2), so in Q1 those edges point INTO u2). G1: a cycle
+// v1(A) -> v2(B) -> ... -> v2n(B) -> v1, plus vC -> v2n and vD -> v2n.
+func q1g1(in *graph.Interner, nPairs int) (*pattern.Pattern, *graph.Graph, []graph.NodeID, graph.NodeID) {
+	q := pattern.New(in)
+	u1 := q.AddNodeNamed("A", nil)
+	u2 := q.AddNodeNamed("B", nil)
+	u3 := q.AddNodeNamed("C", nil)
+	u4 := q.AddNodeNamed("D", nil)
+	q.MustAddEdge(u1, u2)
+	q.MustAddEdge(u2, u1)
+	q.MustAddEdge(u3, u2)
+	q.MustAddEdge(u4, u2)
+
+	g := graph.New(in)
+	cycle := make([]graph.NodeID, 0, 2*nPairs)
+	for i := 0; i < nPairs; i++ {
+		cycle = append(cycle, g.AddNodeNamed("A", graph.NoValue()))
+		cycle = append(cycle, g.AddNodeNamed("B", graph.NoValue()))
+	}
+	for i := 0; i < len(cycle); i++ {
+		g.MustAddEdge(cycle[i], cycle[(i+1)%len(cycle)])
+	}
+	vc := g.AddNodeNamed("C", graph.NoValue())
+	vd := g.AddNodeNamed("D", graph.NoValue())
+	v2n := cycle[len(cycle)-1]
+	g.MustAddEdge(vc, v2n)
+	g.MustAddEdge(vd, v2n)
+	return q, g, cycle, v2n
+}
+
+// TestGSimNonLocalized reproduces Example 2 / Fig. 2: G1 matches Q1, u2
+// matches every B of the cycle (v2, ..., v2n), and deciding this requires
+// the whole unbounded cycle — the non-localized behavior of simulation.
+func TestGSimNonLocalized(t *testing.T) {
+	in := graph.NewInterner()
+	nPairs := 5
+	q, g, cycle, v2n := q1g1(in, nPairs)
+
+	res := GSim(q, g)
+	if !res.Matched {
+		t.Fatalf("Q1 should match G1 (paper, Example 2)")
+	}
+	if len(res.Sim[1]) != nPairs { // u2 matches all B's
+		t.Fatalf("sim[u2] = %v, want all %d B nodes", res.Sim[1], nPairs)
+	}
+	if len(res.Sim[0]) != nPairs { // u1 matches all A's
+		t.Fatalf("sim[u1] = %v, want all %d A nodes", res.Sim[0], nPairs)
+	}
+	if !res.Has(1, v2n) || !res.Has(1, cycle[1]) {
+		t.Fatalf("u2 must match v2 and v2n")
+	}
+	// u3/u4 match only the C/D nodes.
+	if len(res.Sim[2]) != 1 || len(res.Sim[3]) != 1 {
+		t.Fatalf("sim[u3]/sim[u4] = %v / %v", res.Sim[2], res.Sim[3])
+	}
+}
+
+// TestGSimCycleBreakCascade checks the non-localized cascade: removing one
+// cycle edge far from the C/D anchors empties the entire relation, because
+// u1/u2 matches need the infinite unrolling the cycle provided.
+func TestGSimCycleBreakCascade(t *testing.T) {
+	in := graph.NewInterner()
+	q, g, cycle, _ := q1g1(in, 5)
+	if err := g.RemoveEdge(cycle[2], cycle[3]); err != nil {
+		t.Fatal(err)
+	}
+	res := GSim(q, g)
+	if res.Matched {
+		t.Fatalf("broken cycle should empty the relation; sim sizes %d/%d",
+			len(res.Sim[0]), len(res.Sim[1]))
+	}
+}
+
+func TestGSimAgainstBruteProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := graph.NewInterner()
+		q, g := randomQG(r, in)
+		got := GSim(q, g)
+		want := BruteSim(q, g)
+		if got.Matched != want.Matched {
+			t.Logf("seed %d: matched %v vs %v", seed, got.Matched, want.Matched)
+			return false
+		}
+		if got.Matched && !reflect.DeepEqual(got.Sim, want.Sim) {
+			t.Logf("seed %d: sim %v vs %v", seed, got.Sim, want.Sim)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVF2AgainstBruteProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := graph.NewInterner()
+		q, g := randomQG(r, in)
+		got := VF2(q, g, SubgraphOptions{StoreMatches: true})
+		if !got.Completed {
+			return false
+		}
+		want := BruteSubgraph(q, g)
+		if got.Count != len(want) {
+			t.Logf("seed %d: count %d vs %d", seed, got.Count, len(want))
+			return false
+		}
+		SortMatches(got.Matches)
+		if !reflect.DeepEqual(got.Matches, want) && got.Count > 0 {
+			t.Logf("seed %d: matches differ", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomQG builds a small random pattern (2-4 nodes, connected) and a
+// small random graph (≤10 nodes) over 3 labels.
+func randomQG(r *rand.Rand, in *graph.Interner) (*pattern.Pattern, *graph.Graph) {
+	labels := []string{"A", "B", "C"}
+	q := pattern.New(in)
+	qn := 2 + r.Intn(3)
+	for i := 0; i < qn; i++ {
+		q.AddNodeNamed(labels[r.Intn(3)], nil)
+	}
+	// Spanning edges keep it connected; random orientation.
+	for i := 1; i < qn; i++ {
+		j := r.Intn(i)
+		if r.Intn(2) == 0 {
+			_ = q.AddEdge(pattern.Node(i), pattern.Node(j))
+		} else {
+			_ = q.AddEdge(pattern.Node(j), pattern.Node(i))
+		}
+	}
+	for k := 0; k < r.Intn(3); k++ {
+		i, j := r.Intn(qn), r.Intn(qn)
+		if i != j {
+			_ = q.AddEdge(pattern.Node(i), pattern.Node(j))
+		}
+	}
+	g := graph.New(in)
+	gn := 4 + r.Intn(7)
+	for i := 0; i < gn; i++ {
+		g.AddNodeNamed(labels[r.Intn(3)], graph.NoValue())
+	}
+	ge := r.Intn(3 * gn)
+	for k := 0; k < ge; k++ {
+		i, j := r.Intn(gn), r.Intn(gn)
+		if i != j {
+			_ = g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	return q, g
+}
+
+func TestOptVariantsAgreeWithBase(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := graph.NewInterner()
+		q, g := randomQG(r, in)
+		// Discover a generous schema so indices exist.
+		schema := access.Discover(g, access.DiscoverOptions{MaxType1: 100, MaxType2: 100})
+		idx, viols := access.Build(g, schema)
+		if viols != nil {
+			return false
+		}
+		base := VF2(q, g, SubgraphOptions{StoreMatches: true})
+		opt := OptVF2(q, g, idx, SubgraphOptions{StoreMatches: true})
+		SortMatches(base.Matches)
+		SortMatches(opt.Matches)
+		if base.Count != opt.Count || !reflect.DeepEqual(base.Matches, opt.Matches) {
+			t.Logf("seed %d: vf2 %d vs optvf2 %d", seed, base.Count, opt.Count)
+			return false
+		}
+		bs := GSim(q, g)
+		os := OptGSim(q, g, idx)
+		if bs.Matched != os.Matched || (bs.Matched && !reflect.DeepEqual(bs.Sim, os.Sim)) {
+			t.Logf("seed %d: gsim vs optgsim differ", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptVariantsNilIndex(t *testing.T) {
+	q, g, _ := triangleFixture(t)
+	if res := OptVF2(q, g, nil, SubgraphOptions{}); res.Count != 1 {
+		t.Fatalf("OptVF2(nil idx) count = %d", res.Count)
+	}
+	if res := OptGSim(q, g, nil); !res.Matched {
+		t.Fatalf("OptGSim(nil idx) should match")
+	}
+}
+
+func TestSearchOrderCoversAllNodes(t *testing.T) {
+	// Disconnected pattern (bypassing Validate) must still be ordered.
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	q.AddNodeNamed("A", nil)
+	q.AddNodeNamed("B", nil)
+	u := make([][]graph.NodeID, 2)
+	u[0] = []graph.NodeID{0}
+	u[1] = []graph.NodeID{1, 2}
+	order := searchOrder(q, u)
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[pattern.Node]bool{}
+	for _, x := range order {
+		seen[x] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("order misses nodes: %v", order)
+	}
+}
+
+func TestVF2EmptyPattern(t *testing.T) {
+	in := graph.NewInterner()
+	q := pattern.New(in)
+	g := graph.New(in)
+	res := VF2(q, g, SubgraphOptions{})
+	if res.Count != 0 || !res.Completed {
+		t.Fatalf("empty pattern: %+v", res)
+	}
+}

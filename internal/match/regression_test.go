@@ -1,0 +1,28 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"boundedg/internal/graph"
+)
+
+// TestGSimCounterInitRegression pins a bug found by the property test
+// (quick.Check seed -5377061460306645880): interleaving counter
+// initialization with removals double-subtracted witnesses — a node
+// removed while initializing an earlier pattern edge was excluded from a
+// later edge's counter AND decremented again during propagation, wrongly
+// shrinking the maximum simulation.
+func TestGSimCounterInitRegression(t *testing.T) {
+	for _, seed := range []int64{-5377061460306645880} {
+		r := rand.New(rand.NewSource(seed))
+		in := graph.NewInterner()
+		q, g := randomQG(r, in)
+		got := GSim(q, g)
+		want := BruteSim(q, g)
+		if got.Matched != want.Matched || (got.Matched && !reflect.DeepEqual(got.Sim, want.Sim)) {
+			t.Fatalf("seed %d: got %v/%v want %v/%v", seed, got.Matched, got.Sim, want.Matched, want.Sim)
+		}
+	}
+}

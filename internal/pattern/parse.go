@@ -1,0 +1,172 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"boundedg/internal/graph"
+)
+
+// Parse reads a pattern from the small text DSL used by the CLI tools and
+// examples. The format is line-oriented:
+//
+//	# comment
+//	u1: award                       node "u1" labeled award
+//	u2: year (>= 2011, <= 2013)     node with a predicate conjunction
+//	u6: country
+//	u3 -> u1, u2                    edges u3->u1 and u3->u2
+//
+// Node lines are "name: label" with an optional parenthesized predicate
+// list; edge lines are "src -> dst[, dst...]". Constants are int64 literals
+// or double-quoted strings. Names must be declared before use in edges.
+func Parse(src string, in *graph.Interner) (*Pattern, error) {
+	p := New(in)
+	byName := make(map[string]Node)
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.Contains(line, "->"):
+			if err := parseEdgeLine(p, byName, line); err != nil {
+				return nil, fmt.Errorf("pattern: line %d: %w", lineno, err)
+			}
+		case strings.Contains(line, ":"):
+			if err := parseNodeLine(p, byName, line); err != nil {
+				return nil, fmt.Errorf("pattern: line %d: %w", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("pattern: line %d: cannot parse %q", lineno, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.NumNodes() == 0 {
+		return nil, fmt.Errorf("pattern: no nodes declared")
+	}
+	return p, nil
+}
+
+// MustParse is Parse, panicking on error; for fixtures.
+func MustParse(src string, in *graph.Interner) *Pattern {
+	p, err := Parse(src, in)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseNodeLine(p *Pattern, byName map[string]Node, line string) error {
+	name, rest, _ := strings.Cut(line, ":")
+	name = strings.TrimSpace(name)
+	rest = strings.TrimSpace(rest)
+	if name == "" {
+		return fmt.Errorf("empty node name")
+	}
+	if _, dup := byName[name]; dup {
+		return fmt.Errorf("node %q declared twice", name)
+	}
+	label := rest
+	var pred Predicate
+	if i := strings.IndexByte(rest, '('); i >= 0 {
+		if !strings.HasSuffix(rest, ")") {
+			return fmt.Errorf("unterminated predicate in %q", rest)
+		}
+		label = strings.TrimSpace(rest[:i])
+		var err error
+		pred, err = parsePredicate(rest[i+1 : len(rest)-1])
+		if err != nil {
+			return err
+		}
+	}
+	if label == "" {
+		return fmt.Errorf("node %q has no label", name)
+	}
+	u := p.AddNodeNamed(label, pred)
+	p.SetName(u, name)
+	byName[name] = u
+	return nil
+}
+
+func parseEdgeLine(p *Pattern, byName map[string]Node, line string) error {
+	src, rest, _ := strings.Cut(line, "->")
+	src = strings.TrimSpace(src)
+	from, ok := byName[src]
+	if !ok {
+		return fmt.Errorf("unknown node %q", src)
+	}
+	for _, dst := range strings.Split(rest, ",") {
+		dst = strings.TrimSpace(dst)
+		to, ok := byName[dst]
+		if !ok {
+			return fmt.Errorf("unknown node %q", dst)
+		}
+		if err := p.AddEdge(from, to); err != nil {
+			return fmt.Errorf("edge %s -> %s: %w", src, dst, err)
+		}
+	}
+	return nil
+}
+
+func parsePredicate(s string) (Predicate, error) {
+	var pred Predicate
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		atom, err := parseAtom(part)
+		if err != nil {
+			return nil, err
+		}
+		pred = append(pred, atom)
+	}
+	return pred, nil
+}
+
+func parseAtom(s string) (Atom, error) {
+	// Two-char operators first.
+	var opTok, rest string
+	switch {
+	case strings.HasPrefix(s, "<="), strings.HasPrefix(s, ">="), strings.HasPrefix(s, "=="):
+		opTok, rest = s[:2], s[2:]
+	case strings.HasPrefix(s, "<"), strings.HasPrefix(s, ">"), strings.HasPrefix(s, "="):
+		opTok, rest = s[:1], s[1:]
+	default:
+		return Atom{}, fmt.Errorf("cannot parse atom %q", s)
+	}
+	op, err := ParseOp(opTok)
+	if err != nil {
+		return Atom{}, err
+	}
+	c, err := parseConstant(strings.TrimSpace(rest))
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Op: op, C: c}, nil
+}
+
+func parseConstant(s string) (graph.Value, error) {
+	if s == "" {
+		return graph.Value{}, fmt.Errorf("missing constant")
+	}
+	if s[0] == '"' {
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return graph.Value{}, fmt.Errorf("bad string constant %q: %w", s, err)
+		}
+		return graph.StringValue(u), nil
+	}
+	i, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return graph.Value{}, fmt.Errorf("bad numeric constant %q: %w", s, err)
+	}
+	return graph.IntValue(i), nil
+}

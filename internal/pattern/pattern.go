@@ -1,0 +1,356 @@
+// Package pattern implements pattern queries Q = (VQ, EQ, fQ, gQ) of the
+// ICDE 2015 paper "Making Pattern Queries Bounded in Big Graphs": directed
+// graphs whose nodes carry a label and a predicate (a conjunction of atomic
+// comparisons on the node's attribute value). The same Pattern value is
+// interpreted either via subgraph isomorphism (subgraph queries) or via
+// graph simulation (simulation queries); the interpretation is chosen by
+// the matcher, not the pattern.
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"boundedg/internal/graph"
+)
+
+// Node identifies a pattern node; nodes are dense indices from 0.
+type Node int
+
+// Errors returned by pattern construction.
+var (
+	ErrNoSuchNode = errors.New("pattern: no such node")
+	ErrDupEdge    = errors.New("pattern: duplicate edge")
+	ErrSelfLoop   = errors.New("pattern: self loop")
+)
+
+// Pattern is a pattern query. The zero Pattern is not ready; call New.
+type Pattern struct {
+	interner *graph.Interner
+
+	labels []graph.Label
+	preds  []Predicate
+	names  []string // optional display names (u1, u2, ...)
+
+	out, in [][]Node
+	edges   map[[2]Node]struct{}
+}
+
+// New returns an empty pattern sharing the given interner (nil for fresh).
+func New(in *graph.Interner) *Pattern {
+	if in == nil {
+		in = graph.NewInterner()
+	}
+	return &Pattern{interner: in, edges: make(map[[2]Node]struct{})}
+}
+
+// Interner returns the shared label interner.
+func (p *Pattern) Interner() *graph.Interner { return p.interner }
+
+// AddNode inserts a node with label l and predicate pred.
+func (p *Pattern) AddNode(l graph.Label, pred Predicate) Node {
+	u := Node(len(p.labels))
+	p.labels = append(p.labels, l)
+	p.preds = append(p.preds, pred)
+	p.names = append(p.names, fmt.Sprintf("u%d", int(u)+1))
+	p.out = append(p.out, nil)
+	p.in = append(p.in, nil)
+	return u
+}
+
+// AddNodeNamed interns the label name and inserts a node.
+func (p *Pattern) AddNodeNamed(label string, pred Predicate) Node {
+	return p.AddNode(p.interner.Intern(label), pred)
+}
+
+// SetName attaches a display name to u (used by the DSL and printers).
+func (p *Pattern) SetName(u Node, name string) {
+	if p.contains(u) {
+		p.names[u] = name
+	}
+}
+
+// Name returns u's display name.
+func (p *Pattern) Name(u Node) string {
+	if !p.contains(u) {
+		return fmt.Sprintf("<node %d>", int(u))
+	}
+	return p.names[u]
+}
+
+func (p *Pattern) contains(u Node) bool { return u >= 0 && int(u) < len(p.labels) }
+
+// AddEdge inserts the directed pattern edge (from, to). Self loops are
+// rejected: under subgraph isomorphism a self loop requires a loop in G,
+// which our simple graphs exclude; keeping patterns loop-free keeps both
+// semantics aligned.
+func (p *Pattern) AddEdge(from, to Node) error {
+	if !p.contains(from) || !p.contains(to) {
+		return ErrNoSuchNode
+	}
+	if from == to {
+		return ErrSelfLoop
+	}
+	k := [2]Node{from, to}
+	if _, ok := p.edges[k]; ok {
+		return ErrDupEdge
+	}
+	p.edges[k] = struct{}{}
+	p.out[from] = append(p.out[from], to)
+	p.in[to] = append(p.in[to], from)
+	return nil
+}
+
+// MustAddEdge is AddEdge, panicking on error; for tests and fixtures.
+func (p *Pattern) MustAddEdge(from, to Node) {
+	if err := p.AddEdge(from, to); err != nil {
+		panic(fmt.Sprintf("pattern: AddEdge(%d,%d): %v", from, to, err))
+	}
+}
+
+// HasEdge reports whether (from, to) is a pattern edge.
+func (p *Pattern) HasEdge(from, to Node) bool {
+	_, ok := p.edges[[2]Node{from, to}]
+	return ok
+}
+
+// LabelOf returns fQ(u).
+func (p *Pattern) LabelOf(u Node) graph.Label {
+	if !p.contains(u) {
+		return graph.NoLabel
+	}
+	return p.labels[u]
+}
+
+// PredOf returns gQ(u).
+func (p *Pattern) PredOf(u Node) Predicate {
+	if !p.contains(u) {
+		return nil
+	}
+	return p.preds[u]
+}
+
+// Out returns u's children (targets of edges from u). Shared slice.
+func (p *Pattern) Out(u Node) []Node {
+	if !p.contains(u) {
+		return nil
+	}
+	return p.out[u]
+}
+
+// In returns u's parents (sources of edges into u). Shared slice.
+func (p *Pattern) In(u Node) []Node {
+	if !p.contains(u) {
+		return nil
+	}
+	return p.in[u]
+}
+
+// Neighbors returns the deduplicated union of parents and children of u.
+func (p *Pattern) Neighbors(u Node) []Node {
+	if !p.contains(u) {
+		return nil
+	}
+	res := make([]Node, 0, len(p.out[u])+len(p.in[u]))
+	res = append(res, p.out[u]...)
+	for _, w := range p.in[u] {
+		if !p.HasEdge(u, w) {
+			res = append(res, w)
+		}
+	}
+	return res
+}
+
+// NumNodes returns |VQ|.
+func (p *Pattern) NumNodes() int { return len(p.labels) }
+
+// NumEdges returns |EQ|.
+func (p *Pattern) NumEdges() int { return len(p.edges) }
+
+// Size returns |Q| = |VQ| + |EQ|.
+func (p *Pattern) Size() int { return p.NumNodes() + p.NumEdges() }
+
+// Nodes returns all pattern nodes, in order.
+func (p *Pattern) Nodes() []Node {
+	out := make([]Node, p.NumNodes())
+	for i := range out {
+		out[i] = Node(i)
+	}
+	return out
+}
+
+// Edges calls fn for every edge, in a deterministic order.
+func (p *Pattern) Edges(fn func(from, to Node) bool) {
+	keys := make([][2]Node, 0, len(p.edges))
+	for k := range p.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if !fn(k[0], k[1]) {
+			return
+		}
+	}
+}
+
+// EdgeList returns all edges in deterministic order.
+func (p *Pattern) EdgeList() [][2]Node {
+	out := make([][2]Node, 0, len(p.edges))
+	p.Edges(func(from, to Node) bool {
+		out = append(out, [2]Node{from, to})
+		return true
+	})
+	return out
+}
+
+// NodesWithLabel returns the pattern nodes labeled l.
+func (p *Pattern) NodesWithLabel(l graph.Label) []Node {
+	var out []Node
+	for i, pl := range p.labels {
+		if pl == l {
+			out = append(out, Node(i))
+		}
+	}
+	return out
+}
+
+// LabelSet returns the distinct labels used by the pattern, sorted.
+func (p *Pattern) LabelSet() []graph.Label {
+	seen := make(map[graph.Label]struct{})
+	for _, l := range p.labels {
+		seen[l] = struct{}{}
+	}
+	out := make([]graph.Label, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParentsHaveDistinctLabels reports whether, for every node of Q, its
+// parents carry pairwise distinct labels — the first special case of
+// Theorem 2 under which EBChk runs in O(|A||EQ| + |VQ|²).
+func (p *Pattern) ParentsHaveDistinctLabels() bool {
+	for u := range p.labels {
+		seen := make(map[graph.Label]struct{}, len(p.in[u]))
+		for _, w := range p.in[u] {
+			l := p.labels[w]
+			if _, dup := seen[l]; dup {
+				return false
+			}
+			seen[l] = struct{}{}
+		}
+	}
+	return true
+}
+
+// Connected reports whether the pattern is weakly connected (treating
+// edges as undirected). The paper's generated queries are connected.
+func (p *Pattern) Connected() bool {
+	n := p.NumNodes()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []Node{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range p.Neighbors(u) {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// Validate checks structural sanity: at least one node, and weak
+// connectivity (disconnected patterns are legal in the theory but the
+// evaluation pipeline assumes connectivity, as do the paper's workloads).
+func (p *Pattern) Validate() error {
+	if p.NumNodes() == 0 {
+		return errors.New("pattern: empty pattern")
+	}
+	if !p.Connected() {
+		return errors.New("pattern: not weakly connected")
+	}
+	return nil
+}
+
+// MatchesNode reports whether data node v of g satisfies u's label and
+// predicate — the node-level compatibility test shared by both semantics.
+func (p *Pattern) MatchesNode(u Node, g *graph.Graph, v graph.NodeID) bool {
+	return g.LabelOf(v) == p.labels[u] && p.preds[u].Eval(g.ValueOf(v))
+}
+
+// Clone returns a deep copy of p sharing the interner.
+func (p *Pattern) Clone() *Pattern {
+	c := New(p.interner)
+	c.labels = append([]graph.Label(nil), p.labels...)
+	c.preds = make([]Predicate, len(p.preds))
+	for i, pr := range p.preds {
+		c.preds[i] = append(Predicate(nil), pr...)
+	}
+	c.names = append([]string(nil), p.names...)
+	c.out = make([][]Node, len(p.out))
+	c.in = make([][]Node, len(p.in))
+	for i := range p.out {
+		c.out[i] = append([]Node(nil), p.out[i]...)
+		c.in[i] = append([]Node(nil), p.in[i]...)
+	}
+	for k := range p.edges {
+		c.edges[k] = struct{}{}
+	}
+	return c
+}
+
+// Reverse returns a copy of p with every edge direction flipped. Example 9
+// of the paper builds Q2 from Q1 this way (for two specific edges); tests
+// use Reverse for whole-pattern flips.
+func (p *Pattern) Reverse() *Pattern {
+	c := New(p.interner)
+	c.labels = append([]graph.Label(nil), p.labels...)
+	c.preds = make([]Predicate, len(p.preds))
+	for i, pr := range p.preds {
+		c.preds[i] = append(Predicate(nil), pr...)
+	}
+	c.names = append([]string(nil), p.names...)
+	c.out = make([][]Node, len(p.out))
+	c.in = make([][]Node, len(p.in))
+	for k := range p.edges {
+		c.edges[[2]Node{k[1], k[0]}] = struct{}{}
+		c.out[k[1]] = append(c.out[k[1]], k[0])
+		c.in[k[0]] = append(c.in[k[0]], k[1])
+	}
+	return c
+}
+
+// String renders the pattern in the DSL accepted by Parse.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	for i, l := range p.labels {
+		fmt.Fprintf(&b, "%s: %s", p.names[i], p.interner.Name(l))
+		if !p.preds[i].IsTrue() {
+			b.WriteString(" " + p.preds[i].String())
+		}
+		b.WriteByte('\n')
+	}
+	p.Edges(func(from, to Node) bool {
+		fmt.Fprintf(&b, "%s -> %s\n", p.names[from], p.names[to])
+		return true
+	})
+	return b.String()
+}

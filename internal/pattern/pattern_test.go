@@ -1,0 +1,387 @@
+package pattern
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"boundedg/internal/graph"
+)
+
+// q0 builds the paper's Fig. 1 pattern Q0: award, year(2011-2013), movie,
+// actor, actress, country, with movie->award, movie->year, movie->actor,
+// movie->actress, actor->country, actress->country.
+func q0(t testing.TB, in *graph.Interner) *Pattern {
+	t.Helper()
+	p := New(in)
+	award := p.AddNodeNamed("award", nil)
+	year := p.AddNodeNamed("year", Predicate{Ge(graph.IntValue(2011)), Le(graph.IntValue(2013))})
+	movie := p.AddNodeNamed("movie", nil)
+	actor := p.AddNodeNamed("actor", nil)
+	actress := p.AddNodeNamed("actress", nil)
+	country := p.AddNodeNamed("country", nil)
+	p.MustAddEdge(movie, award)
+	p.MustAddEdge(movie, year)
+	p.MustAddEdge(movie, actor)
+	p.MustAddEdge(movie, actress)
+	p.MustAddEdge(actor, country)
+	p.MustAddEdge(actress, country)
+	return p
+}
+
+func TestBasicConstruction(t *testing.T) {
+	p := q0(t, nil)
+	if p.NumNodes() != 6 || p.NumEdges() != 6 {
+		t.Fatalf("|VQ|=%d |EQ|=%d, want 6, 6", p.NumNodes(), p.NumEdges())
+	}
+	if p.Size() != 12 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	movie := Node(2)
+	if got := len(p.Out(movie)); got != 4 {
+		t.Fatalf("Out(movie) = %d, want 4", got)
+	}
+	country := Node(5)
+	if got := len(p.In(country)); got != 2 {
+		t.Fatalf("In(country) = %d, want 2", got)
+	}
+	if !p.HasEdge(movie, Node(0)) || p.HasEdge(Node(0), movie) {
+		t.Fatalf("edge orientation wrong")
+	}
+}
+
+func TestEdgeErrors(t *testing.T) {
+	p := New(nil)
+	a := p.AddNodeNamed("A", nil)
+	b := p.AddNodeNamed("B", nil)
+	if err := p.AddEdge(a, a); err != ErrSelfLoop {
+		t.Fatalf("self loop err = %v", err)
+	}
+	if err := p.AddEdge(a, 99); err != ErrNoSuchNode {
+		t.Fatalf("missing node err = %v", err)
+	}
+	if err := p.AddEdge(a, b); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := p.AddEdge(a, b); err != ErrDupEdge {
+		t.Fatalf("dup err = %v", err)
+	}
+}
+
+func TestNeighborsAndLabelQueries(t *testing.T) {
+	p := New(nil)
+	a := p.AddNodeNamed("A", nil)
+	b := p.AddNodeNamed("B", nil)
+	c := p.AddNodeNamed("A", nil)
+	p.MustAddEdge(a, b)
+	p.MustAddEdge(b, a)
+	p.MustAddEdge(c, b)
+	if n := p.Neighbors(a); len(n) != 1 || n[0] != b {
+		t.Fatalf("Neighbors(a) = %v", n)
+	}
+	la := p.LabelOf(a)
+	if got := p.NodesWithLabel(la); !reflect.DeepEqual(got, []Node{a, c}) {
+		t.Fatalf("NodesWithLabel(A) = %v", got)
+	}
+	if ls := p.LabelSet(); len(ls) != 2 {
+		t.Fatalf("LabelSet = %v", ls)
+	}
+}
+
+func TestParentsHaveDistinctLabels(t *testing.T) {
+	p := q0(t, nil)
+	if !p.ParentsHaveDistinctLabels() {
+		t.Fatalf("Q0 parents should have distinct labels")
+	}
+	// country has parents actor and actress: distinct. Add a second actor
+	// pointing at country to break it.
+	actor2 := p.AddNodeNamed("actor", nil)
+	p.MustAddEdge(actor2, Node(5))
+	p.MustAddEdge(Node(2), actor2) // keep connected
+	if p.ParentsHaveDistinctLabels() {
+		t.Fatalf("duplicate parent label not detected")
+	}
+}
+
+func TestValidateDisconnected(t *testing.T) {
+	p := New(nil)
+	p.AddNodeNamed("A", nil)
+	p.AddNodeNamed("B", nil)
+	if err := p.Validate(); err == nil {
+		t.Fatalf("disconnected pattern should fail validation")
+	}
+	if err := New(nil).Validate(); err == nil {
+		t.Fatalf("empty pattern should fail validation")
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	pred := Predicate{Ge(graph.IntValue(2011)), Le(graph.IntValue(2013))}
+	cases := []struct {
+		v    graph.Value
+		want bool
+	}{
+		{graph.IntValue(2010), false},
+		{graph.IntValue(2011), true},
+		{graph.IntValue(2012), true},
+		{graph.IntValue(2013), true},
+		{graph.IntValue(2014), false},
+		{graph.StringValue("2012"), false}, // kind mismatch
+		{graph.NoValue(), false},
+	}
+	for _, c := range cases {
+		if got := pred.Eval(c.v); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if !True.Eval(graph.NoValue()) {
+		t.Fatalf("True must accept everything")
+	}
+	if True.String() != "true" {
+		t.Fatalf("True.String() = %q", True.String())
+	}
+}
+
+func TestPredicateOps(t *testing.T) {
+	v5 := graph.IntValue(5)
+	cases := []struct {
+		a    Atom
+		v    graph.Value
+		want bool
+	}{
+		{Eq(v5), graph.IntValue(5), true},
+		{Eq(v5), graph.IntValue(6), false},
+		{Gt(v5), graph.IntValue(6), true},
+		{Gt(v5), graph.IntValue(5), false},
+		{Lt(v5), graph.IntValue(4), true},
+		{Lt(v5), graph.IntValue(5), false},
+		{Le(v5), graph.IntValue(5), true},
+		{Le(v5), graph.IntValue(6), false},
+		{Ge(v5), graph.IntValue(5), true},
+		{Ge(v5), graph.IntValue(4), false},
+		{Eq(graph.StringValue("x")), graph.StringValue("x"), true},
+		{Lt(graph.StringValue("b")), graph.StringValue("a"), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Eval(c.v); got != c.want {
+			t.Errorf("case %d: %v.Eval(%v) = %v", i, c.a, c.v, got)
+		}
+	}
+}
+
+func TestPredicateAnd(t *testing.T) {
+	p := True.And(Ge(graph.IntValue(1)))
+	q := p.And(Le(graph.IntValue(3)))
+	if len(p) != 1 || len(q) != 2 {
+		t.Fatalf("And lengths: %d %d", len(p), len(q))
+	}
+	if !q.Eval(graph.IntValue(2)) || q.Eval(graph.IntValue(4)) {
+		t.Fatalf("conjunction wrong")
+	}
+}
+
+func TestParseOpErrors(t *testing.T) {
+	if _, err := ParseOp("!="); err == nil {
+		t.Fatalf("!= should not parse")
+	}
+	for _, s := range []string{"=", "==", ">", "<", ">=", "<="} {
+		if _, err := ParseOp(s); err != nil {
+			t.Fatalf("ParseOp(%q): %v", s, err)
+		}
+	}
+}
+
+const q0DSL = `
+# Q0 from Fig. 1
+u1: award
+u2: year (>= 2011, <= 2013)
+u3: movie
+u4: actor
+u5: actress
+u6: country
+u3 -> u1, u2
+u3 -> u4, u5
+u4 -> u6
+u5 -> u6
+`
+
+func TestParseQ0(t *testing.T) {
+	p, err := Parse(q0DSL, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.NumNodes() != 6 || p.NumEdges() != 6 {
+		t.Fatalf("|VQ|=%d |EQ|=%d", p.NumNodes(), p.NumEdges())
+	}
+	want := q0(t, p.Interner())
+	if !samePattern(p, want) {
+		t.Fatalf("parsed pattern differs from builder pattern:\n%v\nvs\n%v", p, want)
+	}
+	year := Node(1)
+	if !p.PredOf(year).Eval(graph.IntValue(2012)) || p.PredOf(year).Eval(graph.IntValue(2015)) {
+		t.Fatalf("year predicate wrong: %v", p.PredOf(year))
+	}
+}
+
+func TestParseStringConstant(t *testing.T) {
+	p, err := Parse("a: person (= \"alice\")\nb: person\na -> b\n", nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !p.PredOf(0).Eval(graph.StringValue("alice")) {
+		t.Fatalf("string predicate wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no nodes
+		"a: A\nb -> a\n",          // unknown edge src
+		"a: A\na -> b\n",          // unknown edge dst
+		"a: A\na: B\n",            // duplicate name
+		"a:\n",                    // missing label
+		": A\n",                   // missing name
+		"a: A (>= )\n",            // missing constant
+		"a: A (?? 3)\n",           // bad operator
+		"a: A (>= \"unclosed)\n",  // bad string
+		"a: A (> 1.5)\n",          // non-integer
+		"garbage line\n",          // unparseable
+		"a: A (>= 1\n",            // unterminated predicate
+		"a: A\nb: B\na -> b, b\n", // duplicate edge
+		"a: A\na -> a\n",          // self loop
+	}
+	for i, src := range cases {
+		if _, err := Parse(src, nil); err == nil {
+			t.Errorf("case %d (%q): want parse error", i, src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	p := q0(t, nil)
+	s := p.String()
+	p2, err := Parse(s, p.Interner())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s)
+	}
+	if !samePattern(p, p2) {
+		t.Fatalf("round trip changed pattern:\n%s\nvs\n%s", s, p2)
+	}
+	if !strings.Contains(s, ">= 2011") {
+		t.Fatalf("predicate not rendered: %s", s)
+	}
+}
+
+func TestCloneAndReverse(t *testing.T) {
+	p := q0(t, nil)
+	c := p.Clone()
+	c.MustAddEdge(Node(0), Node(1)) // award -> year only in clone
+	if p.HasEdge(Node(0), Node(1)) {
+		t.Fatalf("clone shares edges")
+	}
+	r := p.Reverse()
+	if r.NumEdges() != p.NumEdges() {
+		t.Fatalf("reverse edge count")
+	}
+	p.Edges(func(from, to Node) bool {
+		if !r.HasEdge(to, from) {
+			t.Fatalf("edge (%d,%d) not reversed", from, to)
+		}
+		return true
+	})
+	if r.LabelOf(Node(2)) != p.LabelOf(Node(2)) {
+		t.Fatalf("reverse changed labels")
+	}
+}
+
+func TestMatchesNode(t *testing.T) {
+	in := graph.NewInterner()
+	p := q0(t, in)
+	g := graph.New(in)
+	y2012 := g.AddNodeNamed("year", graph.IntValue(2012))
+	y2000 := g.AddNodeNamed("year", graph.IntValue(2000))
+	award := g.AddNodeNamed("award", graph.NoValue())
+	year := Node(1)
+	if !p.MatchesNode(year, g, y2012) {
+		t.Fatalf("2012 should match")
+	}
+	if p.MatchesNode(year, g, y2000) {
+		t.Fatalf("2000 must not match")
+	}
+	if p.MatchesNode(year, g, award) {
+		t.Fatalf("label mismatch must not match")
+	}
+}
+
+// samePattern compares structure by label/pred/edges under identical node
+// ordering (sufficient for these tests where construction order matches).
+func samePattern(a, b *Pattern) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.LabelOf(Node(i)) != b.LabelOf(Node(i)) {
+			return false
+		}
+		if len(a.PredOf(Node(i))) != len(b.PredOf(Node(i))) {
+			return false
+		}
+	}
+	same := true
+	a.Edges(func(from, to Node) bool {
+		if !b.HasEdge(from, to) {
+			same = false
+			return false
+		}
+		return true
+	})
+	return same
+}
+
+// TestReverseInvolution: reversing twice restores the edge set.
+func TestReverseInvolution(t *testing.T) {
+	p := q0(t, nil)
+	rr := p.Reverse().Reverse()
+	if rr.NumEdges() != p.NumEdges() {
+		t.Fatalf("edge count changed")
+	}
+	p.Edges(func(from, to Node) bool {
+		if !rr.HasEdge(from, to) {
+			t.Fatalf("edge (%d,%d) lost", from, to)
+		}
+		return true
+	})
+}
+
+// TestEdgeListDeterministic: EdgeList is sorted and stable.
+func TestEdgeListDeterministic(t *testing.T) {
+	p := q0(t, nil)
+	a := p.EdgeList()
+	b := p.EdgeList()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("EdgeList not stable")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1][0] > a[i][0] || (a[i-1][0] == a[i][0] && a[i-1][1] >= a[i][1]) {
+			t.Fatalf("EdgeList not sorted: %v", a)
+		}
+	}
+}
+
+// TestNameFallbacks: accessors behave on invalid nodes.
+func TestNameFallbacks(t *testing.T) {
+	p := New(nil)
+	if p.Name(5) == "" {
+		t.Fatalf("invalid node should still render")
+	}
+	p.SetName(9, "x") // must not panic
+	if p.LabelOf(9) != graph.NoLabel {
+		t.Fatalf("invalid LabelOf")
+	}
+	if p.PredOf(9) != nil || p.Out(9) != nil || p.In(9) != nil || p.Neighbors(9) != nil {
+		t.Fatalf("invalid accessors should be nil")
+	}
+}

@@ -1,0 +1,140 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"boundedg/internal/graph"
+)
+
+// Op is a comparison operator in an atomic predicate formula. The paper
+// (§II) allows =, >, <, <= and >=.
+type Op uint8
+
+// Comparison operators.
+const (
+	OpEQ Op = iota
+	OpGT
+	OpLT
+	OpLE
+	OpGE
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEQ:
+		return "="
+	case OpGT:
+		return ">"
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGE:
+		return ">="
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp parses one of the five operator tokens.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "=", "==":
+		return OpEQ, nil
+	case ">":
+		return OpGT, nil
+	case "<":
+		return OpLT, nil
+	case "<=":
+		return OpLE, nil
+	case ">=":
+		return OpGE, nil
+	}
+	return 0, fmt.Errorf("pattern: unknown operator %q", s)
+}
+
+// Atom is one atomic formula "fQ(u) op c" of a node predicate.
+type Atom struct {
+	Op Op
+	C  graph.Value
+}
+
+// Eval reports whether value v satisfies the atom. Values of a different
+// kind than the constant never satisfy it.
+func (a Atom) Eval(v graph.Value) bool {
+	cmp, ok := v.Compare(a.C)
+	if !ok {
+		return false
+	}
+	switch a.Op {
+	case OpEQ:
+		return cmp == 0
+	case OpGT:
+		return cmp > 0
+	case OpLT:
+		return cmp < 0
+	case OpLE:
+		return cmp <= 0
+	case OpGE:
+		return cmp >= 0
+	}
+	return false
+}
+
+// String renders the atom, e.g. ">= 2011".
+func (a Atom) String() string { return a.Op.String() + " " + a.C.String() }
+
+// Predicate is the conjunction gQ(u) of atomic formulas attached to a
+// pattern node. A nil or empty Predicate is "true".
+type Predicate []Atom
+
+// True is the empty predicate, satisfied by every value.
+var True = Predicate(nil)
+
+// Eval reports whether v satisfies every atom of the conjunction.
+func (p Predicate) Eval(v graph.Value) bool {
+	for _, a := range p {
+		if !a.Eval(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTrue reports whether the predicate has no atoms.
+func (p Predicate) IsTrue() bool { return len(p) == 0 }
+
+// And returns the conjunction of p with more atoms.
+func (p Predicate) And(atoms ...Atom) Predicate {
+	return append(append(Predicate(nil), p...), atoms...)
+}
+
+// String renders the conjunction, e.g. "(>= 2011, <= 2013)".
+func (p Predicate) String() string {
+	if p.IsTrue() {
+		return "true"
+	}
+	parts := make([]string, len(p))
+	for i, a := range p {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Convenience constructors for atoms.
+
+// Eq returns the atom "= c".
+func Eq(c graph.Value) Atom { return Atom{Op: OpEQ, C: c} }
+
+// Gt returns the atom "> c".
+func Gt(c graph.Value) Atom { return Atom{Op: OpGT, C: c} }
+
+// Lt returns the atom "< c".
+func Lt(c graph.Value) Atom { return Atom{Op: OpLT, C: c} }
+
+// Le returns the atom "<= c".
+func Le(c graph.Value) Atom { return Atom{Op: OpLE, C: c} }
+
+// Ge returns the atom ">= c".
+func Ge(c graph.Value) Atom { return Atom{Op: OpGE, C: c} }

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+)
+
+// IMDb generates the stand-in for the paper's IMDbG: a movie graph with
+// years, awards, genres, countries (fixed anchor populations), movies
+// (scaled), and pooled casts with capped appearance counts. The published
+// constraints of Examples 1 and 3 hold by construction: at most 4 movies
+// win a given award in a given year (C1), bounded first-billed casts (C2),
+// one country per person (C3), and fixed counts of years, awards and
+// countries (C4–C6).
+//
+// scale is the |G| scale factor of Fig 5(a); scale = 1 yields roughly
+// 60k nodes and 170k edges with the default base of 12000 movies.
+func IMDb(scale float64, seed int64) *Dataset {
+	return imdbSized(scale, seed, 12000)
+}
+
+// imdbSized exposes the movie base count for tests.
+func imdbSized(scale float64, seed int64, baseMovies int) *Dataset {
+	const (
+		nYears     = 60
+		nAwards    = 24
+		nCountries = 50
+		nGenres    = 20
+
+		maxMoviesPerYearAward = 4
+		maxActorsPerMovie     = 10
+		maxActressesPerMovie  = 10
+		maxAppear             = 12 // movies per actor/actress
+		maxDirect             = 8  // movies per director
+		maxGenresPerMovie     = 2
+		maxAwardsPerMovie     = 3
+		maxMoviesPerYearGenre = 24
+		// Award and genre populations are fixed, so their per-node movie
+		// neighborhoods admit |G|-independent bounds too: at most 4
+		// winners per year per award, and a generous per-genre cap that
+		// the capper enforces outright.
+		maxMoviesPerAward = maxMoviesPerYearAward * nYears
+		maxMoviesPerGenre = 150
+		// The paper's discovery family (4) example: group-by aggregates
+		// yield constraints like (year, country, genre) -> (movie, 1800).
+		// Our analog caps releases per (year, production country).
+		maxMoviesPerYearCountry = 8
+	)
+
+	r := rand.New(rand.NewSource(seed))
+	in := graph.NewInterner()
+	g := graph.New(in)
+	l := func(s string) graph.Label { return in.Intern(s) }
+	lYear, lAward, lCountry, lGenre := l("year"), l("award"), l("country"), l("genre")
+	lMovie, lActor, lActress, lDirector := l("movie"), l("actor"), l("actress"), l("director")
+
+	c := newCapper(g)
+	c.cap(lMovie, lYear, 1)
+	c.cap(lMovie, lGenre, maxGenresPerMovie)
+	c.cap(lMovie, lAward, maxAwardsPerMovie)
+	c.cap(lMovie, lActor, maxActorsPerMovie)
+	c.cap(lMovie, lActress, maxActressesPerMovie)
+	c.cap(lMovie, lDirector, 1)
+	c.cap(lMovie, lCountry, 1)
+	c.cap(lActor, lCountry, 1)
+	c.cap(lActress, lCountry, 1)
+	c.cap(lDirector, lCountry, 1)
+	c.cap(lActor, lMovie, maxAppear)
+	c.cap(lActress, lMovie, maxAppear)
+	c.cap(lDirector, lMovie, maxDirect)
+	c.cap(lAward, lMovie, maxMoviesPerAward)
+	c.cap(lGenre, lMovie, maxMoviesPerGenre)
+
+	years := make([]graph.NodeID, nYears)
+	for i := range years {
+		years[i] = g.AddNode(lYear, graph.IntValue(int64(1955+i)))
+	}
+	awards := make([]graph.NodeID, nAwards)
+	for i := range awards {
+		awards[i] = g.AddNode(lAward, graph.StringValue(fmt.Sprintf("award-%02d", i)))
+	}
+	countries := make([]graph.NodeID, nCountries)
+	for i := range countries {
+		countries[i] = g.AddNode(lCountry, graph.StringValue(fmt.Sprintf("country-%02d", i)))
+	}
+	genres := make([]graph.NodeID, nGenres)
+	for i := range genres {
+		genres[i] = g.AddNode(lGenre, graph.IntValue(int64(i)))
+	}
+
+	nMovies := scaled(baseMovies, scale)
+	// Cast pools sized for ~3 appearances on average (cap 12).
+	nActors := nMovies*5/3 + 1
+	nActresses := nMovies*5/3 + 1
+	nDirectors := nMovies/3 + 1
+	newPerson := func(lbl graph.Label, i int) graph.NodeID {
+		p := g.AddNode(lbl, graph.IntValue(int64(i)))
+		c.tryEdge(p, countries[r.Intn(nCountries)]) // one country of origin
+		return p
+	}
+	actors := make([]graph.NodeID, nActors)
+	for i := range actors {
+		actors[i] = newPerson(lActor, i)
+	}
+	actresses := make([]graph.NodeID, nActresses)
+	for i := range actresses {
+		actresses[i] = newPerson(lActress, i)
+	}
+	directors := make([]graph.NodeID, nDirectors)
+	for i := range directors {
+		directors[i] = newPerson(lDirector, i)
+	}
+
+	// Pair caps for the general (|S| = 2) constraints.
+	yearAwardCnt := make(map[[2]graph.NodeID]int)
+	yearGenreCnt := make(map[[2]graph.NodeID]int)
+	yearCountryCnt := make(map[[2]graph.NodeID]int)
+
+	movies := make([]graph.NodeID, nMovies)
+	for i := range movies {
+		m := g.AddNode(lMovie, graph.IntValue(int64(i)))
+		movies[i] = m
+		year := years[r.Intn(nYears)]
+		c.tryEdge(m, year)
+		// Production country, respecting the (year, country) pair cap.
+		for tries := 0; tries < 8; tries++ {
+			co := countries[r.Intn(nCountries)]
+			key := [2]graph.NodeID{year, co}
+			if yearCountryCnt[key] >= maxMoviesPerYearCountry {
+				continue
+			}
+			if c.tryEdge(m, co) {
+				yearCountryCnt[key]++
+			}
+			break
+		}
+		// Genres, respecting the (year, genre) pair cap.
+		ng := 1 + r.Intn(maxGenresPerMovie)
+		for t, added := 0, 0; t < 3*ng && added < ng; t++ {
+			ge := genres[r.Intn(nGenres)]
+			key := [2]graph.NodeID{year, ge}
+			if yearGenreCnt[key] >= maxMoviesPerYearGenre {
+				continue
+			}
+			if c.tryEdge(m, ge) {
+				yearGenreCnt[key]++
+				added++
+			}
+		}
+		// Cast. Edge direction is mixed — IMDb-style data has both
+		// "cast" (movie -> person) and "acted in" (person -> movie)
+		// relationships; access constraints are direction-agnostic, but
+		// simulation coverage (children only) needs person -> movie edges
+		// to deduce people from movies.
+		castEdge := func(m, p graph.NodeID) bool {
+			if r.Intn(2) == 0 {
+				return c.tryEdge(m, p)
+			}
+			return c.tryEdge(p, m)
+		}
+		na := 1 + r.Intn(maxActorsPerMovie)
+		for t, added := 0, 0; t < 4*na && added < na; t++ {
+			if castEdge(m, actors[r.Intn(nActors)]) {
+				added++
+			}
+		}
+		ns := 1 + r.Intn(maxActressesPerMovie)
+		for t, added := 0, 0; t < 4*ns && added < ns; t++ {
+			if castEdge(m, actresses[r.Intn(nActresses)]) {
+				added++
+			}
+		}
+		castEdge(m, directors[r.Intn(nDirectors)])
+		// Awards: ~40% of movies attempt to win, so the (year, award)
+		// capacity (4 winners per pair) saturates at moderate scale and
+		// award-anchored fetches become scale-independent.
+		if r.Intn(100) < 40 {
+			nw := 1 + r.Intn(maxAwardsPerMovie)
+			for t, added := 0, 0; t < 3*nw && added < nw; t++ {
+				aw := awards[r.Intn(nAwards)]
+				key := [2]graph.NodeID{year, aw}
+				if yearAwardCnt[key] >= maxMoviesPerYearAward {
+					continue
+				}
+				if c.tryEdge(m, aw) {
+					yearAwardCnt[key]++
+					added++
+				}
+			}
+		}
+	}
+
+	schema := access.NewSchema(
+		// Anchors (type 1) first — the seeds of every deduction.
+		access.MustNew(nil, lYear, nYears),
+		access.MustNew(nil, lAward, nAwards),
+		access.MustNew(nil, lCountry, nCountries),
+		access.MustNew(nil, lGenre, nGenres),
+		// Core structural constraints.
+		access.MustNew([]graph.Label{lYear, lAward}, lMovie, maxMoviesPerYearAward),
+		access.MustNew([]graph.Label{lMovie}, lActor, maxActorsPerMovie),
+		access.MustNew([]graph.Label{lMovie}, lActress, maxActressesPerMovie),
+		access.MustNew([]graph.Label{lActor}, lCountry, 1),
+		access.MustNew([]graph.Label{lActress}, lCountry, 1),
+		access.MustNew([]graph.Label{lMovie}, lYear, 1),
+		access.MustNew([]graph.Label{lMovie}, lDirector, 1),
+		access.MustNew([]graph.Label{lMovie}, lGenre, maxGenresPerMovie),
+		// Extras (the ‖A‖ sweep trims from the tail).
+		access.MustNew([]graph.Label{lAward}, lMovie, maxMoviesPerAward),
+		access.MustNew([]graph.Label{lGenre}, lMovie, maxMoviesPerGenre),
+		access.MustNew([]graph.Label{lYear, lGenre}, lMovie, maxMoviesPerYearGenre),
+		access.MustNew([]graph.Label{lYear, lCountry}, lMovie, maxMoviesPerYearCountry),
+		access.MustNew([]graph.Label{lMovie}, lAward, maxAwardsPerMovie),
+		access.MustNew([]graph.Label{lMovie}, lCountry, 1),
+		access.MustNew([]graph.Label{lActor}, lMovie, maxAppear),
+		access.MustNew([]graph.Label{lActress}, lMovie, maxAppear),
+		access.MustNew([]graph.Label{lDirector}, lMovie, maxDirect),
+		access.MustNew([]graph.Label{lDirector}, lCountry, 1),
+		access.MustNew([]graph.Label{lGenre}, lYear, nYears),
+	)
+
+	d := &Dataset{Name: "IMDbG", In: in, G: g, Schema: schema}
+	return d
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math/rand"
+
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// QueryGen reproduces the paper's query generator (§VII): random connected
+// patterns controlled by #n (nodes, in [3,7]), #e (edges, in
+// [#n−1, 1.5·#n]) and #p (predicate atoms, in [2,8]).
+//
+// Patterns are drawn as connected subgraph samples of the dataset — the
+// labels and edge orientations come from real adjacency, so queries are
+// satisfiable in principle and their label pairs are the ones the data
+// (and hence the access schema) actually exhibits. Purely label-random
+// patterns would almost always contain label pairs no constraint covers
+// and be trivially unbounded, which is not the regime the paper measures.
+type QueryGen struct {
+	MinNodes, MaxNodes int // default 3, 7
+	MinPreds, MaxPreds int // default 2, 8
+	// AnchorBias is the probability (in percent) of starting the sample
+	// at a node whose label has a type-1 constraint; default 50.
+	AnchorBias int
+	// AnchorNbrBias is the probability (in percent) that each expansion
+	// step prefers a neighbor whose label has a type-1 constraint, when
+	// one exists; default 45. This models analysts anchoring queries on
+	// reference entities (years, awards, countries, small hosts).
+	AnchorNbrBias int
+}
+
+// DefaultQueryGen is the paper's configuration.
+var DefaultQueryGen = QueryGen{MinNodes: 3, MaxNodes: 7, MinPreds: 2, MaxPreds: 8, AnchorBias: 50, AnchorNbrBias: 75}
+
+func (qg QueryGen) withDefaults() QueryGen {
+	if qg.MaxNodes == 0 {
+		qg = DefaultQueryGen
+	}
+	return qg
+}
+
+// Generate returns n random queries over the dataset.
+func (qg QueryGen) Generate(d *Dataset, n int, seed int64) []*pattern.Pattern {
+	qg = qg.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	anchors := anchorNodes(d)
+	anchorLbl := anchorLabels(d)
+	nodeList := d.G.NodeList()
+	out := make([]*pattern.Pattern, 0, n)
+	for attempts := 0; len(out) < n && attempts < 200*n; attempts++ {
+		if q := qg.one(r, d, anchors, anchorLbl, nodeList); q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// anchorLabels is the set of labels with a type-1 constraint.
+func anchorLabels(d *Dataset) map[graph.Label]bool {
+	out := make(map[graph.Label]bool)
+	for _, c := range d.Schema.Constraints() {
+		if c.Type1() {
+			out[c.L] = true
+		}
+	}
+	return out
+}
+
+// GenerateSized returns n random queries with exactly nn nodes each (the
+// #n sweep of Fig 5(b)).
+func (qg QueryGen) GenerateSized(d *Dataset, n, nn int, seed int64) []*pattern.Pattern {
+	qg = qg.withDefaults()
+	qg.MinNodes, qg.MaxNodes = nn, nn
+	return qg.Generate(d, n, seed)
+}
+
+// anchorNodes lists data nodes whose labels carry a type-1 constraint.
+func anchorNodes(d *Dataset) []graph.NodeID {
+	var out []graph.NodeID
+	for _, c := range d.Schema.Constraints() {
+		if c.Type1() {
+			out = append(out, d.G.NodesByLabel(c.L)...)
+		}
+	}
+	return out
+}
+
+func (qg QueryGen) one(r *rand.Rand, d *Dataset, anchors []graph.NodeID, anchorLbl map[graph.Label]bool, nodeList []graph.NodeID) *pattern.Pattern {
+	g := d.G
+	nn := qg.MinNodes + r.Intn(qg.MaxNodes-qg.MinNodes+1)
+
+	// Sample a connected subgraph of nn nodes by randomized expansion.
+	var start graph.NodeID
+	if len(anchors) > 0 && r.Intn(100) < qg.AnchorBias {
+		start = anchors[r.Intn(len(anchors))]
+	} else {
+		start = nodeList[r.Intn(len(nodeList))]
+	}
+	sample := []graph.NodeID{start}
+	index := map[graph.NodeID]int{start: 0}
+	type pedge struct{ from, to int }
+	var edges []pedge
+	edgeSeen := make(map[[2]int]bool)
+	addEdge := func(a, b int) {
+		if a == b || edgeSeen[[2]int{a, b}] {
+			return
+		}
+		edgeSeen[[2]int{a, b}] = true
+		edges = append(edges, pedge{a, b})
+	}
+	for tries := 0; len(sample) < nn && tries < 60*nn; tries++ {
+		v := sample[r.Intn(len(sample))]
+		nbrs := g.Neighbors(v)
+		if len(nbrs) == 0 {
+			continue
+		}
+		w := nbrs[r.Intn(len(nbrs))]
+		if r.Intn(100) < qg.AnchorNbrBias && !anchorLbl[g.LabelOf(w)] {
+			// Prefer a random anchor-labeled neighbor when the uniform
+			// draw missed one.
+			var anchorsHere []graph.NodeID
+			for _, cand := range nbrs {
+				if anchorLbl[g.LabelOf(cand)] {
+					anchorsHere = append(anchorsHere, cand)
+				}
+			}
+			if len(anchorsHere) > 0 {
+				w = anchorsHere[r.Intn(len(anchorsHere))]
+			}
+		}
+		if _, in := index[w]; in {
+			continue
+		}
+		index[w] = len(sample)
+		sample = append(sample, w)
+		vi, wi := index[v], index[w]
+		// Orient as in the data; for bidirectional pairs pick one.
+		switch {
+		case g.HasEdge(v, w) && g.HasEdge(w, v):
+			if r.Intn(2) == 0 {
+				addEdge(vi, wi)
+			} else {
+				addEdge(wi, vi)
+			}
+		case g.HasEdge(v, w):
+			addEdge(vi, wi)
+		default:
+			addEdge(wi, vi)
+		}
+	}
+	if len(sample) != nn {
+		return nil // stuck in a small component; caller retries
+	}
+
+	// Extra induced edges up to #e ∈ [nn−1, 1.5·nn].
+	target := nn - 1 + r.Intn(nn/2+1)
+	for tries := 0; len(edges) < target && tries < 20*nn; tries++ {
+		i, j := r.Intn(nn), r.Intn(nn)
+		if i == j {
+			continue
+		}
+		if g.HasEdge(sample[i], sample[j]) {
+			addEdge(i, j)
+		}
+	}
+
+	// Predicates: #p atoms over random nodes; generator attribute values
+	// are small non-negative ints, so these stay loose most of the time.
+	np := qg.MinPreds + r.Intn(qg.MaxPreds-qg.MinPreds+1)
+	preds := make([]pattern.Predicate, nn)
+	for i := 0; i < np; i++ {
+		u := r.Intn(nn)
+		var atom pattern.Atom
+		switch r.Intn(4) {
+		case 0:
+			atom = pattern.Ge(graph.IntValue(int64(r.Intn(4))))
+		case 1:
+			atom = pattern.Le(graph.IntValue(int64(500 + r.Intn(20000))))
+		case 2:
+			atom = pattern.Gt(graph.IntValue(-1))
+		default:
+			atom = pattern.Lt(graph.IntValue(int64(1000 + r.Intn(20000))))
+		}
+		preds[u] = append(preds[u], atom)
+	}
+
+	q := pattern.New(d.In)
+	for i, v := range sample {
+		q.AddNode(g.LabelOf(v), preds[i])
+	}
+	for _, e := range edges {
+		q.MustAddEdge(pattern.Node(e.from), pattern.Node(e.to))
+	}
+	if err := q.Validate(); err != nil {
+		return nil
+	}
+	return q
+}

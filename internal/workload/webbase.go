@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+)
+
+// WebBase generates the stand-in for the paper's WebBG (WebBase-2001):
+// pages labeled by their host's domain name, with a power-law distribution
+// of pages per host, inter-host links along a sparse host graph, and
+// per-(host, host) link caps. Small hosts (the long tail) provide type-1
+// anchors; the link caps provide type-2 constraints. This reproduces the
+// regime where the conventional algorithms drown in |G| while bounded
+// plans touch a fixed set of hosts.
+//
+// scale = 1 yields roughly 120k nodes and 250k edges.
+func WebBase(scale float64, seed int64) *Dataset {
+	const (
+		nHosts     = 220
+		nSmall     = 80 // hosts with fixed, small page counts (anchors)
+		basePages  = 900
+		maxPartner = 5 // partner hosts per host in the host graph
+		maxLinkCap = 6 // per-page links into one partner host
+	)
+	r := rand.New(rand.NewSource(seed))
+	in := graph.NewInterner()
+	g := graph.New(in)
+	c := newCapper(g)
+
+	hostLabels := make([]graph.Label, nHosts)
+	hostPages := make([][]graph.NodeID, nHosts)
+	smallCount := make([]int, nHosts)
+	for h := range hostLabels {
+		hostLabels[h] = in.Intern(fmt.Sprintf("host%03d.example", h))
+		var n int
+		if h < nSmall {
+			n = 2 + r.Intn(40) // fixed small host: anchor
+			smallCount[h] = n
+		} else {
+			// Power-law-ish: rank-based page counts, scaled with |G|.
+			n = scaled(basePages/(1+(h-nSmall)%11), scale)
+		}
+		for k := 0; k < n; k++ {
+			hostPages[h] = append(hostPages[h], g.AddNode(hostLabels[h], graph.IntValue(int64(k))))
+		}
+	}
+
+	// Host graph: each host links to up to maxPartner partner hosts, with
+	// a per-(host, partner) page-link cap.
+	type link struct {
+		from, to, cap int
+		// inCap > 0 additionally bounds back-references: each page of
+		// `to` is linked from at most inCap pages of `from` (makes
+		// simulation queries boundable; see the DBpedia generator).
+		inCap int
+	}
+	var links []link
+	seen := make(map[[2]int]bool)
+	for h := 0; h < nHosts; h++ {
+		np := 1 + r.Intn(maxPartner)
+		for t := 0; t < 3*np && np > 0; t++ {
+			p := r.Intn(nHosts)
+			if p == h || seen[[2]int{h, p}] || seen[[2]int{p, h}] {
+				continue
+			}
+			seen[[2]int{h, p}] = true
+			lk := link{from: h, to: p, cap: 1 + r.Intn(maxLinkCap)}
+			if r.Intn(3) < 2 {
+				lk.inCap = 2 + r.Intn(6)
+			}
+			links = append(links, lk)
+			np--
+		}
+	}
+	for _, lk := range links {
+		c.cap(hostLabels[lk.from], hostLabels[lk.to], lk.cap)
+		if lk.inCap > 0 {
+			c.cap(hostLabels[lk.to], hostLabels[lk.from], lk.inCap)
+		}
+	}
+	for _, lk := range links {
+		for _, pg := range hostPages[lk.from] {
+			k := r.Intn(lk.cap + 1)
+			for t, added := 0, 0; t < 3*k && added < k; t++ {
+				if c.tryEdge(pg, pick(r, hostPages[lk.to])) {
+					added++
+				}
+			}
+		}
+	}
+
+	schema := access.NewSchema()
+	for h := 0; h < nSmall; h++ {
+		schema.Add(access.MustNew(nil, hostLabels[h], smallCount[h]))
+	}
+	for _, lk := range links {
+		schema.Add(access.MustNew([]graph.Label{hostLabels[lk.from]}, hostLabels[lk.to], lk.cap))
+		if lk.inCap > 0 {
+			schema.Add(access.MustNew([]graph.Label{hostLabels[lk.to]}, hostLabels[lk.from], lk.inCap))
+		}
+	}
+
+	d := &Dataset{Name: "WebBG", In: in, G: g, Schema: schema}
+	return d
+}
