@@ -1,0 +1,3 @@
+module boundedg
+
+go 1.24

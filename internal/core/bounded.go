@@ -13,38 +13,62 @@ import (
 // executing the plan (fetching GQ through the indices only) and running
 // VF2 inside GQ — the paper's bVF2. Matches are reported in g's node IDs.
 func (p *Plan) EvalSubgraph(g *graph.Graph, idx *access.IndexSet, opt match.SubgraphOptions) (*match.SubgraphResult, *ExecStats, error) {
-	bg, stats, err := p.Exec(g, idx)
+	return p.EvalSubgraphWith(g, idx, opt, nil)
+}
+
+// EvalSubgraphWith is EvalSubgraph with an execution configuration; see
+// ExecConfig.
+func (p *Plan) EvalSubgraphWith(g *graph.Graph, idx *access.IndexSet, opt match.SubgraphOptions, cfg *ExecConfig) (*match.SubgraphResult, *ExecStats, error) {
+	bg, stats, err := p.ExecWith(g, idx, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	res := match.VF2WithCandidates(p.Q, bg.G, bg.Cands, opt)
+	bg.MapSubgraphResult(res)
+	return res, stats, nil
+}
+
+// MapSubgraphResult rewrites res's matches in place from GQ node IDs to
+// the source graph's IDs.
+func (bg *BoundedGraph) MapSubgraphResult(res *match.SubgraphResult) {
 	for _, m := range res.Matches {
 		for i, v := range m {
 			m[i] = bg.ToOrig[v]
 		}
 	}
-	return res, stats, nil
+}
+
+// MapSimResult rewrites res's relation in place from GQ node IDs to the
+// source graph's IDs, keeping each list sorted.
+func (bg *BoundedGraph) MapSimResult(res *match.SimResult) {
+	if !res.Matched {
+		return
+	}
+	for ui := range res.Sim {
+		mapped := make([]graph.NodeID, len(res.Sim[ui]))
+		for i, v := range res.Sim[ui] {
+			mapped[i] = bg.ToOrig[v]
+		}
+		sortNodeIDs(mapped)
+		res.Sim[ui] = mapped
+	}
 }
 
 // EvalSim answers an effectively bounded simulation query on g by
 // executing the plan and computing the maximum simulation inside GQ — the
 // paper's bSim. The relation is reported in g's node IDs.
 func (p *Plan) EvalSim(g *graph.Graph, idx *access.IndexSet) (*match.SimResult, *ExecStats, error) {
-	bg, stats, err := p.Exec(g, idx)
+	return p.EvalSimWith(g, idx, nil)
+}
+
+// EvalSimWith is EvalSim with an execution configuration; see ExecConfig.
+func (p *Plan) EvalSimWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (*match.SimResult, *ExecStats, error) {
+	bg, stats, err := p.ExecWith(g, idx, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	res := match.GSimWithCandidates(p.Q, bg.G, bg.Cands)
-	if res.Matched {
-		for ui := range res.Sim {
-			mapped := make([]graph.NodeID, len(res.Sim[ui]))
-			for i, v := range res.Sim[ui] {
-				mapped[i] = bg.ToOrig[v]
-			}
-			sortNodeIDs(mapped)
-			res.Sim[ui] = mapped
-		}
-	}
+	bg.MapSimResult(res)
 	return res, stats, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"boundedg/internal/access"
 	"boundedg/internal/graph"
@@ -43,104 +44,262 @@ type BoundedGraph struct {
 	// Cands[u] lists GQ nodes that are candidate matches for pattern node
 	// u (maximally reduced cmat(u)).
 	Cands [][]graph.NodeID
-	// ToOrig maps GQ node IDs back to the source graph's IDs.
-	ToOrig map[graph.NodeID]graph.NodeID
+	// ToOrig maps GQ node IDs (dense, 0..NumNodes-1) back to the source
+	// graph's IDs: ToOrig[gqID] is the original node.
+	ToOrig []graph.NodeID
 }
+
+// ExecConfig tunes plan execution. The zero value (and a nil *ExecConfig)
+// reproduces the serial defaults.
+type ExecConfig struct {
+	// Workers > 1 shards tuple enumeration in the fetch and
+	// edge-verification phases across that many goroutines. Results are
+	// merged in enumeration order, so execution stays deterministic and
+	// bit-identical to the serial run.
+	Workers int
+	// Frozen, when non-nil, must be a snapshot of the graph being
+	// queried; edge-direction checks then binary-search its sorted
+	// adjacency instead of probing the graph's edge map. Long-lived
+	// callers (the runtime engine) freeze once and amortize across
+	// queries.
+	Frozen *graph.Frozen
+	// Scratch, when non-nil, reuses per-execution buffers (dense sets
+	// and the GQ remap table) across queries. A scratch serves one
+	// execution at a time — engine workers each own one.
+	Scratch *ExecScratch
+}
+
+// ExecScratch holds the reusable buffers of one plan execution: the
+// per-op dedup set, the per-pattern-node candidate sets, and the dense
+// |V|-sized table mapping source node IDs to GQ IDs. All are restored to
+// their empty state on every exit path of ExecWith, so reuse is O(touched)
+// instead of O(|V|) per query.
+type ExecScratch struct {
+	seen  *graph.DenseSet
+	csets []*graph.DenseSet
+	remap []int32 // source ID -> GQ ID + 1; 0 = unmapped
+}
+
+// NewExecScratch returns an empty scratch; buffers are grown on first use.
+func NewExecScratch() *ExecScratch { return &ExecScratch{} }
+
+// execScratchPool serves executions whose caller supplied no scratch, so
+// repeated one-shot Exec calls (the experiment loops) amortize the dense
+// buffers exactly like the engine's per-worker scratches do.
+var execScratchPool = sync.Pool{New: func() any { return NewExecScratch() }}
+
+func (s *ExecScratch) getSeen(idCap int) *graph.DenseSet {
+	if s.seen == nil {
+		s.seen = graph.NewDenseSet(idCap)
+	}
+	return s.seen
+}
+
+func (s *ExecScratch) getCset(i, idCap int) *graph.DenseSet {
+	for len(s.csets) <= i {
+		s.csets = append(s.csets, graph.NewDenseSet(idCap))
+	}
+	return s.csets[i]
+}
+
+func (s *ExecScratch) getRemap(idCap int) []int32 {
+	if len(s.remap) < idCap {
+		s.remap = make([]int32, idCap)
+	}
+	return s.remap
+}
+
+// minParallelTuples is the fetch/verification work (index probes or
+// filtered candidates) below which sharding is not worth the goroutine
+// handoff.
+const minParallelTuples = 64
 
 // Exec runs the plan against g using the pre-built index set, fetching the
 // bounded subgraph GQ. It accesses g only through the constraint indices
 // (plus O(1) direction checks on already-fetched edge candidates), so the
 // work is determined by Q and A, independent of |G|.
 func (p *Plan) Exec(g *graph.Graph, idx *access.IndexSet) (*BoundedGraph, *ExecStats, error) {
+	return p.ExecWith(g, idx, nil)
+}
+
+// ExecWith is Exec with an execution configuration; see ExecConfig. It
+// produces exactly the same BoundedGraph and stats as Exec for any worker
+// count.
+func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (*BoundedGraph, *ExecStats, error) {
 	if idx == nil || idx.Schema() != p.A {
 		return nil, nil, ErrSchemaMismatch
 	}
+	workers := 1
+	var fz *graph.Frozen
+	var scratch *ExecScratch
+	if cfg != nil {
+		if cfg.Workers > 1 {
+			workers = cfg.Workers
+		}
+		fz = cfg.Frozen
+		scratch = cfg.Scratch
+	}
+	fromPool := scratch == nil
+	if fromPool {
+		scratch = execScratchPool.Get().(*ExecScratch)
+	}
+	hasEdge := g.HasEdge
+	if fz != nil {
+		hasEdge = fz.HasEdge
+	}
+
 	n := p.Q.NumNodes()
 	stats := &ExecStats{}
+	idCap := g.Cap()
 
-	// cmat[u]: candidate matches for u, as ordered slice + set.
+	// cmat[u]: candidate matches for u, as ordered slice + dense set.
 	cmat := make([][]graph.NodeID, n)
-	cset := make([]map[graph.NodeID]struct{}, n)
+	cset := make([]*graph.DenseSet, n)
 	fetched := make([]bool, n)
+	seen := scratch.getSeen(idCap) // per-op dedup, sparsely cleared
+
+	// releaseCsets restores the scratch candidate sets to empty; every
+	// exit path must call it (the sets mirror cmat at all times). A
+	// pool-owned scratch goes back only on clean release — a panic drops
+	// it instead of poisoning the pool.
+	releaseCsets := func() {
+		for ui := 0; ui < n; ui++ {
+			if cset[ui] != nil {
+				cset[ui].ResetSparse(cmat[ui])
+			}
+		}
+		if fromPool {
+			execScratchPool.Put(scratch)
+		}
+	}
 
 	for _, op := range p.Ops {
 		var result []graph.NodeID
-		seen := make(map[graph.NodeID]struct{})
-		add := func(v graph.NodeID) {
-			if !p.Q.MatchesNode(op.U, g, v) {
-				return
-			}
-			if _, dup := seen[v]; dup {
-				return
-			}
-			seen[v] = struct{}{}
-			result = append(result, v)
-		}
 		if op.Deps == nil {
 			vs := idx.Index(op.CIdx).Lookup(nil)
 			stats.IndexLookups++
 			stats.NodesAccessed += len(vs)
 			for _, v := range vs {
-				add(v)
+				if p.Q.MatchesNode(op.U, g, v) && seen.Add(v) {
+					result = append(result, v)
+				}
 			}
 		} else {
 			// Every dependency must have been fetched by an earlier op.
 			for _, d := range op.Deps {
 				if !fetched[d] {
+					releaseCsets()
 					return nil, nil, fmt.Errorf("core: plan op for %s depends on unfetched node %s", p.Q.Name(op.U), p.Q.Name(d))
 				}
 			}
-			// Union of lookups over the product of dependency candidates.
-			forEachTuple(cmat, op.Deps, func(tuple []graph.NodeID) {
+			// Union of lookups over the product of dependency candidates,
+			// sharded on the first dependency's candidates when large. One
+			// tuple body serves both branches; only the emit differs —
+			// serial dedups straight into result, shards buffer and the
+			// in-order merge dedups.
+			fetchTuple := func(tuple []graph.NodeID, out *shardOut, emit func(graph.NodeID)) {
 				vs := idx.Index(op.CIdx).Lookup(tuple)
-				stats.IndexLookups++
-				stats.NodesAccessed += len(vs)
+				out.lookups++
+				out.accessed += len(vs)
 				for _, v := range vs {
-					add(v)
+					if p.Q.MatchesNode(op.U, g, v) {
+						emit(v)
+					}
 				}
-			})
+			}
+			if nt := numTuples(cmat, op.Deps); workers > 1 && nt >= minParallelTuples {
+				outs := shardTuples(cmat, op.Deps, workers, func(tuple []graph.NodeID, out *shardOut) {
+					fetchTuple(tuple, out, func(v graph.NodeID) { out.nodes = append(out.nodes, v) })
+				})
+				for _, o := range outs {
+					stats.IndexLookups += o.lookups
+					stats.NodesAccessed += o.accessed
+					for _, v := range o.nodes {
+						if seen.Add(v) {
+							result = append(result, v)
+						}
+					}
+				}
+			} else {
+				var out shardOut
+				forEachTuple(cmat, op.Deps, func(tuple []graph.NodeID) {
+					fetchTuple(tuple, &out, func(v graph.NodeID) {
+						if seen.Add(v) {
+							result = append(result, v)
+						}
+					})
+				})
+				stats.IndexLookups += out.lookups
+				stats.NodesAccessed += out.accessed
+			}
 		}
+		seen.ResetSparse(result)
 		if fetched[op.U] {
 			// Later ops reduce earlier candidate sets (§IV): intersect.
 			old := cset[op.U]
 			reduced := result[:0]
 			for _, v := range result {
-				if _, ok := old[v]; ok {
+				if old.Has(v) {
 					reduced = append(reduced, v)
 				}
 			}
+			old.ResetSparse(cmat[op.U])
+			for _, v := range reduced {
+				old.Add(v)
+			}
 			result = reduced
-		}
-		set := make(map[graph.NodeID]struct{}, len(result))
-		for _, v := range result {
-			set[v] = struct{}{}
+		} else {
+			set := scratch.getCset(int(op.U), idCap)
+			for _, v := range result {
+				set.Add(v)
+			}
+			cset[op.U] = set
 		}
 		cmat[op.U] = result
-		cset[op.U] = set
 		fetched[op.U] = true
 	}
 	for ui := 0; ui < n; ui++ {
 		if !fetched[ui] {
+			releaseCsets()
 			return nil, nil, fmt.Errorf("core: plan fetched no candidates for node %s", p.Q.Name(pattern.Node(ui)))
 		}
 	}
 
-	// Build GQ: nodes are the union of candidate sets.
-	gq := graph.New(g.Interner())
-	toGQ := make(map[graph.NodeID]graph.NodeID)
-	bg := &BoundedGraph{G: gq, Cands: make([][]graph.NodeID, n), ToOrig: make(map[graph.NodeID]graph.NodeID)}
+	// Build GQ: nodes are the union of candidate sets. Count the distinct
+	// nodes first so the subgraph is allocated at its final size; seen
+	// doubles as the dedup set and is drained again during the build.
+	distinct := 0
 	for ui := 0; ui < n; ui++ {
 		for _, v := range cmat[ui] {
-			nv, ok := toGQ[v]
-			if !ok {
-				nv = gq.AddNode(g.LabelOf(v), g.ValueOf(v))
-				toGQ[v] = nv
-				bg.ToOrig[nv] = v
+			if seen.Add(v) {
+				distinct++
 			}
-			bg.Cands[ui] = append(bg.Cands[ui], nv)
 		}
 	}
+	gq := graph.NewWithCapacity(g.Interner(), distinct)
+	bg := &BoundedGraph{G: gq, Cands: make([][]graph.NodeID, n), ToOrig: make([]graph.NodeID, 0, distinct)}
+	remap := scratch.getRemap(idCap) // source ID -> GQ ID + 1; all zero here
+	for ui := 0; ui < n; ui++ {
+		cs := make([]graph.NodeID, 0, len(cmat[ui]))
+		for _, v := range cmat[ui] {
+			rv := remap[v]
+			if rv == 0 {
+				nv := gq.AddNode(g.LabelOf(v), g.ValueOf(v))
+				rv = int32(nv) + 1
+				remap[v] = rv
+				bg.ToOrig = append(bg.ToOrig, v) // nv == len(ToOrig)-1
+				seen.Remove(v)                   // drain: each distinct node exactly once
+			}
+			cs = append(cs, graph.NodeID(rv-1))
+		}
+		bg.Cands[ui] = cs
+	}
 	stats.GQNodes = gq.NumNodes()
+	releaseRemap := func() {
+		for _, v := range bg.ToOrig {
+			remap[v] = 0
+		}
+	}
 
 	// Edge verification through the covering constraints' indices.
 	for _, ec := range p.EdgeChecks {
@@ -152,15 +311,21 @@ func (p *Plan) Exec(g *graph.Graph, idx *access.IndexSet) (*BoundedGraph, *ExecS
 			}
 		}
 		if oi < 0 {
+			releaseRemap()
+			releaseCsets()
 			return nil, nil, fmt.Errorf("core: edge check for (%s, %s) misses its endpoint dependency", p.Q.Name(ec.From), p.Q.Name(ec.To))
 		}
-		forEachTuple(cmat, ec.Deps, func(tuple []graph.NodeID) {
+		target := cset[ec.Target]
+		// One tuple body serves both branches; only the emit differs —
+		// serial inserts into GQ directly, shards buffer verified pairs
+		// for the in-order merge.
+		verifyTuple := func(tuple []graph.NodeID, out *shardOut, emit func(vf, vtto graph.NodeID)) {
 			cands := idx.Index(ec.CIdx).Lookup(tuple)
-			stats.IndexLookups++
-			stats.EdgesAccessed += len(cands)
+			out.lookups++
+			out.accessed += len(cands)
 			vo := tuple[oi]
 			for _, vt := range cands {
-				if _, ok := cset[ec.Target][vt]; !ok {
+				if !target.Has(vt) {
 					continue
 				}
 				var vf, vtto graph.NodeID
@@ -171,20 +336,108 @@ func (p *Plan) Exec(g *graph.Graph, idx *access.IndexSet) (*BoundedGraph, *ExecS
 				}
 				// The index certifies neighborship; confirm direction on
 				// the fetched pair (an O(1) check).
-				if g.HasEdge(vf, vtto) {
-					gq.AddEdgeIfAbsent(toGQ[vf], toGQ[vtto])
+				if hasEdge(vf, vtto) {
+					emit(vf, vtto)
 				}
 			}
-		})
+		}
+		if nt := numTuples(cmat, ec.Deps); workers > 1 && nt >= minParallelTuples {
+			outs := shardTuples(cmat, ec.Deps, workers, func(tuple []graph.NodeID, out *shardOut) {
+				verifyTuple(tuple, out, func(vf, vtto graph.NodeID) {
+					out.edges = append(out.edges, [2]graph.NodeID{vf, vtto})
+				})
+			})
+			for i := range outs {
+				o := &outs[i]
+				stats.IndexLookups += o.lookups
+				stats.EdgesAccessed += o.accessed
+				for _, e := range o.edges {
+					gq.AddEdgeIfAbsent(graph.NodeID(remap[e[0]])-1, graph.NodeID(remap[e[1]])-1)
+				}
+			}
+		} else {
+			var out shardOut
+			forEachTuple(cmat, ec.Deps, func(tuple []graph.NodeID) {
+				verifyTuple(tuple, &out, func(vf, vtto graph.NodeID) {
+					gq.AddEdgeIfAbsent(graph.NodeID(remap[vf])-1, graph.NodeID(remap[vtto])-1)
+				})
+			})
+			stats.IndexLookups += out.lookups
+			stats.EdgesAccessed += out.accessed
+		}
 	}
 	stats.GQEdges = gq.NumEdges()
+	releaseRemap()
+	releaseCsets()
 	return bg, stats, nil
+}
+
+// numTuples returns the size of the cartesian product of the candidate
+// sets of deps (capped to avoid overflow).
+func numTuples(cmat [][]graph.NodeID, deps []pattern.Node) int {
+	t := 1
+	for _, d := range deps {
+		t *= len(cmat[d])
+		if t == 0 || t > 1<<30 {
+			return t
+		}
+	}
+	return t
+}
+
+// shardOut is one shard's contribution to a fetch or verification phase,
+// in enumeration order.
+type shardOut struct {
+	nodes             []graph.NodeID
+	edges             [][2]graph.NodeID
+	lookups, accessed int
+}
+
+// shardTuples splits the cartesian product of deps' candidate sets into
+// contiguous chunks of the first dependency's candidates, runs process on
+// up to workers goroutines, and returns the per-chunk outputs in
+// enumeration order — so concatenating them reproduces the serial order
+// exactly.
+func shardTuples(cmat [][]graph.NodeID, deps []pattern.Node, workers int, process func([]graph.NodeID, *shardOut)) []shardOut {
+	first := cmat[deps[0]]
+	nchunks := workers
+	if nchunks > len(first) {
+		nchunks = len(first)
+	}
+	outs := make([]shardOut, nchunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		lo, hi := c*len(first)/nchunks, (c+1)*len(first)/nchunks
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			// Accumulate locally; one store at the end keeps shards off
+			// each other's cache lines.
+			var local shardOut
+			forEachTupleRange(cmat, deps, lo, hi, func(tuple []graph.NodeID) {
+				process(tuple, &local)
+			})
+			outs[c] = local
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	return outs
 }
 
 // forEachTuple enumerates the cartesian product of the candidate sets of
 // deps, invoking fn with a reused tuple slice (one node per dep, in dep
 // order).
 func forEachTuple(cmat [][]graph.NodeID, deps []pattern.Node, fn func([]graph.NodeID)) {
+	if len(deps) == 0 {
+		fn(nil)
+		return
+	}
+	forEachTupleRange(cmat, deps, 0, len(cmat[deps[0]]), fn)
+}
+
+// forEachTupleRange is forEachTuple with the first dependency's candidates
+// restricted to the index range [lo, hi).
+func forEachTupleRange(cmat [][]graph.NodeID, deps []pattern.Node, lo, hi int, fn func([]graph.NodeID)) {
 	tuple := make([]graph.NodeID, len(deps))
 	var rec func(i int)
 	rec = func(i int) {
@@ -197,5 +450,8 @@ func forEachTuple(cmat [][]graph.NodeID, deps []pattern.Node, fn func([]graph.No
 			rec(i + 1)
 		}
 	}
-	rec(0)
+	for _, v := range cmat[deps[0]][lo:hi] {
+		tuple[0] = v
+		rec(1)
+	}
 }

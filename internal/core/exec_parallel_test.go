@@ -1,0 +1,80 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+)
+
+// TestExecWithMatchesSerial checks that sharded execution with a frozen
+// snapshot reproduces the serial fetch bit-for-bit: same candidate sets,
+// same GQ, same ID mapping, same stats — for both semantics and several
+// worker counts.
+func TestExecWithMatchesSerial(t *testing.T) {
+	subIn := graph.NewInterner()
+	simIn := graph.NewInterner()
+	cases := []struct {
+		name string
+		sem  Semantics
+		q    *pattern.Pattern
+		g    *graph.Graph
+		a    *access.Schema
+	}{
+		{"subgraph/Q0", Subgraph, fixtureQ0(subIn), fixtureIMDb(t, subIn, 5, 10, 4, 6, 4, 20), fixtureA0(subIn)},
+		{"simulation/Q2", Simulation, fixtureQ2(simIn), fixtureG1(simIn, 6), fixtureA1(simIn)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPlan(tc.q, tc.a, tc.sem)
+			if err != nil {
+				t.Fatalf("NewPlan: %v", err)
+			}
+			idx, viols := access.Build(tc.g, tc.a)
+			if viols != nil {
+				t.Fatalf("Build: %v", viols[0])
+			}
+			fz := tc.g.Freeze()
+			wantBG, wantStats, err := p.Exec(tc.g, idx)
+			if err != nil {
+				t.Fatalf("serial Exec: %v", err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				for _, useFz := range []bool{false, true} {
+					cfg := &ExecConfig{Workers: workers}
+					if useFz {
+						cfg.Frozen = fz
+					}
+					bg, stats, err := p.ExecWith(tc.g, idx, cfg)
+					if err != nil {
+						t.Fatalf("ExecWith(w=%d, fz=%v): %v", workers, useFz, err)
+					}
+					if !reflect.DeepEqual(stats, wantStats) {
+						t.Fatalf("ExecWith(w=%d, fz=%v) stats = %+v, want %+v", workers, useFz, stats, wantStats)
+					}
+					if !reflect.DeepEqual(bg.Cands, wantBG.Cands) {
+						t.Fatalf("ExecWith(w=%d, fz=%v) candidate sets differ", workers, useFz)
+					}
+					if !reflect.DeepEqual(bg.ToOrig, wantBG.ToOrig) {
+						t.Fatalf("ExecWith(w=%d, fz=%v) ID mapping differs", workers, useFz)
+					}
+					if bg.G.NumNodes() != wantBG.G.NumNodes() || bg.G.NumEdges() != wantBG.G.NumEdges() {
+						t.Fatalf("ExecWith(w=%d, fz=%v) GQ = %v, want %v", workers, useFz, bg.G, wantBG.G)
+					}
+					same := true
+					wantBG.G.Edges(func(from, to graph.NodeID) bool {
+						if !bg.G.HasEdge(from, to) {
+							same = false
+						}
+						return same
+					})
+					if !same {
+						t.Fatalf("ExecWith(w=%d, fz=%v) GQ edges differ", workers, useFz)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package graph
+
+import "math/bits"
+
+// DenseSet is a bitset over the dense NodeID space of a graph. It replaces
+// map[NodeID]struct{} on hot paths: membership is one shift and mask, and
+// iteration is cache-friendly. Size it with the owning graph's Cap so every
+// live ID (and tombstone) is in range; out-of-range queries are safe and
+// report absence.
+//
+// The zero DenseSet is empty and usable; Add grows the backing storage on
+// demand. DenseSet is not safe for concurrent mutation; concurrent readers
+// are fine.
+type DenseSet struct {
+	words []uint64
+	n     int
+}
+
+// NewDenseSet returns an empty set pre-sized for IDs in [0, cap).
+func NewDenseSet(cap int) *DenseSet {
+	if cap < 0 {
+		cap = 0
+	}
+	return &DenseSet{words: make([]uint64, (cap+63)/64)}
+}
+
+// grow ensures the word index w is addressable.
+func (s *DenseSet) grow(w int) {
+	if w < len(s.words) {
+		return
+	}
+	words := make([]uint64, w+1)
+	copy(words, s.words)
+	s.words = words
+}
+
+// Add inserts v, reporting whether it was absent. Negative IDs are not
+// representable; Add ignores them and returns false.
+func (s *DenseSet) Add(v NodeID) bool {
+	if v < 0 {
+		return false
+	}
+	w, b := int(v)>>6, uint64(1)<<(uint(v)&63)
+	s.grow(w)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	s.n++
+	return true
+}
+
+// Has reports whether v is in the set.
+func (s *DenseSet) Has(v NodeID) bool {
+	if v < 0 {
+		return false
+	}
+	w := int(v) >> 6
+	return w < len(s.words) && s.words[w]&(1<<(uint(v)&63)) != 0
+}
+
+// Remove deletes v, reporting whether it was present.
+func (s *DenseSet) Remove(v NodeID) bool {
+	if v < 0 {
+		return false
+	}
+	w := int(v) >> 6
+	if w >= len(s.words) {
+		return false
+	}
+	b := uint64(1) << (uint(v) & 63)
+	if s.words[w]&b == 0 {
+		return false
+	}
+	s.words[w] &^= b
+	s.n--
+	return true
+}
+
+// Len returns the number of elements.
+func (s *DenseSet) Len() int { return s.n }
+
+// Reset empties the set, keeping the backing storage for reuse.
+func (s *DenseSet) Reset() {
+	clear(s.words)
+	s.n = 0
+}
+
+// ResetSparse empties the set by clearing only the bits of the given
+// elements — O(len(elems)) instead of O(capacity). The caller must pass a
+// superset of the set's contents (typically the slice it was built from).
+func (s *DenseSet) ResetSparse(elems []NodeID) {
+	for _, v := range elems {
+		if v < 0 {
+			continue
+		}
+		if w := int(v) >> 6; w < len(s.words) {
+			s.words[w] &^= 1 << (uint(v) & 63)
+		}
+	}
+	s.n = 0
+}
+
+// ForEach calls fn for every element in ascending order; iteration stops
+// if fn returns false.
+func (s *DenseSet) ForEach(fn func(NodeID) bool) {
+	for w, word := range s.words {
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			if !fn(NodeID(w<<6 + t)) {
+				return
+			}
+			word &= word - 1
+		}
+	}
+}
+
+// AppendTo appends the elements in ascending order to dst and returns the
+// extended slice.
+func (s *DenseSet) AppendTo(dst []NodeID) []NodeID {
+	s.ForEach(func(v NodeID) bool {
+		dst = append(dst, v)
+		return true
+	})
+	return dst
+}
+
+// Cap returns the size of the dense ID space of g — one more than the
+// largest ID ever assigned, including tombstones. Use it to size DenseSets
+// and per-node scratch arrays indexed by NodeID.
+func (g *Graph) Cap() int { return len(g.labels) }

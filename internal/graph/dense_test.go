@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDenseSetBasics(t *testing.T) {
+	s := NewDenseSet(100)
+	if s.Len() != 0 || s.Has(0) || s.Has(99) {
+		t.Fatalf("new set not empty")
+	}
+	if !s.Add(5) || !s.Add(64) || !s.Add(99) {
+		t.Fatalf("Add of fresh elements reported present")
+	}
+	if s.Add(5) {
+		t.Fatalf("duplicate Add reported absent")
+	}
+	if s.Len() != 3 || !s.Has(5) || !s.Has(64) || !s.Has(99) || s.Has(6) {
+		t.Fatalf("membership wrong: len=%d", s.Len())
+	}
+	if !s.Remove(64) || s.Remove(64) || s.Has(64) {
+		t.Fatalf("Remove wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after remove = %d, want 2", s.Len())
+	}
+	got := s.AppendTo(nil)
+	if len(got) != 2 || got[0] != 5 || got[1] != 99 {
+		t.Fatalf("AppendTo = %v, want [5 99]", got)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Has(5) {
+		t.Fatalf("Reset did not empty the set")
+	}
+}
+
+func TestDenseSetOutOfRange(t *testing.T) {
+	s := NewDenseSet(10)
+	if s.Has(-1) || s.Has(1000) || s.Remove(-1) || s.Remove(1000) {
+		t.Fatalf("out-of-range queries must report absence")
+	}
+	if s.Add(-1) {
+		t.Fatalf("Add of negative ID must be ignored")
+	}
+	// Add past the initial capacity grows the set.
+	if !s.Add(1000) || !s.Has(1000) || s.Len() != 1 {
+		t.Fatalf("Add past capacity failed")
+	}
+	var zero DenseSet
+	if zero.Has(3) || zero.Len() != 0 {
+		t.Fatalf("zero DenseSet not empty")
+	}
+	if !zero.Add(3) || !zero.Has(3) {
+		t.Fatalf("zero DenseSet must be usable")
+	}
+}
+
+func TestDenseSetForEachOrderAndStop(t *testing.T) {
+	s := NewDenseSet(300)
+	want := []NodeID{0, 1, 63, 64, 127, 128, 255}
+	for _, v := range want {
+		s.Add(v)
+	}
+	var got []NodeID
+	s.ForEach(func(v NodeID) bool { got = append(got, v); return true })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+	n := 0
+	s.ForEach(func(NodeID) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("ForEach did not stop: visited %d", n)
+	}
+}
+
+func TestDenseSetResetSparse(t *testing.T) {
+	s := NewDenseSet(128)
+	elems := []NodeID{1, 7, 64, 100}
+	for _, v := range elems {
+		s.Add(v)
+	}
+	s.ResetSparse(append(elems, -1, 999)) // superset with junk is fine
+	if s.Len() != 0 {
+		t.Fatalf("ResetSparse left Len=%d", s.Len())
+	}
+	for _, v := range elems {
+		if s.Has(v) {
+			t.Fatalf("ResetSparse left %d set", v)
+		}
+	}
+}
+
+func TestDenseSetVsMap(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	s := NewDenseSet(512)
+	m := make(map[NodeID]struct{})
+	for i := 0; i < 5000; i++ {
+		v := NodeID(r.Intn(512))
+		switch r.Intn(3) {
+		case 0, 1:
+			_, inMap := m[v]
+			if added := s.Add(v); added != !inMap {
+				t.Fatalf("Add(%d) = %v, map disagrees", v, added)
+			}
+			m[v] = struct{}{}
+		case 2:
+			_, inMap := m[v]
+			if removed := s.Remove(v); removed != inMap {
+				t.Fatalf("Remove(%d) = %v, map disagrees", v, removed)
+			}
+			delete(m, v)
+		}
+		if s.Len() != len(m) {
+			t.Fatalf("Len = %d, map has %d", s.Len(), len(m))
+		}
+	}
+	for v := NodeID(0); v < 512; v++ {
+		_, inMap := m[v]
+		if s.Has(v) != inMap {
+			t.Fatalf("Has(%d) disagrees with map", v)
+		}
+	}
+}
+
+func TestGraphCap(t *testing.T) {
+	g := New(nil)
+	if g.Cap() != 0 {
+		t.Fatalf("empty graph Cap = %d", g.Cap())
+	}
+	a := g.AddNodeNamed("A", Value{})
+	g.AddNodeNamed("B", Value{})
+	if g.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", g.Cap())
+	}
+	if err := g.RemoveNode(a); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	// Tombstones stay inside the dense ID space.
+	if g.Cap() != 2 {
+		t.Fatalf("Cap after removal = %d, want 2", g.Cap())
+	}
+}

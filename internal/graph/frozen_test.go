@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func frozenTestGraph(t *testing.T, seed int64, n, e int) *Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g := New(nil)
+	labels := []string{"A", "B", "C"}
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNodeNamed(labels[r.Intn(len(labels))], IntValue(int64(i)))
+	}
+	for i := 0; i < e; i++ {
+		g.AddEdgeIfAbsent(ids[r.Intn(n)], ids[r.Intn(n)])
+	}
+	// A few tombstones so the snapshot covers holes in the ID space.
+	for i := 0; i < n/10; i++ {
+		_ = g.RemoveNode(ids[r.Intn(n)])
+	}
+	return g
+}
+
+func TestFrozenMatchesGraph(t *testing.T) {
+	g := frozenTestGraph(t, 7, 120, 600)
+	f := g.Freeze()
+	if f.Cap() != g.Cap() {
+		t.Fatalf("Cap = %d, want %d", f.Cap(), g.Cap())
+	}
+	if f.NumEdges() != g.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", f.NumEdges(), g.NumEdges())
+	}
+	for v := NodeID(0); int(v) < g.Cap(); v++ {
+		wantOut := sortedIDs(g.Out(v))
+		gotOut := f.Out(v)
+		if !sort.SliceIsSorted(gotOut, func(i, j int) bool { return gotOut[i] < gotOut[j] }) {
+			t.Fatalf("Out(%d) not sorted: %v", v, gotOut)
+		}
+		if len(gotOut) != len(wantOut) {
+			t.Fatalf("Out(%d) = %v, want %v", v, gotOut, wantOut)
+		}
+		for i := range wantOut {
+			if gotOut[i] != wantOut[i] {
+				t.Fatalf("Out(%d) = %v, want %v", v, gotOut, wantOut)
+			}
+		}
+		wantIn := sortedIDs(g.In(v))
+		gotIn := f.In(v)
+		if len(gotIn) != len(wantIn) {
+			t.Fatalf("In(%d) = %v, want %v", v, gotIn, wantIn)
+		}
+		for i := range wantIn {
+			if gotIn[i] != wantIn[i] {
+				t.Fatalf("In(%d) = %v, want %v", v, gotIn, wantIn)
+			}
+		}
+		if f.OutDegree(v) != len(wantOut) || f.InDegree(v) != len(wantIn) {
+			t.Fatalf("degrees of %d wrong", v)
+		}
+	}
+	for from := NodeID(-1); int(from) <= g.Cap(); from++ {
+		for to := NodeID(-1); int(to) <= g.Cap(); to++ {
+			if f.HasEdge(from, to) != g.HasEdge(from, to) {
+				t.Fatalf("HasEdge(%d,%d) = %v, graph says %v",
+					from, to, f.HasEdge(from, to), g.HasEdge(from, to))
+			}
+		}
+	}
+}
+
+func TestFrozenIsSnapshot(t *testing.T) {
+	g := New(nil)
+	a := g.AddNodeNamed("A", Value{})
+	b := g.AddNodeNamed("B", Value{})
+	mustEdge(t, g, a, b)
+	f := g.Freeze()
+	mustEdge(t, g, b, a)
+	if f.HasEdge(b, a) {
+		t.Fatalf("snapshot reflects post-freeze mutation")
+	}
+	if !f.HasEdge(a, b) {
+		t.Fatalf("snapshot lost pre-freeze edge")
+	}
+}
+
+func TestFrozenEmptyGraph(t *testing.T) {
+	f := New(nil).Freeze()
+	if f.Cap() != 0 || f.NumEdges() != 0 {
+		t.Fatalf("empty snapshot wrong: cap=%d edges=%d", f.Cap(), f.NumEdges())
+	}
+	if f.Out(0) != nil || f.In(-1) != nil || f.HasEdge(0, 1) {
+		t.Fatalf("empty snapshot lookups must be safe")
+	}
+}

@@ -119,6 +119,31 @@ func TestRemoveNodeCleansEverything(t *testing.T) {
 	}
 }
 
+func TestRemoveNodeReleasesAdjacency(t *testing.T) {
+	g := New(nil)
+	a := g.AddNodeNamed("A", Value{})
+	b := g.AddNodeNamed("B", Value{})
+	c := g.AddNodeNamed("C", Value{})
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, c, a)
+	mustEdge(t, g, a, a)
+	if err := g.RemoveNode(a); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	// The tombstone must hold no stale adjacency memory: the slices are
+	// nil, not merely truncated views of their old backing arrays.
+	if g.out[a] != nil || g.in[a] != nil {
+		t.Fatalf("tombstone keeps adjacency: out=%v (cap %d), in=%v (cap %d)",
+			g.out[a], cap(g.out[a]), g.in[a], cap(g.in[a]))
+	}
+	if got := g.Out(a); got != nil {
+		t.Fatalf("Out(tombstone) = %v, want nil", got)
+	}
+	if got := g.In(a); got != nil {
+		t.Fatalf("In(tombstone) = %v, want nil", got)
+	}
+}
+
 func TestNeighborsDedup(t *testing.T) {
 	g := New(nil)
 	a := g.AddNodeNamed("A", Value{})

@@ -16,5 +16,14 @@ func VF2WithCandidates(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeI
 // GSimWithCandidates runs graph simulation with externally supplied
 // initial candidate sets; bounded evaluation (bSim) uses it on GQ.
 func GSimWithCandidates(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeID) *SimResult {
-	return gsim(q, g, cands)
+	return gsim(q, g, cands, 1)
+}
+
+// VF2WithCandidatesFrozen is VF2WithCandidates with edge reads served by
+// a frozen CSR snapshot of g (see graph.Freeze). The snapshot's sorted
+// adjacency changes enumeration order — same match set, possibly
+// different Matches order — while making the feasibility checks
+// binary searches instead of edge-map probes. The engine's hot path.
+func VF2WithCandidatesFrozen(q *pattern.Pattern, g *graph.Graph, fz *graph.Frozen, cands [][]graph.NodeID, opt SubgraphOptions) *SubgraphResult {
+	return vf2On(q, adjacency{g: g, fz: fz}, cands, opt)
 }

@@ -6,6 +6,7 @@ package match
 
 import (
 	"sort"
+	"sync"
 
 	"boundedg/internal/graph"
 	"boundedg/internal/pattern"
@@ -57,38 +58,66 @@ func (r *SimResult) Has(u pattern.Node, v graph.NodeID) bool {
 // style of Henzinger, Henzinger & Kopke (FOCS 1995), the algorithm the
 // paper's gsim baseline uses.
 func GSim(q *pattern.Pattern, g *graph.Graph) *SimResult {
-	return gsim(q, g, nil)
+	return gsim(q, g, nil, 1)
 }
+
+// GSimParallel is GSim with the candidate-initialization and
+// counter-construction phases sharded across the given number of
+// goroutines. The refinement fixpoint stays serial; the relation (and
+// Steps) is identical to GSim's for any worker count.
+func GSimParallel(q *pattern.Pattern, g *graph.Graph, workers int) *SimResult {
+	return gsim(q, g, nil, workers)
+}
+
+// minParallelCands is the per-phase work below which sharding the
+// initialization is not worth the goroutine handoff.
+const minParallelCands = 256
 
 // gsim runs simulation with optional initial candidate sets (used by
 // OptGSim and by bounded evaluation); initCands[u] == nil means "all
-// label-compatible nodes of g".
-func gsim(q *pattern.Pattern, g *graph.Graph, initCands [][]graph.NodeID) *SimResult {
+// label-compatible nodes of g". workers > 1 parallelizes the two
+// initialization phases.
+func gsim(q *pattern.Pattern, g *graph.Graph, initCands [][]graph.NodeID, workers int) *SimResult {
+	return gsimOn(q, adjacency{g: g}, initCands, workers)
+}
+
+func gsimOn(q *pattern.Pattern, a adjacency, initCands [][]graph.NodeID, workers int) *SimResult {
+	g := a.g
 	n := q.NumNodes()
 	res := &SimResult{Sim: make([][]graph.NodeID, n)}
+	idCap := g.Cap()
 
-	// sim[u] as a set for O(1) membership.
-	sim := make([]map[graph.NodeID]struct{}, n)
+	// Initial candidate sources per pattern node.
+	sources := make([][]graph.NodeID, n)
 	for ui := 0; ui < n; ui++ {
-		u := pattern.Node(ui)
-		var source []graph.NodeID
 		if initCands != nil && initCands[ui] != nil {
-			source = initCands[ui]
+			sources[ui] = initCands[ui]
 		} else {
-			source = g.NodesByLabel(q.LabelOf(u))
+			sources[ui] = g.NodesByLabel(q.LabelOf(pattern.Node(ui)))
 		}
-		set := make(map[graph.NodeID]struct{})
-		for _, v := range source {
-			if q.MatchesNode(u, g, v) {
-				set[v] = struct{}{}
+	}
+
+	// Phase 1: filter sources by node compatibility. Shards preserve
+	// source order, so the assembled lists match the serial run.
+	kept := filterCandidates(q, g, sources, workers)
+
+	// sim[u] as dense set for O(1) membership; simList[u] keeps the
+	// (deduplicated) iteration order for counter construction.
+	sim := make([]*graph.DenseSet, n)
+	simList := make([][]graph.NodeID, n)
+	for ui := 0; ui < n; ui++ {
+		set := graph.NewDenseSet(idCap)
+		list := kept[ui][:0]
+		for _, v := range kept[ui] {
+			if set.Add(v) {
+				list = append(list, v)
 				res.Steps++
 			}
 		}
 		sim[ui] = set
+		simList[ui] = list
 	}
 
-	// cnt[u'][v] = |out(v) ∩ sim(u')| for v that might need it. Built
-	// lazily per pattern edge target.
 	type edgeT struct{ u, uc int } // pattern edge (u, uc)
 	var edges []edgeT
 	q.Edges(func(from, to pattern.Node) bool {
@@ -102,12 +131,52 @@ func gsim(q *pattern.Pattern, g *graph.Graph, initCands [][]graph.NodeID) *SimRe
 		inEdges[e.uc] = append(inEdges[e.uc], ei)
 	}
 
-	// cnt[ei][v] = number of out-neighbors of v in sim(edges[ei].uc),
-	// maintained for v in sim(edges[ei].u) (and any v we ever computed).
-	cnt := make([]map[graph.NodeID]int, len(edges))
-	for ei := range edges {
-		cnt[ei] = make(map[graph.NodeID]int)
+	// cnt[ei] tracks |out(v) ∩ sim(edges[ei].uc)| for v in
+	// sim(edges[ei].u) — dense when the candidates are a fair share of
+	// the ID space (full-graph GSim, bounded evaluation on GQ), sparse
+	// when a few candidates sit in a huge graph (OptGSim), where an
+	// O(|V|) row per pattern edge would dwarf the actual work.
+	cnt := make([]cntRow, len(edges))
+	for ei, e := range edges {
+		cnt[ei] = newCntRow(idCap, len(simList[e.u]))
 	}
+
+	// Phase 2: build ALL counters against the initial candidate sets
+	// before enforcing anything: interleaving initialization with removals
+	// would double-subtract (a removal already excluded from a
+	// later-initialized counter would be decremented again during
+	// propagation). Shards write disjoint cnt slots and only read the
+	// frozen sim sets, so this parallelizes cleanly.
+	var initTasks []func()
+	for ei := range edges {
+		e := edges[ei]
+		row, src, ucSet := &cnt[ei], simList[e.u], sim[e.uc]
+		nc := 1
+		// Sparse rows are maps, so they get a single writer; dense rows
+		// shard freely (disjoint slots).
+		if workers > 1 && len(src) >= minParallelCands && row.dense != nil {
+			nc = workers
+			if nc > len(src) {
+				nc = len(src)
+			}
+		}
+		for c := 0; c < nc; c++ {
+			lo, hi := c*len(src)/nc, (c+1)*len(src)/nc
+			chunk := src[lo:hi]
+			initTasks = append(initTasks, func() {
+				for _, v := range chunk {
+					c := int32(0)
+					for _, w := range a.Out(v) {
+						if ucSet.Has(w) {
+							c++
+						}
+					}
+					row.set(v, c)
+				}
+			})
+		}
+	}
+	runTasks(workers, initTasks)
 
 	// removeQueue holds (u, v) pairs removed from sim(u) whose effect has
 	// not been propagated yet.
@@ -118,32 +187,16 @@ func gsim(q *pattern.Pattern, g *graph.Graph, initCands [][]graph.NodeID) *SimRe
 	var queue []rem
 
 	remove := func(u int, v graph.NodeID) {
-		if _, ok := sim[u][v]; !ok {
+		if !sim[u].Remove(v) {
 			return
 		}
-		delete(sim[u], v)
 		res.Steps++
 		queue = append(queue, rem{u, v})
 	}
 
-	// Initialize ALL counters against the initial candidate sets before
-	// enforcing anything: interleaving initialization with removals would
-	// double-subtract (a removal already excluded from a later-initialized
-	// counter would be decremented again during propagation).
 	for ei, e := range edges {
-		for v := range sim[e.u] {
-			c := 0
-			for _, w := range g.Out(v) {
-				if _, ok := sim[e.uc][w]; ok {
-					c++
-				}
-			}
-			cnt[ei][v] = c
-		}
-	}
-	for ei, e := range edges {
-		for v, c := range cnt[ei] {
-			if c == 0 {
+		for _, v := range simList[e.u] {
+			if cnt[ei].isZero(v) {
 				remove(e.u, v)
 			}
 		}
@@ -157,16 +210,15 @@ func gsim(q *pattern.Pattern, g *graph.Graph, initCands [][]graph.NodeID) *SimRe
 		// for each pattern edge (u, r.u).
 		for _, ei := range inEdges[r.u] {
 			e := edges[ei]
-			for _, v := range g.In(r.v) {
-				if _, ok := sim[e.u][v]; !ok {
+			row := &cnt[ei]
+			for _, v := range a.In(r.v) {
+				if !sim[e.u].Has(v) {
 					continue
 				}
-				c, seen := cnt[ei][v]
-				if !seen {
+				c, wasCand := row.dec(v)
+				if !wasCand {
 					continue // v was never a candidate for e.u
 				}
-				c--
-				cnt[ei][v] = c
 				if c <= 0 {
 					remove(e.u, v)
 				}
@@ -176,26 +228,167 @@ func gsim(q *pattern.Pattern, g *graph.Graph, initCands [][]graph.NodeID) *SimRe
 
 	res.Matched = true
 	for ui := 0; ui < n; ui++ {
-		if len(sim[ui]) == 0 {
+		if sim[ui].Len() == 0 {
 			res.Matched = false
 			break
 		}
 	}
 	if !res.Matched {
-		for ui := range res.Sim {
-			res.Sim[ui] = nil
-		}
 		return res
 	}
 	for ui := 0; ui < n; ui++ {
-		out := make([]graph.NodeID, 0, len(sim[ui]))
-		for v := range sim[ui] {
-			out = append(out, v)
-		}
-		sortIDs(out)
-		res.Sim[ui] = out
+		res.Sim[ui] = sim[ui].AppendTo(make([]graph.NodeID, 0, sim[ui].Len()))
 	}
 	return res
+}
+
+// cntRow is the per-pattern-edge counter store of gsim: cnt(v) =
+// |out(v) ∩ sim(uc)|. Dense rows are []int32 with a +1 bias (0 = "never
+// a candidate") so the zero-filled slice needs no O(|V|) fill; sparse
+// rows use a map sized to the candidate list.
+type cntRow struct {
+	dense  []int32
+	sparse map[graph.NodeID]int32
+}
+
+// newCntRow picks the representation: dense when the candidates are at
+// least 1/8 of the ID space (or the space is small), sparse otherwise.
+func newCntRow(idCap, candidates int) cntRow {
+	if idCap <= 1<<16 || candidates*8 >= idCap {
+		return cntRow{dense: make([]int32, idCap)}
+	}
+	return cntRow{sparse: make(map[graph.NodeID]int32, candidates)}
+}
+
+func (r *cntRow) set(v graph.NodeID, c int32) {
+	if r.dense != nil {
+		r.dense[v] = c + 1
+	} else {
+		r.sparse[v] = c
+	}
+}
+
+// isZero reports whether candidate v's counter is zero.
+func (r *cntRow) isZero(v graph.NodeID) bool {
+	if r.dense != nil {
+		return r.dense[v] == 1
+	}
+	return r.sparse[v] == 0
+}
+
+// dec decrements v's counter, returning the new count and whether v was
+// ever a candidate of this row.
+func (r *cntRow) dec(v graph.NodeID) (int32, bool) {
+	if r.dense != nil {
+		s := r.dense[v]
+		if s == 0 {
+			return 0, false
+		}
+		s--
+		r.dense[v] = s
+		return s - 1, true
+	}
+	c, ok := r.sparse[v]
+	if !ok {
+		return 0, false
+	}
+	c--
+	r.sparse[v] = c
+	return c, true
+}
+
+// filterCandidates returns, per pattern node, the source candidates that
+// pass the node-compatibility test, in source order. workers > 1 shards
+// large sources.
+func filterCandidates(q *pattern.Pattern, g *graph.Graph, sources [][]graph.NodeID, workers int) [][]graph.NodeID {
+	n := len(sources)
+	kept := make([][]graph.NodeID, n)
+	if workers <= 1 {
+		for ui := 0; ui < n; ui++ {
+			u := pattern.Node(ui)
+			var list []graph.NodeID
+			for _, v := range sources[ui] {
+				if q.MatchesNode(u, g, v) {
+					list = append(list, v)
+				}
+			}
+			kept[ui] = list
+		}
+		return kept
+	}
+	type shard struct {
+		ui   int
+		src  []graph.NodeID
+		keep []graph.NodeID
+	}
+	var shards []*shard
+	perNode := make([][]*shard, n)
+	for ui := 0; ui < n; ui++ {
+		src := sources[ui]
+		nc := 1
+		if len(src) >= minParallelCands {
+			nc = workers
+			if nc > len(src) {
+				nc = len(src)
+			}
+		}
+		for c := 0; c < nc; c++ {
+			s := &shard{ui: ui, src: src[c*len(src)/nc : (c+1)*len(src)/nc]}
+			shards = append(shards, s)
+			perNode[ui] = append(perNode[ui], s)
+		}
+	}
+	tasks := make([]func(), len(shards))
+	for i, s := range shards {
+		s := s
+		tasks[i] = func() {
+			u := pattern.Node(s.ui)
+			for _, v := range s.src {
+				if q.MatchesNode(u, g, v) {
+					s.keep = append(s.keep, v)
+				}
+			}
+		}
+	}
+	runTasks(workers, tasks)
+	for ui := 0; ui < n; ui++ {
+		var list []graph.NodeID
+		for _, s := range perNode[ui] {
+			list = append(list, s.keep...)
+		}
+		kept[ui] = list
+	}
+	return kept
+}
+
+// runTasks executes the tasks on up to workers goroutines (inline when
+// serial execution suffices).
+func runTasks(workers int, tasks []func()) {
+	if workers <= 1 || len(tasks) <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	next := make(chan func())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
 }
 
 func sortIDs(s []graph.NodeID) {

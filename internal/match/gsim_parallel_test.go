@@ -1,0 +1,33 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+
+	"boundedg/internal/workload"
+)
+
+// TestGSimParallelMatchesSerial checks that parallel initialization leaves
+// the simulation relation (and the Steps work measure) identical to the
+// serial run across a randomized query load.
+func TestGSimParallelMatchesSerial(t *testing.T) {
+	d := workload.IMDb(0.1, 2)
+	qs := workload.DefaultQueryGen.Generate(d, 25, 9)
+	matched := 0
+	for i, q := range qs {
+		want := GSim(q, d.G)
+		if want.Matched {
+			matched++
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got := GSimParallel(q, d.G, workers)
+			if got.Matched != want.Matched || got.Steps != want.Steps || !reflect.DeepEqual(got.Sim, want.Sim) {
+				t.Fatalf("q[%d] workers=%d: parallel relation differs (matched %v/%v, steps %d/%d)",
+					i, workers, got.Matched, want.Matched, got.Steps, want.Steps)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatalf("degenerate load: no query matched")
+	}
+}

@@ -47,10 +47,45 @@ func VF2(q *pattern.Pattern, g *graph.Graph, opt SubgraphOptions) *SubgraphResul
 	return vf2(q, g, nil, opt)
 }
 
+// adjacency routes the matchers' edge reads either to a live Graph or to
+// a frozen CSR snapshot of it (sorted adjacency, binary-search HasEdge).
+// The snapshot changes neighbor iteration order — and therefore match
+// enumeration order — but never the result set.
+type adjacency struct {
+	g  *graph.Graph
+	fz *graph.Frozen
+}
+
+func (a adjacency) Out(v graph.NodeID) []graph.NodeID {
+	if a.fz != nil {
+		return a.fz.Out(v)
+	}
+	return a.g.Out(v)
+}
+
+func (a adjacency) In(v graph.NodeID) []graph.NodeID {
+	if a.fz != nil {
+		return a.fz.In(v)
+	}
+	return a.g.In(v)
+}
+
+func (a adjacency) HasEdge(from, to graph.NodeID) bool {
+	if a.fz != nil {
+		return a.fz.HasEdge(from, to)
+	}
+	return a.g.HasEdge(from, to)
+}
+
 // vf2 runs the backtracking search with optional pre-restricted candidate
 // sets (cands[u] == nil means unrestricted; used by OptVF2 and bounded
 // evaluation).
 func vf2(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeID, opt SubgraphOptions) *SubgraphResult {
+	return vf2On(q, adjacency{g: g}, cands, opt)
+}
+
+func vf2On(q *pattern.Pattern, a adjacency, cands [][]graph.NodeID, opt SubgraphOptions) *SubgraphResult {
+	g := a.g
 	n := q.NumNodes()
 	res := &SubgraphResult{Completed: true}
 	if n == 0 {
@@ -70,7 +105,7 @@ func vf2(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeID, opt Subgrap
 			if !q.MatchesNode(u, g, v) {
 				continue
 			}
-			if len(g.Out(v)) < outDeg || len(g.In(v)) < inDeg {
+			if len(a.Out(v)) < outDeg || len(a.In(v)) < inDeg {
 				continue
 			}
 			universe[ui] = append(universe[ui], v)
@@ -86,18 +121,18 @@ func vf2(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeID, opt Subgrap
 	for i := range mapped {
 		mapped[i] = graph.InvalidNode
 	}
-	used := make(map[graph.NodeID]struct{}, n)
+	used := graph.NewDenseSet(g.Cap())
 
 	// feasible checks edge consistency of v (candidate for u) against all
 	// already-mapped neighbors of u.
 	feasible := func(u pattern.Node, v graph.NodeID) bool {
 		for _, uc := range q.Out(u) {
-			if w := mapped[uc]; w != graph.InvalidNode && !g.HasEdge(v, w) {
+			if w := mapped[uc]; w != graph.InvalidNode && !a.HasEdge(v, w) {
 				return false
 			}
 		}
 		for _, up := range q.In(u) {
-			if w := mapped[up]; w != graph.InvalidNode && !g.HasEdge(w, v) {
+			if w := mapped[up]; w != graph.InvalidNode && !a.HasEdge(w, v) {
 				return false
 			}
 		}
@@ -131,24 +166,24 @@ func vf2(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeID, opt Subgrap
 		if uc, fromMapped := mappedNeighbor(q, mapped, u); uc != -1 {
 			w := mapped[uc]
 			if fromMapped {
-				pool = g.Out(w) // edge (uc, u): candidates among Out(w)
+				pool = a.Out(w) // edge (uc, u): candidates among Out(w)
 			} else {
-				pool = g.In(w) // edge (u, uc): candidates among In(w)
+				pool = a.In(w) // edge (u, uc): candidates among In(w)
 			}
 			for _, v := range pool {
 				if !q.MatchesNode(u, g, v) {
 					continue
 				}
-				if _, taken := used[v]; taken {
+				if used.Has(v) {
 					continue
 				}
 				if !feasible(u, v) {
 					continue
 				}
 				mapped[u] = v
-				used[v] = struct{}{}
+				used.Add(v)
 				ok := rec(depth + 1)
-				delete(used, v)
+				used.Remove(v)
 				mapped[u] = graph.InvalidNode
 				if !ok {
 					return false
@@ -157,16 +192,16 @@ func vf2(q *pattern.Pattern, g *graph.Graph, cands [][]graph.NodeID, opt Subgrap
 			return true
 		}
 		for _, v := range universe[u] {
-			if _, taken := used[v]; taken {
+			if used.Has(v) {
 				continue
 			}
 			if !feasible(u, v) {
 				continue
 			}
 			mapped[u] = v
-			used[v] = struct{}{}
+			used.Add(v)
 			ok := rec(depth + 1)
-			delete(used, v)
+			used.Remove(v)
 			mapped[u] = graph.InvalidNode
 			if !ok {
 				return false

@@ -1,0 +1,321 @@
+// Package runtime provides the concurrent bounded-evaluation engine: a
+// worker pool that serves many pattern queries against one shared data
+// graph and access-constraint index set. Because bounded evaluation makes
+// each query's cost independent of |G| (the paper's central guarantee),
+// throughput under heavy traffic is gated purely by per-query constant
+// factors — which the engine attacks by freezing the graph into a CSR
+// snapshot once, caching query plans, and optionally sharding the phases
+// inside each query.
+package runtime
+
+import (
+	"errors"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"boundedg/internal/access"
+	"boundedg/internal/core"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/pattern"
+)
+
+// Errors returned by the engine.
+var (
+	ErrClosed   = errors.New("runtime: engine is closed")
+	ErrNilQuery = errors.New("runtime: query has no pattern")
+)
+
+// Config tunes an Engine. The zero value picks sensible defaults.
+type Config struct {
+	// Workers is the number of queries evaluated concurrently. Defaults
+	// to GOMAXPROCS.
+	Workers int
+	// IntraQueryWorkers shards the fetch and edge-verification phases
+	// inside each query (see core.ExecConfig.Workers). Defaults to 1:
+	// under a loaded pool, cross-query parallelism already saturates the
+	// cores, and sharding inside queries only helps tail latency of
+	// large queries on idle machines.
+	IntraQueryWorkers int
+	// QueueDepth bounds pending submissions before Submit blocks.
+	// Defaults to 2×Workers.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = stdruntime.GOMAXPROCS(0)
+	}
+	if c.IntraQueryWorkers <= 0 {
+		c.IntraQueryWorkers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	return c
+}
+
+// Query is one unit of work for the engine.
+type Query struct {
+	// Pattern is the pattern query to evaluate.
+	Pattern *pattern.Pattern
+	// Sem selects the matching semantics (subgraph or simulation).
+	Sem core.Semantics
+	// Sub configures subgraph matching (ignored for simulation).
+	Sub match.SubgraphOptions
+	// Plan, when non-nil, is used instead of planning (and caching) the
+	// pattern. It must be a plan for Pattern under the engine's schema.
+	// Without it, plans are cached by Pattern POINTER identity — reuse
+	// the same *pattern.Pattern across submissions to hit the cache.
+	Plan *core.Plan
+	// FetchOnly stops after fetching the bounded subgraph GQ, skipping
+	// the matching phase; Result.Sub/Sim stay nil.
+	FetchOnly bool
+}
+
+// Result is the outcome of one query: the fetched bounded subgraph with
+// its access statistics, and the match relation (in the source graph's
+// node IDs) under the requested semantics.
+type Result struct {
+	BG    *core.BoundedGraph
+	Stats *core.ExecStats
+	Sub   *match.SubgraphResult
+	Sim   *match.SimResult
+	Err   error
+}
+
+// Future is the async handle returned by Submit.
+type Future struct {
+	done chan struct{}
+	res  Result
+}
+
+// Wait blocks until the query finishes and returns its result.
+func (f *Future) Wait() Result {
+	<-f.done
+	return f.res
+}
+
+// Done returns a channel closed when the result is ready.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+type task struct {
+	q   Query
+	fut *Future
+}
+
+// Stats are the engine's cumulative counters.
+type Stats struct {
+	// Submitted, Completed and Failed count queries; Failed is the
+	// subset of Completed whose Result carried an error.
+	Submitted, Completed, Failed uint64
+	// NodesAccessed and EdgesAccessed aggregate the per-query ExecStats.
+	NodesAccessed, EdgesAccessed uint64
+}
+
+// Engine evaluates bounded pattern queries concurrently against one shared
+// graph and index set. Construct with New, feed with Submit/Eval/EvalBatch
+// and shut down with Close. The graph must not be mutated while the engine
+// is live (the engine holds a frozen snapshot of its adjacency).
+type Engine struct {
+	g   *graph.Graph
+	fz  *graph.Frozen
+	idx *access.IndexSet
+	cfg Config
+
+	plans sync.Map // planKey -> *planEntry
+
+	mu     sync.Mutex // guards closed + sends on tasks
+	closed bool
+	tasks  chan task
+	wg     sync.WaitGroup
+
+	submitted, completed, failed atomic.Uint64
+	nodesAccessed, edgesAccessed atomic.Uint64
+	cachedPlans                  atomic.Int64
+}
+
+type planKey struct {
+	q   *pattern.Pattern
+	sem core.Semantics
+}
+
+type planEntry struct {
+	p   *core.Plan
+	err error
+}
+
+// New starts an engine over g and its index set. It freezes g's adjacency
+// so the hot read path never probes the graph's edge map; mutate g only
+// after Close (or build a fresh engine afterwards).
+func New(g *graph.Graph, idx *access.IndexSet, cfg Config) (*Engine, error) {
+	if g == nil || idx == nil {
+		return nil, errors.New("runtime: engine needs a graph and an index set")
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		g:     g,
+		fz:    g.Freeze(),
+		idx:   idx,
+		cfg:   cfg,
+		tasks: make(chan task, cfg.QueueDepth),
+	}
+	e.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Schema returns the access schema the engine serves.
+func (e *Engine) Schema() *access.Schema { return e.idx.Schema() }
+
+// Frozen returns the engine's CSR snapshot of the graph.
+func (e *Engine) Frozen() *graph.Frozen { return e.fz }
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	// Each worker owns one scratch: per-query dense buffers are reused
+	// across every query the worker serves.
+	cfg := &core.ExecConfig{
+		Workers: e.cfg.IntraQueryWorkers,
+		Frozen:  e.fz,
+		Scratch: core.NewExecScratch(),
+	}
+	for t := range e.tasks {
+		t.fut.res = e.eval(t.q, cfg)
+		e.completed.Add(1)
+		if t.fut.res.Err != nil {
+			e.failed.Add(1)
+		} else if st := t.fut.res.Stats; st != nil {
+			e.nodesAccessed.Add(uint64(st.NodesAccessed))
+			e.edgesAccessed.Add(uint64(st.EdgesAccessed))
+		}
+		close(t.fut.done)
+	}
+}
+
+// Submit enqueues q and returns a Future for its result. Submit blocks
+// while the queue is full; after Close it returns an already-resolved
+// Future carrying ErrClosed.
+func (e *Engine) Submit(q Query) *Future {
+	fut := &Future{done: make(chan struct{})}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		fut.res = Result{Err: ErrClosed}
+		close(fut.done)
+		return fut
+	}
+	e.submitted.Add(1)
+	// Sending under the lock keeps the channel-close in Close safe; a
+	// full queue therefore also backpressures concurrent submitters.
+	e.tasks <- task{q: q, fut: fut}
+	e.mu.Unlock()
+	return fut
+}
+
+// Eval evaluates q synchronously.
+func (e *Engine) Eval(q Query) Result { return e.Submit(q).Wait() }
+
+// EvalBatch submits every query and waits for all results, which are
+// returned in input order.
+func (e *Engine) EvalBatch(qs []Query) []Result {
+	futs := make([]*Future, len(qs))
+	for i, q := range qs {
+		futs[i] = e.Submit(q)
+	}
+	out := make([]Result, len(qs))
+	for i, f := range futs {
+		out[i] = f.Wait()
+	}
+	return out
+}
+
+// Close drains in-flight work and stops the workers. Pending futures
+// resolve normally; Submit calls racing with Close resolve with ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.tasks)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of the engine's cumulative counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Submitted:     e.submitted.Load(),
+		Completed:     e.completed.Load(),
+		Failed:        e.failed.Load(),
+		NodesAccessed: e.nodesAccessed.Load(),
+		EdgesAccessed: e.edgesAccessed.Load(),
+	}
+}
+
+// maxCachedPlans bounds the plan cache: callers that submit a stream of
+// never-repeated patterns (fresh pointers per query) would otherwise grow
+// the cache without bound for the engine's lifetime. Past the cap, plans
+// are still built, just not retained.
+const maxCachedPlans = 4096
+
+// plan returns the (cached) bounded plan for q.
+func (e *Engine) plan(q Query) (*core.Plan, error) {
+	if q.Plan != nil {
+		return q.Plan, nil
+	}
+	key := planKey{q: q.Pattern, sem: q.Sem}
+	if v, ok := e.plans.Load(key); ok {
+		ent := v.(*planEntry)
+		return ent.p, ent.err
+	}
+	p, err := core.NewPlan(q.Pattern, e.idx.Schema(), q.Sem)
+	if e.cachedPlans.Load() >= maxCachedPlans {
+		return p, err
+	}
+	if _, loaded := e.plans.LoadOrStore(key, &planEntry{p: p, err: err}); !loaded {
+		e.cachedPlans.Add(1)
+	}
+	return p, err
+}
+
+// eval runs one query end to end: plan (cached), fetch GQ through the
+// indices, then match inside GQ and map the relation back to the source
+// graph's IDs.
+func (e *Engine) eval(q Query, cfg *core.ExecConfig) Result {
+	if q.Pattern == nil {
+		return Result{Err: ErrNilQuery}
+	}
+	p, err := e.plan(q)
+	if err != nil {
+		return Result{Err: err}
+	}
+	bg, stats, err := p.ExecWith(e.g, e.idx, cfg)
+	if err != nil {
+		return Result{Err: err}
+	}
+	res := Result{BG: bg, Stats: stats}
+	if q.FetchOnly {
+		return res
+	}
+	switch q.Sem {
+	case core.Subgraph:
+		// VF2's feasibility checks probe edges constantly; a one-off
+		// freeze of the (small) fetched subgraph turns them into binary
+		// searches. Match order may differ from the serial path, the
+		// match set never does.
+		sub := match.VF2WithCandidatesFrozen(p.Q, bg.G, bg.G.Freeze(), bg.Cands, q.Sub)
+		bg.MapSubgraphResult(sub)
+		res.Sub = sub
+	case core.Simulation:
+		sim := match.GSimWithCandidates(p.Q, bg.G, bg.Cands)
+		bg.MapSimResult(sim)
+		res.Sim = sim
+	}
+	return res
+}

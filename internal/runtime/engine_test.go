@@ -1,0 +1,258 @@
+package runtime
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/core"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/pattern"
+	"boundedg/internal/workload"
+)
+
+// fixture bundles a dataset, its indices and the bounded queries of a
+// random load, per semantics.
+type fixture struct {
+	d     *workload.Dataset
+	idx   *access.IndexSet
+	subQs []*pattern.Pattern
+	simQs []*pattern.Pattern
+}
+
+func newFixture(t *testing.T, scale float64, numQueries int, seed int64) *fixture {
+	t.Helper()
+	d := workload.IMDb(scale, seed)
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatalf("index build: %v", viols[0])
+	}
+	f := &fixture{d: d, idx: idx}
+	for _, q := range workload.DefaultQueryGen.Generate(d, numQueries, seed+7) {
+		if core.EBnd(q, d.Schema, core.Subgraph).Bounded {
+			f.subQs = append(f.subQs, q)
+		}
+		if core.EBnd(q, d.Schema, core.Simulation).Bounded {
+			f.simQs = append(f.simQs, q)
+		}
+	}
+	if len(f.subQs) == 0 || len(f.simQs) == 0 {
+		t.Fatalf("no bounded queries in load (sub=%d sim=%d)", len(f.subQs), len(f.simQs))
+	}
+	return f
+}
+
+var mopt = match.SubgraphOptions{MaxMatches: 10_000, StoreMatches: true}
+
+// canonMatches returns a lexicographically sorted copy of the matches:
+// the engine matches inside a frozen GQ whose sorted adjacency changes
+// enumeration order, so equality is on the match SET.
+func canonMatches(ms [][]graph.NodeID) [][]graph.NodeID {
+	out := make([][]graph.NodeID, len(ms))
+	for i, m := range ms {
+		out[i] = append([]graph.NodeID(nil), m...)
+	}
+	match.SortMatches(out)
+	return out
+}
+
+// TestEngineMatchesSerial is the differential test: for every bounded
+// query of a randomized load, the engine's result (with cross-query and
+// intra-query parallelism) must be identical to the serial
+// Plan.Exec/match path — same matches, same relation, same stats.
+func TestEngineMatchesSerial(t *testing.T) {
+	f := newFixture(t, 0.15, 40, 3)
+	e, err := New(f.d.G, f.idx, Config{Workers: 4, IntraQueryWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	for i, q := range f.subQs {
+		p, err := core.NewPlan(q, f.d.Schema, core.Subgraph)
+		if err != nil {
+			t.Fatalf("plan sub[%d]: %v", i, err)
+		}
+		wantRes, wantStats, err := p.EvalSubgraph(f.d.G, f.idx, mopt)
+		if err != nil {
+			t.Fatalf("serial sub[%d]: %v", i, err)
+		}
+		got := e.Eval(Query{Pattern: q, Sem: core.Subgraph, Sub: mopt})
+		if got.Err != nil {
+			t.Fatalf("engine sub[%d]: %v", i, got.Err)
+		}
+		if got.Sub.Count != wantRes.Count || !reflect.DeepEqual(canonMatches(got.Sub.Matches), canonMatches(wantRes.Matches)) {
+			t.Fatalf("sub[%d]: engine matches differ\n got %v\nwant %v", i, got.Sub.Matches, wantRes.Matches)
+		}
+		if !reflect.DeepEqual(got.Stats, wantStats) {
+			t.Fatalf("sub[%d]: stats differ: got %+v want %+v", i, got.Stats, wantStats)
+		}
+	}
+	for i, q := range f.simQs {
+		p, err := core.NewPlan(q, f.d.Schema, core.Simulation)
+		if err != nil {
+			t.Fatalf("plan sim[%d]: %v", i, err)
+		}
+		wantRes, wantStats, err := p.EvalSim(f.d.G, f.idx)
+		if err != nil {
+			t.Fatalf("serial sim[%d]: %v", i, err)
+		}
+		got := e.Eval(Query{Pattern: q, Sem: core.Simulation})
+		if got.Err != nil {
+			t.Fatalf("engine sim[%d]: %v", i, got.Err)
+		}
+		if got.Sim.Matched != wantRes.Matched || !reflect.DeepEqual(got.Sim.Sim, wantRes.Sim) {
+			t.Fatalf("sim[%d]: engine relation differs\n got %v\nwant %v", i, got.Sim.Sim, wantRes.Sim)
+		}
+		if !reflect.DeepEqual(got.Stats, wantStats) {
+			t.Fatalf("sim[%d]: stats differ: got %+v want %+v", i, got.Stats, wantStats)
+		}
+	}
+}
+
+// TestEngineConcurrentStress hammers one engine from many goroutines with
+// a mixed workload and checks every result against precomputed serial
+// answers. Run under -race this exercises the shared graph, index set,
+// frozen snapshot and plan cache.
+func TestEngineConcurrentStress(t *testing.T) {
+	f := newFixture(t, 0.1, 30, 11)
+	e, err := New(f.d.G, f.idx, Config{Workers: 8, IntraQueryWorkers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	wantSub := make([]*match.SubgraphResult, len(f.subQs))
+	for i, q := range f.subQs {
+		p, err := core.NewPlan(q, f.d.Schema, core.Subgraph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := p.EvalSubgraph(f.d.G, f.idx, mopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Matches = canonMatches(res.Matches)
+		wantSub[i] = res
+	}
+	wantSim := make([]*match.SimResult, len(f.simQs))
+	for i, q := range f.simQs {
+		p, err := core.NewPlan(q, f.d.Schema, core.Simulation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := p.EvalSim(f.d.G, f.idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSim[i] = res
+	}
+
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan string, rounds*(len(f.subQs)+len(f.simQs)))
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range f.subQs {
+				got := e.Eval(Query{Pattern: q, Sem: core.Subgraph, Sub: mopt})
+				if got.Err != nil {
+					errs <- got.Err.Error()
+					continue
+				}
+				if got.Sub.Count != wantSub[i].Count || !reflect.DeepEqual(canonMatches(got.Sub.Matches), wantSub[i].Matches) {
+					errs <- "subgraph result diverged under concurrency"
+				}
+			}
+			for i, q := range f.simQs {
+				got := e.Eval(Query{Pattern: q, Sem: core.Simulation})
+				if got.Err != nil {
+					errs <- got.Err.Error()
+					continue
+				}
+				if got.Sim.Matched != wantSim[i].Matched || !reflect.DeepEqual(got.Sim.Sim, wantSim[i].Sim) {
+					errs <- "simulation relation diverged under concurrency"
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	st := e.Stats()
+	want := uint64(rounds * (len(f.subQs) + len(f.simQs)))
+	if st.Submitted != want || st.Completed != want || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want %d submitted/completed, 0 failed", st, want)
+	}
+}
+
+// TestEngineBatchAndFutures covers the async surface: EvalBatch order,
+// FetchOnly, pre-built plans, and unbounded-pattern errors.
+func TestEngineBatchAndFutures(t *testing.T) {
+	f := newFixture(t, 0.1, 20, 5)
+	e, err := New(f.d.G, f.idx, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	qs := make([]Query, 0, len(f.simQs))
+	for _, q := range f.simQs {
+		qs = append(qs, Query{Pattern: q, Sem: core.Simulation})
+	}
+	results := e.EvalBatch(qs)
+	if len(results) != len(qs) {
+		t.Fatalf("EvalBatch returned %d results for %d queries", len(results), len(qs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, r.Err)
+		}
+		if r.Sim == nil || r.Stats == nil || r.BG == nil {
+			t.Fatalf("batch[%d]: incomplete result %+v", i, r)
+		}
+	}
+
+	// FetchOnly returns GQ without a match relation.
+	r := e.Eval(Query{Pattern: f.simQs[0], Sem: core.Simulation, FetchOnly: true})
+	if r.Err != nil || r.BG == nil || r.Sim != nil || r.Sub != nil {
+		t.Fatalf("FetchOnly result wrong: %+v", r)
+	}
+
+	// A pre-built plan is used as-is.
+	p, err := core.NewPlan(f.simQs[0], f.d.Schema, core.Simulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = e.Eval(Query{Pattern: f.simQs[0], Sem: core.Simulation, Plan: p})
+	if r.Err != nil || r.Sim == nil {
+		t.Fatalf("pre-planned eval failed: %+v", r)
+	}
+
+	// Nil pattern and unbounded patterns surface errors.
+	if r := e.Eval(Query{}); r.Err != ErrNilQuery {
+		t.Fatalf("nil pattern err = %v", r.Err)
+	}
+}
+
+func TestEngineClose(t *testing.T) {
+	f := newFixture(t, 0.1, 10, 9)
+	e, err := New(f.d.G, f.idx, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := e.Submit(Query{Pattern: f.simQs[0], Sem: core.Simulation})
+	e.Close()
+	if r := fut.Wait(); r.Err != nil {
+		t.Fatalf("pending future after Close: %v", r.Err)
+	}
+	if r := e.Eval(Query{Pattern: f.simQs[0], Sem: core.Simulation}); r.Err != ErrClosed {
+		t.Fatalf("submit after Close err = %v, want ErrClosed", r.Err)
+	}
+	e.Close() // double Close is a no-op
+}
