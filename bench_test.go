@@ -428,7 +428,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			defer eng.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				for _, r := range eng.EvalBatch(queries) {
+				for _, r := range eng.EvalBatch(nil, queries) {
 					if r.Err != nil {
 						b.Fatal(r.Err)
 					}

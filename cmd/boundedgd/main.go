@@ -1,0 +1,220 @@
+// Command boundedgd is the bounded-query daemon: it loads a graph and its
+// access-constraint indices once, then serves pattern queries over
+// HTTP/JSON through the concurrent runtime engine. Because bounded
+// evaluation makes per-query cost independent of |G|, one daemon instance
+// serves many concurrent clients against a big graph; per-request
+// deadlines and client disconnects cancel evaluation in flight, and an
+// LRU result cache absorbs repeated queries.
+//
+// Three ways to get a graph + index set:
+//
+//	boundedgd -dataset imdb -scale 0.5          # generate a workload dataset
+//	boundedgd -graph g.json -schema a.json      # load graph, build indices
+//	boundedgd -graph g.json -index idx.json     # load graph + persisted indices
+//
+// The built index set can be persisted for faster restarts:
+//
+//	boundedgd -graph g.json -schema a.json -write-index idx.json
+//
+// API:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/query -d '{
+//	  "pattern": "u1: award\nu2: year (>= 2011, <= 2013)\nu3: movie\nu3 -> u1, u2",
+//	  "sem": "subgraph", "limit": 10, "timeout_ms": 500
+//	}'
+//
+// SIGINT/SIGTERM drain in-flight requests (up to -drain) before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"boundedg/internal/access"
+	"boundedg/internal/exp"
+	"boundedg/internal/graph"
+	"boundedg/internal/runtime"
+	"boundedg/internal/server"
+)
+
+type options struct {
+	addr    string
+	dataset string
+	scale   float64
+	seed    int64
+	graph   string
+	schema  string
+	index   string
+
+	writeIndex string
+
+	workers  int
+	cache    int
+	timeout  time.Duration
+	drain    time.Duration
+	limit    int
+	maxLimit int
+	maxSteps int
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&opt.dataset, "dataset", "", "generate a workload dataset: imdb, dbpedia or webbase (instead of -graph)")
+	flag.Float64Var(&opt.scale, "scale", 1.0, "|G| scale factor for -dataset")
+	flag.Int64Var(&opt.seed, "seed", 1, "generation seed for -dataset")
+	flag.StringVar(&opt.graph, "graph", "", "graph JSON (from datagen or graph.WriteJSON)")
+	flag.StringVar(&opt.schema, "schema", "", "access schema JSON; constraint indices are built at startup")
+	flag.StringVar(&opt.index, "index", "", "persisted index set JSON (from -write-index or datagen -index); replaces -schema")
+	flag.StringVar(&opt.writeIndex, "write-index", "", "persist the index set to this path after startup")
+	flag.IntVar(&opt.workers, "workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&opt.cache, "cache", 512, "result cache entries (negative disables)")
+	flag.DurationVar(&opt.timeout, "timeout", 5*time.Second, "per-query evaluation deadline (0 or negative disables)")
+	flag.DurationVar(&opt.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.IntVar(&opt.limit, "limit", 100, "default match limit per query")
+	flag.IntVar(&opt.maxLimit, "max-limit", 10000, "hard cap on per-request match limits")
+	flag.IntVar(&opt.maxSteps, "max-steps", 0, "VF2 search-step budget per query (0 = server default, negative = unlimited)")
+	flag.Parse()
+	if err := run(opt); err != nil {
+		fmt.Fprintln(os.Stderr, "boundedgd:", err)
+		os.Exit(1)
+	}
+}
+
+// load resolves the three startup shapes into a graph, its interner and a
+// ready index set.
+func load(opt options) (*graph.Graph, *graph.Interner, *access.IndexSet, error) {
+	switch {
+	case opt.dataset != "":
+		d, err := exp.Gen(opt.dataset, opt.scale, opt.seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		idx, viols := access.Build(d.G, d.Schema)
+		if viols != nil {
+			return nil, nil, nil, fmt.Errorf("generated graph violates its schema: %v", viols[0])
+		}
+		return d.G, d.In, idx, nil
+	case opt.graph == "":
+		return nil, nil, nil, fmt.Errorf("need -dataset, or -graph with -schema or -index")
+	}
+
+	in := graph.NewInterner()
+	gf, err := os.Open(opt.graph)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer gf.Close()
+	g, _, err := graph.ReadJSON(gf, in)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	switch {
+	case opt.index != "":
+		xf, err := os.Open(opt.index)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer xf.Close()
+		// A persisted index set stores node IDs of the graph it was built
+		// from, so -index is only valid next to that exact -graph file.
+		idx, err := access.ReadIndexSet(xf, in)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return g, in, idx, nil
+	case opt.schema != "":
+		sf, err := os.Open(opt.schema)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer sf.Close()
+		schema, err := access.ReadJSON(sf, in)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		idx, viols := access.Build(g, schema)
+		if viols != nil {
+			return nil, nil, nil, fmt.Errorf("graph does not satisfy the schema: %v", viols[0])
+		}
+		return g, in, idx, nil
+	}
+	return nil, nil, nil, fmt.Errorf("-graph needs -schema or -index")
+}
+
+func run(opt options) error {
+	started := time.Now()
+	g, in, idx, err := load(opt)
+	if err != nil {
+		return err
+	}
+	if opt.writeIndex != "" {
+		xf, err := os.Create(opt.writeIndex)
+		if err != nil {
+			return err
+		}
+		err = idx.WriteJSON(xf, in)
+		if cerr := xf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		log.Printf("index set persisted to %s", opt.writeIndex)
+	}
+
+	eng, err := runtime.New(g, idx, runtime.Config{Workers: opt.workers})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if opt.timeout == 0 {
+		// The operator said "no deadline"; server.Config treats zero as
+		// "unset, use the library default", so translate explicitly.
+		opt.timeout = -1
+	}
+	srv := server.New(eng, in, server.Config{
+		DefaultLimit: opt.limit,
+		MaxLimit:     opt.maxLimit,
+		Timeout:      opt.timeout,
+		CacheSize:    opt.cache,
+		MaxSteps:     opt.maxSteps,
+	})
+
+	l, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving |V|=%d |E|=%d, %d constraints on %s (startup %s)",
+		g.NumNodes(), g.NumEdges(), idx.Schema().Count(), l.Addr(), time.Since(started).Round(time.Millisecond))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining (up to %s)", opt.drain)
+		sctx, cancel := context.WithTimeout(context.Background(), opt.drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		<-errc // Serve has returned http.ErrServerClosed
+		log.Printf("drained; closing engine")
+		return nil
+	}
+}

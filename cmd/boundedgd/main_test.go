@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/core"
+	"boundedg/internal/exp"
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+	"boundedg/internal/workload"
+)
+
+// writeFixture emits a small dataset's graph, schema and built index set
+// as the three JSON files the daemon can start from.
+func writeFixture(t *testing.T) (dir string, d *workload.Dataset) {
+	t.Helper()
+	dir = t.TempDir()
+	d, err := exp.Gen("imdb", 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := os.Create(filepath.Join(dir, "g.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.G.WriteJSON(gf); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+	sf, err := os.Create(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Schema.WriteJSON(sf, d.In); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatal(viols)
+	}
+	xf, err := os.Create(filepath.Join(dir, "idx.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.WriteJSON(xf, d.In); err != nil {
+		t.Fatal(err)
+	}
+	xf.Close()
+	return dir, d
+}
+
+// TestLoadPaths covers the three startup shapes and checks they agree:
+// the generated dataset, graph+schema (index built at startup), and
+// graph+persisted-index must all answer a bounded query identically.
+func TestLoadPaths(t *testing.T) {
+	dir, d := writeFixture(t)
+
+	gGen, inGen, idxGen, err := load(options{dataset: "imdb", scale: 0.05, seed: 7})
+	if err != nil {
+		t.Fatalf("load(dataset): %v", err)
+	}
+	gSchema, inSchema, idxSchema, err := load(options{graph: filepath.Join(dir, "g.json"), schema: filepath.Join(dir, "a.json")})
+	if err != nil {
+		t.Fatalf("load(graph+schema): %v", err)
+	}
+	gIdx, inIdx, idxIdx, err := load(options{graph: filepath.Join(dir, "g.json"), index: filepath.Join(dir, "idx.json")})
+	if err != nil {
+		t.Fatalf("load(graph+index): %v", err)
+	}
+	if gGen.NumNodes() != gSchema.NumNodes() || gSchema.NumNodes() != gIdx.NumNodes() {
+		t.Fatalf("node counts diverge: %d / %d / %d", gGen.NumNodes(), gSchema.NumNodes(), gIdx.NumNodes())
+	}
+	if inGen.Len() == 0 {
+		t.Fatal("generated interner is empty")
+	}
+
+	// The same bounded query answered through each load path must agree.
+	// Each path has its own interner and schema instance, so the query
+	// text is re-parsed and re-planned per path (WriteJSON/ReadJSON keep
+	// node IDs stable for tombstone-free graphs, so candidate sets are
+	// comparable verbatim).
+	type loaded struct {
+		g   *graph.Graph
+		in  *graph.Interner
+		idx *access.IndexSet
+	}
+	paths := []loaded{{gGen, inGen, idxGen}, {gSchema, inSchema, idxSchema}, {gIdx, inIdx, idxIdx}}
+	evalPath := func(l loaded, qtext string) (*core.BoundedGraph, *core.ExecStats, error) {
+		q, err := pattern.Parse(qtext, l.in)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := core.NewPlan(q, l.idx.Schema(), core.Subgraph)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p.Exec(l.g, l.idx)
+	}
+	var answered bool
+	for _, q := range workload.DefaultQueryGen.Generate(d, 20, 9) {
+		if _, err := core.NewPlan(q, d.Schema, core.Subgraph); err != nil {
+			continue
+		}
+		qtext := q.String()
+		want, wantStats, err := evalPath(paths[0], qtext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range paths[1:] {
+			got, gotStats, err := evalPath(l, qtext)
+			if err != nil {
+				t.Fatalf("path %d exec: %v", i+1, err)
+			}
+			if !reflect.DeepEqual(wantStats, gotStats) {
+				t.Fatalf("path %d stats diverge: %+v vs %+v", i+1, gotStats, wantStats)
+			}
+			if !reflect.DeepEqual(want.Cands, got.Cands) {
+				t.Fatalf("path %d candidate sets diverge", i+1)
+			}
+		}
+		answered = true
+		break
+	}
+	if !answered {
+		t.Fatal("no bounded query to compare load paths with")
+	}
+}
+
+// TestLoadErrors: every invalid flag combination fails with a clear error
+// instead of a partial daemon.
+func TestLoadErrors(t *testing.T) {
+	dir, _ := writeFixture(t)
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte(`{"schema":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []options{
+		{},                                    // nothing given
+		{graph: filepath.Join(dir, "g.json")}, // graph without schema/index
+		{dataset: "nosuch"},                   // unknown generator
+		{graph: filepath.Join(dir, "missing.json"), schema: filepath.Join(dir, "a.json")},
+		{graph: filepath.Join(dir, "g.json"), schema: filepath.Join(dir, "missing.json")},
+		{graph: filepath.Join(dir, "g.json"), index: filepath.Join(dir, "missing.json")},
+		{graph: filepath.Join(dir, "g.json"), index: filepath.Join(dir, "corrupt.json")},
+		{graph: filepath.Join(dir, "corrupt.json"), schema: filepath.Join(dir, "a.json")},
+		{graph: filepath.Join(dir, "a.json"), schema: filepath.Join(dir, "a.json")}, // schema file as graph
+		{graph: filepath.Join(dir, "g.json"), index: filepath.Join(dir, "a.json")},  // schema file as index set
+	}
+	for i, opt := range cases {
+		if _, _, _, err := load(opt); err == nil {
+			t.Fatalf("case %d (%+v): expected an error", i, opt)
+		}
+	}
+}

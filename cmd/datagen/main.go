@@ -1,10 +1,13 @@
 // Command datagen generates one of the synthetic evaluation datasets
 // (imdb, dbpedia, webbase) and writes the graph and its access schema as
-// JSON, ready for cmd/qbound.
+// JSON, ready for cmd/qbound. With -index it also builds and persists the
+// constraint index set, so cmd/boundedgd can start without rescanning the
+// graph.
 //
 // Usage:
 //
 //	datagen -dataset imdb -scale 0.5 -seed 1 -graph g.json -schema a.json
+//	datagen -dataset imdb -graph g.json -schema a.json -index idx.json
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"boundedg/internal/access"
 	"boundedg/internal/exp"
 )
 
@@ -22,15 +26,16 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generation seed")
 		graphPath  = flag.String("graph", "graph.json", "output path for the graph")
 		schemaPath = flag.String("schema", "schema.json", "output path for the access schema")
+		indexPath  = flag.String("index", "", "also build and persist the constraint index set to this path")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *seed, *graphPath, *schemaPath); err != nil {
+	if err := run(*dataset, *scale, *seed, *graphPath, *schemaPath, *indexPath); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, seed int64, graphPath, schemaPath string) error {
+func run(dataset string, scale float64, seed int64, graphPath, schemaPath, indexPath string) error {
 	d, err := exp.Gen(dataset, scale, seed)
 	if err != nil {
 		return err
@@ -51,7 +56,24 @@ func run(dataset string, scale float64, seed int64, graphPath, schemaPath string
 	if err := d.Schema.WriteJSON(sf, d.In); err != nil {
 		return err
 	}
+	if indexPath != "" {
+		idx, viols := access.Build(d.G, d.Schema)
+		if viols != nil {
+			return fmt.Errorf("generated graph violates its schema: %v", viols[0])
+		}
+		xf, err := os.Create(indexPath)
+		if err != nil {
+			return err
+		}
+		defer xf.Close()
+		if err := idx.WriteJSON(xf, d.In); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("%s: |V|=%d |E|=%d labels=%d constraints=%d -> %s, %s\n",
 		d.Name, d.G.NumNodes(), d.G.NumEdges(), d.In.Len(), d.Schema.Count(), graphPath, schemaPath)
+	if indexPath != "" {
+		fmt.Printf("index set -> %s\n", indexPath)
+	}
 	return nil
 }

@@ -13,7 +13,8 @@ func TestRunWritesLoadableFiles(t *testing.T) {
 	dir := t.TempDir()
 	g := filepath.Join(dir, "g.json")
 	a := filepath.Join(dir, "a.json")
-	if err := run("webbase", 0.05, 3, g, a); err != nil {
+	x := filepath.Join(dir, "idx.json")
+	if err := run("webbase", 0.05, 3, g, a, x); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	in := graph.NewInterner()
@@ -39,17 +40,33 @@ func TestRunWritesLoadableFiles(t *testing.T) {
 	if viols := access.Validate(gg, schema); viols != nil {
 		t.Fatalf("generated graph violates generated schema: %v", viols[0])
 	}
+	// The persisted index set loads and matches a fresh build.
+	xf, err := os.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer xf.Close()
+	idx, err := access.ReadIndexSet(xf, in)
+	if err != nil {
+		t.Fatalf("index set unreadable: %v", err)
+	}
+	if idx.Schema().Count() != schema.Count() {
+		t.Fatalf("index schema has %d constraints, want %d", idx.Schema().Count(), schema.Count())
+	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("nope", 1, 1, filepath.Join(dir, "g"), filepath.Join(dir, "a")); err == nil {
+	if err := run("nope", 1, 1, filepath.Join(dir, "g"), filepath.Join(dir, "a"), ""); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run("imdb", 0.01, 1, "/no/such/dir/g.json", filepath.Join(dir, "a")); err == nil {
+	if err := run("imdb", 0.01, 1, "/no/such/dir/g.json", filepath.Join(dir, "a"), ""); err == nil {
 		t.Error("unwritable graph path accepted")
 	}
-	if err := run("imdb", 0.01, 1, filepath.Join(dir, "g.json"), "/no/such/dir/a.json"); err == nil {
+	if err := run("imdb", 0.01, 1, filepath.Join(dir, "g.json"), "/no/such/dir/a.json", ""); err == nil {
 		t.Error("unwritable schema path accepted")
+	}
+	if err := run("imdb", 0.01, 1, filepath.Join(dir, "g.json"), filepath.Join(dir, "a.json"), "/no/such/dir/idx.json"); err == nil {
+		t.Error("unwritable index path accepted")
 	}
 }

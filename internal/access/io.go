@@ -42,7 +42,9 @@ func (s *Schema) WriteJSON(w io.Writer, in *graph.Interner) error {
 // ReadJSON parses a schema written by WriteJSON, interning labels in in.
 func ReadJSON(r io.Reader, in *graph.Interner) (*Schema, error) {
 	var js jsonSchema
-	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&js); err != nil {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields() // reject misspelled or foreign documents
+	if err := dec.Decode(&js); err != nil {
 		return nil, fmt.Errorf("access: decode schema: %w", err)
 	}
 	s := NewSchema()

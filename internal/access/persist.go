@@ -72,7 +72,12 @@ func (s *IndexSet) WriteJSON(w io.Writer, in *graph.Interner) error {
 // set was built from.
 func ReadIndexSet(r io.Reader, in *graph.Interner) (*IndexSet, error) {
 	var js jsonIndexSet
-	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&js); err != nil {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	// Strict field checking: a misspelled or foreign document (say, a
+	// schema or graph file passed by mistake) must error, not decode to
+	// an empty index set.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
 		return nil, fmt.Errorf("access: decode index set: %w", err)
 	}
 	schema := NewSchema()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -67,6 +68,13 @@ type ExecConfig struct {
 	// and the GQ remap table) across queries. A scratch serves one
 	// execution at a time — engine workers each own one.
 	Scratch *ExecScratch
+	// Ctx, when non-nil, is polled at every plan operation and every
+	// cancelStride enumerated tuples inside the fetch and
+	// edge-verification loops. Once it is cancelled, ExecWith abandons
+	// the evaluation, restores its scratch buffers, and returns the
+	// context's error — so a dropped connection or an expired deadline
+	// stops the work instead of letting it run to completion.
+	Ctx context.Context
 }
 
 // ExecScratch holds the reusable buffers of one plan execution: the
@@ -114,6 +122,29 @@ func (s *ExecScratch) getRemap(idCap int) []int32 {
 // handoff.
 const minParallelTuples = 64
 
+// cancelStride is how many enumerated tuples pass between context polls
+// in the fetch and edge-verification loops: coarse enough that polling is
+// free, fine enough that cancellation lands within microseconds.
+const cancelStride = 256
+
+// strideChecker polls a context once every cancelStride calls. The zero
+// ctx means "never cancelled". Each goroutine owns its own checker.
+type strideChecker struct {
+	ctx context.Context
+	n   int
+}
+
+func (c *strideChecker) cancelled() bool {
+	if c.ctx == nil {
+		return false
+	}
+	if c.n++; c.n < cancelStride {
+		return false
+	}
+	c.n = 0
+	return c.ctx.Err() != nil
+}
+
 // Exec runs the plan against g using the pre-built index set, fetching the
 // bounded subgraph GQ. It accesses g only through the constraint indices
 // (plus O(1) direction checks on already-fetched edge candidates), so the
@@ -132,12 +163,24 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 	workers := 1
 	var fz *graph.Frozen
 	var scratch *ExecScratch
+	var ctx context.Context
 	if cfg != nil {
 		if cfg.Workers > 1 {
 			workers = cfg.Workers
 		}
 		fz = cfg.Frozen
 		scratch = cfg.Scratch
+		ctx = cfg.Ctx
+	}
+	// ctxErr reports the sticky cancellation state; nil ctx never cancels.
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
+	if err := ctxErr(); err != nil {
+		return nil, nil, err
 	}
 	fromPool := scratch == nil
 	if fromPool {
@@ -173,13 +216,31 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 		}
 	}
 
+	// cancelFetch abandons the evaluation mid-fetch-op: partial additions
+	// to seen are restored (they mirror result at every cancellation
+	// point), the candidate sets are released, and the context's sticky
+	// error is returned.
+	cancelFetch := func(result []graph.NodeID) error {
+		seen.ResetSparse(result)
+		releaseCsets()
+		return ctxErr()
+	}
+
 	for _, op := range p.Ops {
+		if err := ctxErr(); err != nil {
+			releaseCsets()
+			return nil, nil, err
+		}
 		var result []graph.NodeID
 		if op.Deps == nil {
 			vs := idx.Index(op.CIdx).Lookup(nil)
 			stats.IndexLookups++
 			stats.NodesAccessed += len(vs)
+			chk := strideChecker{ctx: ctx}
 			for _, v := range vs {
+				if chk.cancelled() {
+					return nil, nil, cancelFetch(result)
+				}
 				if p.Q.MatchesNode(op.U, g, v) && seen.Add(v) {
 					result = append(result, v)
 				}
@@ -208,9 +269,15 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 				}
 			}
 			if nt := numTuples(cmat, op.Deps); workers > 1 && nt >= minParallelTuples {
-				outs := shardTuples(cmat, op.Deps, workers, func(tuple []graph.NodeID, out *shardOut) {
+				outs := shardTuples(ctx, cmat, op.Deps, workers, func(tuple []graph.NodeID, out *shardOut) {
 					fetchTuple(tuple, out, func(v graph.NodeID) { out.nodes = append(out.nodes, v) })
 				})
+				// Check before merging: cancelled shards stopped early, so
+				// their outputs are partial and must be discarded whole.
+				if err := ctxErr(); err != nil {
+					releaseCsets()
+					return nil, nil, err
+				}
 				for _, o := range outs {
 					stats.IndexLookups += o.lookups
 					stats.NodesAccessed += o.accessed
@@ -222,13 +289,21 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 				}
 			} else {
 				var out shardOut
-				forEachTuple(cmat, op.Deps, func(tuple []graph.NodeID) {
+				chk := strideChecker{ctx: ctx}
+				forEachTuple(cmat, op.Deps, func(tuple []graph.NodeID) bool {
+					if chk.cancelled() {
+						return false
+					}
 					fetchTuple(tuple, &out, func(v graph.NodeID) {
 						if seen.Add(v) {
 							result = append(result, v)
 						}
 					})
+					return true
 				})
+				if err := ctxErr(); err != nil {
+					return nil, nil, cancelFetch(result)
+				}
 				stats.IndexLookups += out.lookups
 				stats.NodesAccessed += out.accessed
 			}
@@ -263,6 +338,10 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 			releaseCsets()
 			return nil, nil, fmt.Errorf("core: plan fetched no candidates for node %s", p.Q.Name(pattern.Node(ui)))
 		}
+	}
+	if err := ctxErr(); err != nil {
+		releaseCsets()
+		return nil, nil, err
 	}
 
 	// Build GQ: nodes are the union of candidate sets. Count the distinct
@@ -301,8 +380,22 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 		}
 	}
 
+	// cancelVerify abandons the evaluation during edge verification: the
+	// half-built GQ is discarded, the remap table and candidate sets are
+	// restored, and the context's sticky error is returned. seen is empty
+	// throughout this phase (it was drained building GQ), so it needs no
+	// repair here.
+	cancelVerify := func() error {
+		releaseRemap()
+		releaseCsets()
+		return ctxErr()
+	}
+
 	// Edge verification through the covering constraints' indices.
 	for _, ec := range p.EdgeChecks {
+		if err := ctxErr(); err != nil {
+			return nil, nil, cancelVerify()
+		}
 		oi := -1
 		for i, d := range ec.Deps {
 			if d == ec.Other() {
@@ -342,11 +435,14 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 			}
 		}
 		if nt := numTuples(cmat, ec.Deps); workers > 1 && nt >= minParallelTuples {
-			outs := shardTuples(cmat, ec.Deps, workers, func(tuple []graph.NodeID, out *shardOut) {
+			outs := shardTuples(ctx, cmat, ec.Deps, workers, func(tuple []graph.NodeID, out *shardOut) {
 				verifyTuple(tuple, out, func(vf, vtto graph.NodeID) {
 					out.edges = append(out.edges, [2]graph.NodeID{vf, vtto})
 				})
 			})
+			if err := ctxErr(); err != nil {
+				return nil, nil, cancelVerify()
+			}
 			for i := range outs {
 				o := &outs[i]
 				stats.IndexLookups += o.lookups
@@ -357,11 +453,19 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 			}
 		} else {
 			var out shardOut
-			forEachTuple(cmat, ec.Deps, func(tuple []graph.NodeID) {
+			chk := strideChecker{ctx: ctx}
+			forEachTuple(cmat, ec.Deps, func(tuple []graph.NodeID) bool {
+				if chk.cancelled() {
+					return false
+				}
 				verifyTuple(tuple, &out, func(vf, vtto graph.NodeID) {
 					gq.AddEdgeIfAbsent(graph.NodeID(remap[vf])-1, graph.NodeID(remap[vtto])-1)
 				})
+				return true
 			})
+			if err := ctxErr(); err != nil {
+				return nil, nil, cancelVerify()
+			}
 			stats.IndexLookups += out.lookups
 			stats.EdgesAccessed += out.accessed
 		}
@@ -397,8 +501,10 @@ type shardOut struct {
 // contiguous chunks of the first dependency's candidates, runs process on
 // up to workers goroutines, and returns the per-chunk outputs in
 // enumeration order — so concatenating them reproduces the serial order
-// exactly.
-func shardTuples(cmat [][]graph.NodeID, deps []pattern.Node, workers int, process func([]graph.NodeID, *shardOut)) []shardOut {
+// exactly. A non-nil ctx is polled inside every shard; cancelled shards
+// stop early, leaving partial outputs the caller must discard (check the
+// context after shardTuples returns).
+func shardTuples(ctx context.Context, cmat [][]graph.NodeID, deps []pattern.Node, workers int, process func([]graph.NodeID, *shardOut)) []shardOut {
 	first := cmat[deps[0]]
 	nchunks := workers
 	if nchunks > len(first) {
@@ -414,8 +520,13 @@ func shardTuples(cmat [][]graph.NodeID, deps []pattern.Node, workers int, proces
 			// Accumulate locally; one store at the end keeps shards off
 			// each other's cache lines.
 			var local shardOut
-			forEachTupleRange(cmat, deps, lo, hi, func(tuple []graph.NodeID) {
+			chk := strideChecker{ctx: ctx}
+			forEachTupleRange(cmat, deps, lo, hi, func(tuple []graph.NodeID) bool {
+				if chk.cancelled() {
+					return false
+				}
 				process(tuple, &local)
+				return true
 			})
 			outs[c] = local
 		}(c, lo, hi)
@@ -426,8 +537,8 @@ func shardTuples(cmat [][]graph.NodeID, deps []pattern.Node, workers int, proces
 
 // forEachTuple enumerates the cartesian product of the candidate sets of
 // deps, invoking fn with a reused tuple slice (one node per dep, in dep
-// order).
-func forEachTuple(cmat [][]graph.NodeID, deps []pattern.Node, fn func([]graph.NodeID)) {
+// order). fn returning false stops the enumeration.
+func forEachTuple(cmat [][]graph.NodeID, deps []pattern.Node, fn func([]graph.NodeID) bool) {
 	if len(deps) == 0 {
 		fn(nil)
 		return
@@ -437,21 +548,25 @@ func forEachTuple(cmat [][]graph.NodeID, deps []pattern.Node, fn func([]graph.No
 
 // forEachTupleRange is forEachTuple with the first dependency's candidates
 // restricted to the index range [lo, hi).
-func forEachTupleRange(cmat [][]graph.NodeID, deps []pattern.Node, lo, hi int, fn func([]graph.NodeID)) {
+func forEachTupleRange(cmat [][]graph.NodeID, deps []pattern.Node, lo, hi int, fn func([]graph.NodeID) bool) {
 	tuple := make([]graph.NodeID, len(deps))
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) bool
+	rec = func(i int) bool {
 		if i == len(deps) {
-			fn(tuple)
-			return
+			return fn(tuple)
 		}
 		for _, v := range cmat[deps[i]] {
 			tuple[i] = v
-			rec(i + 1)
+			if !rec(i + 1) {
+				return false
+			}
 		}
+		return true
 	}
 	for _, v := range cmat[deps[0]][lo:hi] {
 		tuple[0] = v
-		rec(1)
+		if !rec(1) {
+			return
+		}
 	}
 }

@@ -1,0 +1,46 @@
+// Package ctxtest provides a deterministic context test double for the
+// cancellation tests of internal/core and internal/runtime: both poll
+// ctx.Err() (never Done()), so counting Err calls pins an abort to an
+// exact poll point. Kept as one shared implementation so a change to the
+// polling discipline updates every cancellation test together.
+package ctxtest
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// CountingCtx implements context.Context and reports cancellation after
+// a fixed number of Err polls. Done returns nil (it is never selected on
+// by the code under test). Safe for concurrent polls — sharded execution
+// polls from several goroutines.
+type CountingCtx struct {
+	// After is the number of Err calls that return nil before every
+	// later call returns context.Canceled.
+	After int64
+
+	calls atomic.Int64
+}
+
+// Deadline implements context.Context.
+func (c *CountingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Done implements context.Context; it returns nil because the engine and
+// executor only ever poll Err.
+func (c *CountingCtx) Done() <-chan struct{} { return nil }
+
+// Value implements context.Context.
+func (c *CountingCtx) Value(any) any { return nil }
+
+// Err counts the poll and reports context.Canceled once After polls have
+// passed.
+func (c *CountingCtx) Err() error {
+	if c.calls.Add(1) > c.After {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Calls returns how many times Err has been polled.
+func (c *CountingCtx) Calls() int64 { return c.calls.Load() }

@@ -77,7 +77,7 @@ func EngineThroughput(opt Options) (*Table, error) {
 			return nil, err
 		}
 		secs := timed(func() {
-			for _, r := range e.EvalBatch(queries) {
+			for _, r := range e.EvalBatch(nil, queries) {
 				if r.Err != nil {
 					err = r.Err
 				}

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Label is an interned node label (an element of the alphabet Σ in the
 // paper). Labels are small dense integers so they can index slices.
@@ -13,8 +16,13 @@ const NoLabel Label = -1
 // Interner is shared between a data graph, the pattern queries posed on it,
 // and the access schema, so that label comparisons are integer comparisons.
 //
+// All methods are safe for concurrent use: a serving process parses
+// incoming pattern queries (which interns labels) while engine workers
+// resolve names for plans and error messages.
+//
 // The zero Interner is not ready to use; call NewInterner.
 type Interner struct {
+	mu     sync.RWMutex
 	byName map[string]Label
 	names  []string
 }
@@ -26,10 +34,18 @@ func NewInterner() *Interner {
 
 // Intern returns the Label for name, allocating a fresh one on first use.
 func (in *Interner) Intern(name string) Label {
+	in.mu.RLock()
+	l, ok := in.byName[name]
+	in.mu.RUnlock()
+	if ok {
+		return l
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if l, ok := in.byName[name]; ok {
 		return l
 	}
-	l := Label(len(in.names))
+	l = Label(len(in.names))
 	in.byName[name] = l
 	in.names = append(in.names, name)
 	return l
@@ -38,12 +54,16 @@ func (in *Interner) Intern(name string) Label {
 // Lookup returns the Label for name without allocating; ok is false if the
 // name has never been interned.
 func (in *Interner) Lookup(name string) (l Label, ok bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	l, ok = in.byName[name]
 	return l, ok
 }
 
 // Name returns the string for l, or a placeholder for unknown labels.
 func (in *Interner) Name(l Label) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	if l < 0 || int(l) >= len(in.names) {
 		return fmt.Sprintf("<label %d>", int(l))
 	}
@@ -51,10 +71,16 @@ func (in *Interner) Name(l Label) string {
 }
 
 // Len reports the number of distinct labels interned so far.
-func (in *Interner) Len() int { return len(in.names) }
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}
 
 // Names returns a copy of all interned names, indexed by Label.
 func (in *Interner) Names() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	out := make([]string, len(in.names))
 	copy(out, in.names)
 	return out

@@ -50,6 +50,7 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 func ReadJSON(r io.Reader, in *Interner) (*Graph, map[NodeID]NodeID, error) {
 	var jg jsonGraph
 	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields() // reject misspelled or foreign documents
 	if err := dec.Decode(&jg); err != nil {
 		return nil, nil, fmt.Errorf("graph: decode: %w", err)
 	}

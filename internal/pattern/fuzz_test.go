@@ -1,0 +1,82 @@
+package pattern_test
+
+import (
+	"reflect"
+	"testing"
+
+	"boundedg/internal/graph"
+	"boundedg/internal/pattern"
+	"boundedg/internal/workload"
+)
+
+// FuzzParsePattern fuzzes the query DSL parser. Two properties:
+//
+//  1. Parse never panics — it either returns a pattern or an error, on
+//     arbitrary byte soup.
+//  2. Round trip: a successfully parsed pattern renders (String) back to
+//     DSL that re-parses to a structurally identical pattern — same
+//     names, labels, predicates and edges. The HTTP server leans on this
+//     (String is the cache normalization key), so a parse/print mismatch
+//     would silently alias distinct queries.
+//
+// The seed corpus mixes hand-written edge cases with the paper's query
+// generator (queries.go) rendered over two workload datasets.
+func FuzzParsePattern(f *testing.F) {
+	seeds := []string{
+		"",
+		"# only a comment\n",
+		"u1: movie",
+		"u1: award\nu2: year (>= 2011, <= 2013)\nu3: movie\nu3 -> u1, u2",
+		"a: x (= \"UK\")\nb: y (> -42)\na -> b",
+		"n: label (>= 1, < 100, = 5)\n",
+		"u1: movie\nu1 -> u1",                      // self loop
+		"u1: movie\nu2: movie\nu1 -> u2\nu1 -> u2", // duplicate edge
+		"x: (>= 1)",             // missing label
+		"x: l (>= )",            // missing constant
+		"x: l (>= 1",            // unterminated predicate
+		"-> b",                  // edge without source
+		"a: b: c\nd: e\na -> d", // colon inside a label
+		"q: v (= \"quote \\\" in string\")",
+		"u1: movie\r\nu2: year\r\nu1 -> u2\r\n", // CRLF
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	for _, d := range []*workload.Dataset{workload.IMDb(0.02, 1), workload.DBpedia(0.02, 2)} {
+		for _, q := range workload.DefaultQueryGen.Generate(d, 6, 5) {
+			f.Add(q.String())
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		in := graph.NewInterner()
+		q, err := pattern.Parse(src, in)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := pattern.Parse(rendered, graph.NewInterner())
+		if err != nil {
+			t.Fatalf("round trip failed: Parse(%q).String() = %q does not re-parse: %v", src, rendered, err)
+		}
+		if q.NumNodes() != q2.NumNodes() || q.NumEdges() != q2.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges (src %q)",
+				q.NumNodes(), q2.NumNodes(), q.NumEdges(), q2.NumEdges(), src)
+		}
+		for _, u := range q.Nodes() {
+			if q.Name(u) != q2.Name(u) {
+				t.Fatalf("round trip changed node %d name %q -> %q (src %q)", u, q.Name(u), q2.Name(u), src)
+			}
+			if q.Interner().Name(q.LabelOf(u)) != q2.Interner().Name(q2.LabelOf(u)) {
+				t.Fatalf("round trip changed node %q label (src %q)", q.Name(u), src)
+			}
+			if !reflect.DeepEqual(q.PredOf(u), q2.PredOf(u)) {
+				t.Fatalf("round trip changed node %q predicate %v -> %v (src %q)",
+					q.Name(u), q.PredOf(u), q2.PredOf(u), src)
+			}
+		}
+		if !reflect.DeepEqual(q.EdgeList(), q2.EdgeList()) {
+			t.Fatalf("round trip changed edges (src %q)", src)
+		}
+	})
+}

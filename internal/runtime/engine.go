@@ -9,6 +9,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	stdruntime "runtime"
 	"sync"
@@ -76,7 +77,9 @@ type Query struct {
 
 // Result is the outcome of one query: the fetched bounded subgraph with
 // its access statistics, and the match relation (in the source graph's
-// node IDs) under the requested semantics.
+// node IDs) under the requested semantics. Stats may be non-nil even when
+// Err is a cancellation error raised after the fetch phase completed —
+// it accounts for the data actually accessed.
 type Result struct {
 	BG    *core.BoundedGraph
 	Stats *core.ExecStats
@@ -101,6 +104,7 @@ func (f *Future) Wait() Result {
 func (f *Future) Done() <-chan struct{} { return f.done }
 
 type task struct {
+	ctx context.Context
 	q   Query
 	fut *Future
 }
@@ -126,7 +130,11 @@ type Engine struct {
 
 	plans sync.Map // planKey -> *planEntry
 
-	mu     sync.Mutex // guards closed + sends on tasks
+	// mu guards closed and sends on tasks: submitters hold the read
+	// side (many may block in their sends concurrently, each still
+	// responsive to its own context), Close takes the write side — so
+	// the channel close cannot race a send.
+	mu     sync.RWMutex
 	closed bool
 	tasks  chan task
 	wg     sync.WaitGroup
@@ -171,6 +179,10 @@ func New(g *graph.Graph, idx *access.IndexSet, cfg Config) (*Engine, error) {
 // Schema returns the access schema the engine serves.
 func (e *Engine) Schema() *access.Schema { return e.idx.Schema() }
 
+// Graph returns the graph the engine serves. Treat it as read-only while
+// the engine is live.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
 // Frozen returns the engine's CSR snapshot of the graph.
 func (e *Engine) Frozen() *graph.Frozen { return e.fz }
 
@@ -184,11 +196,23 @@ func (e *Engine) worker() {
 		Scratch: core.NewExecScratch(),
 	}
 	for t := range e.tasks {
-		t.fut.res = e.eval(t.q, cfg)
+		if err := t.ctx.Err(); err != nil {
+			// The submitter gave up while the task sat in the queue;
+			// resolve promptly without touching the graph.
+			t.fut.res = Result{Err: err}
+		} else {
+			cfg.Ctx = t.ctx
+			t.fut.res = e.eval(t.q, cfg)
+			cfg.Ctx = nil
+		}
 		e.completed.Add(1)
 		if t.fut.res.Err != nil {
 			e.failed.Add(1)
-		} else if st := t.fut.res.Stats; st != nil {
+		}
+		// Count accesses whenever a fetch ran, failed queries included —
+		// under a timeout storm the counters must still reflect the work
+		// actually done against the graph.
+		if st := t.fut.res.Stats; st != nil {
 			e.nodesAccessed.Add(uint64(st.NodesAccessed))
 			e.edgesAccessed.Add(uint64(st.EdgesAccessed))
 		}
@@ -198,33 +222,46 @@ func (e *Engine) worker() {
 
 // Submit enqueues q and returns a Future for its result. Submit blocks
 // while the queue is full; after Close it returns an already-resolved
-// Future carrying ErrClosed.
-func (e *Engine) Submit(q Query) *Future {
+// Future carrying ErrClosed. The context travels with the query: it can
+// unblock a Submit stuck on a full queue, skip evaluation of a query
+// whose submitter has already gone away, and — through core.ExecWith —
+// abandon an evaluation in flight. A nil ctx means "never cancelled".
+func (e *Engine) Submit(ctx context.Context, q Query) *Future {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fut := &Future{done: make(chan struct{})}
-	e.mu.Lock()
+	e.mu.RLock()
 	if e.closed {
-		e.mu.Unlock()
+		e.mu.RUnlock()
 		fut.res = Result{Err: ErrClosed}
 		close(fut.done)
 		return fut
 	}
-	e.submitted.Add(1)
-	// Sending under the lock keeps the channel-close in Close safe; a
-	// full queue therefore also backpressures concurrent submitters.
-	e.tasks <- task{q: q, fut: fut}
-	e.mu.Unlock()
+	// Sending under the read lock keeps the channel-close in Close safe
+	// while letting any number of submitters block in their own selects
+	// concurrently — a full queue backpressures each of them until a
+	// worker frees a slot or that submitter's context dies.
+	select {
+	case e.tasks <- task{ctx: ctx, q: q, fut: fut}:
+		e.submitted.Add(1)
+	case <-ctx.Done():
+		fut.res = Result{Err: ctx.Err()}
+		close(fut.done)
+	}
+	e.mu.RUnlock()
 	return fut
 }
 
-// Eval evaluates q synchronously.
-func (e *Engine) Eval(q Query) Result { return e.Submit(q).Wait() }
+// Eval evaluates q synchronously under ctx.
+func (e *Engine) Eval(ctx context.Context, q Query) Result { return e.Submit(ctx, q).Wait() }
 
-// EvalBatch submits every query and waits for all results, which are
-// returned in input order.
-func (e *Engine) EvalBatch(qs []Query) []Result {
+// EvalBatch submits every query under ctx and waits for all results,
+// which are returned in input order.
+func (e *Engine) EvalBatch(ctx context.Context, qs []Query) []Result {
 	futs := make([]*Future, len(qs))
 	for i, q := range qs {
-		futs[i] = e.Submit(q)
+		futs[i] = e.Submit(ctx, q)
 	}
 	out := make([]Result, len(qs))
 	for i, f := range futs {
@@ -235,6 +272,8 @@ func (e *Engine) EvalBatch(qs []Query) []Result {
 
 // Close drains in-flight work and stops the workers. Pending futures
 // resolve normally; Submit calls racing with Close resolve with ErrClosed.
+// Close waits for submitters blocked on a full queue to land their sends
+// (workers keep draining until then), then closes the queue.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -260,8 +299,11 @@ func (e *Engine) Stats() Stats {
 
 // maxCachedPlans bounds the plan cache: callers that submit a stream of
 // never-repeated patterns (fresh pointers per query) would otherwise grow
-// the cache without bound for the engine's lifetime. Past the cap, plans
-// are still built, just not retained.
+// the cache without bound for the engine's lifetime. At the cap the cache
+// is cleared and repopulates — refusing new entries instead would
+// permanently disable plan caching once enough distinct patterns had
+// passed through (and pin dead pattern pointers forever), while hot
+// patterns re-enter a cleared cache on their next submission.
 const maxCachedPlans = 4096
 
 // plan returns the (cached) bounded plan for q.
@@ -276,7 +318,10 @@ func (e *Engine) plan(q Query) (*core.Plan, error) {
 	}
 	p, err := core.NewPlan(q.Pattern, e.idx.Schema(), q.Sem)
 	if e.cachedPlans.Load() >= maxCachedPlans {
-		return p, err
+		// Racing clears are harmless: the counter is a backstop, not an
+		// exact size.
+		e.plans.Clear()
+		e.cachedPlans.Store(0)
 	}
 	if _, loaded := e.plans.LoadOrStore(key, &planEntry{p: p, err: err}); !loaded {
 		e.cachedPlans.Add(1)
@@ -303,6 +348,23 @@ func (e *Engine) eval(q Query, cfg *core.ExecConfig) Result {
 	if q.FetchOnly {
 		return res
 	}
+	// The matchers do not poll the context internally (bounding their
+	// work is SubgraphOptions.MaxSteps' job), so check at the phase
+	// boundaries: don't start matching for a dead submitter, and don't
+	// report a late success — a deadline that expired mid-match must
+	// surface as the cancellation error, or the server would serve (and
+	// cache) a 200 past its deadline.
+	ctxErr := func() error {
+		if cfg.Ctx == nil {
+			return nil
+		}
+		return cfg.Ctx.Err()
+	}
+	// A boundary cancel keeps Stats: the fetch ran, so its access
+	// accounting is real even though no result is returned.
+	if err := ctxErr(); err != nil {
+		return Result{Err: err, Stats: stats}
+	}
 	switch q.Sem {
 	case core.Subgraph:
 		// VF2's feasibility checks probe edges constantly; a one-off
@@ -316,6 +378,9 @@ func (e *Engine) eval(q Query, cfg *core.ExecConfig) Result {
 		sim := match.GSimWithCandidates(p.Q, bg.G, bg.Cands)
 		bg.MapSimResult(sim)
 		res.Sim = sim
+	}
+	if err := ctxErr(); err != nil {
+		return Result{Err: err, Stats: stats}
 	}
 	return res
 }

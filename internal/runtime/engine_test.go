@@ -1,12 +1,15 @@
 package runtime
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"boundedg/internal/access"
 	"boundedg/internal/core"
+	"boundedg/internal/ctxtest"
 	"boundedg/internal/graph"
 	"boundedg/internal/match"
 	"boundedg/internal/pattern"
@@ -79,7 +82,7 @@ func TestEngineMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("serial sub[%d]: %v", i, err)
 		}
-		got := e.Eval(Query{Pattern: q, Sem: core.Subgraph, Sub: mopt})
+		got := e.Eval(nil, Query{Pattern: q, Sem: core.Subgraph, Sub: mopt})
 		if got.Err != nil {
 			t.Fatalf("engine sub[%d]: %v", i, got.Err)
 		}
@@ -99,7 +102,7 @@ func TestEngineMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("serial sim[%d]: %v", i, err)
 		}
-		got := e.Eval(Query{Pattern: q, Sem: core.Simulation})
+		got := e.Eval(nil, Query{Pattern: q, Sem: core.Simulation})
 		if got.Err != nil {
 			t.Fatalf("engine sim[%d]: %v", i, got.Err)
 		}
@@ -158,7 +161,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i, q := range f.subQs {
-				got := e.Eval(Query{Pattern: q, Sem: core.Subgraph, Sub: mopt})
+				got := e.Eval(nil, Query{Pattern: q, Sem: core.Subgraph, Sub: mopt})
 				if got.Err != nil {
 					errs <- got.Err.Error()
 					continue
@@ -168,7 +171,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 				}
 			}
 			for i, q := range f.simQs {
-				got := e.Eval(Query{Pattern: q, Sem: core.Simulation})
+				got := e.Eval(nil, Query{Pattern: q, Sem: core.Simulation})
 				if got.Err != nil {
 					errs <- got.Err.Error()
 					continue
@@ -205,7 +208,7 @@ func TestEngineBatchAndFutures(t *testing.T) {
 	for _, q := range f.simQs {
 		qs = append(qs, Query{Pattern: q, Sem: core.Simulation})
 	}
-	results := e.EvalBatch(qs)
+	results := e.EvalBatch(nil, qs)
 	if len(results) != len(qs) {
 		t.Fatalf("EvalBatch returned %d results for %d queries", len(results), len(qs))
 	}
@@ -219,7 +222,7 @@ func TestEngineBatchAndFutures(t *testing.T) {
 	}
 
 	// FetchOnly returns GQ without a match relation.
-	r := e.Eval(Query{Pattern: f.simQs[0], Sem: core.Simulation, FetchOnly: true})
+	r := e.Eval(nil, Query{Pattern: f.simQs[0], Sem: core.Simulation, FetchOnly: true})
 	if r.Err != nil || r.BG == nil || r.Sim != nil || r.Sub != nil {
 		t.Fatalf("FetchOnly result wrong: %+v", r)
 	}
@@ -229,13 +232,13 @@ func TestEngineBatchAndFutures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r = e.Eval(Query{Pattern: f.simQs[0], Sem: core.Simulation, Plan: p})
+	r = e.Eval(nil, Query{Pattern: f.simQs[0], Sem: core.Simulation, Plan: p})
 	if r.Err != nil || r.Sim == nil {
 		t.Fatalf("pre-planned eval failed: %+v", r)
 	}
 
 	// Nil pattern and unbounded patterns surface errors.
-	if r := e.Eval(Query{}); r.Err != ErrNilQuery {
+	if r := e.Eval(nil, Query{}); r.Err != ErrNilQuery {
 		t.Fatalf("nil pattern err = %v", r.Err)
 	}
 }
@@ -246,13 +249,210 @@ func TestEngineClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fut := e.Submit(Query{Pattern: f.simQs[0], Sem: core.Simulation})
+	fut := e.Submit(nil, Query{Pattern: f.simQs[0], Sem: core.Simulation})
 	e.Close()
 	if r := fut.Wait(); r.Err != nil {
 		t.Fatalf("pending future after Close: %v", r.Err)
 	}
-	if r := e.Eval(Query{Pattern: f.simQs[0], Sem: core.Simulation}); r.Err != ErrClosed {
+	if r := e.Eval(nil, Query{Pattern: f.simQs[0], Sem: core.Simulation}); r.Err != ErrClosed {
 		t.Fatalf("submit after Close err = %v, want ErrClosed", r.Err)
 	}
 	e.Close() // double Close is a no-op
+}
+
+// TestEngineSubmitCloseRace is the regression test for closing an engine
+// under fire: many goroutines hammer Submit while two goroutines race
+// Close. No Submit may panic (send on closed channel), every future must
+// resolve, and each result is either a normal answer or ErrClosed.
+func TestEngineSubmitCloseRace(t *testing.T) {
+	f := newFixture(t, 0.05, 10, 13)
+	for round := 0; round < 4; round++ {
+		e, err := New(f.d.G, f.idx, Config{Workers: 2, QueueDepth: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const submitters = 8
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		futs := make([][]*Future, submitters)
+		for s := 0; s < submitters; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					q := f.simQs[(s+i)%len(f.simQs)]
+					futs[s] = append(futs[s], e.Submit(nil, Query{Pattern: q, Sem: core.Simulation}))
+				}
+			}(s)
+		}
+		// Two goroutines race Close against the submitters (and each
+		// other: Close must be idempotent under concurrency).
+		var cwg sync.WaitGroup
+		for c := 0; c < 2; c++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				<-start
+				e.Close()
+			}()
+		}
+		close(start)
+		wg.Wait()
+		cwg.Wait()
+		ok, closed := 0, 0
+		for _, fs := range futs {
+			for _, fut := range fs {
+				r := fut.Wait()
+				switch r.Err {
+				case nil:
+					ok++
+				case ErrClosed:
+					closed++
+				default:
+					t.Fatalf("unexpected submit result: %v", r.Err)
+				}
+			}
+		}
+		st := e.Stats()
+		if st.Submitted != st.Completed {
+			t.Fatalf("engine lost tasks: %+v (ok=%d closed=%d)", st, ok, closed)
+		}
+		if uint64(ok) != st.Completed-st.Failed {
+			t.Fatalf("result accounting off: ok=%d stats=%+v", ok, st)
+		}
+	}
+}
+
+// TestEngineContextCancellation covers the acceptance criterion: a query
+// submitted with an already-cancelled context resolves promptly with the
+// cancellation error and performs no evaluation (the engine's access
+// counters stay untouched), and a batch cancelled in flight drains
+// without evaluating the still-queued queries.
+func TestEngineContextCancellation(t *testing.T) {
+	f := newFixture(t, 0.3, 30, 17)
+	e, err := New(f.d.G, f.idx, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := e.Eval(ctx, Query{Pattern: f.subQs[0], Sem: core.Subgraph, Sub: mopt})
+	if r.Err != context.Canceled {
+		t.Fatalf("pre-cancelled Eval err = %v, want context.Canceled", r.Err)
+	}
+	if r.BG != nil || r.Stats != nil || r.Sub != nil {
+		t.Fatalf("pre-cancelled Eval leaked a result: %+v", r)
+	}
+	if st := e.Stats(); st.NodesAccessed != 0 || st.EdgesAccessed != 0 {
+		t.Fatalf("pre-cancelled query touched the graph: %+v", st)
+	}
+
+	// Deadline expiry surfaces as DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if r := e.Eval(dctx, Query{Pattern: f.subQs[0], Sem: core.Subgraph, Sub: mopt}); r.Err != context.DeadlineExceeded {
+		t.Fatalf("expired-deadline Eval err = %v, want context.DeadlineExceeded", r.Err)
+	}
+
+	// Cancel a large batch as soon as the first result lands: the batch
+	// must drain, and every result is either complete or Canceled.
+	bctx, bcancel := context.WithCancel(context.Background())
+	defer bcancel()
+	var qs []Query
+	for i := 0; i < 40; i++ {
+		qs = append(qs, Query{Pattern: f.subQs[i%len(f.subQs)], Sem: core.Subgraph, Sub: mopt})
+	}
+	futs := make([]*Future, len(qs))
+	for i, q := range qs {
+		futs[i] = e.Submit(bctx, q)
+	}
+	<-futs[0].Done()
+	bcancel()
+	cancelled := 0
+	for i, fut := range futs {
+		r := fut.Wait()
+		switch r.Err {
+		case nil:
+			if r.Sub == nil {
+				t.Fatalf("batch[%d]: completed without a result", i)
+			}
+		case context.Canceled:
+			cancelled++
+		default:
+			t.Fatalf("batch[%d]: unexpected error %v", i, r.Err)
+		}
+	}
+	t.Logf("batch: %d/%d cancelled", cancelled, len(qs))
+}
+
+// TestEngineCancelAtMatchBoundary: a context that dies exactly when the
+// fetch phase completes must surface the cancellation error instead of a
+// late match result — the matchers don't poll the context, so the engine
+// checks at the phase boundary.
+func TestEngineCancelAtMatchBoundary(t *testing.T) {
+	f := newFixture(t, 0.1, 20, 21)
+	e, err := New(f.d.G, f.idx, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	q := Query{Pattern: f.subQs[0], Sem: core.Subgraph, Sub: mopt}
+
+	// Probe how many polls a FetchOnly run makes (worker-entry check +
+	// every ExecWith poll); the full run's next poll after that is the
+	// pre-match boundary check.
+	probe := &ctxtest.CountingCtx{After: 1 << 40}
+	fq := q
+	fq.FetchOnly = true
+	if r := e.Eval(probe, fq); r.Err != nil {
+		t.Fatalf("probe: %v", r.Err)
+	}
+	fetchPolls := probe.Calls()
+
+	r := e.Eval(&ctxtest.CountingCtx{After: fetchPolls}, q)
+	if r.Err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled at the match boundary", r.Err)
+	}
+	if r.Sub != nil || r.BG != nil {
+		t.Fatalf("cancelled query leaked a result: %+v", r)
+	}
+	// With one more allowed poll the same query completes, proving the
+	// probe really did land on the boundary.
+	if r := e.Eval(&ctxtest.CountingCtx{After: 1 << 40}, q); r.Err != nil || r.Sub == nil {
+		t.Fatalf("uncancelled rerun failed: %+v", r)
+	}
+}
+
+// TestEnginePlanCacheEpochReset: overflowing the plan cache clears and
+// repopulates it instead of disabling caching forever.
+func TestEnginePlanCacheEpochReset(t *testing.T) {
+	f := newFixture(t, 0.05, 10, 23)
+	e, err := New(f.d.G, f.idx, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Flood with distinct pattern pointers (clones) past the cap.
+	for i := 0; i < maxCachedPlans+8; i++ {
+		if r := e.Eval(nil, Query{Pattern: f.simQs[i%len(f.simQs)].Clone(), Sem: core.Simulation, FetchOnly: true}); r.Err != nil {
+			t.Fatalf("flood[%d]: %v", i, r.Err)
+		}
+	}
+	if got := e.cachedPlans.Load(); got <= 0 || got > maxCachedPlans {
+		t.Fatalf("cachedPlans = %d after overflow, want in (0, %d] (cache must have reset and kept caching)", got, maxCachedPlans)
+	}
+	// A hot pattern submitted after the reset is cached again: its plan
+	// entry is present on the second lookup.
+	hot := f.simQs[0]
+	for i := 0; i < 2; i++ {
+		if r := e.Eval(nil, Query{Pattern: hot, Sem: core.Simulation, FetchOnly: true}); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if _, ok := e.plans.Load(planKey{q: hot, sem: core.Simulation}); !ok {
+		t.Fatal("hot pattern not cached after epoch reset")
+	}
 }

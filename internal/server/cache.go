@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lru is a small mutex-guarded LRU map. The server keeps two: the result
+// cache (normalized pattern + query args -> response) and the
+// parsed-pattern cache (normalized pattern -> *pattern.Pattern, so repeat
+// queries present the engine with a stable pointer and hit its plan
+// cache).
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses atomic.Uint64
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU returns an LRU holding at most cap entries; cap <= 0 disables
+// the cache (every Get misses, Put is a no-op).
+func newLRU(cap int) *lru {
+	return &lru{cap: cap, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+// A disabled cache neither hits nor counts misses — its counters stay
+// zero so /stats reads as "no cache", not "cold cache".
+func (c *lru) Get(key string) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts (or refreshes) key, evicting the least recently used entry
+// when the cache is full.
+func (c *lru) Put(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (c *lru) Counters() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,451 @@
+// Package server exposes a runtime.Engine over HTTP/JSON: POST a pattern
+// in the qbound text DSL, get its bounded-evaluation answer back. Because
+// bounded evaluation makes per-query cost independent of |G| (the paper's
+// guarantee), one process can serve many concurrent clients against a big
+// graph; the server adds the production plumbing the engine itself does
+// not carry — per-request deadlines and cancellation threaded down into
+// core.ExecWith, an LRU result cache keyed by the normalized pattern and
+// query arguments, and graceful shutdown.
+//
+// Endpoints:
+//
+//	POST /query    evaluate a pattern (JSON body, see QueryRequest)
+//	GET  /stats    engine counters, cache hit/miss, uptime
+//	GET  /healthz  liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"boundedg/internal/core"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/pattern"
+	"boundedg/internal/runtime"
+)
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// DefaultLimit is the match cap applied when a request does not set
+	// one. Defaults to 100.
+	DefaultLimit int
+	// MaxLimit clamps per-request limits. Defaults to 10000.
+	MaxLimit int
+	// Timeout is the per-query evaluation deadline. A request may ask
+	// for a shorter deadline, never a longer one. Defaults to 10s;
+	// negative disables the server-side deadline.
+	Timeout time.Duration
+	// MaxSteps caps the subgraph search (VF2 search-tree visits) per
+	// query. The matchers do not poll the context — the deadline stops
+	// the fetch phase and is re-checked at the match boundary — so this
+	// budget is what bounds a pathological match inside a fetched GQ.
+	// Defaults to 5,000,000 (well under a second); negative disables.
+	MaxSteps int
+	// CacheSize is the number of result-cache entries. Defaults to 512;
+	// negative disables the cache.
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultLimit <= 0 {
+		c.DefaultLimit = 100
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 10000
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 5_000_000
+	}
+	if c.MaxSteps < 0 {
+		c.MaxSteps = 0 // match.SubgraphOptions: 0 = unlimited
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	return c
+}
+
+// patternCacheSize bounds the normalized-text -> *pattern.Pattern cache.
+// Reusing parsed patterns gives the engine a stable pointer, so its plan
+// cache (keyed by pointer identity) hits on repeat queries.
+const patternCacheSize = 1024
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	// Pattern is the query in the text DSL of internal/pattern.Parse.
+	Pattern string `json:"pattern"`
+	// Sem selects the semantics: "subgraph" (default) or "simulation".
+	Sem string `json:"sem,omitempty"`
+	// Limit caps the number of matches returned (subgraph semantics).
+	// 0 means the server default; values above the server maximum are
+	// clamped.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS lowers the evaluation deadline for this request, in
+	// milliseconds. It can never raise it above the server's timeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	// Sem echoes the semantics the query ran under.
+	Sem string `json:"sem"`
+	// Vars lists the pattern's node names, defining the column order of
+	// Matches rows.
+	Vars []string `json:"vars"`
+	// Matches holds subgraph matches: Matches[k][i] is the data node
+	// matched to Vars[i] in the k-th match, sorted lexicographically so
+	// responses are deterministic and cacheable.
+	Matches [][]graph.NodeID `json:"matches,omitempty"`
+	// Count is the number of matches found; the search stops at the
+	// limit, so use Complete (not Count vs len(Matches)) to detect
+	// truncation.
+	Count int `json:"count"`
+	// Complete reports whether the search exhausted the match space
+	// (false when the limit stopped it early).
+	Complete bool `json:"complete"`
+	// Sim holds the maximum simulation relation: node name -> sorted
+	// data nodes (simulation semantics only).
+	Sim map[string][]graph.NodeID `json:"sim,omitempty"`
+	// Pairs is the size of the simulation relation.
+	Pairs int `json:"pairs,omitempty"`
+	// Stats carries the bounded-evaluation access accounting.
+	Stats *core.ExecStats `json:"stats,omitempty"`
+	// Cached reports whether this response was served from the result
+	// cache.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the server-side handling time of this request.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// CacheStats reports the result cache's state in /stats.
+type CacheStats struct {
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeSec   float64       `json:"uptime_sec"`
+	GraphNodes  int           `json:"graph_nodes"`
+	GraphEdges  int           `json:"graph_edges"`
+	Constraints int           `json:"constraints"`
+	Engine      runtime.Stats `json:"engine"`
+	Cache       CacheStats    `json:"cache"`
+	Served      uint64        `json:"served"`
+	Errors      uint64        `json:"errors"`
+}
+
+// Server serves bounded pattern queries over HTTP. Construct with New;
+// either mount Handler on an existing server or use ListenAndServe plus
+// Shutdown for the managed lifecycle.
+type Server struct {
+	eng *runtime.Engine
+	in  *graph.Interner
+	cfg Config
+
+	results  *lru // cacheKey -> *QueryResponse
+	patterns *lru // canonical text -> *pattern.Pattern
+
+	mux   *http.ServeMux
+	hs    *http.Server
+	start time.Time
+
+	served, errors atomic.Uint64
+}
+
+// New returns a server over eng. in must be the interner shared by the
+// engine's graph and schema, so parsed patterns agree on label identity.
+func New(eng *runtime.Engine, in *graph.Interner, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:      eng,
+		in:       in,
+		cfg:      cfg,
+		results:  newLRU(cfg.CacheSize),
+		patterns: newLRU(patternCacheSize),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.hs = &http.Server{
+		Handler: s.mux,
+		// Bound the whole request read, not just the headers: the
+		// per-query deadline only starts after the body is decoded, so a
+		// trickled body would otherwise pin a handler goroutine forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the server's routing handler, for mounting under
+// httptest or an existing mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown (returning
+// http.ErrServerClosed) or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on l until Shutdown or a listener error.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// Shutdown gracefully stops the HTTP side: it stops accepting
+// connections and waits (up to ctx) for in-flight requests to finish.
+// In-flight queries keep their own deadlines; requests arriving after
+// shutdown are refused by the closed listener. The engine is NOT closed
+// here — the caller owns it.
+func (s *Server) Shutdown(ctx context.Context) error { return s.hs.Shutdown(ctx) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// maxBodyBytes bounds POST /query bodies; patterns are tiny.
+const maxBodyBytes = 1 << 20
+
+// maxRequestTimeoutMS caps client-supplied timeout_ms (24h) so the
+// Duration conversion cannot overflow.
+const maxRequestTimeoutMS = 24 * 60 * 60 * 1000
+
+// parseSem maps the wire name to core.Semantics.
+func parseSem(name string) (core.Semantics, error) {
+	switch name {
+	case "", "subgraph":
+		return core.Subgraph, nil
+	case "simulation":
+		return core.Simulation, nil
+	}
+	return 0, fmt.Errorf("unknown semantics %q (want subgraph or simulation)", name)
+}
+
+// normalize parses src and returns the canonical parsed pattern: the
+// pattern is rendered back to the DSL (normalizing whitespace, comments
+// and declaration order) and the canonical text is looked up in the
+// pattern cache, so textual variants of the same query share one
+// *pattern.Pattern — and therefore one engine plan-cache entry.
+//
+// Parsing happens against a throwaway interner first: interning is
+// permanent, so untrusted label names must never reach the shared
+// interner (a public daemon would otherwise leak a map entry per junk
+// query for its whole lifetime). Labels unknown to the served graph are
+// rejected — no constraint can cover them, so such queries could never
+// be answered anyway.
+func (s *Server) normalize(src string) (*pattern.Pattern, string, error) {
+	probe, err := pattern.Parse(src, graph.NewInterner())
+	if err != nil {
+		return nil, "", err
+	}
+	canon := probe.String()
+	if v, ok := s.patterns.Get(canon); ok {
+		return v.(*pattern.Pattern), canon, nil
+	}
+	for _, l := range probe.LabelSet() {
+		name := probe.Interner().Name(l)
+		if _, ok := s.in.Lookup(name); !ok {
+			return nil, "", fmt.Errorf("unknown label %q", name)
+		}
+	}
+	q, err := pattern.Parse(src, s.in)
+	if err != nil {
+		return nil, "", err
+	}
+	s.patterns.Put(canon, q)
+	return q, canon, nil
+}
+
+func cacheKey(canon string, sem core.Semantics, limit int) string {
+	return fmt.Sprintf("%d|%d|%s", sem, limit, canon)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	// A misspelled field (say "timeout" for "timeout_ms") must error,
+	// not silently run the query under different parameters.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sem, err := parseSem(req.Sem)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.cfg.DefaultLimit
+	}
+	if limit > s.cfg.MaxLimit {
+		limit = s.cfg.MaxLimit
+	}
+	if sem == core.Simulation {
+		// Simulation always returns the full relation; folding the limit
+		// out of the cache key stops identical sim queries with different
+		// limits from duplicating cache entries.
+		limit = 0
+	}
+	q, canon, err := s.normalize(req.Pattern)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	key := cacheKey(canon, sem, limit)
+	if v, ok := s.results.Get(key); ok {
+		resp := *v.(*QueryResponse) // shallow copy; cached fields are read-only
+		resp.Cached = true
+		resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+		s.served.Add(1)
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// The request context already dies with the client connection; layer
+	// the evaluation deadline on top. Cancellation reaches core.ExecWith
+	// through the engine, so abandoned requests stop fetching.
+	ctx := r.Context()
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		// Clamp before converting: a huge timeout_ms would overflow the
+		// Duration multiply to a negative value and silently disable the
+		// server deadline.
+		ms := req.TimeoutMS
+		if ms > maxRequestTimeoutMS {
+			ms = maxRequestTimeoutMS
+		}
+		if t := time.Duration(ms) * time.Millisecond; timeout < 0 || t < timeout {
+			timeout = t
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res := s.eng.Eval(ctx, runtime.Query{
+		Pattern: q,
+		Sem:     sem,
+		Sub:     match.SubgraphOptions{StoreMatches: true, MaxMatches: limit, MaxSteps: s.cfg.MaxSteps},
+	})
+	if res.Err != nil {
+		switch {
+		case errors.Is(res.Err, core.ErrNotBounded):
+			s.writeError(w, http.StatusUnprocessableEntity, res.Err)
+		case errors.Is(res.Err, context.DeadlineExceeded):
+			s.writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query deadline exceeded"))
+		case errors.Is(res.Err, context.Canceled):
+			// The client is gone; the status code is a formality.
+			s.writeError(w, http.StatusServiceUnavailable, res.Err)
+		case errors.Is(res.Err, runtime.ErrClosed):
+			s.writeError(w, http.StatusServiceUnavailable, res.Err)
+		default:
+			s.writeError(w, http.StatusInternalServerError, res.Err)
+		}
+		return
+	}
+
+	resp := &QueryResponse{Sem: sem.String(), Stats: res.Stats}
+	for _, u := range q.Nodes() {
+		resp.Vars = append(resp.Vars, q.Name(u))
+	}
+	switch sem {
+	case core.Subgraph:
+		ms := make([][]graph.NodeID, len(res.Sub.Matches))
+		for i, m := range res.Sub.Matches {
+			ms[i] = append([]graph.NodeID(nil), m...)
+		}
+		match.SortMatches(ms)
+		resp.Matches = ms
+		resp.Count = res.Sub.Count
+		resp.Complete = res.Sub.Completed
+	case core.Simulation:
+		resp.Sim = make(map[string][]graph.NodeID, len(resp.Vars))
+		for ui, vs := range res.Sim.Sim {
+			sorted := append([]graph.NodeID(nil), vs...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			resp.Sim[resp.Vars[ui]] = sorted
+		}
+		resp.Pairs = res.Sim.Pairs()
+		resp.Complete = true
+	}
+	s.results.Put(key, resp)
+
+	out := *resp
+	out.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+	s.served.Add(1)
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	hits, misses := s.results.Counters()
+	capacity := s.cfg.CacheSize
+	if capacity < 0 {
+		capacity = 0 // disabled reads as "no cache"
+	}
+	g := s.eng.Graph()
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSec:   time.Since(s.start).Seconds(),
+		GraphNodes:  g.NumNodes(),
+		GraphEdges:  g.NumEdges(),
+		Constraints: s.eng.Schema().Count(),
+		Engine:      s.eng.Stats(),
+		Cache: CacheStats{
+			Size:     s.results.Len(),
+			Capacity: capacity,
+			Hits:     hits,
+			Misses:   misses,
+		},
+		Served: s.served.Load(),
+		Errors: s.errors.Load(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
