@@ -25,7 +25,20 @@
 //	  "sem": "subgraph", "limit": 10, "timeout_ms": 500
 //	}'
 //
-// SIGINT/SIGTERM drain in-flight requests (up to -drain) before exit.
+// With -mutable the daemon is a read/write store: POST /update applies a
+// graph delta (add/remove nodes and edges) through the epoch-versioned
+// snapshot store; each accepted update publishes a new epoch that
+// subsequent queries see, while in-flight queries keep the epoch they
+// started under. Updates that would break an access constraint are
+// rejected with 422 and leave the graph untouched:
+//
+//	curl -s -X POST localhost:8080/update -d '{
+//	  "add_nodes": [{"label": "movie"}],
+//	  "add_edges": [[-1, 17]]
+//	}'
+//
+// SIGINT/SIGTERM drain in-flight requests and updates (up to -drain),
+// then bar further writes before exit.
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 	"boundedg/internal/graph"
 	"boundedg/internal/runtime"
 	"boundedg/internal/server"
+	"boundedg/internal/store"
 )
 
 type options struct {
@@ -64,6 +78,7 @@ type options struct {
 	limit    int
 	maxLimit int
 	maxSteps int
+	mutable  bool
 }
 
 func main() {
@@ -83,6 +98,7 @@ func main() {
 	flag.IntVar(&opt.limit, "limit", 100, "default match limit per query")
 	flag.IntVar(&opt.maxLimit, "max-limit", 10000, "hard cap on per-request match limits")
 	flag.IntVar(&opt.maxSteps, "max-steps", 0, "VF2 search-step budget per query (0 = server default, negative = unlimited)")
+	flag.BoolVar(&opt.mutable, "mutable", false, "enable POST /update (live graph updates through epoch snapshots)")
 	flag.Parse()
 	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "boundedgd:", err)
@@ -173,7 +189,8 @@ func run(opt options) error {
 		log.Printf("index set persisted to %s", opt.writeIndex)
 	}
 
-	eng, err := runtime.New(g, idx, runtime.Config{Workers: opt.workers})
+	st := store.New(g, idx)
+	eng, err := runtime.NewFromStore(st, runtime.Config{Workers: opt.workers})
 	if err != nil {
 		return err
 	}
@@ -184,19 +201,24 @@ func run(opt options) error {
 		opt.timeout = -1
 	}
 	srv := server.New(eng, in, server.Config{
-		DefaultLimit: opt.limit,
-		MaxLimit:     opt.maxLimit,
-		Timeout:      opt.timeout,
-		CacheSize:    opt.cache,
-		MaxSteps:     opt.maxSteps,
+		DefaultLimit:  opt.limit,
+		MaxLimit:      opt.maxLimit,
+		Timeout:       opt.timeout,
+		CacheSize:     opt.cache,
+		MaxSteps:      opt.maxSteps,
+		EnableUpdates: opt.mutable,
 	})
 
 	l, err := net.Listen("tcp", opt.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving |V|=%d |E|=%d, %d constraints on %s (startup %s)",
-		g.NumNodes(), g.NumEdges(), idx.Schema().Count(), l.Addr(), time.Since(started).Round(time.Millisecond))
+	mode := "read-only"
+	if opt.mutable {
+		mode = "mutable"
+	}
+	log.Printf("serving |V|=%d |E|=%d, %d constraints on %s, %s (startup %s)",
+		g.NumNodes(), g.NumEdges(), idx.Schema().Count(), l.Addr(), mode, time.Since(started).Round(time.Millisecond))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -210,10 +232,19 @@ func run(opt options) error {
 		log.Printf("signal received; draining (up to %s)", opt.drain)
 		sctx, cancel := context.WithTimeout(context.Background(), opt.drain)
 		defer cancel()
+		// Shutdown drains in-flight requests — updates included, since
+		// each POST /update runs synchronously inside its handler. Only
+		// then is the store closed, so no accepted update is lost.
 		if err := srv.Shutdown(sctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}
 		<-errc // Serve has returned http.ErrServerClosed
+		st.Close()
+		if opt.mutable {
+			us := st.Stats()
+			log.Printf("updates drained: epoch %d, %d applied, %d rejected (%d violations)",
+				us.Epoch, us.Applied, us.RejectedViolation+us.RejectedError, us.RejectedViolation)
+		}
 		log.Printf("drained; closing engine")
 		return nil
 	}

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"boundedg/internal/access"
@@ -11,6 +16,9 @@ import (
 	"boundedg/internal/exp"
 	"boundedg/internal/graph"
 	"boundedg/internal/pattern"
+	"boundedg/internal/runtime"
+	"boundedg/internal/server"
+	"boundedg/internal/store"
 	"boundedg/internal/workload"
 )
 
@@ -154,5 +162,79 @@ func TestLoadErrors(t *testing.T) {
 		if _, _, _, err := load(opt); err == nil {
 			t.Fatalf("case %d (%+v): expected an error", i, opt)
 		}
+	}
+}
+
+// TestMutableDaemonStack composes the exact stack run() builds for
+// -mutable (store → engine → server with updates enabled) on a loaded
+// fixture, and drives an update-then-query round trip through the HTTP
+// handler: the daemon must answer from the new epoch immediately, and a
+// drained shutdown must bar further writes without breaking reads.
+func TestMutableDaemonStack(t *testing.T) {
+	dir, _ := writeFixture(t)
+	g, in, idx, err := load(options{graph: filepath.Join(dir, "g.json"), index: filepath.Join(dir, "idx.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(g, idx)
+	eng, err := runtime.NewFromStore(st, runtime.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(eng, in, server.Config{EnableUpdates: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, body string, out any) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("decode (status %d): %v", resp.StatusCode, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// The award/year/movie pattern is effectively bounded under the IMDb
+	// workload schema; deleting a matched movie must shrink its answer.
+	q := "u1: award\nu2: year\nu3: movie\nu3 -> u1, u2"
+	var before server.QueryResponse
+	if st := post("/query", fmt.Sprintf(`{"pattern": %q, "limit": 10000}`, q), &before); st != http.StatusOK {
+		t.Fatalf("query status %d", st)
+	}
+	if before.Count == 0 {
+		t.Fatal("no matches to mutate")
+	}
+	movie := before.Matches[0][2] // Vars order: u1 award, u2 year, u3 movie
+	var up server.UpdateResponse
+	if st := post("/update", fmt.Sprintf(`{"del_nodes": [%d]}`, movie), &up); st != http.StatusOK {
+		t.Fatalf("update status %d", st)
+	}
+	if up.Epoch != 1 {
+		t.Fatalf("update epoch %d", up.Epoch)
+	}
+	var after server.QueryResponse
+	if st := post("/query", fmt.Sprintf(`{"pattern": %q, "limit": 10000}`, q), &after); st != http.StatusOK {
+		t.Fatalf("query status %d", st)
+	}
+	if after.Count >= before.Count {
+		t.Fatalf("count %d did not shrink from %d after deleting a matched movie", after.Count, before.Count)
+	}
+
+	// Drained shutdown: the store refuses writes, reads keep working.
+	st.Close()
+	var errResp server.ErrorResponse
+	if code := post("/update", `{"del_nodes": [0]}`, &errResp); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close update status %d", code)
+	}
+	var final server.QueryResponse
+	if code := post("/query", fmt.Sprintf(`{"pattern": %q, "limit": 10000}`, q), &final); code != http.StatusOK || final.Count != after.Count {
+		t.Fatalf("post-close query: status %d count %d", code, final.Count)
 	}
 }

@@ -26,6 +26,12 @@ type Index struct {
 	// memberKeys is the reverse map: for each l-labeled node, the entry
 	// keys it appears in. It powers incremental maintenance.
 	memberKeys map[graph.NodeID]map[string]struct{}
+
+	// vsKeys is the reverse map on the key side: for each S-labeled node,
+	// the entry keys whose VS tuple contains it. It lets a node deletion
+	// purge exactly the entries keyed through the node — O(affected
+	// entries) instead of re-deriving every neighbor's full row.
+	vsKeys map[graph.NodeID]map[string]struct{}
 }
 
 // Constraint returns the constraint this index serves.
@@ -45,22 +51,27 @@ func encodeKey(vs []graph.NodeID) string {
 // BuildIndex constructs the index of constraint c over g. It does not
 // check the cardinality bound; see Violations.
 func BuildIndex(g *graph.Graph, c Constraint) *Index {
-	x := &Index{
-		c:          c,
-		entries:    make(map[string][]graph.NodeID),
-		memberKeys: make(map[graph.NodeID]map[string]struct{}),
-	}
+	x := newIndex(c)
 	for _, v := range g.NodesByLabel(c.L) {
 		x.addRow(g, v)
 	}
 	return x
 }
 
+func newIndex(c Constraint) *Index {
+	return &Index{
+		c:          c,
+		entries:    make(map[string][]graph.NodeID),
+		memberKeys: make(map[graph.NodeID]map[string]struct{}),
+		vsKeys:     make(map[graph.NodeID]map[string]struct{}),
+	}
+}
+
 // addRow inserts node v (labeled c.L) into every entry whose VS is an
 // S-labeled subset of v's neighborhood.
 func (x *Index) addRow(g *graph.Graph, v graph.NodeID) {
 	if x.c.Type1() {
-		x.insert("", v)
+		x.insert("", nil, v)
 		return
 	}
 	// Group v's neighbors by the labels of S.
@@ -84,7 +95,7 @@ func (x *Index) addRow(g *graph.Graph, v graph.NodeID) {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(groups) {
-			x.insert(encodeKey(combo), v)
+			x.insert(encodeKey(combo), combo, v)
 			return
 		}
 		for _, w := range groups[i] {
@@ -95,14 +106,42 @@ func (x *Index) addRow(g *graph.Graph, v graph.NodeID) {
 	rec(0)
 }
 
-func (x *Index) insert(key string, v graph.NodeID) {
-	x.entries[key] = append(x.entries[key], v)
+// insert adds v to the entry of key. vs is the entry's VS tuple (any
+// order; nil for type-1), consulted only when the entry is created to
+// register the key under its tuple nodes.
+func (x *Index) insert(key string, vs []graph.NodeID, v graph.NodeID) {
+	entry, existed := x.entries[key]
+	if !existed {
+		for _, u := range vs {
+			ks, ok := x.vsKeys[u]
+			if !ok {
+				ks = make(map[string]struct{})
+				x.vsKeys[u] = ks
+			}
+			ks[key] = struct{}{}
+		}
+	}
+	x.entries[key] = append(entry, v)
 	ks, ok := x.memberKeys[v]
 	if !ok {
 		ks = make(map[string]struct{})
 		x.memberKeys[v] = ks
 	}
 	ks[key] = struct{}{}
+}
+
+// dropEntryKey forgets an emptied/purged entry's key registrations on the
+// VS side.
+func (x *Index) dropEntryKey(key string) {
+	delete(x.entries, key)
+	for _, u := range decodeTupleKey(key) {
+		if ks := x.vsKeys[u]; ks != nil {
+			delete(ks, key)
+			if len(ks) == 0 {
+				delete(x.vsKeys, u)
+			}
+		}
+	}
 }
 
 // removeRow deletes node v from every entry it appears in.
@@ -117,12 +156,35 @@ func (x *Index) removeRow(v graph.NodeID) {
 			}
 		}
 		if len(entry) == 0 {
-			delete(x.entries, key)
+			x.dropEntryKey(key)
 		} else {
 			x.entries[key] = entry
 		}
 	}
 	delete(x.memberKeys, v)
+}
+
+// purgeVSNode deletes every entry whose VS tuple contains c (a node being
+// removed from the graph): the S-labeled set no longer exists, so its
+// common-neighbor list must go regardless of the members' own
+// neighborhoods. Cost is proportional to the affected entries.
+func (x *Index) purgeVSNode(c graph.NodeID) {
+	keys := x.vsKeys[c]
+	if len(keys) == 0 {
+		return
+	}
+	for key := range keys {
+		for _, w := range x.entries[key] {
+			if ks := x.memberKeys[w]; ks != nil {
+				delete(ks, key)
+				if len(ks) == 0 {
+					delete(x.memberKeys, w)
+				}
+			}
+		}
+		x.dropEntryKey(key)
+	}
+	delete(x.vsKeys, c)
 }
 
 // Lookup returns the common l-labeled neighbors of the S-labeled set vs.
@@ -281,11 +343,91 @@ func (s *IndexSet) SizeNodes() int {
 	return t
 }
 
+// clone deep-copies the index.
+func (x *Index) clone() *Index {
+	c := &Index{
+		c:          x.c,
+		entries:    make(map[string][]graph.NodeID, len(x.entries)),
+		memberKeys: make(map[graph.NodeID]map[string]struct{}, len(x.memberKeys)),
+		vsKeys:     make(map[graph.NodeID]map[string]struct{}, len(x.vsKeys)),
+	}
+	for k, e := range x.entries {
+		c.entries[k] = append([]graph.NodeID(nil), e...)
+	}
+	cloneKeys := func(dst map[graph.NodeID]map[string]struct{}, src map[graph.NodeID]map[string]struct{}) {
+		for v, ks := range src {
+			m := make(map[string]struct{}, len(ks))
+			for k := range ks {
+				m[k] = struct{}{}
+			}
+			dst[v] = m
+		}
+	}
+	cloneKeys(c.memberKeys, x.memberKeys)
+	cloneKeys(c.vsKeys, x.vsKeys)
+	return c
+}
+
+// Clone returns a deep copy of the set (sharing the schema, which is
+// immutable). The copy can be maintained independently — the versioned
+// store uses this for its second copy-on-write instance.
+func (s *IndexSet) Clone() *IndexSet {
+	c := &IndexSet{schema: s.schema, indexes: make([]*Index, len(s.indexes))}
+	for i, x := range s.indexes {
+		c.indexes[i] = x.clone()
+	}
+	return c
+}
+
+// maintainRows re-derives the index rows of the given nodes from g's
+// current state: each node is removed from every entry it appears in and,
+// if live and matching the constraint's l, re-inserted against its current
+// neighborhood. Cost is O(Σ degree(rows)), independent of |G|.
+func (s *IndexSet) maintainRows(g *graph.Graph, rows []graph.NodeID) {
+	for _, x := range s.indexes {
+		for _, v := range rows {
+			x.removeRow(v)
+			if g.Contains(v) && g.LabelOf(v) == x.c.L {
+				x.addRow(g, v)
+			}
+		}
+	}
+}
+
+// checkRows returns the cardinality violations among entries containing
+// any of the given nodes (at most one per constraint, carrying the worst
+// count). Because an entry's membership only changes through maintainRows
+// of a node it contains, checking the just-maintained rows finds every
+// violation an update introduced — in O(Σ |memberKeys(rows)|) instead of
+// the full-index scan of check() — provided the pre-update state held no
+// violations.
+func (s *IndexSet) checkRows(rows []graph.NodeID) []Violation {
+	var viols []Violation
+	for _, x := range s.indexes {
+		worst := 0
+		for _, v := range rows {
+			for key := range x.memberKeys[v] {
+				if n := len(x.entries[key]); n > x.c.N && n > worst {
+					worst = n
+				}
+			}
+		}
+		if worst > 0 {
+			viols = append(viols, Violation{Constraint: x.c, Count: worst})
+		}
+	}
+	return viols
+}
+
 // ApplyDelta applies d to g and incrementally maintains every index,
 // touching only ΔG ∪ NbG(ΔG) per §II of the paper. It returns the IDs
 // assigned to the delta's inserted nodes, any cardinality violations
 // introduced by the update (the indices are still maintained correctly in
 // that case), and the first structural error from applying the delta.
+//
+// ApplyDelta is best-effort: on a structural error the graph may be
+// partially updated, and a violating delta stays applied. The serving
+// path needs all-or-nothing semantics — use ApplyDeltaTx there.
 func (s *IndexSet) ApplyDelta(g *graph.Graph, d *graph.Delta) ([]graph.NodeID, []Violation, error) {
 	touched := d.Touched(g)
 	newIDs, err := d.Apply(g)
@@ -297,14 +439,7 @@ func (s *IndexSet) ApplyDelta(g *graph.Graph, d *graph.Delta) ([]graph.NodeID, [
 		recompute = append(recompute, v)
 	}
 	recompute = append(recompute, newIDs...)
-	for _, x := range s.indexes {
-		for _, v := range recompute {
-			x.removeRow(v)
-			if g.Contains(v) && g.LabelOf(v) == x.c.L {
-				x.addRow(g, v)
-			}
-		}
-	}
+	s.maintainRows(g, recompute)
 	var viols []Violation
 	for _, x := range s.indexes {
 		if v := x.check(); v != nil {
@@ -312,4 +447,93 @@ func (s *IndexSet) ApplyDelta(g *graph.Graph, d *graph.Delta) ([]graph.NodeID, [
 		}
 	}
 	return newIDs, viols, nil
+}
+
+// ViolationError is the error ApplyDeltaTx returns for a delta rejected
+// because it would break a cardinality bound.
+type ViolationError struct {
+	Violations []Violation
+}
+
+// Error renders the first violation (there is at least one).
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("access: delta rejected: %s", e.Violations[0].Error())
+}
+
+// DeltaResult reports an accepted ApplyDeltaTx: the IDs assigned to the
+// delta's inserted nodes, and every node whose adjacency actually changed
+// (edge endpoints, deleted nodes and their neighbors, plus the new IDs) —
+// exactly the rows an incremental Frozen.Refresh must re-read.
+type DeltaResult struct {
+	NewIDs  []graph.NodeID
+	Touched []graph.NodeID
+}
+
+// ApplyDeltaTx is the transactional ApplyDelta of the live serving path:
+// it applies d to g and maintains every index, but a delta that fails
+// structurally (bad node or edge reference) or breaks a cardinality bound
+// leaves both the graph and the indexes exactly untouched — including the
+// graph's node-ID space, so a rejected insert does not shift future IDs.
+// Violations surface as a *ViolationError; g must satisfy the schema's
+// bounds on entry (the scoped violation check relies on it).
+//
+// Maintenance work is proportional to the affected index rows, not |G|:
+// full row re-derivation happens only for nodes whose memberships may
+// change outside dying entries — explicit edge endpoints, the deleted
+// nodes themselves, and the inserted nodes. A deleted node's neighbors
+// are NOT re-derived: their own memberships change only in entries keyed
+// through the dead node (an entry's membership is a pure function of the
+// member's unchanged-elsewhere neighborhood plus the liveness of its VS
+// tuple), and purgeVSNode drops exactly those entries via the VS-side
+// reverse map. Deleting a node next to a hub therefore costs the
+// affected entries, not a re-derivation of the hub's whole row.
+func (s *IndexSet) ApplyDeltaTx(g *graph.Graph, d *graph.Delta) (*DeltaResult, error) {
+	// changed: every pre-existing node whose adjacency the delta touches
+	// (the rows a Frozen.Refresh must re-read, and the rollback set).
+	// maintain ⊆ changed: the rows whose index derivations must re-run.
+	changed, maintain := d.ChangedRows(g)
+	var deleted []graph.NodeID
+	for _, v := range d.DelNodes {
+		if g.Contains(v) {
+			deleted = append(deleted, v)
+		}
+	}
+	newIDs, undo, err := d.ApplyLogged(g)
+	if err != nil {
+		undo.Revert(g)
+		return nil, err
+	}
+	rows := make([]graph.NodeID, 0, len(maintain)+len(newIDs))
+	for v := range maintain {
+		rows = append(rows, v)
+	}
+	rows = append(rows, newIDs...)
+	for _, x := range s.indexes {
+		for _, c := range deleted {
+			x.purgeVSNode(c)
+		}
+	}
+	s.maintainRows(g, rows)
+	if viols := s.checkRows(rows); len(viols) > 0 {
+		undo.Revert(g)
+		// Roll back by re-deriving the FULL changed set against the
+		// restored graph: that rebuilds the purged entries too, since
+		// every member of a purged entry neighbored a deleted node and is
+		// therefore in changed, and membership is a pure function of the
+		// graph's current neighborhoods.
+		rollback := rows
+		for v := range changed {
+			if _, ok := maintain[v]; !ok {
+				rollback = append(rollback, v)
+			}
+		}
+		s.maintainRows(g, rollback)
+		return nil, &ViolationError{Violations: viols}
+	}
+	touched := make([]graph.NodeID, 0, len(changed)+len(newIDs))
+	for v := range changed {
+		touched = append(touched, v)
+	}
+	touched = append(touched, newIDs...)
+	return &DeltaResult{NewIDs: newIDs, Touched: touched}, nil
 }

@@ -97,18 +97,14 @@ func ReadIndexSet(r io.Reader, in *graph.Interner) (*IndexSet, error) {
 	}
 	set := &IndexSet{schema: schema, indexes: make([]*Index, schema.Count())}
 	for i, ji := range js.Indexes {
-		x := &Index{
-			c:          schema.At(i),
-			entries:    make(map[string][]graph.NodeID, len(ji.Entries)),
-			memberKeys: make(map[graph.NodeID]map[string]struct{}),
-		}
+		x := newIndex(schema.At(i))
 		for _, e := range ji.Entries {
 			if len(e.VS) != x.c.Arity() {
 				return nil, fmt.Errorf("access: constraint %d: entry arity %d != |S| %d", i, len(e.VS), x.c.Arity())
 			}
 			key := encodeKey(e.VS)
 			for _, m := range e.Members {
-				x.insert(key, m)
+				x.insert(key, e.VS, m)
 			}
 		}
 		set.indexes[i] = x

@@ -1,0 +1,147 @@
+package access
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"boundedg/internal/graph"
+)
+
+// indexBytes canonicalizes an index set (WriteJSON sorts entries and
+// members), so byte equality means semantic equality.
+func indexBytes(t *testing.T, set *IndexSet, in *graph.Interner) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func graphBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestApplyDeltaTxAccepts(t *testing.T) {
+	g, lbl := imdbMini(t)
+	schema := a0(lbl)
+	set, viols := Build(g, schema)
+	if viols != nil {
+		t.Fatal(viols)
+	}
+	d := &graph.Delta{
+		AddNodes: []graph.NodeSpec{{Label: lbl["movie"], Value: graph.IntValue(999)}},
+		AddEdges: [][2]graph.NodeID{
+			{graph.NewNodeRef(0), g.NodesByLabel(lbl["year"])[0]},
+		},
+	}
+	res, err := set.ApplyDeltaTx(g, d)
+	if err != nil {
+		t.Fatalf("ApplyDeltaTx: %v", err)
+	}
+	if len(res.NewIDs) != 1 || !g.Contains(res.NewIDs[0]) {
+		t.Fatalf("NewIDs = %v", res.NewIDs)
+	}
+	if len(res.Touched) == 0 {
+		t.Fatal("Touched empty for a delta that changed neighborhoods")
+	}
+	assertIndexesMatchRebuild(t, g, schema, set)
+}
+
+func TestApplyDeltaTxRejectsViolationUntouched(t *testing.T) {
+	g, lbl := imdbMini(t)
+	// Exact bound: 2 movies per (year, award); one more violates.
+	schema := NewSchema(
+		MustNew([]graph.Label{lbl["year"], lbl["award"]}, lbl["movie"], 2),
+		MustNew([]graph.Label{lbl["movie"]}, lbl["actor"], 30),
+	)
+	set, viols := Build(g, schema)
+	if viols != nil {
+		t.Fatal(viols)
+	}
+	gBefore := graphBytes(t, g)
+	xBefore := indexBytes(t, set, g.Interner())
+	capBefore := g.Cap()
+
+	d := &graph.Delta{
+		AddNodes: []graph.NodeSpec{{Label: lbl["movie"]}},
+		AddEdges: [][2]graph.NodeID{
+			{graph.NewNodeRef(0), g.NodesByLabel(lbl["year"])[0]},
+			{graph.NewNodeRef(0), g.NodesByLabel(lbl["award"])[0]},
+		},
+	}
+	_, err := set.ApplyDeltaTx(g, d)
+	var verr *ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("err = %v, want *ViolationError", err)
+	}
+	if len(verr.Violations) != 1 || verr.Violations[0].Count != 3 {
+		t.Fatalf("violations = %v, want one with count 3", verr.Violations)
+	}
+	if !bytes.Equal(graphBytes(t, g), gBefore) {
+		t.Fatal("graph changed by a rejected delta")
+	}
+	if !bytes.Equal(indexBytes(t, set, g.Interner()), xBefore) {
+		t.Fatal("indexes changed by a rejected delta")
+	}
+	if g.Cap() != capBefore {
+		t.Fatalf("ID space grew from %d to %d on rejection", capBefore, g.Cap())
+	}
+	// The state must still accept further (valid) updates cleanly.
+	ok := &graph.Delta{AddNodes: []graph.NodeSpec{{Label: lbl["actor"]}}}
+	if _, err := set.ApplyDeltaTx(g, ok); err != nil {
+		t.Fatalf("valid delta after rejection: %v", err)
+	}
+	assertIndexesMatchRebuild(t, g, schema, set)
+}
+
+func TestApplyDeltaTxRejectsStructuralUntouched(t *testing.T) {
+	g, lbl := imdbMini(t)
+	schema := a0(lbl)
+	set, _ := Build(g, schema)
+	gBefore := graphBytes(t, g)
+	xBefore := indexBytes(t, set, g.Interner())
+
+	d := &graph.Delta{
+		AddNodes: []graph.NodeSpec{{Label: lbl["movie"]}},
+		AddEdges: [][2]graph.NodeID{{graph.NewNodeRef(0), g.NodesByLabel(lbl["year"])[0]}},
+		DelNodes: []graph.NodeID{graph.NodeID(999999)},
+	}
+	if _, err := set.ApplyDeltaTx(g, d); err == nil {
+		t.Fatal("structural error not reported")
+	}
+	if !bytes.Equal(graphBytes(t, g), gBefore) {
+		t.Fatal("graph changed by a structurally failing delta")
+	}
+	if !bytes.Equal(indexBytes(t, set, g.Interner()), xBefore) {
+		t.Fatal("indexes changed by a structurally failing delta")
+	}
+}
+
+func TestIndexSetCloneIndependent(t *testing.T) {
+	g, lbl := imdbMini(t)
+	schema := a0(lbl)
+	set, _ := Build(g, schema)
+	in := g.Interner()
+	orig := indexBytes(t, set, in)
+
+	g2 := g.Clone()
+	cl := set.Clone()
+	if !bytes.Equal(indexBytes(t, cl, in), orig) {
+		t.Fatal("clone differs from original")
+	}
+	d := &graph.Delta{DelNodes: []graph.NodeID{g2.NodesByLabel(lbl["movie"])[0]}}
+	if _, err := cl.ApplyDeltaTx(g2, d); err != nil {
+		t.Fatalf("ApplyDeltaTx on clone: %v", err)
+	}
+	if !bytes.Equal(indexBytes(t, set, in), orig) {
+		t.Fatal("mutating the clone changed the original")
+	}
+	assertIndexesMatchRebuild(t, g2, schema, cl)
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Delta is a batch of updates ΔG to a graph: node insertions, edge
 // insertions, edge deletions, and node deletions (which also delete
 // incident edges). It is the unit of change used by the access-schema
@@ -64,14 +66,98 @@ func (d *Delta) Touched(g *Graph) map[NodeID]struct{} {
 	return touched
 }
 
+// ChangedRows returns two views of the pre-existing nodes the delta
+// affects, computed in one pass against the graph state *before* Apply
+// (nodes the delta itself inserts are reported by Apply):
+//
+//   - changed: every node whose adjacency is modified — endpoints of
+//     inserted/deleted edges, deleted nodes, and the neighbors of deleted
+//     nodes (which lose the incident edges). Unlike Touched it does NOT
+//     include neighbors of edge endpoints, whose adjacency is unchanged.
+//   - direct ⊆ changed: the nodes the delta names explicitly — edge
+//     endpoints and deleted nodes, without the deleted nodes' neighbors.
+//     Index maintenance re-derives only these (a deleted node's neighbors
+//     are covered by the entry purge instead).
+func (d *Delta) ChangedRows(g *Graph) (changed, direct map[NodeID]struct{}) {
+	changed = make(map[NodeID]struct{})
+	direct = make(map[NodeID]struct{})
+	add := func(v NodeID) {
+		if v >= 0 && g.Contains(v) {
+			changed[v] = struct{}{}
+			direct[v] = struct{}{}
+		}
+	}
+	for _, e := range d.AddEdges {
+		add(e[0])
+		add(e[1])
+	}
+	for _, e := range d.DelEdges {
+		add(e[0])
+		add(e[1])
+	}
+	for _, v := range d.DelNodes {
+		if v < 0 || !g.Contains(v) {
+			continue
+		}
+		add(v)
+		for _, w := range g.Neighbors(v) {
+			changed[w] = struct{}{}
+		}
+	}
+	return changed, direct
+}
+
+// Clone returns an independent copy of the delta (all operation slices
+// are copied; the elements are values).
+func (d *Delta) Clone() *Delta {
+	return &Delta{
+		AddNodes: append([]NodeSpec(nil), d.AddNodes...),
+		AddEdges: append([][2]NodeID(nil), d.AddEdges...),
+		DelEdges: append([][2]NodeID(nil), d.DelEdges...),
+		DelNodes: append([]NodeID(nil), d.DelNodes...),
+	}
+}
+
+// Empty reports whether the delta carries no operations.
+func (d *Delta) Empty() bool {
+	return len(d.AddNodes) == 0 && len(d.AddEdges) == 0 &&
+		len(d.DelEdges) == 0 && len(d.DelNodes) == 0
+}
+
+// Size returns the number of operations in the delta (|ΔG|).
+func (d *Delta) Size() int {
+	return len(d.AddNodes) + len(d.AddEdges) + len(d.DelEdges) + len(d.DelNodes)
+}
+
 // Apply applies the delta to g in the order: node inserts, edge inserts,
 // edge deletes, node deletes. It returns the IDs assigned to AddNodes and
 // the first error encountered (the graph may be partially updated on
-// error).
+// error; use ApplyLogged when that must not happen).
 func (d *Delta) Apply(g *Graph) ([]NodeID, error) {
+	ids, _, err := d.apply(g, nil)
+	return ids, err
+}
+
+// ApplyLogged is Apply with an undo log: every mutation performed on g is
+// recorded in the returned Undo, whose Revert restores g to its exact
+// pre-Apply state — including the node-ID space, so a reverted delta
+// leaves no tombstones and does not shift future AddNode IDs. The Undo is
+// valid (and must be used, if at all) before any further mutation of g.
+// On error the caller decides: Revert for all-or-nothing semantics, or
+// keep the partial application.
+func (d *Delta) ApplyLogged(g *Graph) ([]NodeID, *Undo, error) {
+	u := &Undo{}
+	ids, _, err := d.apply(g, u)
+	return ids, u, err
+}
+
+func (d *Delta) apply(g *Graph, u *Undo) ([]NodeID, *Undo, error) {
 	newIDs := make([]NodeID, len(d.AddNodes))
 	for i, spec := range d.AddNodes {
 		newIDs[i] = g.AddNode(spec.Label, spec.Value)
+		if u != nil {
+			u.log = append(u.log, undoOp{kind: undoAddNode, v: newIDs[i]})
+		}
 	}
 	resolve := func(id NodeID) NodeID {
 		if k, ok := IsNewNodeRef(id); ok {
@@ -84,19 +170,109 @@ func (d *Delta) Apply(g *Graph) ([]NodeID, error) {
 	}
 	for _, e := range d.AddEdges {
 		from, to := resolve(e[0]), resolve(e[1])
-		if err := g.AddEdge(from, to); err != nil && err != ErrDupEdge {
-			return newIDs, err
+		if err := g.AddEdge(from, to); err != nil {
+			if err == ErrDupEdge {
+				continue // not logged: the edge was not inserted by us
+			}
+			return newIDs, u, err
+		}
+		if u != nil {
+			u.log = append(u.log, undoOp{kind: undoAddEdge, v: from, w: to})
 		}
 	}
 	for _, e := range d.DelEdges {
 		if err := g.RemoveEdge(e[0], e[1]); err != nil {
-			return newIDs, err
+			return newIDs, u, err
+		}
+		if u != nil {
+			u.log = append(u.log, undoOp{kind: undoDelEdge, v: e[0], w: e[1]})
 		}
 	}
 	for _, v := range d.DelNodes {
+		var op undoOp
+		if u != nil {
+			// Capture the node at deletion time: label, value, and the
+			// adjacency RemoveNode is about to tear down.
+			op = undoOp{
+				kind:  undoDelNode,
+				v:     v,
+				label: g.LabelOf(v),
+				value: g.ValueOf(v),
+				out:   append([]NodeID(nil), g.Out(v)...),
+				in:    append([]NodeID(nil), g.In(v)...),
+			}
+		}
 		if err := g.RemoveNode(v); err != nil {
-			return newIDs, err
+			return newIDs, u, err
+		}
+		if u != nil {
+			u.log = append(u.log, op)
 		}
 	}
-	return newIDs, nil
+	return newIDs, u, nil
+}
+
+type undoKind uint8
+
+const (
+	undoAddNode undoKind = iota
+	undoAddEdge
+	undoDelEdge
+	undoDelNode
+)
+
+type undoOp struct {
+	kind  undoKind
+	v, w  NodeID
+	label Label
+	value Value
+	out   []NodeID
+	in    []NodeID
+}
+
+// Undo is the mutation log of one ApplyLogged call. Revert replays it
+// backwards, restoring the graph bit-for-bit: deleted nodes are revived
+// under their original IDs with their captured adjacency, and inserted
+// nodes are dropped from the end of the ID space (no tombstones), so the
+// graph's future ID assignment is unaffected by the reverted delta.
+type Undo struct {
+	log []undoOp
+}
+
+// Revert undoes every logged mutation, newest first. The graph must not
+// have been mutated since the ApplyLogged that produced this Undo; any
+// failure to restore indicates such outside interference and panics.
+func (u *Undo) Revert(g *Graph) {
+	for i := len(u.log) - 1; i >= 0; i-- {
+		op := u.log[i]
+		switch op.kind {
+		case undoAddNode:
+			// All edges touching the node were logged after its insertion
+			// and are already reverted, so it is edge-free by now.
+			g.dropLastNode(op.v)
+		case undoAddEdge:
+			if err := g.RemoveEdge(op.v, op.w); err != nil {
+				panic(fmt.Sprintf("graph: revert add-edge (%d,%d): %v", op.v, op.w, err))
+			}
+		case undoDelEdge:
+			if err := g.AddEdge(op.v, op.w); err != nil {
+				panic(fmt.Sprintf("graph: revert del-edge (%d,%d): %v", op.v, op.w, err))
+			}
+		case undoDelNode:
+			g.restoreNode(op.v, op.label, op.value)
+			// Shared edges between two deleted nodes are captured on both
+			// sides; the duplicate re-insertion is skipped.
+			for _, w := range op.out {
+				if err := g.AddEdge(op.v, w); err != nil && err != ErrDupEdge {
+					panic(fmt.Sprintf("graph: revert del-node %d out-edge to %d: %v", op.v, w, err))
+				}
+			}
+			for _, w := range op.in {
+				if err := g.AddEdge(w, op.v); err != nil && err != ErrDupEdge {
+					panic(fmt.Sprintf("graph: revert del-node %d in-edge from %d: %v", op.v, w, err))
+				}
+			}
+		}
+	}
+	u.log = nil
 }

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonDelta is the wire form of a Delta: labels are spelled out as strings
+// so documents are self-contained, and AddEdges endpoints keep the
+// NewNodeRef encoding (-1-k refers to add_nodes[k]) verbatim.
+type jsonDelta struct {
+	AddNodes []jsonDeltaNode `json:"add_nodes,omitempty"`
+	AddEdges [][2]NodeID     `json:"add_edges,omitempty"`
+	DelEdges [][2]NodeID     `json:"del_edges,omitempty"`
+	DelNodes []NodeID        `json:"del_nodes,omitempty"`
+}
+
+type jsonDeltaNode struct {
+	Label string `json:"label"`
+	Value Value  `json:"value,omitzero"`
+}
+
+// WriteJSON serializes d to w as a single JSON document, resolving label
+// names through in.
+func (d *Delta) WriteJSON(w io.Writer, in *Interner) error {
+	jd := jsonDelta{
+		AddEdges: d.AddEdges,
+		DelEdges: d.DelEdges,
+		DelNodes: d.DelNodes,
+	}
+	for _, spec := range d.AddNodes {
+		jd.AddNodes = append(jd.AddNodes, jsonDeltaNode{Label: in.Name(spec.Label), Value: spec.Value})
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(jd); err != nil {
+		return fmt.Errorf("graph: encode delta: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadDeltaJSON parses a delta written by Delta.WriteJSON. Decoding is
+// strict: unknown fields, trailing data, out-of-range NewNodeRef indices
+// in add_edges, and negative IDs in del_edges/del_nodes (where no
+// new-node encoding exists) are all rejected — a delta that passes here
+// can still fail structurally against a particular graph, but it is at
+// least self-consistent. Labels are interned through in.
+func ReadDeltaJSON(r io.Reader, in *Interner) (*Delta, error) {
+	var jd jsonDelta
+	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("graph: decode delta: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("graph: decode delta: trailing data after document")
+	}
+	// Validate before interning anything: a malformed document must not
+	// grow the (permanent) interner.
+	for i, e := range jd.AddEdges {
+		for _, id := range e {
+			if k, ok := IsNewNodeRef(id); ok && k >= len(jd.AddNodes) {
+				return nil, fmt.Errorf("graph: decode delta: add_edges[%d] references add_nodes[%d] of %d", i, k, len(jd.AddNodes))
+			}
+		}
+	}
+	for i, e := range jd.DelEdges {
+		if e[0] < 0 || e[1] < 0 {
+			return nil, fmt.Errorf("graph: decode delta: del_edges[%d] has a negative endpoint", i)
+		}
+	}
+	for i, v := range jd.DelNodes {
+		if v < 0 {
+			return nil, fmt.Errorf("graph: decode delta: del_nodes[%d] is negative", i)
+		}
+	}
+	d := &Delta{
+		AddEdges: jd.AddEdges,
+		DelEdges: jd.DelEdges,
+		DelNodes: jd.DelNodes,
+	}
+	for _, n := range jd.AddNodes {
+		// Value decodes through its own strict codec (null, integral
+		// number, or string), so n.Value is well-formed here.
+		d.AddNodes = append(d.AddNodes, NodeSpec{Label: in.Intern(n.Label), Value: n.Value})
+	}
+	return d, nil
+}

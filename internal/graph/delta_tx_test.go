@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fingerprint captures a graph's full observable state in canonical form:
+// per-ID label/value (tombstones included), the sorted edge set, sorted
+// per-label node sets, and the counters. Two graphs with equal
+// fingerprints answer every query identically and assign the same future
+// node IDs.
+type fingerprint struct {
+	Labels   []Label
+	Values   []Value
+	Edges    [][2]NodeID
+	ByLabel  map[Label][]NodeID
+	N, E     int
+	Cap      int
+	OutDegs  []int
+	InDegs   []int
+	NextNode NodeID
+}
+
+func fingerprintOf(g *Graph) fingerprint {
+	fp := fingerprint{
+		Labels:  append([]Label(nil), g.labels...),
+		Values:  append([]Value(nil), g.values...),
+		ByLabel: make(map[Label][]NodeID),
+		N:       g.NumNodes(),
+		E:       g.NumEdges(),
+		Cap:     g.Cap(),
+	}
+	g.Edges(func(from, to NodeID) bool {
+		fp.Edges = append(fp.Edges, [2]NodeID{from, to})
+		return true
+	})
+	sort.Slice(fp.Edges, func(i, j int) bool {
+		if fp.Edges[i][0] != fp.Edges[j][0] {
+			return fp.Edges[i][0] < fp.Edges[j][0]
+		}
+		return fp.Edges[i][1] < fp.Edges[j][1]
+	})
+	for _, l := range g.Labels() {
+		fp.ByLabel[l] = sortedIDs(g.NodesByLabel(l))
+	}
+	for v := NodeID(0); int(v) < g.Cap(); v++ {
+		fp.OutDegs = append(fp.OutDegs, len(g.Out(v)))
+		fp.InDegs = append(fp.InDegs, len(g.In(v)))
+	}
+	return fp
+}
+
+func deltaTestGraph() (*Graph, []NodeID) {
+	g := New(nil)
+	ids := make([]NodeID, 6)
+	for i := range ids {
+		ids[i] = g.AddNodeNamed([]string{"A", "B", "C"}[i%3], IntValue(int64(i)))
+	}
+	g.MustAddEdge(ids[0], ids[1])
+	g.MustAddEdge(ids[1], ids[2])
+	g.MustAddEdge(ids[2], ids[3])
+	g.MustAddEdge(ids[3], ids[0])
+	g.MustAddEdge(ids[4], ids[1])
+	g.MustAddEdge(ids[1], ids[4])
+	return g, ids
+}
+
+func TestApplyLoggedRevertRestoresExactly(t *testing.T) {
+	g, ids := deltaTestGraph()
+	b := g.Interner().Intern("B")
+	deltas := []*Delta{
+		// Inserts wired to existing and fresh nodes.
+		{
+			AddNodes: []NodeSpec{{Label: b, Value: StringValue("x")}, {Label: b}},
+			AddEdges: [][2]NodeID{{NewNodeRef(0), ids[2]}, {NewNodeRef(0), NewNodeRef(1)}, {ids[0], NewNodeRef(1)}},
+		},
+		// Edge churn.
+		{AddEdges: [][2]NodeID{{ids[0], ids[2]}, {ids[2], ids[0]}}, DelEdges: [][2]NodeID{{ids[0], ids[1]}}},
+		// Node deletion with incident edges on both sides.
+		{DelNodes: []NodeID{ids[1]}},
+		// Everything at once: new node wired to a node the same delta
+		// deletes (the captured adjacency of the deleted node references
+		// the new node).
+		{
+			AddNodes: []NodeSpec{{Label: b}},
+			AddEdges: [][2]NodeID{{NewNodeRef(0), ids[4]}},
+			DelEdges: [][2]NodeID{{ids[1], ids[2]}},
+			DelNodes: []NodeID{ids[4], ids[0]},
+		},
+		// Two deleted nodes sharing edges (shared-capture dedup).
+		{DelNodes: []NodeID{ids[1], ids[4]}},
+	}
+	for i, d := range deltas {
+		before := fingerprintOf(g)
+		_, undo, err := d.ApplyLogged(g)
+		if err != nil {
+			t.Fatalf("delta %d: ApplyLogged: %v", i, err)
+		}
+		if reflect.DeepEqual(fingerprintOf(g), before) && !d.Empty() {
+			t.Fatalf("delta %d: apply was a no-op", i)
+		}
+		undo.Revert(g)
+		if got := fingerprintOf(g); !reflect.DeepEqual(got, before) {
+			t.Fatalf("delta %d: revert did not restore the graph:\n got %+v\nwant %+v", i, got, before)
+		}
+		// The ID space must be untouched: the next insert gets the same ID
+		// as on a graph that never saw the delta.
+		if want := NodeID(before.Cap); g.AddNode(b, Value{}) != want {
+			t.Fatalf("delta %d: ID space shifted after revert", i)
+		}
+		if err := g.RemoveNode(NodeID(before.Cap)); err != nil {
+			t.Fatal(err)
+		}
+		// Clean up the probe tombstone for the next iteration.
+		g.labels = g.labels[:before.Cap]
+		g.values = g.values[:before.Cap]
+		g.out = g.out[:before.Cap]
+		g.in = g.in[:before.Cap]
+	}
+}
+
+func TestApplyLoggedRevertOnStructuralError(t *testing.T) {
+	g, ids := deltaTestGraph()
+	before := fingerprintOf(g)
+	d := &Delta{
+		AddNodes: []NodeSpec{{Label: g.Interner().Intern("C")}},
+		AddEdges: [][2]NodeID{{NewNodeRef(0), ids[0]}},
+		DelEdges: [][2]NodeID{{ids[0], ids[2]}}, // does not exist
+	}
+	_, undo, err := d.ApplyLogged(g)
+	if err != ErrNoSuchEdge {
+		t.Fatalf("err = %v, want ErrNoSuchEdge", err)
+	}
+	undo.Revert(g)
+	if got := fingerprintOf(g); !reflect.DeepEqual(got, before) {
+		t.Fatalf("revert after mid-delta error did not restore the graph:\n got %+v\nwant %+v", got, before)
+	}
+}
+
+func TestApplyLoggedRandomizedRevert(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := New(nil)
+	labels := []Label{g.Interner().Intern("A"), g.Interner().Intern("B")}
+	for i := 0; i < 40; i++ {
+		g.AddNode(labels[i%2], IntValue(int64(i)))
+	}
+	for i := 0; i < 120; i++ {
+		g.AddEdgeIfAbsent(NodeID(r.Intn(40)), NodeID(r.Intn(40)))
+	}
+	for step := 0; step < 200; step++ {
+		d := &Delta{}
+		for k := 0; k < 1+r.Intn(4); k++ {
+			switch r.Intn(4) {
+			case 0:
+				d.AddNodes = append(d.AddNodes, NodeSpec{Label: labels[r.Intn(2)]})
+				d.AddEdges = append(d.AddEdges, [2]NodeID{NewNodeRef(len(d.AddNodes) - 1), NodeID(r.Intn(g.Cap()))})
+			case 1:
+				d.AddEdges = append(d.AddEdges, [2]NodeID{NodeID(r.Intn(g.Cap())), NodeID(r.Intn(g.Cap()))})
+			case 2:
+				d.DelEdges = append(d.DelEdges, [2]NodeID{NodeID(r.Intn(g.Cap())), NodeID(r.Intn(g.Cap()))})
+			case 3:
+				d.DelNodes = append(d.DelNodes, NodeID(r.Intn(g.Cap())))
+			}
+		}
+		before := fingerprintOf(g)
+		_, undo, _ := d.ApplyLogged(g) // errors expected: random dels often miss
+		undo.Revert(g)
+		if got := fingerprintOf(g); !reflect.DeepEqual(got, before) {
+			t.Fatalf("step %d: revert diverged for delta %+v", step, d)
+		}
+	}
+}
+
+func TestDeltaJSONRoundTrip(t *testing.T) {
+	in := NewInterner()
+	d := &Delta{
+		AddNodes: []NodeSpec{
+			{Label: in.Intern("movie"), Value: StringValue("Up")},
+			{Label: in.Intern("year"), Value: IntValue(2009)},
+		},
+		AddEdges: [][2]NodeID{{NewNodeRef(0), NewNodeRef(1)}, {NewNodeRef(0), 7}},
+		DelEdges: [][2]NodeID{{3, 4}},
+		DelNodes: []NodeID{9},
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDeltaJSON(bytes.NewReader(buf.Bytes()), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, d)
+	}
+}
+
+func TestDeltaJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":        `{"nodes": []}`,
+		"misspelled field":     `{"add_node": [{"label": "a"}]}`,
+		"trailing data":        `{"del_nodes": [1]} {"del_nodes": [2]}`,
+		"dangling new-node":    `{"add_nodes": [{"label": "a"}], "add_edges": [[-2, 0]]}`,
+		"negative del edge":    `{"del_edges": [[-1, 3]]}`,
+		"negative del node":    `{"del_nodes": [-1]}`,
+		"object value":         `{"add_nodes": [{"label": "a", "value": {"Kind": 9}}]}`,
+		"fractional value":     `{"add_nodes": [{"label": "a", "value": 1.5}]}`,
+		"not a delta document": `[1, 2, 3]`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadDeltaJSON(strings.NewReader(doc), NewInterner()); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzDeltaJSON checks that arbitrary input never panics the codec, that
+// whatever decodes re-encodes canonically (decode → encode → decode is a
+// fixpoint, NewNodeRef negative encodings included), and that applying the
+// decoded delta transactionally leaves a reverted graph bit-identical.
+func FuzzDeltaJSON(f *testing.F) {
+	f.Add([]byte(`{"add_nodes": [{"label": "movie", "value": "Up"}, {"label": "year", "value": 2009}], "add_edges": [[-1, 0], [-2, -1]]}`))
+	f.Add([]byte(`{"add_edges": [[0, 1]], "del_edges": [[1, 2]], "del_nodes": [3]}`))
+	f.Add([]byte(`{"nodes": []}`))
+	f.Add([]byte(`{"del_nodes": [-1]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := NewInterner()
+		d, err := ReadDeltaJSON(bytes.NewReader(data), in)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf, in); err != nil {
+			t.Fatalf("encode decoded delta: %v", err)
+		}
+		d2, err := ReadDeltaJSON(bytes.NewReader(buf.Bytes()), in)
+		if err != nil {
+			t.Fatalf("re-decode own encoding %q: %v", buf.Bytes(), err)
+		}
+		var buf2 bytes.Buffer
+		if err := d2.WriteJSON(&buf2, in); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("encoding not canonical:\n first %q\nsecond %q", buf.Bytes(), buf2.Bytes())
+		}
+		g := New(in)
+		a := g.AddNodeNamed("A", Value{})
+		b := g.AddNodeNamed("B", Value{})
+		g.MustAddEdge(a, b)
+		before := fingerprintOf(g)
+		_, undo, _ := d.ApplyLogged(g)
+		undo.Revert(g)
+		if !reflect.DeepEqual(fingerprintOf(g), before) {
+			t.Fatalf("apply+revert changed the graph for delta %+v", d)
+		}
+	})
+}

@@ -12,16 +12,46 @@ import "sort"
 // Freeze costs O(|V| + |E| log d) and the snapshot holds 2|E| node IDs, so
 // long-running read paths (the bounded-evaluation runtime, batch servers)
 // freeze once and amortize across queries.
+//
+// Under live updates, Refresh derives the next snapshot from the previous
+// one in time proportional to the rows that changed (|NbG(ΔG)|, not |G|):
+// changed rows live in small per-epoch patch maps chained onto the shared
+// base arrays, and lookups consult the chain newest-first. The chain is
+// flattened when it grows deep and fully re-frozen when the patched
+// fraction of the ID space gets large, so lookup overhead and amortized
+// refresh cost both stay bounded.
 type Frozen struct {
+	// Base CSR arrays; populated only on the chain root.
 	outStart []int32
 	outAdj   []NodeID
 	inStart  []int32
 	inAdj    []NodeID
+
+	// Patch layer; nil on a root built by Freeze. Rows present in a patch
+	// override every older layer and the base (a nil slice marks a row
+	// emptied by deletion).
+	parent   *Frozen
+	patchOut map[NodeID][]NodeID
+	patchIn  map[NodeID][]NodeID
+
+	capN     int // dense ID space of the snapshot (grows with inserts)
+	numEdges int
+	depth    int // chain length above the root
+	patched  int // cumulative patched-row count across the chain
 }
+
+// maxPatchDepth bounds the lookup chain: at this depth Refresh merges all
+// patch layers into one, so Out/In never probe more than maxPatchDepth
+// maps before reaching the base arrays.
+const maxPatchDepth = 8
+
+// refreezeMinRows is the patched-row floor below which Refresh never falls
+// back to a full Freeze, keeping small graphs incremental too.
+const refreezeMinRows = 1024
 
 // Freeze builds a CSR snapshot of g's current adjacency.
 func (g *Graph) Freeze() *Frozen {
-	f := &Frozen{}
+	f := &Frozen{capN: g.Cap(), numEdges: g.NumEdges()}
 	f.outStart, f.outAdj = buildCSR(g.out)
 	f.inStart, f.inAdj = buildCSR(g.in)
 	return f
@@ -44,25 +74,119 @@ func buildCSR(adj [][]NodeID) ([]int32, []NodeID) {
 	return start, flat
 }
 
+// Refresh returns a snapshot of g sharing everything with f except the
+// given rows, whose adjacency is re-read from g (sorted). rows must cover
+// every node whose neighborhood changed since f was taken — for a
+// graph.Delta that is ΔG ∪ NbG(ΔG): endpoints of inserted/deleted edges,
+// inserted and deleted nodes, and neighbors of deleted nodes. Duplicate
+// and negative entries are ignored.
+//
+// Cost is O(Σ degree(rows)) plus, every maxPatchDepth epochs, a flatten
+// pass over the live patch rows. When the cumulative patched rows exceed
+// a quarter of the ID space the refresh amortizes into a full Freeze —
+// by then Ω(|V|/4) row-work has been paid in, so the O(|G|) rebuild stays
+// proportional to the update work that provoked it. f is not modified;
+// snapshots already handed out keep their view.
+func (f *Frozen) Refresh(g *Graph, rows []NodeID) *Frozen {
+	capN := g.Cap()
+	if f.patched+len(rows) > refreezeMinRows && (f.patched+len(rows))*4 > capN {
+		return g.Freeze()
+	}
+	nf := &Frozen{
+		parent:   f,
+		patchOut: make(map[NodeID][]NodeID, len(rows)),
+		patchIn:  make(map[NodeID][]NodeID, len(rows)),
+		capN:     capN,
+		numEdges: g.NumEdges(),
+		depth:    f.depth + 1,
+	}
+	for _, v := range rows {
+		if v < 0 || int(v) >= capN {
+			continue
+		}
+		if _, dup := nf.patchOut[v]; dup {
+			continue
+		}
+		nf.patchOut[v] = sortedCopy(g.Out(v))
+		nf.patchIn[v] = sortedCopy(g.In(v))
+	}
+	nf.patched = f.patched + len(nf.patchOut)
+	if nf.depth >= maxPatchDepth {
+		nf.flatten()
+	}
+	return nf
+}
+
+// flatten merges the whole patch chain into nf, leaving the root as its
+// only parent. Newer layers win; cost is O(live patched rows).
+func (nf *Frozen) flatten() {
+	root := nf.parent
+	for p := nf.parent; p.parent != nil; p = p.parent {
+		for v, run := range p.patchOut {
+			if _, ok := nf.patchOut[v]; !ok {
+				nf.patchOut[v] = run
+			}
+		}
+		for v, run := range p.patchIn {
+			if _, ok := nf.patchIn[v]; !ok {
+				nf.patchIn[v] = run
+			}
+		}
+		root = p.parent
+	}
+	nf.parent = root
+	nf.depth = 1
+	nf.patched = len(nf.patchOut)
+}
+
+func sortedCopy(run []NodeID) []NodeID {
+	if len(run) == 0 {
+		return nil
+	}
+	out := append([]NodeID(nil), run...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
 // Cap returns the size of the snapshot's dense ID space.
-func (f *Frozen) Cap() int { return len(f.outStart) - 1 }
+func (f *Frozen) Cap() int { return f.capN }
 
 // Out returns the sorted out-neighbors of v. The slice aliases the
 // snapshot; do not mutate it.
 func (f *Frozen) Out(v NodeID) []NodeID {
-	if v < 0 || int(v) >= f.Cap() {
+	if v < 0 || int(v) >= f.capN {
 		return nil
 	}
-	return f.outAdj[f.outStart[v]:f.outStart[v+1]]
+	p := f
+	for p.parent != nil {
+		if run, ok := p.patchOut[v]; ok {
+			return run
+		}
+		p = p.parent
+	}
+	if int(v) >= len(p.outStart)-1 {
+		return nil // inserted after the base was frozen, never patched
+	}
+	return p.outAdj[p.outStart[v]:p.outStart[v+1]]
 }
 
 // In returns the sorted in-neighbors of v. The slice aliases the snapshot;
 // do not mutate it.
 func (f *Frozen) In(v NodeID) []NodeID {
-	if v < 0 || int(v) >= f.Cap() {
+	if v < 0 || int(v) >= f.capN {
 		return nil
 	}
-	return f.inAdj[f.inStart[v]:f.inStart[v+1]]
+	p := f
+	for p.parent != nil {
+		if run, ok := p.patchIn[v]; ok {
+			return run
+		}
+		p = p.parent
+	}
+	if int(v) >= len(p.inStart)-1 {
+		return nil
+	}
+	return p.inAdj[p.inStart[v]:p.inStart[v+1]]
 }
 
 // HasEdge reports whether the directed edge (from, to) exists, by binary
@@ -88,4 +212,8 @@ func (f *Frozen) OutDegree(v NodeID) int { return len(f.Out(v)) }
 func (f *Frozen) InDegree(v NodeID) int { return len(f.In(v)) }
 
 // NumEdges returns |E| of the snapshot.
-func (f *Frozen) NumEdges() int { return len(f.outAdj) }
+func (f *Frozen) NumEdges() int { return f.numEdges }
+
+// Depth returns the patch-chain length above the base CSR (0 for a fresh
+// Freeze); it is exposed for tests and stats.
+func (f *Frozen) Depth() int { return f.depth }

@@ -177,6 +177,42 @@ func (g *Graph) RemoveNode(v NodeID) error {
 	return nil
 }
 
+// restoreNode revives tombstone v with its original label and value. It is
+// the inverse of RemoveNode minus the incident edges (the caller re-adds
+// those) and exists solely for Undo.Revert.
+func (g *Graph) restoreNode(v NodeID, l Label, val Value) {
+	if g.valid(v) || v < 0 || int(v) >= len(g.labels) {
+		panic(fmt.Sprintf("graph: restoreNode(%d): not a tombstone", v))
+	}
+	g.labels[v] = l
+	g.values[v] = val
+	g.byLabel[l] = append(g.byLabel[l], v)
+	g.numNodes++
+}
+
+// dropLastNode removes the most recently added node, shrinking the ID
+// space so a reverted insertion leaves no tombstone behind (future AddNode
+// calls must assign the same IDs as if the insertion never happened). The
+// node must be edge-free; it exists solely for Undo.Revert.
+func (g *Graph) dropLastNode(v NodeID) {
+	if int(v) != len(g.labels)-1 || !g.valid(v) {
+		panic(fmt.Sprintf("graph: dropLastNode(%d): not the last live node", v))
+	}
+	if len(g.out[v]) != 0 || len(g.in[v]) != 0 {
+		panic(fmt.Sprintf("graph: dropLastNode(%d): node still has edges", v))
+	}
+	l := g.labels[v]
+	g.byLabel[l] = removeID(g.byLabel[l], v)
+	if len(g.byLabel[l]) == 0 {
+		delete(g.byLabel, l)
+	}
+	g.labels = g.labels[:v]
+	g.values = g.values[:v]
+	g.out = g.out[:v]
+	g.in = g.in[:v]
+	g.numNodes--
+}
+
 func removeID(s []NodeID, v NodeID) []NodeID {
 	for i, x := range s {
 		if x == v {

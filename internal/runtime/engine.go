@@ -3,9 +3,17 @@
 // graph and access-constraint index set. Because bounded evaluation makes
 // each query's cost independent of |G| (the paper's central guarantee),
 // throughput under heavy traffic is gated purely by per-query constant
-// factors — which the engine attacks by freezing the graph into a CSR
-// snapshot once, caching query plans, and optionally sharding the phases
+// factors — which the engine attacks by reading the graph through frozen
+// CSR snapshots, caching query plans, and optionally sharding the phases
 // inside each query.
+//
+// The engine reads through an epoch-versioned store.Store: every Submit
+// pins the snapshot current at submission time and the query evaluates
+// against that epoch end to end, so concurrent writers publishing new
+// epochs never change a query's view mid-flight. The plan cache survives
+// epochs (plans depend only on the pattern and the schema, which is
+// immutable); result semantics do not — Result carries the epoch it was
+// computed at.
 package runtime
 
 import (
@@ -20,6 +28,7 @@ import (
 	"boundedg/internal/graph"
 	"boundedg/internal/match"
 	"boundedg/internal/pattern"
+	"boundedg/internal/store"
 )
 
 // Errors returned by the engine.
@@ -79,12 +88,15 @@ type Query struct {
 // its access statistics, and the match relation (in the source graph's
 // node IDs) under the requested semantics. Stats may be non-nil even when
 // Err is a cancellation error raised after the fetch phase completed —
-// it accounts for the data actually accessed.
+// it accounts for the data actually accessed. Epoch is the store epoch
+// the query was evaluated against (the one current at Submit time); it is
+// set whenever the query made it past the queue, errors included.
 type Result struct {
 	BG    *core.BoundedGraph
 	Stats *core.ExecStats
 	Sub   *match.SubgraphResult
 	Sim   *match.SimResult
+	Epoch uint64
 	Err   error
 }
 
@@ -104,9 +116,10 @@ func (f *Future) Wait() Result {
 func (f *Future) Done() <-chan struct{} { return f.done }
 
 type task struct {
-	ctx context.Context
-	q   Query
-	fut *Future
+	ctx  context.Context
+	q    Query
+	snap *store.Snapshot // pinned at Submit; released by the worker
+	fut  *Future
 }
 
 // Stats are the engine's cumulative counters.
@@ -119,14 +132,15 @@ type Stats struct {
 }
 
 // Engine evaluates bounded pattern queries concurrently against one shared
-// graph and index set. Construct with New, feed with Submit/Eval/EvalBatch
-// and shut down with Close. The graph must not be mutated while the engine
-// is live (the engine holds a frozen snapshot of its adjacency).
+// epoch-versioned store. Construct with New (owning a fresh store over a
+// graph + index set) or NewFromStore (sharing a store whose writer applies
+// live updates), feed with Submit/Eval/EvalBatch and shut down with Close.
+// Each query evaluates against the snapshot current at its Submit; the
+// store's writer may publish new epochs concurrently.
 type Engine struct {
-	g   *graph.Graph
-	fz  *graph.Frozen
-	idx *access.IndexSet
-	cfg Config
+	src    *store.Store
+	schema *access.Schema // immutable across epochs
+	cfg    Config
 
 	plans sync.Map // planKey -> *planEntry
 
@@ -154,20 +168,31 @@ type planEntry struct {
 	err error
 }
 
-// New starts an engine over g and its index set. It freezes g's adjacency
-// so the hot read path never probes the graph's edge map; mutate g only
-// after Close (or build a fresh engine afterwards).
+// New starts an engine over g and its index set, wrapping them in a fresh
+// store (use Store to reach it, e.g. to apply updates). The engine reads
+// through frozen CSR snapshots, so the hot path never probes the graph's
+// edge map; never mutate g directly once the engine is live — updates go
+// through Store().Apply.
 func New(g *graph.Graph, idx *access.IndexSet, cfg Config) (*Engine, error) {
 	if g == nil || idx == nil {
 		return nil, errors.New("runtime: engine needs a graph and an index set")
 	}
+	return NewFromStore(store.New(g, idx), cfg)
+}
+
+// NewFromStore starts an engine reading from st. The caller keeps writing
+// to st (Apply) while the engine serves; each query sees the epoch current
+// at its Submit.
+func NewFromStore(st *store.Store, cfg Config) (*Engine, error) {
+	if st == nil {
+		return nil, errors.New("runtime: engine needs a store")
+	}
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		g:     g,
-		fz:    g.Freeze(),
-		idx:   idx,
-		cfg:   cfg,
-		tasks: make(chan task, cfg.QueueDepth),
+		src:    st,
+		schema: st.Schema(),
+		cfg:    cfg,
+		tasks:  make(chan task, cfg.QueueDepth),
 	}
 	e.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -177,34 +202,36 @@ func New(g *graph.Graph, idx *access.IndexSet, cfg Config) (*Engine, error) {
 }
 
 // Schema returns the access schema the engine serves.
-func (e *Engine) Schema() *access.Schema { return e.idx.Schema() }
+func (e *Engine) Schema() *access.Schema { return e.schema }
 
-// Graph returns the graph the engine serves. Treat it as read-only while
-// the engine is live.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Store returns the epoch-versioned store the engine reads from.
+func (e *Engine) Store() *store.Store { return e.src }
 
-// Frozen returns the engine's CSR snapshot of the graph.
-func (e *Engine) Frozen() *graph.Frozen { return e.fz }
+// Acquire pins and returns the store's current snapshot (see
+// store.Store.Acquire); the caller must Release it.
+func (e *Engine) Acquire() *store.Snapshot { return e.src.Acquire() }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	// Each worker owns one scratch: per-query dense buffers are reused
-	// across every query the worker serves.
+	// across every query (and epoch) the worker serves.
 	cfg := &core.ExecConfig{
 		Workers: e.cfg.IntraQueryWorkers,
-		Frozen:  e.fz,
 		Scratch: core.NewExecScratch(),
 	}
 	for t := range e.tasks {
 		if err := t.ctx.Err(); err != nil {
 			// The submitter gave up while the task sat in the queue;
 			// resolve promptly without touching the graph.
-			t.fut.res = Result{Err: err}
+			t.fut.res = Result{Err: err, Epoch: t.snap.Epoch}
 		} else {
 			cfg.Ctx = t.ctx
-			t.fut.res = e.eval(t.q, cfg)
+			cfg.Frozen = t.snap.Fz
+			t.fut.res = e.eval(t.q, cfg, t.snap)
 			cfg.Ctx = nil
+			cfg.Frozen = nil
 		}
+		t.snap.Release()
 		e.completed.Add(1)
 		if t.fut.res.Err != nil {
 			e.failed.Add(1)
@@ -226,6 +253,9 @@ func (e *Engine) worker() {
 // unblock a Submit stuck on a full queue, skip evaluation of a query
 // whose submitter has already gone away, and — through core.ExecWith —
 // abandon an evaluation in flight. A nil ctx means "never cancelled".
+//
+// The query is bound to the store snapshot current at this call: updates
+// published while it waits in the queue or evaluates do not affect it.
 func (e *Engine) Submit(ctx context.Context, q Query) *Future {
 	if ctx == nil {
 		ctx = context.Background()
@@ -238,14 +268,16 @@ func (e *Engine) Submit(ctx context.Context, q Query) *Future {
 		close(fut.done)
 		return fut
 	}
+	snap := e.src.Acquire()
 	// Sending under the read lock keeps the channel-close in Close safe
 	// while letting any number of submitters block in their own selects
 	// concurrently — a full queue backpressures each of them until a
 	// worker frees a slot or that submitter's context dies.
 	select {
-	case e.tasks <- task{ctx: ctx, q: q, fut: fut}:
+	case e.tasks <- task{ctx: ctx, q: q, snap: snap, fut: fut}:
 		e.submitted.Add(1)
 	case <-ctx.Done():
+		snap.Release()
 		fut.res = Result{Err: ctx.Err()}
 		close(fut.done)
 	}
@@ -316,7 +348,7 @@ func (e *Engine) plan(q Query) (*core.Plan, error) {
 		ent := v.(*planEntry)
 		return ent.p, ent.err
 	}
-	p, err := core.NewPlan(q.Pattern, e.idx.Schema(), q.Sem)
+	p, err := core.NewPlan(q.Pattern, e.schema, q.Sem)
 	if e.cachedPlans.Load() >= maxCachedPlans {
 		// Racing clears are harmless: the counter is a backstop, not an
 		// exact size.
@@ -329,22 +361,22 @@ func (e *Engine) plan(q Query) (*core.Plan, error) {
 	return p, err
 }
 
-// eval runs one query end to end: plan (cached), fetch GQ through the
-// indices, then match inside GQ and map the relation back to the source
-// graph's IDs.
-func (e *Engine) eval(q Query, cfg *core.ExecConfig) Result {
+// eval runs one query end to end against one pinned snapshot: plan
+// (cached across epochs), fetch GQ through the snapshot's indices, then
+// match inside GQ and map the relation back to the source graph's IDs.
+func (e *Engine) eval(q Query, cfg *core.ExecConfig, snap *store.Snapshot) Result {
 	if q.Pattern == nil {
-		return Result{Err: ErrNilQuery}
+		return Result{Err: ErrNilQuery, Epoch: snap.Epoch}
 	}
 	p, err := e.plan(q)
 	if err != nil {
-		return Result{Err: err}
+		return Result{Err: err, Epoch: snap.Epoch}
 	}
-	bg, stats, err := p.ExecWith(e.g, e.idx, cfg)
+	bg, stats, err := p.ExecWith(snap.G, snap.Idx, cfg)
 	if err != nil {
-		return Result{Err: err}
+		return Result{Err: err, Epoch: snap.Epoch}
 	}
-	res := Result{BG: bg, Stats: stats}
+	res := Result{BG: bg, Stats: stats, Epoch: snap.Epoch}
 	if q.FetchOnly {
 		return res
 	}
@@ -363,7 +395,7 @@ func (e *Engine) eval(q Query, cfg *core.ExecConfig) Result {
 	// A boundary cancel keeps Stats: the fetch ran, so its access
 	// accounting is real even though no result is returned.
 	if err := ctxErr(); err != nil {
-		return Result{Err: err, Stats: stats}
+		return Result{Err: err, Stats: stats, Epoch: snap.Epoch}
 	}
 	switch q.Sem {
 	case core.Subgraph:
@@ -380,7 +412,7 @@ func (e *Engine) eval(q Query, cfg *core.ExecConfig) Result {
 		res.Sim = sim
 	}
 	if err := ctxErr(); err != nil {
-		return Result{Err: err, Stats: stats}
+		return Result{Err: err, Stats: stats, Epoch: snap.Epoch}
 	}
 	return res
 }

@@ -7,10 +7,17 @@
 // core.ExecWith, an LRU result cache keyed by the normalized pattern and
 // query arguments, and graceful shutdown.
 //
+// When updates are enabled the server is a read/write store: POST /update
+// applies a graph.Delta through the engine's epoch-versioned store,
+// publishing a new epoch snapshot that subsequent queries (and cache
+// lookups — result-cache keys carry the epoch) see immediately, while
+// queries already in flight keep the epoch they were submitted under.
+//
 // Endpoints:
 //
 //	POST /query    evaluate a pattern (JSON body, see QueryRequest)
-//	GET  /stats    engine counters, cache hit/miss, uptime
+//	POST /update   apply a graph delta (JSON body, see graph.ReadDeltaJSON)
+//	GET  /stats    engine counters, cache hit/miss, epoch, update counters
 //	GET  /healthz  liveness probe
 package server
 
@@ -25,11 +32,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"boundedg/internal/access"
 	"boundedg/internal/core"
 	"boundedg/internal/graph"
 	"boundedg/internal/match"
 	"boundedg/internal/pattern"
 	"boundedg/internal/runtime"
+	"boundedg/internal/store"
 )
 
 // Config tunes a Server. The zero value picks sensible defaults.
@@ -52,6 +61,9 @@ type Config struct {
 	// CacheSize is the number of result-cache entries. Defaults to 512;
 	// negative disables the cache.
 	CacheSize int
+	// EnableUpdates turns on POST /update (the boundedgd -mutable flag).
+	// Off by default: a read-only deployment must not accept writes.
+	EnableUpdates bool
 }
 
 func (c Config) withDefaults() Config {
@@ -128,9 +140,38 @@ type QueryResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. Violations is set
+// only on 422s from POST /update, listing every constraint the delta
+// would have broken.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error      string   `json:"error"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// UpdateResponse is the body of a successful POST /update.
+type UpdateResponse struct {
+	// Epoch is the epoch this delta published; queries submitted from now
+	// on observe it.
+	Epoch uint64 `json:"epoch"`
+	// NewIDs are the node IDs assigned to the delta's add_nodes, in
+	// order (cite them in follow-up deltas).
+	NewIDs []graph.NodeID `json:"new_ids,omitempty"`
+	// TouchedRows counts the rows whose adjacency this update changed
+	// (edge endpoints, deleted nodes and their neighbors, inserted
+	// nodes) — the incremental maintenance work, independent of |G|.
+	TouchedRows int `json:"touched_rows"`
+	// ElapsedMS is the server-side handling time of this request.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// UpdateStats reports the store's update counters in /stats.
+type UpdateStats struct {
+	Enabled           bool    `json:"enabled"`
+	Applied           uint64  `json:"applied"`
+	RejectedViolation uint64  `json:"rejected_violation"`
+	RejectedError     uint64  `json:"rejected_error"`
+	TouchedRows       uint64  `json:"touched_rows"`
+	LastApplyMS       float64 `json:"last_apply_ms"`
 }
 
 // CacheStats reports the result cache's state in /stats.
@@ -144,11 +185,13 @@ type CacheStats struct {
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	UptimeSec   float64       `json:"uptime_sec"`
+	Epoch       uint64        `json:"epoch"`
 	GraphNodes  int           `json:"graph_nodes"`
 	GraphEdges  int           `json:"graph_edges"`
 	Constraints int           `json:"constraints"`
 	Engine      runtime.Stats `json:"engine"`
 	Cache       CacheStats    `json:"cache"`
+	Updates     UpdateStats   `json:"updates"`
 	Served      uint64        `json:"served"`
 	Errors      uint64        `json:"errors"`
 }
@@ -185,6 +228,7 @@ func New(eng *runtime.Engine, in *graph.Interner, cfg Config) *Server {
 		start:    time.Now(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.hs = &http.Server{
@@ -286,8 +330,12 @@ func (s *Server) normalize(src string) (*pattern.Pattern, string, error) {
 	return q, canon, nil
 }
 
-func cacheKey(canon string, sem core.Semantics, limit int) string {
-	return fmt.Sprintf("%d|%d|%s", sem, limit, canon)
+// cacheKey includes the epoch the response was computed at, so an update
+// invalidates every older result in one stroke: post-update lookups use
+// the new epoch and can never see a pre-update answer, while the stale
+// entries age out of the LRU.
+func cacheKey(epoch uint64, canon string, sem core.Semantics, limit int) string {
+	return fmt.Sprintf("%d|%d|%d|%s", epoch, sem, limit, canon)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -330,7 +378,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey(canon, sem, limit)
+	key := cacheKey(s.eng.Store().Epoch(), canon, sem, limit)
 	if v, ok := s.results.Get(key); ok {
 		resp := *v.(*QueryResponse) // shallow copy; cached fields are read-only
 		resp.Cached = true
@@ -409,12 +457,75 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Pairs = res.Sim.Pairs()
 		resp.Complete = true
 	}
-	s.results.Put(key, resp)
+	// Cache under the epoch that actually produced the answer: if an
+	// update landed between the lookup and the evaluation, the result
+	// belongs to the newer epoch and must not shadow either key.
+	s.results.Put(cacheKey(res.Epoch, canon, sem, limit), resp)
 
 	out := *resp
 	out.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
 	s.served.Add(1)
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// maxUpdateBodyBytes bounds POST /update bodies; bulk deltas are larger
+// than patterns but a batch should still be a batch, not a dataset load.
+const maxUpdateBodyBytes = 16 << 20
+
+// handleUpdate applies one graph.Delta through the epoch-versioned store.
+// Labels in the delta are interned into the shared interner: unlike
+// /query, /update is a write endpoint whose whole point is introducing
+// new labels and nodes, so the permanent interner entry is the intended
+// effect. Caveat: interning happens at decode time, so a well-formed
+// delta that is then rejected (409/422) still pins its label names — one
+// interner entry per novel name, bounded by the request size. Malformed
+// bodies (400) intern nothing (ReadDeltaJSON validates first). Deploy
+// /update behind write authorization, like any write API.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if !s.cfg.EnableUpdates {
+		s.writeError(w, http.StatusForbidden, errors.New("updates are disabled (start the daemon with -mutable)"))
+		return
+	}
+	d, err := graph.ReadDeltaJSON(http.MaxBytesReader(w, r.Body, maxUpdateBodyBytes), s.in)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.eng.Store().Apply(d)
+	if err != nil {
+		var verr *access.ViolationError
+		switch {
+		case errors.As(err, &verr):
+			// The delta would break an access constraint; the store
+			// rejected it atomically — graph and indexes are untouched.
+			msgs := make([]string, len(verr.Violations))
+			for i, v := range verr.Violations {
+				msgs[i] = v.Error()
+			}
+			s.errors.Add(1)
+			s.writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), Violations: msgs})
+		case errors.Is(err, store.ErrClosed):
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			// Structural conflict: a referenced node or edge does not
+			// exist (or already exists) in the current epoch.
+			s.writeError(w, http.StatusConflict, err)
+		}
+		return
+	}
+	s.served.Add(1)
+	s.writeJSON(w, http.StatusOK, UpdateResponse{
+		Epoch:       res.Epoch,
+		NewIDs:      res.NewIDs,
+		TouchedRows: res.TouchedRows,
+		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -428,11 +539,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if capacity < 0 {
 		capacity = 0 // disabled reads as "no cache"
 	}
-	g := s.eng.Graph()
+	snap := s.eng.Acquire()
+	nodes, edges := snap.G.NumNodes(), snap.G.NumEdges()
+	epoch := snap.Epoch
+	snap.Release()
+	us := s.eng.Store().Stats()
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSec:   time.Since(s.start).Seconds(),
-		GraphNodes:  g.NumNodes(),
-		GraphEdges:  g.NumEdges(),
+		Epoch:       epoch,
+		GraphNodes:  nodes,
+		GraphEdges:  edges,
 		Constraints: s.eng.Schema().Count(),
 		Engine:      s.eng.Stats(),
 		Cache: CacheStats{
@@ -440,6 +556,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Capacity: capacity,
 			Hits:     hits,
 			Misses:   misses,
+		},
+		Updates: UpdateStats{
+			Enabled:           s.cfg.EnableUpdates,
+			Applied:           us.Applied,
+			RejectedViolation: us.RejectedViolation,
+			RejectedError:     us.RejectedError,
+			TouchedRows:       us.TouchedRows,
+			LastApplyMS:       float64(us.LastApplyNS) / 1e6,
 		},
 		Served: s.served.Load(),
 		Errors: s.errors.Load(),

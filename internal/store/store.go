@@ -1,0 +1,244 @@
+// Package store makes graph updates first-class in the serving path: a
+// Store owns a graph plus its access-constraint indexes and publishes an
+// immutable epoch Snapshot (graph, frozen CSR, indexes, epoch) after every
+// accepted graph.Delta. Readers pick snapshots up with one atomic pointer
+// load and pin them for the duration of a query, so in-flight queries keep
+// a consistent view while the writer builds the next epoch — the paper's
+// §II incremental maintenance (ΔG, NbG(ΔG)) turned into a read/write
+// store.
+//
+// Concurrency design (double-instance copy-on-write): the store keeps two
+// full (graph, indexes) instances. The published snapshot is backed by one;
+// the writer applies the next delta to the other — first replaying the one
+// delta it is behind by — then refreshes the CSR snapshot incrementally
+// (graph.Frozen.Refresh, proportional to |NbG(ΔG)|) and swaps the
+// published pointer. Before mutating an instance the writer waits for the
+// readers still pinning the snapshot that last exposed it, so no query
+// ever observes a half-applied epoch. Each accepted delta is applied once
+// per instance: O(|ΔG ∪ NbG(ΔG)|) per publish, independent of |G|. The
+// second instance is cloned lazily on the first update, so a read-only
+// store costs nothing extra.
+//
+// A delta that fails structurally or would break an access constraint is
+// rejected atomically (access.IndexSet.ApplyDeltaTx): the published state
+// is bit-for-bit unaffected and no epoch is consumed.
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+)
+
+// ErrClosed is returned by Apply after Close.
+var ErrClosed = errors.New("store: closed")
+
+// state is one of the two copy-on-write (graph, indexes) instances.
+type state struct {
+	g   *graph.Graph
+	idx *access.IndexSet
+}
+
+// Snapshot is one immutable published epoch. Acquire pins it; every
+// Acquire must be paired with exactly one Release, after which none of
+// the snapshot's fields may be touched — the backing instance is recycled
+// for a future epoch once its readers drain.
+type Snapshot struct {
+	G     *graph.Graph
+	Fz    *graph.Frozen
+	Idx   *access.IndexSet
+	Epoch uint64
+
+	st      *state
+	refs    atomic.Int64
+	retired atomic.Bool
+}
+
+// Release unpins the snapshot.
+func (s *Snapshot) Release() { s.refs.Add(-1) }
+
+// Stats are the store's cumulative update counters.
+type Stats struct {
+	// Epoch is the currently published epoch (0 = the initial state).
+	Epoch uint64
+	// Applied counts accepted deltas (each published one epoch).
+	Applied uint64
+	// RejectedViolation counts deltas rejected for breaking an access
+	// constraint; RejectedError counts structural rejections (bad node or
+	// edge references). Both leave the published state untouched.
+	RejectedViolation uint64
+	RejectedError     uint64
+	// TouchedRows accumulates, over accepted deltas, the rows whose
+	// adjacency each delta changed — the per-update maintenance work,
+	// bounded by the paper's |ΔG ∪ NbG(ΔG)|.
+	TouchedRows uint64
+	// LastApplyNS is the wall time of the most recent accepted apply
+	// (replay + apply + refresh + publish).
+	LastApplyNS int64
+}
+
+// Store is the epoch-versioned graph store. Construct with New, read with
+// Acquire/Release, write with Apply. One writer at a time (Apply
+// serializes internally); any number of concurrent readers.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+
+	mu     sync.Mutex // serializes writers and Close
+	closed bool
+	shadow *state       // instance not backing cur; nil until first Apply
+	prev   *Snapshot    // last snapshot that exposed shadow; drained before reuse
+	lag    *graph.Delta // delta cur's instance has seen but shadow has not
+
+	applied, rejViol, rejErr, touched atomic.Uint64
+	lastApplyNS                       atomic.Int64
+}
+
+// New returns a store serving g with its index set idx (which must have
+// been built over g and satisfy its schema's bounds). The store takes
+// ownership: g and idx must not be read or mutated directly afterwards —
+// all access goes through Acquire and Apply.
+func New(g *graph.Graph, idx *access.IndexSet) *Store {
+	st := &Store{}
+	s0 := &state{g: g, idx: idx}
+	st.cur.Store(&Snapshot{G: g, Fz: g.Freeze(), Idx: idx, Epoch: 0, st: s0})
+	return st
+}
+
+// Acquire pins and returns the current snapshot. The caller must Release
+// it when done; holding a snapshot blocks the writer from recycling its
+// backing instance (two epochs later), so release promptly.
+func (st *Store) Acquire() *Snapshot {
+	for {
+		s := st.cur.Load()
+		s.refs.Add(1)
+		if !s.retired.Load() {
+			return s
+		}
+		// The writer retired s between our load and pin and may already be
+		// waiting to mutate its instance; back out and take the newer one.
+		s.refs.Add(-1)
+	}
+}
+
+// Epoch returns the current epoch without pinning.
+func (st *Store) Epoch() uint64 { return st.cur.Load().Epoch }
+
+// Schema returns the access schema (immutable across epochs).
+func (st *Store) Schema() *access.Schema { return st.cur.Load().Idx.Schema() }
+
+// Result reports one accepted Apply.
+type Result struct {
+	// Epoch is the epoch the delta published.
+	Epoch uint64
+	// NewIDs are the node IDs assigned to the delta's AddNodes.
+	NewIDs []graph.NodeID
+	// TouchedRows counts the rows whose adjacency the delta changed
+	// (edge endpoints, deleted nodes and their neighbors, inserted
+	// nodes) — the incrementally maintained work.
+	TouchedRows int
+}
+
+// Apply applies d atomically and publishes the next epoch. On success the
+// returned Result names the new epoch; the new snapshot is visible to
+// Acquire before Apply returns. A delta that fails structurally or breaks
+// an access constraint (a *access.ViolationError) is rejected with the
+// published state untouched and no epoch consumed.
+//
+// Writers serialize; the accepted-path cost is O(|ΔG ∪ NbG(ΔG)|) per
+// instance plus waiting out readers still pinning the epoch before last.
+// The first Apply also pays a one-off O(|G|) clone of the second
+// instance.
+func (st *Store) Apply(d *graph.Delta) (Result, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return Result{}, ErrClosed
+	}
+	started := time.Now()
+	cur := st.cur.Load()
+	if st.shadow == nil {
+		// First update ever: materialize the second instance.
+		st.shadow = &state{g: cur.G.Clone(), idx: cur.Idx.Clone()}
+	}
+	// The shadow instance may still be pinned by readers of the epoch that
+	// last exposed it; they must drain before we mutate under them.
+	st.waitDrained(st.prev)
+	st.prev = nil
+	if st.lag != nil {
+		// Catch the shadow up with the delta the published instance has
+		// already absorbed. It was accepted there, and the instances were
+		// identical before it, so it must replay cleanly.
+		if _, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, st.lag); err != nil {
+			panic("store: lag replay diverged: " + err.Error())
+		}
+		st.lag = nil
+	}
+	res, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, d)
+	if err != nil {
+		var verr *access.ViolationError
+		if errors.As(err, &verr) {
+			st.rejViol.Add(1)
+		} else {
+			st.rejErr.Add(1)
+		}
+		return Result{}, err
+	}
+	next := &Snapshot{
+		G:     st.shadow.g,
+		Fz:    cur.Fz.Refresh(st.shadow.g, res.Touched), // Touched includes the new IDs
+		Idx:   st.shadow.idx,
+		Epoch: cur.Epoch + 1,
+		st:    st.shadow,
+	}
+	st.cur.Store(next)
+	cur.retired.Store(true)
+	st.prev = cur
+	st.shadow = cur.st
+	// Keep a private copy for the lag replay: the caller is free to reuse
+	// or mutate d after Apply returns, and the replay must reproduce the
+	// exact delta the published instance absorbed.
+	st.lag = d.Clone()
+
+	st.applied.Add(1)
+	st.touched.Add(uint64(len(res.Touched)))
+	st.lastApplyNS.Store(time.Since(started).Nanoseconds())
+	return Result{Epoch: next.Epoch, NewIDs: res.NewIDs, TouchedRows: len(res.Touched)}, nil
+}
+
+// waitDrained blocks until no reader pins s. s is already retired, so no
+// new pins can land (Acquire backs out of retired snapshots).
+func (st *Store) waitDrained(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	for backoff := time.Microsecond; s.refs.Load() > 0; {
+		time.Sleep(backoff)
+		if backoff < time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Close bars further updates. Readers are unaffected: already-acquired
+// snapshots stay valid and Acquire keeps serving the final epoch.
+func (st *Store) Close() {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+}
+
+// Stats returns a snapshot of the store's cumulative counters.
+func (st *Store) Stats() Stats {
+	return Stats{
+		Epoch:             st.Epoch(),
+		Applied:           st.applied.Load(),
+		RejectedViolation: st.rejViol.Load(),
+		RejectedError:     st.rejErr.Load(),
+		TouchedRows:       st.touched.Load(),
+		LastApplyNS:       st.lastApplyNS.Load(),
+	}
+}

@@ -1,0 +1,525 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/core"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/workload"
+)
+
+// indexBytes canonicalizes an index set through WriteJSON (sorted entries
+// and members), so byte equality is semantic equality.
+func indexBytes(t testing.TB, set *access.IndexSet, in *graph.Interner) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func graphBytes(t testing.TB, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkFrozen asserts fz matches g's exact adjacency.
+func checkFrozen(t testing.TB, fz *graph.Frozen, g *graph.Graph) {
+	t.Helper()
+	if fz.Cap() != g.Cap() || fz.NumEdges() != g.NumEdges() {
+		t.Fatalf("frozen shape (cap %d, |E| %d) vs graph (cap %d, |E| %d)",
+			fz.Cap(), fz.NumEdges(), g.Cap(), g.NumEdges())
+	}
+	for v := graph.NodeID(0); int(v) < g.Cap(); v++ {
+		want := append([]graph.NodeID(nil), g.Out(v)...)
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && want[j] < want[j-1]; j-- {
+				want[j], want[j-1] = want[j-1], want[j]
+			}
+		}
+		if got := fz.Out(v); !reflect.DeepEqual(append([]graph.NodeID(nil), got...), want) {
+			t.Fatalf("Out(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// randomDelta draws one update batch against g's current state: a node
+// insert wired to random neighbors, a fresh edge, an edge deletion, or a
+// node deletion. Inserts can violate the workload's tight caps — that is
+// deliberate, the rejection path is part of the property.
+func randomDelta(r *rand.Rand, g *graph.Graph) *graph.Delta {
+	live := g.NodeList()
+	labels := g.Labels()
+	d := &graph.Delta{}
+	switch r.Intn(4) {
+	case 0:
+		d.AddNodes = []graph.NodeSpec{{Label: labels[r.Intn(len(labels))]}}
+		for k := 0; k < 1+r.Intn(3); k++ {
+			other := live[r.Intn(len(live))]
+			if r.Intn(2) == 0 {
+				d.AddEdges = append(d.AddEdges, [2]graph.NodeID{graph.NewNodeRef(0), other})
+			} else {
+				d.AddEdges = append(d.AddEdges, [2]graph.NodeID{other, graph.NewNodeRef(0)})
+			}
+		}
+	case 1:
+		d.AddEdges = [][2]graph.NodeID{{live[r.Intn(len(live))], live[r.Intn(len(live))]}}
+	case 2:
+		for tries := 0; tries < 10; tries++ {
+			v := live[r.Intn(len(live))]
+			if outs := g.Out(v); len(outs) > 0 {
+				d.DelEdges = [][2]graph.NodeID{{v, outs[r.Intn(len(outs))]}}
+				break
+			}
+		}
+	case 3:
+		d.DelNodes = []graph.NodeID{live[r.Intn(len(live))]}
+	}
+	return d
+}
+
+// boundedPlans plans the dataset's generated query load under both
+// semantics, keeping the effectively bounded ones.
+func boundedPlans(t testing.TB, d *workload.Dataset, n int) (sub, sim []*core.Plan) {
+	t.Helper()
+	for _, q := range workload.DefaultQueryGen.Generate(d, n, 5) {
+		if p, err := core.NewPlan(q, d.Schema, core.Subgraph); err == nil {
+			sub = append(sub, p)
+		}
+		if p, err := core.NewPlan(q, d.Schema, core.Simulation); err == nil {
+			sim = append(sim, p)
+		}
+	}
+	return sub, sim
+}
+
+// checkQueriesDifferential evaluates every plan two ways — through the
+// snapshot (incremental indexes + refreshed Frozen) and from scratch
+// (rebuilt indexes + fresh Freeze of the same graph) — and requires
+// identical answers.
+func checkQueriesDifferential(t testing.TB, snap *Snapshot, schema *access.Schema, sub, sim []*core.Plan) {
+	t.Helper()
+	fresh := access.BuildUnchecked(snap.G, schema)
+	fz := snap.G.Freeze()
+	mopt := match.SubgraphOptions{StoreMatches: true, MaxMatches: 1 << 20}
+	for i, p := range sub {
+		got, _, err := p.EvalSubgraphWith(snap.G, snap.Idx, mopt, &core.ExecConfig{Frozen: snap.Fz})
+		if err != nil {
+			t.Fatalf("sub query %d via snapshot: %v", i, err)
+		}
+		want, _, err := p.EvalSubgraphWith(snap.G, fresh, mopt, &core.ExecConfig{Frozen: fz})
+		if err != nil {
+			t.Fatalf("sub query %d from scratch: %v", i, err)
+		}
+		match.SortMatches(got.Matches)
+		match.SortMatches(want.Matches)
+		if got.Count != want.Count || !reflect.DeepEqual(got.Matches, want.Matches) {
+			t.Fatalf("sub query %d: snapshot answer diverged from rebuild (%d vs %d matches)", i, got.Count, want.Count)
+		}
+	}
+	for i, p := range sim {
+		got, _, err := p.EvalSimWith(snap.G, snap.Idx, &core.ExecConfig{Frozen: snap.Fz})
+		if err != nil {
+			t.Fatalf("sim query %d via snapshot: %v", i, err)
+		}
+		want, _, err := p.EvalSimWith(snap.G, fresh, &core.ExecConfig{Frozen: fz})
+		if err != nil {
+			t.Fatalf("sim query %d from scratch: %v", i, err)
+		}
+		if !sameSim(got.Sim, want.Sim) {
+			t.Fatalf("sim query %d: snapshot relation diverged from rebuild", i)
+		}
+	}
+}
+
+func sameSim(a, b [][]graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for u := range a {
+		as := append([]graph.NodeID(nil), a[u]...)
+		bs := append([]graph.NodeID(nil), b[u]...)
+		for i := 1; i < len(as); i++ {
+			for j := i; j > 0 && as[j] < as[j-1]; j-- {
+				as[j], as[j-1] = as[j-1], as[j]
+			}
+		}
+		for i := 1; i < len(bs); i++ {
+			for j := i; j > 0 && bs[j] < bs[j-1]; j-- {
+				bs[j], bs[j-1] = bs[j-1], bs[j]
+			}
+		}
+		if !reflect.DeepEqual(as, bs) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStoreDifferentialWorkloads is the update-stream property test over
+// all three workload generators: after every random delta — accepted or
+// rejected — the incrementally maintained indexes must be byte-identical
+// to an access.Build from scratch, the refreshed Frozen must mirror the
+// graph, rejected deltas must leave the published bytes untouched, and
+// bounded query answers through the snapshot must equal from-scratch
+// evaluation.
+func TestStoreDifferentialWorkloads(t *testing.T) {
+	gens := map[string]*workload.Dataset{
+		"dbpedia": workload.DBpedia(0.08, 2),
+		"imdb":    workload.IMDb(0.08, 2),
+		"webbase": workload.WebBase(0.08, 2),
+	}
+	for name, d := range gens {
+		t.Run(name, func(t *testing.T) {
+			idx, viols := access.Build(d.G, d.Schema)
+			if viols != nil {
+				t.Fatal(viols[0])
+			}
+			sub, sim := boundedPlans(t, d, 12)
+			if len(sub) == 0 && len(sim) == 0 {
+				t.Fatal("no bounded queries")
+			}
+			st := New(d.G, idx)
+			r := rand.New(rand.NewSource(31))
+			accepted, rejected := 0, 0
+			for step := 0; step < 30; step++ {
+				snap := st.Acquire()
+				gB := graphBytes(t, snap.G)
+				xB := indexBytes(t, snap.Idx, d.In)
+				delta := randomDelta(r, snap.G)
+				snap.Release()
+
+				_, err := st.Apply(delta)
+				var verr *access.ViolationError
+				switch {
+				case err == nil:
+					accepted++
+				case errors.As(err, &verr):
+					rejected++
+				default:
+					t.Fatalf("step %d: structural error from a state-derived delta: %v", step, err)
+				}
+
+				snap = st.Acquire()
+				if err != nil {
+					// Rejected: published state must be bit-identical.
+					if !bytes.Equal(graphBytes(t, snap.G), gB) {
+						t.Fatalf("step %d: graph changed by rejected delta", step)
+					}
+					if !bytes.Equal(indexBytes(t, snap.Idx, d.In), xB) {
+						t.Fatalf("step %d: indexes changed by rejected delta", step)
+					}
+				}
+				if got, want := indexBytes(t, snap.Idx, d.In), indexBytes(t, access.BuildUnchecked(snap.G, d.Schema), d.In); !bytes.Equal(got, want) {
+					t.Fatalf("step %d: maintained indexes diverge from rebuild", step)
+				}
+				checkFrozen(t, snap.Fz, snap.G)
+				checkQueriesDifferential(t, snap, d.Schema, sub, sim)
+				snap.Release()
+			}
+			if accepted == 0 {
+				t.Fatal("no delta was accepted — the stream exercised nothing")
+			}
+			t.Logf("%s: %d accepted, %d rejected, epoch %d", name, accepted, rejected, st.Epoch())
+		})
+	}
+}
+
+// TestStoreThousandUpdateBatches drives the acceptance scenario: a stream
+// of 1000 update batches with differential checks before, during and
+// after.
+func TestStoreThousandUpdateBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-batch stream")
+	}
+	d := workload.IMDb(0.05, 3)
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatal(viols[0])
+	}
+	sub, sim := boundedPlans(t, d, 8)
+	st := New(d.G, idx)
+	check := func(step int) {
+		snap := st.Acquire()
+		defer snap.Release()
+		if got, want := indexBytes(t, snap.Idx, d.In), indexBytes(t, access.BuildUnchecked(snap.G, d.Schema), d.In); !bytes.Equal(got, want) {
+			t.Fatalf("step %d: maintained indexes diverge from rebuild", step)
+		}
+		checkFrozen(t, snap.Fz, snap.G)
+		checkQueriesDifferential(t, snap, d.Schema, sub, sim)
+	}
+	check(0)
+	r := rand.New(rand.NewSource(17))
+	accepted := 0
+	for step := 1; step <= 1000; step++ {
+		snap := st.Acquire()
+		delta := randomDelta(r, snap.G)
+		snap.Release()
+		_, err := st.Apply(delta)
+		var verr *access.ViolationError
+		if err == nil {
+			accepted++
+		} else if !errors.As(err, &verr) {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%200 == 0 {
+			check(step)
+		}
+	}
+	check(1001)
+	if st.Stats().Applied != uint64(accepted) {
+		t.Fatalf("stats.Applied = %d, want %d", st.Stats().Applied, accepted)
+	}
+	t.Logf("epoch %d after 1000 batches (%d accepted), touched rows %d",
+		st.Epoch(), accepted, st.Stats().TouchedRows)
+}
+
+func TestStoreEpochPinning(t *testing.T) {
+	g := graph.New(nil)
+	year := g.Interner().Intern("year")
+	movie := g.Interner().Intern("movie")
+	y := g.AddNode(year, graph.IntValue(2011))
+	m := g.AddNode(movie, graph.NoValue())
+	g.MustAddEdge(m, y)
+	schema := access.NewSchema(
+		access.MustNew(nil, year, 10),
+		access.MustNew([]graph.Label{year}, movie, 10),
+	)
+	idx, viols := access.Build(g, schema)
+	if viols != nil {
+		t.Fatal(viols)
+	}
+	st := New(g, idx)
+
+	old := st.Acquire()
+	if old.Epoch != 0 {
+		t.Fatalf("initial epoch = %d", old.Epoch)
+	}
+	res, err := st.Apply(&graph.Delta{
+		AddNodes: []graph.NodeSpec{{Label: movie}},
+		AddEdges: [][2]graph.NodeID{{graph.NewNodeRef(0), y}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("published epoch = %d, want 1", res.Epoch)
+	}
+	// The pinned epoch-0 snapshot keeps its pre-update view even though
+	// epoch 1 is out.
+	if old.G.Contains(res.NewIDs[0]) {
+		t.Fatal("old snapshot sees the inserted node")
+	}
+	if got := len(old.Fz.In(y)); got != 1 {
+		t.Fatalf("old frozen In(year) = %d, want 1", got)
+	}
+	cur := st.Acquire()
+	if cur.Epoch != 1 || !cur.G.Contains(res.NewIDs[0]) || len(cur.Fz.In(y)) != 2 {
+		t.Fatalf("new snapshot wrong: epoch %d, in-degree %d", cur.Epoch, len(cur.Fz.In(y)))
+	}
+	cur.Release()
+	old.Release()
+
+	// With the old epoch drained, the writer can recycle its instance.
+	if _, err := st.Apply(&graph.Delta{DelNodes: []graph.NodeID{res.NewIDs[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", st.Epoch())
+	}
+}
+
+func TestStoreRejectionConsumesNoEpoch(t *testing.T) {
+	g := graph.New(nil)
+	year := g.Interner().Intern("year")
+	movie := g.Interner().Intern("movie")
+	y := g.AddNode(year, graph.IntValue(2011))
+	m := g.AddNode(movie, graph.NoValue())
+	g.MustAddEdge(m, y)
+	schema := access.NewSchema(access.MustNew([]graph.Label{year}, movie, 1))
+	idx, viols := access.Build(g, schema)
+	if viols != nil {
+		t.Fatal(viols)
+	}
+	st := New(g, idx)
+	_, err := st.Apply(&graph.Delta{
+		AddNodes: []graph.NodeSpec{{Label: movie}},
+		AddEdges: [][2]graph.NodeID{{graph.NewNodeRef(0), y}},
+	})
+	var verr *access.ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("err = %v, want ViolationError", err)
+	}
+	if st.Epoch() != 0 {
+		t.Fatalf("rejection consumed an epoch: %d", st.Epoch())
+	}
+	if _, err := st.Apply(&graph.Delta{DelNodes: []graph.NodeID{graph.NodeID(4242)}}); err == nil {
+		t.Fatal("structural error not surfaced")
+	}
+	s := st.Stats()
+	if s.RejectedViolation != 1 || s.RejectedError != 1 || s.Applied != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// A valid update still lands.
+	if _, err := st.Apply(&graph.Delta{DelEdges: [][2]graph.NodeID{{m, y}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", st.Epoch())
+	}
+}
+
+func TestStoreClose(t *testing.T) {
+	g := graph.New(nil)
+	l := g.Interner().Intern("a")
+	g.AddNode(l, graph.NoValue())
+	idx, _ := access.Build(g, access.NewSchema(access.MustNew(nil, l, 5)))
+	st := New(g, idx)
+	st.Close()
+	if _, err := st.Apply(&graph.Delta{AddNodes: []graph.NodeSpec{{Label: l}}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	snap := st.Acquire() // reads survive Close
+	defer snap.Release()
+	if snap.Epoch != 0 {
+		t.Fatalf("epoch = %d", snap.Epoch)
+	}
+}
+
+// BenchmarkUpdateApply measures the epoch-publish cost of one small
+// update batch (an edge toggle) at two dataset scales. Bounded-update
+// maintenance touches only ΔG ∪ NbG(ΔG), so rows/op and ns/op must stay
+// flat as |G| quadruples.
+func BenchmarkUpdateApply(b *testing.B) {
+	for _, scale := range []float64{0.25, 1.0} {
+		b.Run(fmt.Sprintf("imdb-%.2gx", scale), func(b *testing.B) {
+			d := workload.IMDb(scale, 1)
+			idx, viols := access.Build(d.G, d.Schema)
+			if viols != nil {
+				b.Fatal(viols[0])
+			}
+			// Toggle one existing edge between two bounded-degree nodes
+			// (a typical point update; edges incident to the fixed anchor
+			// nodes have |G|-proportional neighborhoods by construction,
+			// which would measure the workload's shape, not the store).
+			// Deleting and restoring an edge can never violate a bound
+			// that held before.
+			var from, to graph.NodeID
+			found := false
+			d.G.Edges(func(f, t graph.NodeID) bool {
+				if d.G.Degree(f)+d.G.Degree(t) <= 12 {
+					from, to = f, t
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				b.Fatal("no bounded-degree edge")
+			}
+			st := New(d.G, idx)
+			del := &graph.Delta{DelEdges: [][2]graph.NodeID{{from, to}}}
+			add := &graph.Delta{AddEdges: [][2]graph.NodeID{{from, to}}}
+			// Warm up: pay the one-off second-instance clone outside the
+			// measurement.
+			if _, err := st.Apply(del); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Apply(add); err != nil {
+				b.Fatal(err)
+			}
+			base := st.Stats().TouchedRows
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dd := add
+				if i%2 == 0 {
+					dd = del
+				}
+				if _, err := st.Apply(dd); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s := st.Stats()
+			b.ReportMetric(float64(s.TouchedRows-base)/float64(b.N), "rows/op")
+			b.ReportMetric(float64(d.G.Size()), "graphsize")
+		})
+	}
+}
+
+// BenchmarkUpdateNodeChurn inserts and deletes a node wired next to the
+// workload's anchor hubs — the deletion path where index maintenance must
+// purge the dead node's entries directly instead of re-deriving every
+// hub neighbor's |G|-proportional row.
+func BenchmarkUpdateNodeChurn(b *testing.B) {
+	for _, scale := range []float64{0.25, 1.0} {
+		b.Run(fmt.Sprintf("imdb-%.2gx", scale), func(b *testing.B) {
+			d := workload.IMDb(scale, 1)
+			idx, viols := access.Build(d.G, d.Schema)
+			if viols != nil {
+				b.Fatal(viols[0])
+			}
+			// Wire each inserted movie to an existing movie's year: the
+			// (year, award)->movie bound is not affected (no award edge),
+			// so the churn is always accepted.
+			var year graph.NodeID = graph.InvalidNode
+			movieL, _ := d.In.Lookup("movie")
+			yearL, _ := d.In.Lookup("year")
+			for _, m := range d.G.NodesByLabel(movieL) {
+				for _, w := range d.G.Out(m) {
+					if d.G.LabelOf(w) == yearL {
+						year = w
+						break
+					}
+				}
+				if year != graph.InvalidNode {
+					break
+				}
+			}
+			if year == graph.InvalidNode {
+				b.Fatal("no movie->year edge")
+			}
+			st := New(d.G, idx)
+			ins := &graph.Delta{
+				AddNodes: []graph.NodeSpec{{Label: movieL}},
+				AddEdges: [][2]graph.NodeID{{graph.NewNodeRef(0), year}},
+			}
+			res, err := st.Apply(ins) // warm up the second instance
+			if err != nil {
+				b.Fatal(err)
+			}
+			last := res.NewIDs[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if i%2 == 0 {
+					_, err = st.Apply(&graph.Delta{DelNodes: []graph.NodeID{last}})
+				} else {
+					res, err = st.Apply(ins)
+					if err == nil {
+						last = res.NewIDs[0]
+					}
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(d.G.Degree(year)), "hubdeg")
+		})
+	}
+}
