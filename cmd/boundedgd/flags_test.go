@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// flagSynopsis renders the canonical -h flag listing (PrintDefaults on
+// the FlagSet registerFlags populates) — the text the README embeds.
+func flagSynopsis() string {
+	var opt options
+	fs := flag.NewFlagSet("boundedgd", flag.ContinueOnError)
+	registerFlags(fs, &opt)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+	return buf.String()
+}
+
+// TestReadmeFlagSynopsis pins the README's boundedgd flags block to the
+// actual flag set: the fenced code block between the two markers must be
+// byte-identical to `boundedgd -h` output (minus the Usage line). Adding
+// or changing a flag without regenerating the README fails here with the
+// expected block in the message — paste it over the stale one.
+func TestReadmeFlagSynopsis(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin = "<!-- boundedgd-flags:begin -->"
+	const end = "<!-- boundedgd-flags:end -->"
+	text := string(readme)
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s / %s markers around the flag synopsis", begin, end)
+	}
+	block := text[i+len(begin) : j]
+	// The markers wrap a ```text fence; compare its interior.
+	open := strings.Index(block, "```text\n")
+	if open < 0 {
+		t.Fatalf("no ```text fence between the flag-synopsis markers")
+	}
+	block = block[open+len("```text\n"):]
+	close := strings.LastIndex(block, "```")
+	if close < 0 {
+		t.Fatalf("unterminated flag-synopsis fence in README.md")
+	}
+	got := block[:close]
+	if want := flagSynopsis(); got != want {
+		t.Errorf("README flag synopsis is stale; regenerate the block between the markers to:\n%s", want)
+	}
+}

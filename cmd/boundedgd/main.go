@@ -29,16 +29,29 @@
 // graph delta (add/remove nodes and edges) through the epoch-versioned
 // snapshot store; each accepted update publishes a new epoch that
 // subsequent queries see, while in-flight queries keep the epoch they
-// started under. Updates that would break an access constraint are
-// rejected with 422 and leave the graph untouched:
+// started under. Concurrently posted updates group-commit into one epoch.
+// Updates that would break an access constraint are rejected with 422 and
+// leave the graph untouched:
 //
 //	curl -s -X POST localhost:8080/update -d '{
 //	  "add_nodes": [{"label": "movie"}],
 //	  "add_edges": [[-1, 17]]
 //	}'
 //
+// With -wal DIR accepted updates also survive restarts: every update is
+// appended to a write-ahead log in DIR before its epoch publishes (one
+// fsync per group commit under -fsync, the default), and -checkpoint
+// periodically rewrites the snapshot and rotates the log. On startup, if
+// DIR already holds state the graph-source flags are ignored and the
+// daemon recovers: it loads the checkpoint snapshot, replays the log
+// tail, and truncates a torn or corrupt final record with a log line.
+//
+//	boundedgd -dataset imdb -mutable -wal /var/lib/boundedg   # first boot seeds DIR
+//	boundedgd -mutable -wal /var/lib/boundedg                 # later boots recover
+//
 // SIGINT/SIGTERM drain in-flight requests and updates (up to -drain),
-// then bar further writes before exit.
+// bar further writes, and take a final checkpoint so the next start
+// replays nothing.
 package main
 
 import (
@@ -58,6 +71,7 @@ import (
 	"boundedg/internal/runtime"
 	"boundedg/internal/server"
 	"boundedg/internal/store"
+	"boundedg/internal/wal"
 )
 
 type options struct {
@@ -79,26 +93,40 @@ type options struct {
 	maxLimit int
 	maxSteps int
 	mutable  bool
+
+	wal        string
+	fsync      bool
+	checkpoint time.Duration
+}
+
+// registerFlags binds every boundedgd flag onto fs. It is the single
+// source of truth for the flag synopsis: the README flags block must
+// match fs.PrintDefaults output (enforced by TestReadmeFlagSynopsis).
+func registerFlags(fs *flag.FlagSet, opt *options) {
+	fs.StringVar(&opt.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&opt.dataset, "dataset", "", "generate a workload dataset: imdb, dbpedia or webbase (instead of -graph)")
+	fs.Float64Var(&opt.scale, "scale", 1.0, "|G| scale factor for -dataset")
+	fs.Int64Var(&opt.seed, "seed", 1, "generation seed for -dataset")
+	fs.StringVar(&opt.graph, "graph", "", "graph JSON (from datagen or graph.WriteJSON)")
+	fs.StringVar(&opt.schema, "schema", "", "access schema JSON; constraint indices are built at startup")
+	fs.StringVar(&opt.index, "index", "", "persisted index set JSON (from -write-index or datagen -index); replaces -schema")
+	fs.StringVar(&opt.writeIndex, "write-index", "", "persist the index set to this path after startup")
+	fs.IntVar(&opt.workers, "workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&opt.cache, "cache", 512, "result cache entries (negative disables)")
+	fs.DurationVar(&opt.timeout, "timeout", 5*time.Second, "per-query evaluation deadline (0 or negative disables)")
+	fs.DurationVar(&opt.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
+	fs.IntVar(&opt.limit, "limit", 100, "default match limit per query")
+	fs.IntVar(&opt.maxLimit, "max-limit", 10000, "hard cap on per-request match limits")
+	fs.IntVar(&opt.maxSteps, "max-steps", 0, "VF2 search-step budget per query (0 = server default, negative = unlimited)")
+	fs.BoolVar(&opt.mutable, "mutable", false, "enable POST /update (live graph updates through epoch snapshots)")
+	fs.StringVar(&opt.wal, "wal", "", "write-ahead-log directory for durable updates (requires -mutable); recovers from it when it holds state")
+	fs.BoolVar(&opt.fsync, "fsync", true, "fsync the WAL once per group commit (false trades host-crash durability for latency)")
+	fs.DurationVar(&opt.checkpoint, "checkpoint", 5*time.Minute, "WAL checkpoint interval: rewrite the snapshot and rotate the log (0 disables; shutdown always checkpoints)")
 }
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.addr, "addr", ":8080", "listen address")
-	flag.StringVar(&opt.dataset, "dataset", "", "generate a workload dataset: imdb, dbpedia or webbase (instead of -graph)")
-	flag.Float64Var(&opt.scale, "scale", 1.0, "|G| scale factor for -dataset")
-	flag.Int64Var(&opt.seed, "seed", 1, "generation seed for -dataset")
-	flag.StringVar(&opt.graph, "graph", "", "graph JSON (from datagen or graph.WriteJSON)")
-	flag.StringVar(&opt.schema, "schema", "", "access schema JSON; constraint indices are built at startup")
-	flag.StringVar(&opt.index, "index", "", "persisted index set JSON (from -write-index or datagen -index); replaces -schema")
-	flag.StringVar(&opt.writeIndex, "write-index", "", "persist the index set to this path after startup")
-	flag.IntVar(&opt.workers, "workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
-	flag.IntVar(&opt.cache, "cache", 512, "result cache entries (negative disables)")
-	flag.DurationVar(&opt.timeout, "timeout", 5*time.Second, "per-query evaluation deadline (0 or negative disables)")
-	flag.DurationVar(&opt.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
-	flag.IntVar(&opt.limit, "limit", 100, "default match limit per query")
-	flag.IntVar(&opt.maxLimit, "max-limit", 10000, "hard cap on per-request match limits")
-	flag.IntVar(&opt.maxSteps, "max-steps", 0, "VF2 search-step budget per query (0 = server default, negative = unlimited)")
-	flag.BoolVar(&opt.mutable, "mutable", false, "enable POST /update (live graph updates through epoch snapshots)")
+	registerFlags(flag.CommandLine, &opt)
 	flag.Parse()
 	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "boundedgd:", err)
@@ -168,9 +196,55 @@ func load(opt options) (*graph.Graph, *graph.Interner, *access.IndexSet, error) 
 	return nil, nil, nil, fmt.Errorf("-graph needs -schema or -index")
 }
 
+// loadOrRecover resolves the startup state: when -wal names a directory
+// that already holds state, the daemon recovers from it (checkpoint
+// snapshot + log tail) and the graph-source flags are ignored; otherwise
+// the usual load path runs and, with -wal, seeds the directory with an
+// initial checkpoint.
+func loadOrRecover(opt options) (*graph.Graph, *graph.Interner, *access.IndexSet, *wal.Dir, uint64, error) {
+	if opt.wal != "" && wal.HasState(opt.wal) {
+		in := graph.NewInterner()
+		wd, err := wal.OpenDir(opt.wal, in)
+		if err != nil {
+			return nil, nil, nil, nil, 0, err
+		}
+		g, idx, info, err := wd.Recover()
+		if err != nil {
+			return nil, nil, nil, nil, 0, err
+		}
+		if info.Truncated > 0 {
+			log.Printf("wal: truncated %d-byte torn/corrupt tail (%s); resuming from the last durable record", info.Truncated, info.TruncateReason)
+		}
+		log.Printf("wal: recovered from %s: checkpoint epoch %d + %d replayed records -> epoch %d", opt.wal, info.CheckpointEpoch, info.Records, info.Epoch)
+		if opt.dataset != "" || opt.graph != "" {
+			log.Printf("wal: %s already holds state; -dataset/-graph/-schema/-index ignored", opt.wal)
+		}
+		return g, in, idx, wd, info.Epoch, nil
+	}
+	g, in, idx, err := load(opt)
+	if err != nil {
+		return nil, nil, nil, nil, 0, err
+	}
+	if opt.wal == "" {
+		return g, in, idx, nil, 0, nil
+	}
+	wd, err := wal.OpenDir(opt.wal, in)
+	if err != nil {
+		return nil, nil, nil, nil, 0, err
+	}
+	if err := wd.Init(0, g, idx); err != nil {
+		return nil, nil, nil, nil, 0, err
+	}
+	log.Printf("wal: initialized %s (checkpoint at epoch 0)", opt.wal)
+	return g, in, idx, wd, 0, nil
+}
+
 func run(opt options) error {
 	started := time.Now()
-	g, in, idx, err := load(opt)
+	if opt.wal != "" && !opt.mutable {
+		return fmt.Errorf("-wal requires -mutable (the log records accepted updates)")
+	}
+	g, in, idx, wd, baseEpoch, err := loadOrRecover(opt)
 	if err != nil {
 		return err
 	}
@@ -189,7 +263,14 @@ func run(opt options) error {
 		log.Printf("index set persisted to %s", opt.writeIndex)
 	}
 
-	st := store.New(g, idx)
+	var stOpts []store.Option
+	if wd != nil {
+		stOpts = append(stOpts, store.WithWAL(wd, opt.fsync))
+		if baseEpoch > 0 {
+			stOpts = append(stOpts, store.WithBaseEpoch(baseEpoch))
+		}
+	}
+	st := store.New(g, idx, stOpts...)
 	eng, err := runtime.NewFromStore(st, runtime.Config{Workers: opt.workers})
 	if err != nil {
 		return err
@@ -217,11 +298,33 @@ func run(opt options) error {
 	if opt.mutable {
 		mode = "mutable"
 	}
+	if wd != nil {
+		mode += ", durable"
+	}
 	log.Printf("serving |V|=%d |E|=%d, %d constraints on %s, %s (startup %s)",
 		g.NumNodes(), g.NumEdges(), idx.Schema().Count(), l.Addr(), mode, time.Since(started).Round(time.Millisecond))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if wd != nil && opt.checkpoint > 0 {
+		go func() {
+			tick := time.NewTicker(opt.checkpoint)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					epoch := st.Epoch()
+					if err := st.Checkpoint(); err != nil {
+						log.Printf("wal: periodic checkpoint failed: %v", err)
+					} else {
+						log.Printf("wal: checkpointed at epoch %d", epoch)
+					}
+				}
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
@@ -242,8 +345,21 @@ func run(opt options) error {
 		st.Close()
 		if opt.mutable {
 			us := st.Stats()
-			log.Printf("updates drained: epoch %d, %d applied, %d rejected (%d violations)",
-				us.Epoch, us.Applied, us.RejectedViolation+us.RejectedError, us.RejectedViolation)
+			log.Printf("updates drained: epoch %d, %d applied in %d commits, %d rejected (%d violations)",
+				us.Epoch, us.Applied, us.Batches, us.RejectedViolation+us.RejectedError, us.RejectedViolation)
+		}
+		if wd != nil {
+			// Final checkpoint: the next start loads the snapshot and
+			// replays nothing. Close is allowed before Checkpoint — it only
+			// bars new writes.
+			if err := st.Checkpoint(); err != nil {
+				log.Printf("wal: shutdown checkpoint failed (log retained, recovery will replay it): %v", err)
+			} else {
+				log.Printf("wal: shutdown checkpoint at epoch %d", st.Epoch())
+			}
+			if err := wd.Close(); err != nil {
+				log.Printf("wal: close: %v", err)
+			}
 		}
 		log.Printf("drained; closing engine")
 		return nil

@@ -238,3 +238,132 @@ func TestMutableDaemonStack(t *testing.T) {
 		t.Fatalf("post-close query: status %d count %d", code, final.Count)
 	}
 }
+
+// TestDurableDaemonRestart drives the full -mutable -wal lifecycle run()
+// is built from: first boot seeds the WAL directory, updates mutate the
+// graph through HTTP, the process "crashes" (no shutdown checkpoint), and
+// a second boot with the same flags recovers by replay — the graph-source
+// flags must be ignored, the post-update answers preserved, and epoch
+// numbering must continue where the crash left off.
+func TestDurableDaemonRestart(t *testing.T) {
+	dir, _ := writeFixture(t)
+	walDir := filepath.Join(dir, "wal")
+	opts := options{
+		graph:   filepath.Join(dir, "g.json"),
+		index:   filepath.Join(dir, "idx.json"),
+		wal:     walDir,
+		mutable: true,
+		fsync:   true,
+	}
+
+	boot := func() (*store.Store, *server.Server, *httptest.Server, func()) {
+		t.Helper()
+		g, in, idx, wd, base, err := loadOrRecover(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stOpts := []store.Option{store.WithWAL(wd, true)}
+		if base > 0 {
+			stOpts = append(stOpts, store.WithBaseEpoch(base))
+		}
+		st := store.New(g, idx, stOpts...)
+		eng, err := runtime.NewFromStore(st, runtime.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(eng, in, server.Config{EnableUpdates: true})
+		ts := httptest.NewServer(srv.Handler())
+		return st, srv, ts, func() {
+			ts.Close()
+			eng.Close()
+			wd.Close()
+		}
+	}
+	post := func(ts *httptest.Server, path, body string, out any) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("decode (status %d): %v", resp.StatusCode, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	q := "u1: award\nu2: year\nu3: movie\nu3 -> u1, u2"
+	query := func(ts *httptest.Server) server.QueryResponse {
+		t.Helper()
+		var r server.QueryResponse
+		if st := post(ts, "/query", fmt.Sprintf(`{"pattern": %q, "limit": 10000}`, q), &r); st != http.StatusOK {
+			t.Fatalf("query status %d", st)
+		}
+		return r
+	}
+
+	// Boot 1: seed the WAL dir, mutate, crash without a checkpoint.
+	_, _, ts1, stop1 := boot()
+	before := query(ts1)
+	if before.Count == 0 {
+		t.Fatal("no matches to mutate")
+	}
+	movie := before.Matches[0][2]
+	var up server.UpdateResponse
+	if st := post(ts1, "/update", fmt.Sprintf(`{"del_nodes": [%d]}`, movie), &up); st != http.StatusOK {
+		t.Fatalf("update status %d", st)
+	}
+	if up.Epoch != 1 || up.LogOffset == 0 {
+		t.Fatalf("update response %+v", up)
+	}
+	want := query(ts1)
+	stop1() // kill: log holds the update, snapshot is still epoch 0
+
+	// Boot 2: same flags; must recover by replay, not reload g.json.
+	st2, _, ts2, stop2 := boot()
+	defer stop2()
+	if st2.Epoch() != 1 {
+		t.Fatalf("recovered store at epoch %d, want 1", st2.Epoch())
+	}
+	got := query(ts2)
+	if got.Count != want.Count || !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Fatalf("recovered answers diverge: %d matches vs %d", got.Count, want.Count)
+	}
+	// Epoch numbering continues across the restart.
+	var up2 server.UpdateResponse
+	if st := post(ts2, "/update", `{"add_nodes": [{"label": "movie"}]}`, &up2); st != http.StatusOK {
+		t.Fatalf("post-recovery update status %d", st)
+	}
+	if up2.Epoch != 2 {
+		t.Fatalf("post-recovery epoch %d, want 2", up2.Epoch)
+	}
+	// A checkpointed shutdown must leave nothing to replay on boot 3.
+	if err := st2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	stop2()
+	g3, _, _, wd3, base3, err := loadOrRecover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wd3.Close()
+	if base3 != 2 {
+		t.Fatalf("boot 3 base epoch %d, want 2", base3)
+	}
+	if ls := wd3.Log().Stats(); ls.Records != 0 {
+		t.Fatalf("boot 3 replayed %d records, want 0 after checkpoint", ls.Records)
+	}
+	if n := g3.NumNodes(); n == 0 {
+		t.Fatal("boot 3 lost the graph")
+	}
+}
+
+// TestWALRequiresMutable pins the flag validation: a WAL without updates
+// is a configuration error, not a silent read-only log.
+func TestWALRequiresMutable(t *testing.T) {
+	err := run(options{wal: t.TempDir(), graph: "unused"})
+	if err == nil || !strings.Contains(err.Error(), "-mutable") {
+		t.Fatalf("err = %v, want -mutable requirement", err)
+	}
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+// orderedLabelRows asserts every byLabel row is ascending — the invariant
+// that makes a snapshot-recovered graph (which rebuilds byLabel in ID
+// order) enumerate label candidates exactly like the live instance.
+func orderedLabelRows(t *testing.T, g *Graph, when string) {
+	t.Helper()
+	for _, l := range g.Labels() {
+		row := g.NodesByLabel(l)
+		if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i] < row[j] }) {
+			t.Fatalf("%s: byLabel[%v] = %v not ascending", when, l, row)
+		}
+	}
+}
+
+// TestNodesByLabelStaysSorted: deletions from the middle of a label row
+// and tombstone revivals (delta rollback) must both preserve the
+// ascending-ID order of NodesByLabel.
+func TestNodesByLabelStaysSorted(t *testing.T) {
+	in := NewInterner()
+	g := New(in)
+	m := in.Intern("m")
+	for i := 0; i < 6; i++ {
+		g.AddNode(m, Value{})
+	}
+	orderedLabelRows(t, g, "after inserts")
+
+	// Middle deletions: swap-remove would leave [0 5 2 4] here.
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	orderedLabelRows(t, g, "after removes")
+	before := append([]NodeID(nil), g.NodesByLabel(m)...)
+
+	// Rollback revives tombstones: node 2 must come back between 0 and 4,
+	// not at the end of the row.
+	d := &Delta{DelNodes: []NodeID{2}}
+	_, undo, err := d.ApplyLogged(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderedLabelRows(t, g, "after delete 2")
+	undo.Revert(g)
+	orderedLabelRows(t, g, "after revert")
+	if got := g.NodesByLabel(m); !equalIDs(got, before) {
+		t.Fatalf("revert changed NodesByLabel order: got %v want %v", got, before)
+	}
+}
+
+// TestSnapshotPreservesNodesByLabel: after churn, a snapshot round-trip
+// must reproduce NodesByLabel rows exactly — order included — so a
+// recovered daemon enumerates (and, under a match limit, answers) like
+// the live one.
+func TestSnapshotPreservesNodesByLabel(t *testing.T) {
+	in := NewInterner()
+	g := New(in)
+	labels := []Label{in.Intern("a"), in.Intern("b"), in.Intern("c")}
+	for i := 0; i < 30; i++ {
+		g.AddNode(labels[i%3], IntValue(int64(i)))
+	}
+	for _, v := range []NodeID{4, 7, 13, 22, 28} {
+		if err := g.RemoveNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.WriteSnapshotJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSnapshotJSON(&buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if !equalIDs(g.NodesByLabel(l), g2.NodesByLabel(l)) {
+			t.Fatalf("label %v: live row %v != recovered row %v", l, g.NodesByLabel(l), g2.NodesByLabel(l))
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Named regression tests for graph.Delta JSON codec edge cases surfaced
+// by FuzzDeltaJSON's corpus: each pins a behavior the fuzzer found worth
+// exercising so a codec change cannot silently regress it.
+
+// TestDeltaJSONEmptyDelta: `{}` is a valid delta with no operations. It
+// round-trips to itself, reports Empty, and applies as a no-op — the WAL
+// replay path must tolerate it, since an empty delta is appendable.
+func TestDeltaJSONEmptyDelta(t *testing.T) {
+	in := NewInterner()
+	d, err := ReadDeltaJSON(strings.NewReader(`{}`), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() || d.Size() != 0 {
+		t.Fatalf("decoded %+v, want empty", d)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "{}" {
+		t.Fatalf("empty delta encodes as %q, want {}", got)
+	}
+	g := New(in)
+	g.AddNodeNamed("a", Value{})
+	ids, err := d.Apply(g)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("empty apply: ids=%v err=%v", ids, err)
+	}
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatal("empty delta mutated the graph")
+	}
+}
+
+// TestDeltaJSONTombstonedTargets: a delta that decodes cleanly but names
+// only tombstoned (removed) node IDs must fail structurally at apply
+// time with the graph untouched — decoding cannot know liveness, so the
+// tx layer is the backstop.
+func TestDeltaJSONTombstonedTargets(t *testing.T) {
+	in := NewInterner()
+	g := New(in)
+	a := g.AddNodeNamed("a", Value{})
+	b := g.AddNodeNamed("b", Value{})
+	g.MustAddEdge(a, b)
+	if err := g.RemoveNode(b); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"edge to tombstone":      `{"add_edges": [[0, 1]]}`,
+		"edge from tombstone":    `{"add_edges": [[1, 0]]}`,
+		"delete tombstone":       `{"del_nodes": [1]}`,
+		"delete tombstone edge":  `{"del_edges": [[0, 1]]}`,
+		"wire insert->tombstone": `{"add_nodes": [{"label": "c"}], "add_edges": [[-1, 1]]}`,
+	}
+	for name, doc := range cases {
+		d, err := ReadDeltaJSON(strings.NewReader(doc), in)
+		if err != nil {
+			t.Fatalf("%s: decode: %v (codec cannot reject liveness)", name, err)
+		}
+		gg := g.Clone()
+		ids, undo, err := d.ApplyLogged(gg)
+		if err == nil {
+			t.Fatalf("%s: applied against tombstone without error (ids %v)", name, ids)
+		}
+		if !errors.Is(err, ErrNoSuchNode) && !errors.Is(err, ErrNoSuchEdge) {
+			t.Fatalf("%s: err = %v, want no-such-node/edge", name, err)
+		}
+		undo.Revert(gg)
+		if gg.NumNodes() != g.NumNodes() || gg.NumEdges() != g.NumEdges() || gg.Cap() != g.Cap() {
+			t.Fatalf("%s: reverted graph diverged", name)
+		}
+	}
+}
+
+// TestDeltaJSONMaxNewNodeRefChain: the -1-k encoding at its extremes — a
+// long chain where every edge references the newest inserted node, the
+// boundary index (last valid k), and one past it (rejected at decode).
+func TestDeltaJSONMaxNewNodeRefChain(t *testing.T) {
+	in := NewInterner()
+	const n = 64
+	var doc strings.Builder
+	doc.WriteString(`{"add_nodes": [`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			doc.WriteString(", ")
+		}
+		doc.WriteString(`{"label": "x"}`)
+	}
+	doc.WriteString(`], "add_edges": [`)
+	for i := 1; i < n; i++ {
+		if i > 1 {
+			doc.WriteString(", ")
+		}
+		// Each new node points at the previous new node: [-1-i, -i].
+		doc.WriteString("[")
+		doc.WriteString(strconv.Itoa(-1 - i))
+		doc.WriteString(", ")
+		doc.WriteString(strconv.Itoa(-i))
+		doc.WriteString("]")
+	}
+	doc.WriteString(`]}`)
+	d, err := ReadDeltaJSON(strings.NewReader(doc.String()), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(in)
+	ids, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != n || g.NumNodes() != n || g.NumEdges() != n-1 {
+		t.Fatalf("chain applied to |V|=%d |E|=%d (%d ids)", g.NumNodes(), g.NumEdges(), len(ids))
+	}
+	for i := 1; i < n; i++ {
+		if !g.HasEdge(ids[i], ids[i-1]) {
+			t.Fatalf("chain edge %d -> %d missing", i, i-1)
+		}
+	}
+	// Round trip preserves the NewNodeRef encoding verbatim.
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDeltaJSON(bytes.NewReader(buf.Bytes()), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.AddEdges) != n-1 || d2.AddEdges[n-2] != [2]NodeID{NewNodeRef(n - 1), NewNodeRef(n - 2)} {
+		t.Fatalf("round trip lost the ref encoding: %v", d2.AddEdges[n-2])
+	}
+
+	// Boundary: -1-(n-1) is the last valid ref; -1-n dangles and the
+	// whole document is rejected before any label is interned.
+	okDoc := `{"add_nodes": [{"label": "y"}], "add_edges": [[` + strconv.Itoa(-1) + `, ` + strconv.Itoa(-1) + `]]}`
+	if _, err := ReadDeltaJSON(strings.NewReader(okDoc), in); err != nil {
+		t.Fatalf("self-loop on new node rejected: %v", err)
+	}
+	fresh := NewInterner()
+	badDoc := `{"add_nodes": [{"label": "zqx"}], "add_edges": [[` + strconv.Itoa(-2) + `, 0]]}`
+	if _, err := ReadDeltaJSON(strings.NewReader(badDoc), fresh); err == nil {
+		t.Fatal("dangling ref -2 with one add_node decoded")
+	}
+	if _, ok := fresh.Lookup("zqx"); ok {
+		t.Fatal("rejected document leaked a label into the interner")
+	}
+}
+
+// TestDeltaJSONExtremeNegativeRef: a NewNodeRef near the NodeID minimum
+// must not wrap around the -1-k decoding into a "valid" index.
+func TestDeltaJSONExtremeNegativeRef(t *testing.T) {
+	doc := `{"add_nodes": [{"label": "a"}], "add_edges": [[-9223372036854775808, 0]]}`
+	if _, err := ReadDeltaJSON(strings.NewReader(doc), NewInterner()); err == nil {
+		t.Fatal("minimum-int64 ref decoded as valid")
+	}
+}

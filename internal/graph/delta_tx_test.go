@@ -229,6 +229,10 @@ func FuzzDeltaJSON(f *testing.F) {
 	f.Add([]byte(`{"nodes": []}`))
 	f.Add([]byte(`{"del_nodes": [-1]}`))
 	f.Add([]byte(`{}`))
+	// Promoted corpus findings (see delta_json_regression_test.go for the
+	// named regressions): boundary NewNodeRef chains and extreme refs.
+	f.Add([]byte(`{"add_nodes": [{"label": "x"}, {"label": "x"}, {"label": "x"}], "add_edges": [[-3, -2], [-2, -1], [-1, 0]]}`))
+	f.Add([]byte(`{"add_nodes": [{"label": "a"}], "add_edges": [[-9223372036854775808, 0]]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		in := NewInterner()
 		d, err := ReadDeltaJSON(bytes.NewReader(data), in)

@@ -53,7 +53,7 @@ type Graph struct {
 	out [][]NodeID
 	in  [][]NodeID
 
-	byLabel map[Label][]NodeID // live nodes per label; lazily compacted
+	byLabel map[Label][]NodeID // live nodes per label, ascending ID order
 	edges   map[edgeKey]struct{}
 
 	numNodes int // live nodes
@@ -165,7 +165,7 @@ func (g *Graph) RemoveNode(v NodeID) error {
 		_ = g.RemoveEdge(w, v)
 	}
 	l := g.labels[v]
-	g.byLabel[l] = removeID(g.byLabel[l], v)
+	g.byLabel[l] = removeIDOrdered(g.byLabel[l], v)
 	if len(g.byLabel[l]) == 0 {
 		delete(g.byLabel, l)
 	}
@@ -186,7 +186,7 @@ func (g *Graph) restoreNode(v NodeID, l Label, val Value) {
 	}
 	g.labels[v] = l
 	g.values[v] = val
-	g.byLabel[l] = append(g.byLabel[l], v)
+	g.byLabel[l] = insertIDSorted(g.byLabel[l], v)
 	g.numNodes++
 }
 
@@ -220,6 +220,31 @@ func removeID(s []NodeID, v NodeID) []NodeID {
 			return s[:len(s)-1]
 		}
 	}
+	return s
+}
+
+// removeIDOrdered deletes v from s preserving element order. byLabel rows
+// use it (not the swap-remove above) to keep their ascending-ID invariant:
+// the WAL snapshot codec rebuilds byLabel in ascending order, so a
+// recovered instance enumerates label candidates exactly like the live one
+// only if live rows stay sorted through deletions.
+func removeIDOrdered(s []NodeID, v NodeID) []NodeID {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// insertIDSorted inserts v into ascending-sorted s. restoreNode uses it:
+// a revived tombstone's ID is below later-added IDs, so a plain append
+// would break the byLabel ordering invariant.
+func insertIDSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
 	return s
 }
 

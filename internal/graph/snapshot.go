@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot codec: an ID-preserving serialization of a Graph, used by the
+// WAL checkpoint/recovery path (internal/wal). Unlike WriteJSON/ReadJSON,
+// which remap node IDs to fresh dense ones on load, a snapshot records the
+// exact ID space — including tombstone holes left by removed nodes — so
+// that a graph.Delta logged after the snapshot replays against the loaded
+// graph exactly as it applied against the live one: AddNode continues from
+// the same next ID, and every logged node reference resolves to the same
+// node. Adjacency row order is preserved too (edges are written and
+// re-inserted in row order), keeping the loaded instance equal to the live
+// instance in every serialization-visible respect.
+
+// jsonSnapshot is the on-disk form: slots is the size of the node-ID space
+// (live nodes plus tombstones); nodes lists the live slots in ascending ID
+// order; edges lists every edge in adjacency row order.
+type jsonSnapshot struct {
+	Slots int         `json:"slots"`
+	Nodes []jsonNode  `json:"nodes"`
+	Edges [][2]NodeID `json:"edges"`
+}
+
+// WriteSnapshotJSON serializes g to w as a single JSON document preserving
+// the node-ID space (see the package note above). Files written here are
+// read back with ReadSnapshotJSON, not ReadJSON.
+func (g *Graph) WriteSnapshotJSON(w io.Writer) error {
+	js := jsonSnapshot{Slots: g.Cap(), Nodes: make([]jsonNode, 0, g.numNodes)}
+	g.Nodes(func(v NodeID) bool {
+		js.Nodes = append(js.Nodes, jsonNode{
+			ID:    v,
+			Label: g.interner.Name(g.labels[v]),
+			Value: g.values[v],
+		})
+		return true
+	})
+	js.Edges = make([][2]NodeID, 0, g.numEdges)
+	g.Edges(func(from, to NodeID) bool {
+		js.Edges = append(js.Edges, [2]NodeID{from, to})
+		return true
+	})
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(js); err != nil {
+		return fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshotJSON parses a snapshot written by WriteSnapshotJSON,
+// reconstructing the exact node-ID space: IDs of live nodes are taken
+// verbatim and unlisted slots below Slots become tombstones, so subsequent
+// AddNode calls assign the same IDs the live graph would have. Decoding is
+// strict: unknown fields, trailing data, out-of-range or non-increasing
+// node IDs, and edges touching dead slots are all rejected. Labels are
+// interned through in (nil allocates a fresh interner).
+func ReadSnapshotJSON(r io.Reader, in *Interner) (*Graph, error) {
+	var js jsonSnapshot
+	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("graph: decode snapshot: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("graph: decode snapshot: trailing data after document")
+	}
+	if js.Slots < 0 {
+		return nil, fmt.Errorf("graph: decode snapshot: negative slot count %d", js.Slots)
+	}
+	if len(js.Nodes) > js.Slots {
+		return nil, fmt.Errorf("graph: decode snapshot: %d nodes exceed %d slots", len(js.Nodes), js.Slots)
+	}
+	g := NewWithCapacity(in, js.Slots)
+	g.labels = g.labels[:js.Slots]
+	g.values = g.values[:js.Slots]
+	g.out = g.out[:js.Slots]
+	g.in = g.in[:js.Slots]
+	for i := range g.labels {
+		g.labels[i] = NoLabel // tombstone unless a node claims the slot
+	}
+	prev := NodeID(-1)
+	for _, n := range js.Nodes {
+		if n.ID <= prev {
+			return nil, fmt.Errorf("graph: decode snapshot: node id %d out of order (after %d)", n.ID, prev)
+		}
+		if int(n.ID) >= js.Slots {
+			return nil, fmt.Errorf("graph: decode snapshot: node id %d outside %d slots", n.ID, js.Slots)
+		}
+		prev = n.ID
+		l := g.interner.Intern(n.Label)
+		g.labels[n.ID] = l
+		g.values[n.ID] = n.Value
+		g.byLabel[l] = append(g.byLabel[l], n.ID)
+		g.numNodes++
+	}
+	for i, e := range js.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("graph: decode snapshot: edge %d (%d,%d): %w", i, e[0], e[1], err)
+		}
+	}
+	return g, nil
+}

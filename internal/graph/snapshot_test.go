@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildTombstoned returns a graph with a hole in its ID space: node 1 is
+// removed, so slots = 4 but only 3 nodes live.
+func buildTombstoned(t *testing.T) (*Graph, *Interner) {
+	t.Helper()
+	in := NewInterner()
+	g := New(in)
+	a := g.AddNodeNamed("movie", StringValue("Up"))
+	b := g.AddNodeNamed("year", IntValue(2009))
+	c := g.AddNodeNamed("award", NoValue())
+	d := g.AddNodeNamed("actor", NoValue())
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(d, a)
+	if err := g.RemoveNode(b); err != nil {
+		t.Fatal(err)
+	}
+	return g, in
+}
+
+func TestSnapshotRoundTripPreservesIDSpace(t *testing.T) {
+	g, _ := buildTombstoned(t)
+	var buf bytes.Buffer
+	if err := g.WriteSnapshotJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in2 := NewInterner()
+	g2, err := ReadSnapshotJSON(bytes.NewReader(buf.Bytes()), in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Cap() != g.Cap() {
+		t.Fatalf("slots: got %d want %d", g2.Cap(), g.Cap())
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("counts: got |V|=%d |E|=%d want |V|=%d |E|=%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if g2.Contains(1) {
+		t.Fatal("tombstone slot 1 came back live")
+	}
+	// The next assigned ID must match the live graph's: both continue at
+	// the end of the preserved slot space.
+	id1 := g.AddNodeNamed("director", NoValue())
+	id2 := g2.AddNodeNamed("director", NoValue())
+	if id1 != id2 {
+		t.Fatalf("post-load AddNode diverged: live %d vs loaded %d", id1, id2)
+	}
+	// Round-tripping the loaded graph reproduces the exact bytes: node
+	// order, edge row order and values all survive.
+	var buf2 bytes.Buffer
+	gRe, err := ReadSnapshotJSON(bytes.NewReader(buf.Bytes()), NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gRe.WriteSnapshotJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("snapshot not byte-stable:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+func TestSnapshotPreservesRowOrder(t *testing.T) {
+	in := NewInterner()
+	g := New(in)
+	var ids []NodeID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, g.AddNodeNamed("n", NoValue()))
+	}
+	// Insert out-edges of node 0 in a non-sorted order, then delete one so
+	// the swap-delete leaves a history-dependent row order.
+	g.MustAddEdge(ids[0], ids[3])
+	g.MustAddEdge(ids[0], ids[1])
+	g.MustAddEdge(ids[0], ids[4])
+	g.MustAddEdge(ids[0], ids[2])
+	if err := g.RemoveEdge(ids[0], ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteSnapshotJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSnapshotJSON(bytes.NewReader(buf.Bytes()), NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Out(ids[0])
+	got := g2.Out(ids[0])
+	if len(got) != len(want) {
+		t.Fatalf("row length: got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row order not preserved: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSnapshotReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":   `{"slots": 1, "nodes": [{"id": 0, "label": "a"}], "edges": [], "extra": 1}`,
+		"trailing data":   `{"slots": 1, "nodes": [{"id": 0, "label": "a"}], "edges": []} {}`,
+		"negative slots":  `{"slots": -1, "nodes": [], "edges": []}`,
+		"too many nodes":  `{"slots": 1, "nodes": [{"id": 0, "label": "a"}, {"id": 1, "label": "a"}], "edges": []}`,
+		"id out of range": `{"slots": 1, "nodes": [{"id": 1, "label": "a"}], "edges": []}`,
+		"ids unordered":   `{"slots": 2, "nodes": [{"id": 1, "label": "a"}, {"id": 0, "label": "a"}], "edges": []}`,
+		"duplicate id":    `{"slots": 2, "nodes": [{"id": 0, "label": "a"}, {"id": 0, "label": "a"}], "edges": []}`,
+		"edge to hole":    `{"slots": 2, "nodes": [{"id": 0, "label": "a"}], "edges": [[0, 1]]}`,
+		"edge oob":        `{"slots": 1, "nodes": [{"id": 0, "label": "a"}], "edges": [[0, 7]]}`,
+		"duplicate edge":  `{"slots": 2, "nodes": [{"id": 0, "label": "a"}, {"id": 1, "label": "a"}], "edges": [[0, 1], [0, 1]]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadSnapshotJSON(strings.NewReader(doc), NewInterner()); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestSnapshotDeltaReplayIdentity is the property recovery rests on: a
+// delta applied to a snapshot-loaded graph behaves exactly as it did on
+// the live graph — same assigned IDs, same resulting snapshot bytes.
+func TestSnapshotDeltaReplayIdentity(t *testing.T) {
+	g, in := buildTombstoned(t)
+	var buf bytes.Buffer
+	if err := g.WriteSnapshotJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSnapshotJSON(bytes.NewReader(buf.Bytes()), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Delta{
+		AddNodes: []NodeSpec{{Label: in.Intern("director"), Value: StringValue("Docter")}},
+		AddEdges: [][2]NodeID{{NewNodeRef(0), 0}, {3, NewNodeRef(0)}},
+		DelEdges: [][2]NodeID{{0, 2}},
+	}
+	ids1, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, err := d.Apply(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids1) != 1 || len(ids2) != 1 || ids1[0] != ids2[0] {
+		t.Fatalf("assigned IDs diverged: %v vs %v", ids1, ids2)
+	}
+	var b1, b2 bytes.Buffer
+	if err := g.WriteSnapshotJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.WriteSnapshotJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("post-delta snapshots diverged:\n%s\nvs\n%s", b1.Bytes(), b2.Bytes())
+	}
+}

@@ -160,18 +160,37 @@ type UpdateResponse struct {
 	// (edge endpoints, deleted nodes and their neighbors, inserted
 	// nodes) — the incremental maintenance work, independent of |G|.
 	TouchedRows int `json:"touched_rows"`
+	// LogOffset is the write-ahead-log offset this update's record ends
+	// at — the update is durable through it (boundedgd -wal). Omitted on
+	// a daemon without a WAL.
+	LogOffset int64 `json:"log_offset,omitempty"`
 	// ElapsedMS is the server-side handling time of this request.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// UpdateStats reports the store's update counters in /stats.
+// UpdateStats reports the store's update counters in /stats. Batches
+// counts group commits: under concurrent write bursts it drops below
+// Applied, each batch publishing one epoch for many deltas.
 type UpdateStats struct {
 	Enabled           bool    `json:"enabled"`
 	Applied           uint64  `json:"applied"`
+	Batches           uint64  `json:"batches"`
 	RejectedViolation uint64  `json:"rejected_violation"`
 	RejectedError     uint64  `json:"rejected_error"`
 	TouchedRows       uint64  `json:"touched_rows"`
 	LastApplyMS       float64 `json:"last_apply_ms"`
+}
+
+// WALStats reports the durability subsystem's state in /stats. Offset,
+// Records and Syncs describe the current log (they reset when a
+// checkpoint rotates it); LastCheckpointEpoch is the epoch recovery
+// would replay from.
+type WALStats struct {
+	Enabled             bool   `json:"enabled"`
+	Offset              int64  `json:"offset"`
+	Records             uint64 `json:"records"`
+	Syncs               uint64 `json:"syncs"`
+	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
 }
 
 // CacheStats reports the result cache's state in /stats.
@@ -192,6 +211,7 @@ type StatsResponse struct {
 	Engine      runtime.Stats `json:"engine"`
 	Cache       CacheStats    `json:"cache"`
 	Updates     UpdateStats   `json:"updates"`
+	WAL         WALStats      `json:"wal"`
 	Served      uint64        `json:"served"`
 	Errors      uint64        `json:"errors"`
 }
@@ -524,6 +544,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		Epoch:       res.Epoch,
 		NewIDs:      res.NewIDs,
 		TouchedRows: res.TouchedRows,
+		LogOffset:   res.LogOffset,
 		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),
 	})
 }
@@ -560,10 +581,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Updates: UpdateStats{
 			Enabled:           s.cfg.EnableUpdates,
 			Applied:           us.Applied,
+			Batches:           us.Batches,
 			RejectedViolation: us.RejectedViolation,
 			RejectedError:     us.RejectedError,
 			TouchedRows:       us.TouchedRows,
 			LastApplyMS:       float64(us.LastApplyNS) / 1e6,
+		},
+		WAL: WALStats{
+			Enabled:             us.Durable,
+			Offset:              us.WALOffset,
+			Records:             us.WALRecords,
+			Syncs:               us.WALSyncs,
+			LastCheckpointEpoch: us.LastCheckpointEpoch,
 		},
 		Served: s.served.Load(),
 		Errors: s.errors.Load(),

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/runtime"
+	"boundedg/internal/store"
+	"boundedg/internal/wal"
+	"boundedg/internal/workload"
+)
+
+// newDurableEnv is newEnv over a WAL-backed store, as boundedgd -mutable
+// -wal builds one.
+func newDurableEnv(t *testing.T, d *workload.Dataset, cfg Config) *env {
+	t.Helper()
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatalf("index build: %v", viols[0])
+	}
+	wd, err := wal.OpenDir(t.TempDir(), d.In)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Init(0, d.G, idx); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(d.G, idx, store.WithWAL(wd, true))
+	eng, err := runtime.NewFromStore(st, runtime.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, d.In, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		wd.Close()
+	})
+	return &env{d: d, idx: idx, eng: eng, srv: srv, ts: ts}
+}
+
+// TestUpdateReportsLogOffset checks the durable write path through HTTP:
+// accepted updates report strictly increasing committed log offsets, and
+// /stats exposes the WAL state (offset, records, syncs, checkpoint
+// epoch) that an operator or replication follower would read.
+func TestUpdateReportsLogOffset(t *testing.T) {
+	d, years := miniDataset(t, 10)
+	e := newDurableEnv(t, d, Config{EnableUpdates: true})
+
+	var prevOff int64
+	for i := 0; i < 3; i++ {
+		var ur UpdateResponse
+		body := `{"add_nodes": [{"label": "movie", "value": 100}], "add_edges": [[-1, ` + strconv.Itoa(int(years[0])) + `]]}`
+		if code := e.postUpdate(t, body, &ur); code != 200 {
+			t.Fatalf("update %d: status %d", i, code)
+		}
+		if ur.LogOffset <= prevOff {
+			t.Fatalf("update %d: log offset %d not beyond %d", i, ur.LogOffset, prevOff)
+		}
+		prevOff = ur.LogOffset
+	}
+
+	st := e.getStats(t)
+	if !st.Updates.Enabled || st.Updates.Applied != 3 || st.Updates.Batches == 0 {
+		t.Fatalf("update stats = %+v", st.Updates)
+	}
+	if !st.WAL.Enabled {
+		t.Fatal("wal stats not enabled on a durable daemon")
+	}
+	if st.WAL.Offset != prevOff || st.WAL.Records != 3 || st.WAL.Syncs != st.Updates.Batches {
+		t.Fatalf("wal stats = %+v (want offset %d, 3 records, %d syncs)", st.WAL, prevOff, st.Updates.Batches)
+	}
+	if st.WAL.LastCheckpointEpoch != 0 {
+		t.Fatalf("last checkpoint epoch %d, want 0 (no checkpoint yet)", st.WAL.LastCheckpointEpoch)
+	}
+
+	// A read-only-store daemon reports the WAL section disabled.
+	d2, _ := miniDataset(t, 10)
+	e2 := newEnv(t, d2, Config{EnableUpdates: true})
+	if st2 := e2.getStats(t); st2.WAL.Enabled || st2.WAL.Offset != 0 {
+		t.Fatalf("non-durable wal stats = %+v", st2.WAL)
+	}
+
+	// Rejected updates must not advance the log.
+	var er ErrorResponse
+	if code := e.postUpdate(t, `{"del_nodes": [99999]}`, &er); code != 409 {
+		t.Fatalf("structural reject: status %d", code)
+	}
+	if st := e.getStats(t); st.WAL.Offset != prevOff || st.WAL.Records != 3 {
+		t.Fatalf("rejected update moved the log: %+v", st.WAL)
+	}
+}

@@ -1,41 +1,30 @@
-// Package store makes graph updates first-class in the serving path: a
-// Store owns a graph plus its access-constraint indexes and publishes an
-// immutable epoch Snapshot (graph, frozen CSR, indexes, epoch) after every
-// accepted graph.Delta. Readers pick snapshots up with one atomic pointer
-// load and pin them for the duration of a query, so in-flight queries keep
-// a consistent view while the writer builds the next epoch — the paper's
-// §II incremental maintenance (ΔG, NbG(ΔG)) turned into a read/write
-// store.
-//
-// Concurrency design (double-instance copy-on-write): the store keeps two
-// full (graph, indexes) instances. The published snapshot is backed by one;
-// the writer applies the next delta to the other — first replaying the one
-// delta it is behind by — then refreshes the CSR snapshot incrementally
-// (graph.Frozen.Refresh, proportional to |NbG(ΔG)|) and swaps the
-// published pointer. Before mutating an instance the writer waits for the
-// readers still pinning the snapshot that last exposed it, so no query
-// ever observes a half-applied epoch. Each accepted delta is applied once
-// per instance: O(|ΔG ∪ NbG(ΔG)|) per publish, independent of |G|. The
-// second instance is cloned lazily on the first update, so a read-only
-// store costs nothing extra.
-//
-// A delta that fails structurally or would break an access constraint is
-// rejected atomically (access.IndexSet.ApplyDeltaTx): the published state
-// is bit-for-bit unaffected and no epoch is consumed.
 package store
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"boundedg/internal/access"
 	"boundedg/internal/graph"
+	"boundedg/internal/wal"
 )
 
-// ErrClosed is returned by Apply after Close.
+// ErrClosed is returned by Apply after Close, and by every write once the
+// store has wedged on a WAL failure.
 var ErrClosed = errors.New("store: closed")
+
+// ErrNotDurable is returned by Checkpoint on a store without a WAL.
+var ErrNotDurable = errors.New("store: no WAL attached")
+
+// ErrWedged is the error of a batch whose WAL append or fsync failed: the
+// epoch was never published and the store closed itself to further writes
+// (readers keep the last durable state). It wraps ErrClosed so callers
+// that map "store not accepting writes" (e.g. the server's 503) catch
+// both with one errors.Is.
+var ErrWedged = fmt.Errorf("%w: write-ahead log failed", ErrClosed)
 
 // state is one of the two copy-on-write (graph, indexes) instances.
 type state struct {
@@ -63,10 +52,15 @@ func (s *Snapshot) Release() { s.refs.Add(-1) }
 
 // Stats are the store's cumulative update counters.
 type Stats struct {
-	// Epoch is the currently published epoch (0 = the initial state).
+	// Epoch is the currently published epoch (the base epoch when nothing
+	// has been applied).
 	Epoch uint64
-	// Applied counts accepted deltas (each published one epoch).
+	// Applied counts accepted deltas; Batches counts the group commits
+	// that published them. Batches == Applied means no coalescing
+	// happened (serial writers); under concurrent bursts Batches drops
+	// below Applied — the per-delta share of the fixed epoch costs.
 	Applied uint64
+	Batches uint64
 	// RejectedViolation counts deltas rejected for breaking an access
 	// constraint; RejectedError counts structural rejections (bad node or
 	// edge references). Both leave the published state untouched.
@@ -76,35 +70,97 @@ type Stats struct {
 	// adjacency each delta changed — the per-update maintenance work,
 	// bounded by the paper's |ΔG ∪ NbG(ΔG)|.
 	TouchedRows uint64
-	// LastApplyNS is the wall time of the most recent accepted apply
-	// (replay + apply + refresh + publish).
+	// LastApplyNS is the wall time of the most recent group commit
+	// (replay + apply + log + refresh + publish, for the whole batch).
 	LastApplyNS int64
+
+	// Durable reports whether a WAL is attached; the remaining fields are
+	// zero without one. WALOffset is the committed log offset, WALRecords
+	// and WALSyncs the records appended and fsyncs issued on the current
+	// log (both reset at checkpoints, which rotate the log), and
+	// LastCheckpointEpoch the epoch of the newest checkpoint snapshot.
+	Durable             bool
+	WALOffset           int64
+	WALRecords          uint64
+	WALSyncs            uint64
+	LastCheckpointEpoch uint64
+}
+
+// commitReq is one Apply call waiting in the group-commit queue.
+type commitReq struct {
+	d    *graph.Delta
+	res  Result
+	err  error
+	done chan struct{}
 }
 
 // Store is the epoch-versioned graph store. Construct with New, read with
-// Acquire/Release, write with Apply. One writer at a time (Apply
-// serializes internally); any number of concurrent readers.
+// Acquire/Release, write with Apply. Any number of concurrent readers;
+// concurrent writers are grouped into batches (see the package comment).
 type Store struct {
 	cur atomic.Pointer[Snapshot]
 
-	mu     sync.Mutex // serializes writers and Close
-	closed bool
-	shadow *state       // instance not backing cur; nil until first Apply
-	prev   *Snapshot    // last snapshot that exposed shadow; drained before reuse
-	lag    *graph.Delta // delta cur's instance has seen but shadow has not
+	qmu   sync.Mutex // guards queue; never held while blocking
+	queue []*commitReq
 
-	applied, rejViol, rejErr, touched atomic.Uint64
-	lastApplyNS                       atomic.Int64
+	mu     sync.Mutex // serializes batch leaders, Checkpoint and Close
+	closed bool
+	wedged bool           // a WAL failure poisoned the shadow; writes stay barred
+	shadow *state         // instance not backing cur; nil until first Apply
+	prev   *Snapshot      // last snapshot that exposed shadow; drained before reuse
+	lag    []*graph.Delta // deltas cur's instance has seen but shadow has not
+
+	dur   *wal.Dir // nil on a non-durable store
+	fsync bool
+
+	// hookAppend, when non-nil, runs before the i-th accepted delta's WAL
+	// append; a returned error takes the append-failure path. Tests use
+	// it to exercise the wedge/rewind machinery.
+	hookAppend func(i int) error
+
+	applied, batches, rejViol, rejErr, touched atomic.Uint64
+	lastApplyNS                                atomic.Int64
+	lastCheckpoint                             atomic.Uint64
+}
+
+// Option configures New.
+type Option func(*Store)
+
+// WithWAL attaches an initialized WAL directory (wal.OpenDir followed by
+// Init or Recover, so d.Log() is non-nil): every accepted delta is
+// appended to d's log before the epoch containing it is published, and
+// fsync selects whether each group commit ends with one fsync (true) or
+// leaves flushing to the OS (false — faster, but a host crash can lose
+// the most recent commits; a process crash alone loses nothing).
+func WithWAL(d *wal.Dir, fsync bool) Option {
+	return func(st *Store) {
+		st.dur = d
+		st.fsync = fsync
+		st.lastCheckpoint.Store(d.LastCheckpointEpoch())
+	}
+}
+
+// WithBaseEpoch makes the store publish its initial state as the given
+// epoch instead of 0 — after WAL recovery, the epoch replay ended on, so
+// epoch numbering (the replication cursor) survives restarts.
+func WithBaseEpoch(epoch uint64) Option {
+	return func(st *Store) {
+		s0 := st.cur.Load()
+		st.cur.Store(&Snapshot{G: s0.G, Fz: s0.Fz, Idx: s0.Idx, Epoch: epoch, st: s0.st})
+	}
 }
 
 // New returns a store serving g with its index set idx (which must have
 // been built over g and satisfy its schema's bounds). The store takes
 // ownership: g and idx must not be read or mutated directly afterwards —
 // all access goes through Acquire and Apply.
-func New(g *graph.Graph, idx *access.IndexSet) *Store {
+func New(g *graph.Graph, idx *access.IndexSet, opts ...Option) *Store {
 	st := &Store{}
 	s0 := &state{g: g, idx: idx}
 	st.cur.Store(&Snapshot{G: g, Fz: g.Freeze(), Idx: idx, Epoch: 0, st: s0})
+	for _, opt := range opts {
+		opt(st)
+	}
 	return st
 }
 
@@ -132,7 +188,8 @@ func (st *Store) Schema() *access.Schema { return st.cur.Load().Idx.Schema() }
 
 // Result reports one accepted Apply.
 type Result struct {
-	// Epoch is the epoch the delta published.
+	// Epoch is the epoch the delta published. Concurrently accepted
+	// deltas may share it (one group commit = one epoch).
 	Epoch uint64
 	// NewIDs are the node IDs assigned to the delta's AddNodes.
 	NewIDs []graph.NodeID
@@ -140,23 +197,102 @@ type Result struct {
 	// (edge endpoints, deleted nodes and their neighbors, inserted
 	// nodes) — the incrementally maintained work.
 	TouchedRows int
+	// LogOffset is the WAL offset the delta's record ends at — the
+	// update is durable once the log is synced through it. Zero on a
+	// store without a WAL.
+	LogOffset int64
 }
 
-// Apply applies d atomically and publishes the next epoch. On success the
-// returned Result names the new epoch; the new snapshot is visible to
-// Acquire before Apply returns. A delta that fails structurally or breaks
-// an access constraint (a *access.ViolationError) is rejected with the
-// published state untouched and no epoch consumed.
+// Apply applies d atomically and publishes it in the next epoch. On
+// success the returned Result names that epoch; the snapshot containing
+// the delta is visible to Acquire before Apply returns. A delta that
+// fails structurally or breaks an access constraint (a
+// *access.ViolationError) is rejected with the published state untouched.
 //
-// Writers serialize; the accepted-path cost is O(|ΔG ∪ NbG(ΔG)|) per
-// instance plus waiting out readers still pinning the epoch before last.
-// The first Apply also pays a one-off O(|G|) clone of the second
-// instance.
+// Concurrent Apply calls are group-committed: whichever caller takes the
+// writer lock first commits every delta queued by then as one epoch, in
+// queue order, and the rest return as soon as the batch publishes. The
+// accepted-path cost per batch is O(Σ|ΔG ∪ NbG(ΔG)|) per instance plus
+// waiting out readers still pinning the epoch before last. The first
+// Apply also pays a one-off O(|G|) clone of the second instance.
 func (st *Store) Apply(d *graph.Delta) (Result, error) {
+	req := &commitReq{d: d, done: make(chan struct{})}
+	st.qmu.Lock()
+	st.queue = append(st.queue, req)
+	st.qmu.Unlock()
+
+	st.lead()
+
+	<-req.done
+	return req.res, req.err
+}
+
+// lead runs the leader election: every queued caller contends for the
+// writer lock; the winner commits the whole queue (possibly including
+// requests that arrived after its own). Losers find an empty queue and
+// just wait. The lock is released by defer so a panic inside a commit
+// (an invariant violation) cannot leave the store deadlocked —
+// commitBatch's own guard fails the batch's waiters before the panic
+// propagates.
+func (st *Store) lead() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.qmu.Lock()
+	batch := st.queue
+	st.queue = nil
+	st.qmu.Unlock()
+	if len(batch) > 0 {
+		st.commitBatch(batch)
+	}
+}
+
+// commitBatch runs one group commit under st.mu: per-delta transactional
+// apply on the shadow instance, WAL append + one fsync, one CSR refresh,
+// one published epoch. Every request's done channel is closed before
+// returning.
+func (st *Store) commitBatch(batch []*commitReq) {
+	settled := false
+	var wlog *wal.Log
+	var pre wal.LogStats
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// A panic mid-commit is an invariant violation (diverged lag
+		// replay, poisoned maintenance): the epoch never published and
+		// the shadow instance is suspect, so bar further writes, rewind
+		// any records this batch already appended (the callers are about
+		// to be told it failed), and fail the waiters instead of
+		// stranding them — then let the panic propagate (lead's deferred
+		// unlock releases the writer lock).
+		st.closed = true
+		st.wedged = true
+		if wlog != nil {
+			_ = wlog.Rewind(pre)
+		}
+		if !settled {
+			for _, req := range batch {
+				if req.err == nil {
+					req.err = fmt.Errorf("store: commit panicked: %v", r)
+				}
+				close(req.done)
+			}
+		}
+		panic(r)
+	}()
+	finish := func() {
+		settled = true
+		for _, r := range batch {
+			close(r.done)
+		}
+	}
 	if st.closed {
-		return Result{}, ErrClosed
+		for _, r := range batch {
+			r.err = ErrClosed
+		}
+		finish()
+		return
 	}
 	started := time.Now()
 	cur := st.cur.Load()
@@ -168,45 +304,122 @@ func (st *Store) Apply(d *graph.Delta) (Result, error) {
 	// last exposed it; they must drain before we mutate under them.
 	st.waitDrained(st.prev)
 	st.prev = nil
-	if st.lag != nil {
-		// Catch the shadow up with the delta the published instance has
-		// already absorbed. It was accepted there, and the instances were
-		// identical before it, so it must replay cleanly.
-		if _, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, st.lag); err != nil {
+	for _, ld := range st.lag {
+		// Catch the shadow up with the deltas the published instance has
+		// already absorbed. They were accepted there, and the instances
+		// were identical before them, so they must replay cleanly.
+		if _, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, ld); err != nil {
 			panic("store: lag replay diverged: " + err.Error())
 		}
-		st.lag = nil
 	}
-	res, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, d)
-	if err != nil {
-		var verr *access.ViolationError
-		if errors.As(err, &verr) {
-			st.rejViol.Add(1)
-		} else {
-			st.rejErr.Add(1)
+	st.lag = nil
+
+	epoch := cur.Epoch + 1
+	var accepted []*commitReq
+	var acceptedDeltas []*graph.Delta
+	var rows []graph.NodeID
+	for _, req := range batch {
+		res, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, req.d)
+		if err != nil {
+			var verr *access.ViolationError
+			if errors.As(err, &verr) {
+				st.rejViol.Add(1)
+			} else {
+				st.rejErr.Add(1)
+			}
+			req.err = err
+			continue
 		}
-		return Result{}, err
+		req.res = Result{Epoch: epoch, NewIDs: res.NewIDs, TouchedRows: len(res.Touched)}
+		rows = append(rows, res.Touched...) // Touched includes the new IDs
+		accepted = append(accepted, req)
+		// Keep a private copy for the lag replay and the log: the caller
+		// is free to reuse or mutate d after Apply returns, and both must
+		// reproduce the exact delta the published instance absorbed.
+		acceptedDeltas = append(acceptedDeltas, req.d.Clone())
 	}
+	if len(accepted) == 0 {
+		// Nothing survived: no epoch, no log records, published state
+		// untouched. The shadow is still clean (every reject reverted).
+		finish()
+		return
+	}
+
+	if st.dur != nil {
+		// Durability point: append every accepted delta, then fsync once
+		// for the whole batch. Only after the log has them may the epoch
+		// become visible — crash recovery replays exactly these records.
+		wlog = st.dur.Log()
+		pre = wlog.Stats()
+		for i, req := range accepted {
+			if st.hookAppend != nil {
+				if err := st.hookAppend(i); err != nil {
+					settled = true
+					st.wedge(batch, err, wlog, pre)
+					return
+				}
+			}
+			off, err := wlog.Append(epoch, acceptedDeltas[i])
+			if err != nil {
+				settled = true
+				st.wedge(batch, err, wlog, pre)
+				return
+			}
+			req.res.LogOffset = off
+		}
+		if st.fsync {
+			if err := wlog.Sync(); err != nil {
+				settled = true
+				st.wedge(batch, err, wlog, pre)
+				return
+			}
+		}
+	}
+
 	next := &Snapshot{
 		G:     st.shadow.g,
-		Fz:    cur.Fz.Refresh(st.shadow.g, res.Touched), // Touched includes the new IDs
+		Fz:    cur.Fz.Refresh(st.shadow.g, rows),
 		Idx:   st.shadow.idx,
-		Epoch: cur.Epoch + 1,
+		Epoch: epoch,
 		st:    st.shadow,
 	}
 	st.cur.Store(next)
+	wlog = nil // published: the batch's records are committed, never rewound
 	cur.retired.Store(true)
 	st.prev = cur
 	st.shadow = cur.st
-	// Keep a private copy for the lag replay: the caller is free to reuse
-	// or mutate d after Apply returns, and the replay must reproduce the
-	// exact delta the published instance absorbed.
-	st.lag = d.Clone()
+	st.lag = acceptedDeltas
 
-	st.applied.Add(1)
-	st.touched.Add(uint64(len(res.Touched)))
+	st.applied.Add(uint64(len(accepted)))
+	st.batches.Add(1)
+	st.touched.Add(uint64(len(rows)))
 	st.lastApplyNS.Store(time.Since(started).Nanoseconds())
-	return Result{Epoch: next.Epoch, NewIDs: res.NewIDs, TouchedRows: len(res.Touched)}, nil
+	finish()
+}
+
+// wedge handles a WAL append/sync failure: the batch errors with
+// ErrWedged, the epoch is never published (the mutated shadow instance
+// stays invisible and is abandoned), and the store refuses further
+// writes — readers keep the last durable epoch. Records the batch
+// already appended are rewound out of the log, so a later recovery
+// cannot replay updates whose callers were told they did not commit.
+// Called with st.mu held; closes every done channel.
+func (st *Store) wedge(batch []*commitReq, cause error, l *wal.Log, pre wal.LogStats) {
+	st.closed = true
+	st.wedged = true
+	rewindNote := ""
+	if err := l.Rewind(pre); err != nil {
+		// The orphan records stay; tell the callers a restart may
+		// resurrect the batch they were just told failed.
+		rewindNote = fmt.Sprintf(" (log rewind also failed: %v; recovery may replay this batch)", err)
+	}
+	for _, r := range batch {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w; update not committed: %v%s", ErrWedged, cause, rewindNote)
+			r.res = Result{} // drop any LogOffset from a partial append
+		}
+		close(r.done)
+	}
 }
 
 // waitDrained blocks until no reader pins s. s is already retired, so no
@@ -223,8 +436,41 @@ func (st *Store) waitDrained(s *Snapshot) {
 	}
 }
 
+// Checkpoint rewrites the WAL snapshot at the currently published epoch
+// and rotates the log, bounding recovery replay. It serializes with
+// writers (commits block for its duration) and is allowed after Close —
+// the shutdown path drains, closes, then checkpoints so a clean restart
+// replays nothing — but not on a store wedged by a WAL failure, whose
+// published state may be ahead of what the log can prove.
+func (st *Store) Checkpoint() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dur == nil {
+		return ErrNotDurable
+	}
+	if st.wedged {
+		return errors.New("store: wedged by an earlier WAL failure; refusing to checkpoint")
+	}
+	snap := st.cur.Load()
+	if err := st.dur.Checkpoint(snap.Epoch, snap.G, snap.Idx); err != nil {
+		if errors.Is(err, wal.ErrCheckpointAmbiguous) {
+			// The manifest swap may or may not survive a crash, so no log
+			// can safely acknowledge further appends: wedge. Readers keep
+			// the published state; a restart resolves into whichever
+			// manifest the disk actually holds.
+			st.closed = true
+			st.wedged = true
+		}
+		return err
+	}
+	st.lastCheckpoint.Store(snap.Epoch)
+	return nil
+}
+
 // Close bars further updates. Readers are unaffected: already-acquired
-// snapshots stay valid and Acquire keeps serving the final epoch.
+// snapshots stay valid and Acquire keeps serving the final epoch. The
+// attached WAL directory (if any) remains open — close it after a final
+// Checkpoint via wal.Dir.Close.
 func (st *Store) Close() {
 	st.mu.Lock()
 	st.closed = true
@@ -233,12 +479,22 @@ func (st *Store) Close() {
 
 // Stats returns a snapshot of the store's cumulative counters.
 func (st *Store) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Epoch:             st.Epoch(),
 		Applied:           st.applied.Load(),
+		Batches:           st.batches.Load(),
 		RejectedViolation: st.rejViol.Load(),
 		RejectedError:     st.rejErr.Load(),
 		TouchedRows:       st.touched.Load(),
 		LastApplyNS:       st.lastApplyNS.Load(),
 	}
+	if st.dur != nil {
+		ls := st.dur.Log().Stats()
+		s.Durable = true
+		s.WALOffset = ls.Offset
+		s.WALRecords = ls.Records
+		s.WALSyncs = ls.Syncs
+		s.LastCheckpointEpoch = st.lastCheckpoint.Load()
+	}
+	return s
 }

@@ -1,0 +1,46 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/workload"
+)
+
+// TestCheckpointAmbiguousSyncDir: a directory-fsync failure AFTER the
+// manifest rename must surface as ErrCheckpointAmbiguous (the store
+// wedges on it) and must not adopt the new manifest in memory — the
+// on-disk outcome of a crash is unknowable, so the Dir must not pretend
+// either state is current.
+func TestCheckpointAmbiguousSyncDir(t *testing.T) {
+	ds := workload.IMDb(0.02, 3)
+	idx, viols := access.Build(ds.G, ds.Schema)
+	if viols != nil {
+		t.Fatal(viols[0])
+	}
+	dir := t.TempDir()
+	d, err := OpenDir(dir, ds.In)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(0, ds.G, idx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Log().Append(1, &graph.Delta{AddNodes: []graph.NodeSpec{{Label: ds.In.Intern("movie")}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	d.hookSyncDirErr = errors.New("injected dir-sync failure")
+	err = d.Checkpoint(1, ds.G, idx)
+	if !errors.Is(err, ErrCheckpointAmbiguous) {
+		t.Fatalf("checkpoint with failed post-rename dir sync: %v, want ErrCheckpointAmbiguous", err)
+	}
+	if d.LastCheckpointEpoch() != 0 {
+		t.Fatalf("ambiguous checkpoint adopted epoch %d in memory, want 0", d.LastCheckpointEpoch())
+	}
+	if got := d.Log().BaseEpoch(); got != 0 {
+		t.Fatalf("ambiguous checkpoint rotated the in-memory log to base %d, want 0", got)
+	}
+}

@@ -1,0 +1,350 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+)
+
+// manifestName is the one file whose atomic rename commits a checkpoint.
+const manifestName = "MANIFEST"
+
+// ErrCheckpointAmbiguous is returned by Checkpoint when the directory
+// fsync AFTER the manifest rename fails: the swap may or may not survive
+// a crash, so neither the old nor the new log can safely take further
+// appends (whichever the crash resurrects, the other's post-checkpoint
+// records would be lost). The store reacts by wedging — readers keep
+// serving, writes are refused until an operator restarts into whichever
+// state the disk actually holds.
+var ErrCheckpointAmbiguous = errors.New("wal: checkpoint manifest swap not durable; on-disk state ambiguous")
+
+// manifest names the current checkpoint: the epoch it was taken at and
+// the files (relative to the directory) holding the snapshot and the log
+// of everything after it.
+type manifest struct {
+	Epoch uint64 `json:"epoch"`
+	Graph string `json:"graph"`
+	Index string `json:"index"`
+	Log   string `json:"log"`
+}
+
+// Dir is a WAL directory: checkpoint snapshot files, the current log,
+// and the MANIFEST tying them together. One Dir owns the directory for
+// the process lifetime; the store serializes all calls except HasState.
+type Dir struct {
+	path string
+	in   *graph.Interner
+	log  atomic.Pointer[Log] // swapped at checkpoints; nil until Init/Recover
+	m    manifest            // valid once recovered or initialized
+
+	// Crash-injection points for tests: called between the checkpoint
+	// file-dance steps so a test can capture the directory exactly as a
+	// kill at that instant would leave it.
+	hookAfterSnapshot  func() // snapshot files written, new log not yet created
+	hookAfterLogCreate func() // new log created, MANIFEST still the old one
+	hookAfterManifest  func() // MANIFEST swapped, stale files not yet removed
+	hookSyncDirErr     error  // injected post-rename dir-sync failure (ambiguous swap)
+}
+
+// HasState reports whether path holds an initialized WAL directory (a
+// MANIFEST exists).
+func HasState(path string) bool {
+	_, err := os.Stat(filepath.Join(path, manifestName))
+	return err == nil
+}
+
+// OpenDir opens (creating if needed) the WAL directory at path. Labels in
+// snapshots and log records resolve through in. Follow with Recover when
+// HasState, Init otherwise.
+func OpenDir(path string, in *graph.Interner) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	return &Dir{path: path, in: in}, nil
+}
+
+// Log returns the current log (nil before Init or Recover). Safe to
+// call concurrently with a checkpoint rotating it; the returned Log's
+// Stats stay readable even after rotation closes it.
+func (d *Dir) Log() *Log { return d.log.Load() }
+
+// LastCheckpointEpoch returns the epoch of the current checkpoint.
+func (d *Dir) LastCheckpointEpoch() uint64 { return d.m.Epoch }
+
+// Close closes the current log.
+func (d *Dir) Close() error {
+	l := d.log.Load()
+	if l == nil {
+		return nil
+	}
+	return l.Close()
+}
+
+// Init writes the initial checkpoint for a freshly loaded state at the
+// given epoch (normally 0) and opens an empty log after it.
+func (d *Dir) Init(epoch uint64, g *graph.Graph, idx *access.IndexSet) error {
+	if d.log.Load() != nil {
+		return errors.New("wal: dir already initialized")
+	}
+	if HasState(d.path) {
+		return fmt.Errorf("wal: %s already holds state; recover instead of initializing", d.path)
+	}
+	return d.checkpoint(epoch, g, idx)
+}
+
+// RecoverInfo reports what Recover reconstructed.
+type RecoverInfo struct {
+	// CheckpointEpoch is the epoch of the snapshot the tail replayed onto.
+	CheckpointEpoch uint64
+	// Epoch is the epoch after replay — the store resumes from here.
+	Epoch uint64
+	// Records is the number of log records replayed.
+	Records uint64
+	// Truncated is the number of torn/corrupt tail bytes discarded, with
+	// TruncateReason saying why (empty when the tail was clean).
+	Truncated      int64
+	TruncateReason string
+}
+
+// Recover loads the MANIFEST's snapshot and replays the log tail onto it
+// through access.IndexSet.ApplyDeltaTx, returning the reconstructed
+// graph and index set. Every replayed record was accepted (and therefore
+// validated) before it was logged, so a replay rejection means the
+// snapshot and log disagree and recovery fails loudly rather than guess.
+// The log is left truncated past its valid prefix and open for appends.
+func (d *Dir) Recover() (*graph.Graph, *access.IndexSet, *RecoverInfo, error) {
+	if d.log.Load() != nil {
+		return nil, nil, nil, errors.New("wal: dir already recovered")
+	}
+	mf, err := os.ReadFile(filepath.Join(d.path, manifestName))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: read manifest: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(mf)))
+	dec.DisallowUnknownFields()
+	var m manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: decode manifest: %w", err)
+	}
+	gf, err := os.Open(filepath.Join(d.path, m.Graph))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: open graph snapshot: %w", err)
+	}
+	g, err := graph.ReadSnapshotJSON(gf, d.in)
+	gf.Close()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: load graph snapshot: %w", err)
+	}
+	xf, err := os.Open(filepath.Join(d.path, m.Index))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: open index snapshot: %w", err)
+	}
+	idx, err := access.ReadIndexSet(xf, d.in)
+	xf.Close()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: load index snapshot: %w", err)
+	}
+
+	info := &RecoverInfo{CheckpointEpoch: m.Epoch, Epoch: m.Epoch}
+	l, oi, err := Open(filepath.Join(d.path, m.Log), d.in, func(epoch uint64, delta *graph.Delta) error {
+		if _, err := idx.ApplyDeltaTx(g, delta); err != nil {
+			return err
+		}
+		info.Epoch = epoch
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if l.BaseEpoch() != m.Epoch {
+		l.Close()
+		return nil, nil, nil, fmt.Errorf("wal: log base epoch %d does not match checkpoint epoch %d", l.BaseEpoch(), m.Epoch)
+	}
+	info.Records = oi.Records
+	info.Truncated = oi.Truncated
+	info.TruncateReason = oi.TruncateReason
+	d.log.Store(l)
+	d.m = m
+	d.removeStale()
+	return g, idx, info, nil
+}
+
+// Checkpoint rewrites the snapshot at the given epoch and rotates the
+// log. g and idx must be the published state of exactly that epoch, and
+// no record may be appended concurrently (the store holds its writer
+// lock). On success the previous log and snapshot files are gone and the
+// current log is empty, based at epoch.
+func (d *Dir) Checkpoint(epoch uint64, g *graph.Graph, idx *access.IndexSet) error {
+	old := d.log.Load()
+	if old == nil {
+		return errors.New("wal: dir not initialized")
+	}
+	if epoch == d.m.Epoch {
+		// Nothing committed since the last checkpoint: the files on disk
+		// are already exactly this state.
+		return nil
+	}
+	if err := d.checkpoint(epoch, g, idx); err != nil {
+		return err
+	}
+	// The swap is durable; the old log is unreferenced, so a close error
+	// (its records were already synced per batch) changes nothing.
+	_ = old.Close()
+	return nil
+}
+
+// checkpoint performs the file dance shared by Init and Checkpoint:
+//
+//  1. write snapshot-<epoch>.{graph,index}.json, fsynced
+//  2. create wal-<epoch>.log (empty, fsynced header)
+//  3. write MANIFEST.tmp, fsync, rename over MANIFEST, fsync the dir
+//  4. best-effort remove files the new MANIFEST does not reference
+//
+// A crash before step 3's rename leaves the old MANIFEST pointing at the
+// old snapshot and the old log — which still holds every record since the
+// old checkpoint, because rotation happens strictly before the swap and
+// appends are quiesced throughout. A crash after the rename leaves the
+// new snapshot with an empty log. Both recover to the same state.
+func (d *Dir) checkpoint(epoch uint64, g *graph.Graph, idx *access.IndexSet) error {
+	m := manifest{
+		Epoch: epoch,
+		Graph: fmt.Sprintf("snapshot-%d.graph.json", epoch),
+		Index: fmt.Sprintf("snapshot-%d.index.json", epoch),
+		Log:   fmt.Sprintf("wal-%d.log", epoch),
+	}
+	if err := writeFileSync(filepath.Join(d.path, m.Graph), g.WriteSnapshotJSON); err != nil {
+		return err
+	}
+	if err := writeFileSync(filepath.Join(d.path, m.Index), func(w io.Writer) error {
+		return idx.WriteJSON(w, d.in)
+	}); err != nil {
+		return err
+	}
+	if d.hookAfterSnapshot != nil {
+		d.hookAfterSnapshot()
+	}
+	// A stale wal-<epoch>.log can exist if a previous checkpoint at this
+	// epoch crashed between log creation and the manifest swap; it is
+	// empty (appends are quiesced during checkpoints) and safe to replace.
+	_ = os.Remove(filepath.Join(d.path, m.Log))
+	nl, err := Create(filepath.Join(d.path, m.Log), d.in, epoch)
+	if err != nil {
+		return err
+	}
+	if d.hookAfterLogCreate != nil {
+		d.hookAfterLogCreate()
+	}
+	// Make the snapshot and fresh-log directory entries durable BEFORE the
+	// manifest can name them: a filesystem that reorders metadata could
+	// otherwise persist the MANIFEST rename but not the files it
+	// references, leaving recovery unable to start.
+	if err := syncDir(d.path); err != nil {
+		nl.Close()
+		return err
+	}
+	mb, err := json.Marshal(m)
+	if err != nil {
+		nl.Close()
+		return fmt.Errorf("wal: encode manifest: %w", err)
+	}
+	// writeFileSync renames a synced temp file over MANIFEST, so the swap
+	// is the one atomic commit point of the checkpoint. Every failure up
+	// to and including the rename leaves the old manifest governing — the
+	// old snapshot and log are intact, so the caller may keep appending to
+	// the old log and retry later.
+	if err := writeFileSync(filepath.Join(d.path, manifestName), func(w io.Writer) error {
+		_, err := w.Write(append(mb, '\n'))
+		return err
+	}); err != nil {
+		nl.Close()
+		return err
+	}
+	err = syncDir(d.path)
+	if err == nil && d.hookSyncDirErr != nil {
+		err = d.hookSyncDirErr
+	}
+	if err != nil {
+		// The rename happened but is not known durable: a crash could
+		// resurrect either manifest, so no log can safely take appends.
+		nl.Close()
+		return fmt.Errorf("%w: %v", ErrCheckpointAmbiguous, err)
+	}
+	if d.hookAfterManifest != nil {
+		d.hookAfterManifest()
+	}
+	d.log.Store(nl)
+	d.m = m
+	d.removeStale()
+	return nil
+}
+
+// removeStale best-effort deletes snapshot/log files the current
+// manifest does not reference. Safe: the manifest referencing the live
+// set is already durable.
+func (d *Dir) removeStale() {
+	entries, err := os.ReadDir(d.path)
+	if err != nil {
+		return
+	}
+	keep := map[string]bool{manifestName: true, d.m.Graph: true, d.m.Index: true, d.m.Log: true}
+	for _, e := range entries {
+		name := e.Name()
+		if keep[name] {
+			continue
+		}
+		if strings.HasPrefix(name, "snapshot-") || strings.HasPrefix(name, "wal-") || strings.HasSuffix(name, ".partial") {
+			_ = os.Remove(filepath.Join(d.path, name))
+		}
+	}
+}
+
+// writeFileSync writes path via fn to a temp file, fsyncs and renames it
+// into place, so a crash never leaves a half-written file under the final
+// name.
+func writeFileSync(path string, fn func(io.Writer) error) error {
+	tmp := path + ".partial"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", filepath.Base(tmp), err)
+	}
+	err = fn(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: finalize %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(path string) error {
+	df, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	err = df.Sync()
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"boundedg/internal/graph"
+)
+
+// TestLogRewind: appended records past a captured Stats point are
+// discarded durably — the reopened log replays only the prefix, and the
+// rewound log accepts appends at the restored offset.
+func TestLogRewind(t *testing.T) {
+	in := graph.NewInterner()
+	l1 := in.Intern("a")
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(v int64) *graph.Delta {
+		return &graph.Delta{AddNodes: []graph.NodeSpec{{Label: l1, Value: graph.IntValue(v)}}}
+	}
+	for i := int64(1); i <= 2; i++ {
+		if _, err := l.Append(uint64(i), mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := l.Stats()
+	for i := int64(3); i <= 4; i++ {
+		if _, err := l.Append(uint64(i), mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rewind(pre); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats(); got.Offset != pre.Offset || got.Records != pre.Records {
+		t.Fatalf("stats after rewind %+v, want offset/records of %+v", got, pre)
+	}
+	// The log must be appendable after the rewind, at the restored point.
+	off, err := l.Append(5, mk(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off <= pre.Offset {
+		t.Fatalf("post-rewind append ended at %d, want past %d", off, pre.Offset)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var epochs []uint64
+	reopened, info, err := Open(path, in, func(epoch uint64, _ *graph.Delta) error {
+		epochs = append(epochs, epoch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if info.Truncated != 0 {
+		t.Fatalf("clean rewound log reported %d truncated bytes (%s)", info.Truncated, info.TruncateReason)
+	}
+	want := []uint64{1, 2, 5}
+	if len(epochs) != len(want) {
+		t.Fatalf("replayed epochs %v, want %v", epochs, want)
+	}
+	for i := range want {
+		if epochs[i] != want[i] {
+			t.Fatalf("replayed epochs %v, want %v", epochs, want)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package wal is the durability subsystem of the serving path: an
+// append-only write-ahead log of accepted graph.Delta batches plus the
+// checkpoint machinery that bounds its length. A mutable daemon threads
+// every accepted update through Log.Append *before* publishing the epoch
+// (internal/store), so a crash after the append loses nothing: restart
+// recovery (Dir.Recover) loads the last checkpoint snapshot and replays
+// the log tail, reconstructing graph and indexes byte-identical to an
+// uninterrupted run.
+//
+// # Record format
+//
+// A log file opens with a 20-byte header — an 8-byte magic ("bgwal001"),
+// the base epoch as a little-endian uint64, and a CRC32-Castagnoli of the
+// base epoch — followed by records. Each record is framed as
+//
+//	length  uint32 (LE)   payload byte count
+//	crc     uint32 (LE)   CRC32-Castagnoli over epoch bytes + payload
+//	epoch   uint64 (LE)   the epoch the delta committed in
+//	payload []byte        the delta in the strict graph.Delta JSON codec
+//
+// The base epoch names the checkpoint the log starts after: every record
+// carries an epoch greater than the base, non-decreasing along the file
+// (records of one group-committed batch share an epoch). Recovery invari-
+// ants: a record is replayed only if its full frame is present, its CRC
+// matches, its payload decodes, and its epoch is ordered — the first
+// record failing any of these marks the end of the valid prefix, and Open
+// truncates the file there (a torn or corrupt tail is never replayed,
+// and the log is immediately appendable again).
+//
+// # Checkpoints
+//
+// Dir manages a WAL directory: a MANIFEST naming the current snapshot
+// (graph + index set, ID-preserving codecs) and its log. Checkpoint
+// rewrites the snapshot at the published epoch, starts a fresh log based
+// at that epoch, and only then swaps the MANIFEST via atomic rename — a
+// crash at any point leaves either the old manifest (old snapshot + old
+// log, still complete) or the new one (new snapshot + empty log), never
+// a half state. Stale files are removed only after the swap is durable.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"boundedg/internal/graph"
+)
+
+// Framing constants.
+const (
+	magic      = "bgwal001"
+	headerSize = len(magic) + 8 + 4 // magic + base epoch + CRC of base
+	frameSize  = 4 + 4 + 8          // length + crc + epoch
+
+	// maxRecordBytes bounds a single record's payload; a length field
+	// beyond it marks the tail corrupt rather than provoking a huge
+	// allocation. Matches the server's update-body cap with headroom.
+	maxRecordBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append and Sync after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is one append-only delta log file. Creates with Create, reopen
+// (replaying and truncating) with Open. Methods are not safe for
+// concurrent use — the store serializes writers; Stats alone may be
+// called concurrently.
+type Log struct {
+	f    *os.File
+	in   *graph.Interner
+	base uint64
+	path string
+
+	off     atomic.Int64 // end offset = durable size of the valid prefix
+	records atomic.Uint64
+	syncs   atomic.Uint64
+
+	closed bool
+}
+
+// LogStats is a point-in-time view of a log's counters.
+type LogStats struct {
+	// Offset is the byte size of the valid log prefix (the committed log
+	// offset reported to update clients).
+	Offset int64
+	// Records counts records appended or replayed through this Log.
+	Records uint64
+	// Syncs counts Sync calls that reached the file system.
+	Syncs uint64
+	// BaseEpoch is the checkpoint epoch the log starts after.
+	BaseEpoch uint64
+}
+
+// Create creates a fresh log at path, based at the given checkpoint
+// epoch. The header is written and synced before Create returns.
+func Create(path string, in *graph.Interner, base uint64) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create log: %w", err)
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, base)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(hdr[len(magic):], crcTable))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write log header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync log header: %w", err)
+	}
+	l := &Log{f: f, in: in, base: base, path: path}
+	l.off.Store(int64(headerSize))
+	return l, nil
+}
+
+// OpenInfo reports what Open found: how many records were replayed and
+// whether (and why) a torn or corrupt tail was truncated.
+type OpenInfo struct {
+	Records        uint64
+	Truncated      int64  // bytes dropped from the tail; 0 = clean
+	TruncateReason string // empty when Truncated == 0
+}
+
+// Open opens an existing log, calling replay for every intact record in
+// order and truncating the file after the last one. A record with a short
+// frame, mismatched CRC, undecodable payload or out-of-order epoch marks
+// the end of the valid prefix; everything from there on is discarded (see
+// the package comment for the invariants). A replay error aborts Open —
+// it means the snapshot and log disagree, which truncation must not
+// paper over. replay may be nil to open without replaying (the records
+// are still validated to find the true end).
+func Open(path string, in *graph.Interner, replay func(epoch uint64, d *graph.Delta) error) (*Log, OpenInfo, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, OpenInfo{}, fmt.Errorf("wal: open log: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, OpenInfo{}, fmt.Errorf("wal: size log: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, OpenInfo{}, fmt.Errorf("wal: rewind log: %w", err)
+	}
+	// Stream record by record: replay memory is one record (≤
+	// maxRecordBytes), not the whole file, so recovery of a long log
+	// (slow checkpoints under sustained writes) stays bounded.
+	br := bufio.NewReader(f)
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr[:len(magic)]) != magic {
+		f.Close()
+		return nil, OpenInfo{}, fmt.Errorf("wal: %s is not a log file (bad header)", path)
+	}
+	base := binary.LittleEndian.Uint64(hdr[len(magic):])
+	if crc32.Checksum(hdr[len(magic):len(magic)+8], crcTable) != binary.LittleEndian.Uint32(hdr[len(magic)+8:]) {
+		f.Close()
+		return nil, OpenInfo{}, fmt.Errorf("wal: %s has a corrupt header", path)
+	}
+
+	l := &Log{f: f, in: in, base: base, path: path}
+	info := OpenInfo{}
+	pos := int64(headerSize)
+	prevEpoch := base
+	frame := make([]byte, frameSize)
+	var payload []byte
+	for pos < size {
+		if size-pos < int64(frameSize) {
+			info.TruncateReason = "torn record header"
+			break
+		}
+		if _, err := io.ReadFull(br, frame); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("wal: read record frame: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(frame)
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		epoch := binary.LittleEndian.Uint64(frame[8:])
+		if length > maxRecordBytes {
+			info.TruncateReason = fmt.Sprintf("implausible record length %d", length)
+			break
+		}
+		if size-pos < int64(frameSize)+int64(length) {
+			info.TruncateReason = "torn record payload"
+			break
+		}
+		if int(length) > cap(payload) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("wal: read record payload: %w", err)
+		}
+		sum := crc32.Checksum(frame[8:], crcTable)
+		sum = crc32.Update(sum, crcTable, payload)
+		if sum != crc {
+			info.TruncateReason = "record CRC mismatch"
+			break
+		}
+		if epoch <= base || epoch < prevEpoch {
+			info.TruncateReason = fmt.Sprintf("record epoch %d out of order (base %d, previous %d)", epoch, base, prevEpoch)
+			break
+		}
+		d, err := graph.ReadDeltaJSON(bytes.NewReader(payload), in)
+		if err != nil {
+			info.TruncateReason = fmt.Sprintf("record payload does not decode: %v", err)
+			break
+		}
+		if replay != nil {
+			if err := replay(epoch, d); err != nil {
+				f.Close()
+				return nil, info, fmt.Errorf("wal: replay record %d (epoch %d): %w", info.Records, epoch, err)
+			}
+		}
+		prevEpoch = epoch
+		info.Records++
+		pos += int64(frameSize) + int64(length)
+	}
+	if tail := size - pos; tail > 0 {
+		info.Truncated = tail
+		if err := f.Truncate(pos); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("wal: sync after truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(pos, io.SeekStart); err != nil {
+		f.Close()
+		return nil, info, fmt.Errorf("wal: seek to log end: %w", err)
+	}
+	l.off.Store(pos)
+	l.records.Store(info.Records)
+	return l, info, nil
+}
+
+// Append writes one record for d at the given commit epoch and returns
+// the log offset after it — the delta is durable through that offset once
+// Sync returns (or immediately, under an OS that writes through). The
+// caller must keep epochs non-decreasing and above the base epoch, or the
+// record will be treated as corruption at the next Open.
+func (l *Log) Append(epoch uint64, d *graph.Delta) (int64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	var payload bytes.Buffer
+	if err := d.WriteJSON(&payload, l.in); err != nil {
+		return 0, fmt.Errorf("wal: encode delta: %w", err)
+	}
+	if payload.Len() > maxRecordBytes {
+		return 0, fmt.Errorf("wal: delta encodes to %d bytes (max %d)", payload.Len(), maxRecordBytes)
+	}
+	rec := make([]byte, 0, frameSize+payload.Len())
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(payload.Len()))
+	rec = binary.LittleEndian.AppendUint32(rec, 0) // CRC patched below
+	rec = binary.LittleEndian.AppendUint64(rec, epoch)
+	rec = append(rec, payload.Bytes()...)
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[8:], crcTable))
+	if _, err := l.f.Write(rec); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	off := l.off.Add(int64(len(rec)))
+	l.records.Add(1)
+	return off, nil
+}
+
+// Sync flushes appended records to stable storage (one fsync; group
+// commit calls it once per batch, not per record).
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncs.Add(1)
+	return nil
+}
+
+// Rewind discards everything appended after the point captured by pre (a
+// Stats value taken before the appends) and makes the truncation durable.
+// It is the store's wedge-path cleanup: when a group commit fails partway
+// through its appends or at the batch fsync, every caller is told the
+// batch did not commit, so records already appended for it must not
+// survive to be replayed by a later recovery.
+func (l *Log) Rewind(pre LogStats) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(pre.Offset); err != nil {
+		return fmt.Errorf("wal: rewind truncate: %w", err)
+	}
+	if _, err := l.f.Seek(pre.Offset, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: rewind seek: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rewind sync: %w", err)
+	}
+	l.off.Store(pre.Offset)
+	l.records.Store(pre.Records)
+	return nil
+}
+
+// Close syncs and closes the file. Further Append/Sync calls fail.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// BaseEpoch returns the checkpoint epoch this log starts after.
+func (l *Log) BaseEpoch() uint64 { return l.base }
+
+// Stats returns the log's counters. Safe to call concurrently with an
+// appender.
+func (l *Log) Stats() LogStats {
+	return LogStats{
+		Offset:    l.off.Load(),
+		Records:   l.records.Load(),
+		Syncs:     l.syncs.Load(),
+		BaseEpoch: l.base,
+	}
+}

@@ -1,0 +1,477 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/workload"
+)
+
+// testDelta returns a small, structurally valid delta over a 3-node
+// toy graph ID space (used by the framing tests, which never apply it).
+func testDelta(k int) *graph.Delta {
+	return &graph.Delta{AddEdges: [][2]graph.NodeID{{graph.NodeID(k % 3), graph.NodeID((k + 1) % 3)}}}
+}
+
+func deltaBytes(t *testing.T, d *graph.Delta, in *graph.Interner) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLogAppendReplayRoundTrip(t *testing.T) {
+	in := graph.NewInterner()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, in, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := []uint64{8, 9, 9, 10} // batch records may share an epoch
+	var wantOff int64
+	for i, e := range epochs {
+		off, err := l.Append(e, testDelta(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off <= wantOff {
+			t.Fatalf("offset %d not monotone after %d", off, wantOff)
+		}
+		wantOff = off
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.Records != 4 || s.Syncs != 1 || s.Offset != wantOff || s.BaseEpoch != 7 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotEpochs []uint64
+	var gotPayloads [][]byte
+	l2, info, err := Open(path, in, func(epoch uint64, d *graph.Delta) error {
+		gotEpochs = append(gotEpochs, epoch)
+		gotPayloads = append(gotPayloads, deltaBytes(t, d, in))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.Truncated != 0 || info.TruncateReason != "" || info.Records != 4 {
+		t.Fatalf("open info = %+v", info)
+	}
+	if len(gotEpochs) != len(epochs) {
+		t.Fatalf("replayed %d records, want %d", len(gotEpochs), len(epochs))
+	}
+	for i, e := range epochs {
+		if gotEpochs[i] != e {
+			t.Fatalf("record %d epoch %d, want %d", i, gotEpochs[i], e)
+		}
+		if want := deltaBytes(t, testDelta(i), in); !bytes.Equal(gotPayloads[i], want) {
+			t.Fatalf("record %d payload %q, want %q", i, gotPayloads[i], want)
+		}
+	}
+	if st, _ := os.Stat(path); st.Size() != wantOff {
+		t.Fatalf("file size %d, want offset %d", st.Size(), wantOff)
+	}
+	// The reopened log must keep appending where the old one stopped.
+	if off, err := l2.Append(11, testDelta(9)); err != nil || off <= wantOff {
+		t.Fatalf("append after reopen: off=%d err=%v", off, err)
+	}
+}
+
+// TestLogTornTailTruncatedAtEveryByte cuts the file at every byte offset
+// inside the final record: recovery must replay exactly the intact
+// prefix, truncate the rest, and leave the log appendable.
+func TestLogTornTailTruncatedAtEveryByte(t *testing.T) {
+	in := graph.NewInterner()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Create(path, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64 // end offset of each record
+	for i := 0; i < 3; i++ {
+		off, err := l.Append(uint64(i+1), testDelta(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := offs[1] + 1; cut < offs[2]; cut++ {
+		torn := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		l2, info, err := Open(torn, in, func(uint64, *graph.Delta) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if n != 2 || info.Records != 2 {
+			t.Fatalf("cut at %d: replayed %d records, want 2", cut, n)
+		}
+		if info.Truncated != cut-offs[1] || info.TruncateReason == "" {
+			t.Fatalf("cut at %d: info = %+v", cut, info)
+		}
+		if st, _ := os.Stat(torn); st.Size() != offs[1] {
+			t.Fatalf("cut at %d: truncated size %d, want %d", cut, st.Size(), offs[1])
+		}
+		// The torn record is gone for good: a new append takes its place
+		// and survives a clean reopen.
+		if _, err := l2.Append(3, testDelta(7)); err != nil {
+			t.Fatalf("cut at %d: append after truncation: %v", cut, err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		n = 0
+		l3, info, err := Open(torn, in, func(uint64, *graph.Delta) error { n++; return nil })
+		if err != nil || n != 3 || info.Truncated != 0 {
+			t.Fatalf("cut at %d: reopen after repair: n=%d info=%+v err=%v", cut, n, info, err)
+		}
+		l3.Close()
+	}
+}
+
+func TestLogCorruptionStopsReplay(t *testing.T) {
+	in := graph.NewInterner()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Create(path, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off0 int64
+	for i := 0; i < 3; i++ {
+		off, err := l.Append(uint64(i+1), testDelta(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			off0 = off
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle record: it and everything after
+	// it must be dropped, even though the final record is intact.
+	for _, tc := range []struct {
+		name string
+		at   int64
+	}{
+		{"payload byte", off0 + frameSize + 2},
+		{"epoch byte", off0 + 8},
+		{"length byte", off0},
+	} {
+		bad := append([]byte(nil), whole...)
+		bad[tc.at] ^= 0xff
+		p := filepath.Join(dir, "bad.log")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		l2, info, err := Open(p, in, func(uint64, *graph.Delta) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		l2.Close()
+		if n != 1 || info.TruncateReason == "" {
+			t.Fatalf("%s: replayed %d records (info %+v), want 1 + truncation", tc.name, n, info)
+		}
+		if st, _ := os.Stat(p); st.Size() != off0 {
+			t.Fatalf("%s: size %d, want %d", tc.name, st.Size(), off0)
+		}
+	}
+}
+
+func TestLogRejectsBadHeaderAndEpochOrder(t *testing.T) {
+	in := graph.NewInterner()
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"empty":       {},
+		"short":       []byte("bgwal0"),
+		"wrong magic": append([]byte("notalog!"), make([]byte, 12)...),
+	} {
+		p := filepath.Join(dir, "h.log")
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(p, in, nil); err == nil {
+			t.Errorf("%s header: opened without error", name)
+		}
+	}
+	// Records at or below the base epoch, or going backwards, read as
+	// corruption: replay stops there.
+	p := filepath.Join(dir, "e.log")
+	l, err := Create(p, in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(6, testDelta(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(5, testDelta(1)); err != nil { // <= base: invalid
+		t.Fatal(err)
+	}
+	l.Close()
+	var n int
+	l2, info, err := Open(p, in, func(uint64, *graph.Delta) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	if n != 1 || info.TruncateReason == "" {
+		t.Fatalf("replayed %d records (info %+v), want 1 + truncation", n, info)
+	}
+}
+
+// --- Dir tests -------------------------------------------------------
+
+// testState builds a small workload dataset and its index set.
+func testState(t testing.TB) (*graph.Graph, *access.IndexSet, *graph.Interner, *access.Schema) {
+	t.Helper()
+	d := workload.IMDb(0.05, 3)
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatal(viols[0])
+	}
+	return d.G, idx, d.In, d.Schema
+}
+
+// acceptedDeltas draws n random deltas that the live state accepts,
+// applying them to g/idx as it goes (mimicking the store's commit path).
+func acceptedDeltas(t testing.TB, r *rand.Rand, g *graph.Graph, idx *access.IndexSet) func() *graph.Delta {
+	t.Helper()
+	return func() *graph.Delta {
+		for {
+			live := g.NodeList()
+			labels := g.Labels()
+			d := &graph.Delta{}
+			switch r.Intn(4) {
+			case 0:
+				d.AddNodes = []graph.NodeSpec{{Label: labels[r.Intn(len(labels))]}}
+				d.AddEdges = [][2]graph.NodeID{{graph.NewNodeRef(0), live[r.Intn(len(live))]}}
+			case 1:
+				d.AddEdges = [][2]graph.NodeID{{live[r.Intn(len(live))], live[r.Intn(len(live))]}}
+			case 2:
+				v := live[r.Intn(len(live))]
+				if outs := g.Out(v); len(outs) > 0 {
+					d.DelEdges = [][2]graph.NodeID{{v, outs[r.Intn(len(outs))]}}
+				}
+			case 3:
+				d.DelNodes = []graph.NodeID{live[r.Intn(len(live))]}
+			}
+			if d.Empty() {
+				continue
+			}
+			if _, err := idx.ApplyDeltaTx(g, d.Clone()); err != nil {
+				continue // rejected: never logged, draw again
+			}
+			return d
+		}
+	}
+}
+
+func stateBytes(t testing.TB, g *graph.Graph, idx *access.IndexSet, in *graph.Interner) ([]byte, []byte) {
+	t.Helper()
+	var gb, xb bytes.Buffer
+	if err := g.WriteSnapshotJSON(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.WriteJSON(&xb, in); err != nil {
+		t.Fatal(err)
+	}
+	return gb.Bytes(), xb.Bytes()
+}
+
+func TestDirInitAppendRecover(t *testing.T) {
+	g, idx, in, _ := testState(t)
+	dir := t.TempDir()
+	d, err := OpenDir(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasState(dir) {
+		t.Fatal("fresh dir claims state")
+	}
+	// Reference tracks what the recovered state must equal. Apply each
+	// delta to both the "live" state (logged) and keep bytes at the end.
+	if err := d.Init(0, g, idx); err != nil {
+		t.Fatal(err)
+	}
+	if !HasState(dir) {
+		t.Fatal("initialized dir has no state")
+	}
+	r := rand.New(rand.NewSource(11))
+	draw := acceptedDeltas(t, r, g, idx)
+	for i := 0; i < 40; i++ {
+		delta := draw() // applied to g/idx inside draw
+		if _, err := d.Log().Append(uint64(i+1), delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Log().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	wantG, wantX := stateBytes(t, g, idx, in)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in2 := graph.NewInterner()
+	d2, err := OpenDir(dir, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, idx2, info, err := d2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if info.CheckpointEpoch != 0 || info.Epoch != 40 || info.Records != 40 || info.Truncated != 0 {
+		t.Fatalf("recover info = %+v", info)
+	}
+	gotG, gotX := stateBytes(t, g2, idx2, in2)
+	if !bytes.Equal(gotG, wantG) {
+		t.Fatal("recovered graph bytes diverge from live state")
+	}
+	if !bytes.Equal(gotX, wantX) {
+		t.Fatal("recovered index bytes diverge from live state")
+	}
+}
+
+// copyDir snapshots the WAL directory as a kill at that instant would
+// leave it (same bytes, fsync aside — the test reads through the same
+// page cache either way).
+func copyDir(t testing.TB, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestDirCheckpointCrashInjection kills the checkpoint at each of its
+// three internal steps (snapshot written / log rotated / manifest
+// swapped) by copying the directory at the hook, then recovers every
+// copy: all must reconstruct the exact state the checkpoint captured.
+func TestDirCheckpointCrashInjection(t *testing.T) {
+	g, idx, in, _ := testState(t)
+	dir := t.TempDir()
+	d, err := OpenDir(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(0, g, idx); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(23))
+	draw := acceptedDeltas(t, r, g, idx)
+	for i := 0; i < 25; i++ {
+		if _, err := d.Log().Append(uint64(i+1), draw()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantG, wantX := stateBytes(t, g, idx, in)
+
+	var copies []string
+	names := []string{"after-snapshot", "after-log-create", "after-manifest"}
+	d.hookAfterSnapshot = func() { copies = append(copies, copyDir(t, dir)) }
+	d.hookAfterLogCreate = func() { copies = append(copies, copyDir(t, dir)) }
+	d.hookAfterManifest = func() { copies = append(copies, copyDir(t, dir)) }
+	if err := d.Checkpoint(25, g, idx); err != nil {
+		t.Fatal(err)
+	}
+	copies = append(copies, copyDir(t, dir)) // and the completed checkpoint
+	names = append(names, "complete")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, c := range copies {
+		in2 := graph.NewInterner()
+		d2, err := OpenDir(c, in2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, idx2, info, err := d2.Recover()
+		if err != nil {
+			t.Fatalf("kill %s: recover: %v", names[i], err)
+		}
+		if info.Epoch != 25 {
+			t.Fatalf("kill %s: recovered to epoch %d, want 25", names[i], info.Epoch)
+		}
+		gotG, gotX := stateBytes(t, g2, idx2, in2)
+		if !bytes.Equal(gotG, wantG) || !bytes.Equal(gotX, wantX) {
+			t.Fatalf("kill %s: recovered state diverges", names[i])
+		}
+		// Recovery must leave the directory appendable again.
+		if _, err := d2.Log().Append(info.Epoch+1, &graph.Delta{}); err != nil {
+			t.Fatalf("kill %s: append after recovery: %v", names[i], err)
+		}
+		d2.Close()
+	}
+}
+
+func TestDirRecoverRejectsBaseEpochMismatch(t *testing.T) {
+	g, idx, in, _ := testState(t)
+	dir := t.TempDir()
+	d, err := OpenDir(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(0, g, idx); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	// Swap in a log based at a different epoch than the manifest claims.
+	lp := filepath.Join(dir, "wal-0.log")
+	os.Remove(lp)
+	l, err := Create(lp, in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	d2, err := OpenDir(dir, graph.NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := d2.Recover(); err == nil {
+		t.Fatal("recovered despite base-epoch mismatch")
+	}
+}
