@@ -70,6 +70,7 @@ import (
 	"boundedg/internal/graph"
 	"boundedg/internal/runtime"
 	"boundedg/internal/server"
+	"boundedg/internal/shard"
 	"boundedg/internal/store"
 	"boundedg/internal/wal"
 )
@@ -97,6 +98,8 @@ type options struct {
 	wal        string
 	fsync      bool
 	checkpoint time.Duration
+
+	shards int
 }
 
 // registerFlags binds every boundedgd flag onto fs. It is the single
@@ -119,6 +122,7 @@ func registerFlags(fs *flag.FlagSet, opt *options) {
 	fs.IntVar(&opt.maxLimit, "max-limit", 10000, "hard cap on per-request match limits")
 	fs.IntVar(&opt.maxSteps, "max-steps", 0, "VF2 search-step budget per query (0 = server default, negative = unlimited)")
 	fs.BoolVar(&opt.mutable, "mutable", false, "enable POST /update (live graph updates through epoch snapshots)")
+	fs.IntVar(&opt.shards, "shards", 1, "partition the store into N shards (node-hash partition; queries scatter/gather over per-shard snapshots, each shard keeps its own WAL under -wal)")
 	fs.StringVar(&opt.wal, "wal", "", "write-ahead-log directory for durable updates (requires -mutable); recovers from it when it holds state")
 	fs.BoolVar(&opt.fsync, "fsync", true, "fsync the WAL once per group commit (false trades host-crash durability for latency)")
 	fs.DurationVar(&opt.checkpoint, "checkpoint", 5*time.Minute, "WAL checkpoint interval: rewrite the snapshot and rotate the log (0 disables; shutdown always checkpoints)")
@@ -244,6 +248,29 @@ func run(opt options) error {
 	if opt.wal != "" && !opt.mutable {
 		return fmt.Errorf("-wal requires -mutable (the log records accepted updates)")
 	}
+	if opt.shards < 1 || opt.shards > shard.MaxShards {
+		return fmt.Errorf("-shards must be between 1 and %d", shard.MaxShards)
+	}
+	sharded := opt.shards > 1
+	if opt.wal != "" && shard.HasState(opt.wal) {
+		// The partition is fixed at creation: the shard map routes every
+		// node ID, so restarting with a different count would read each
+		// shard's state through the wrong partition.
+		ns, err := shard.Shards(opt.wal)
+		if err != nil {
+			return err
+		}
+		if sharded && ns != opt.shards {
+			return fmt.Errorf("%s holds %d-shard state but -shards=%d was given; restart with -shards=%d (the partition is fixed at creation)", opt.wal, ns, opt.shards, ns)
+		}
+		sharded = true
+		opt.shards = ns
+	} else if sharded && opt.wal != "" && wal.HasState(opt.wal) {
+		return fmt.Errorf("%s holds unsharded state; restart without -shards (or point -wal at a fresh directory)", opt.wal)
+	}
+	if sharded {
+		return runSharded(opt, started)
+	}
 	g, in, idx, wd, baseEpoch, err := loadOrRecover(opt)
 	if err != nil {
 		return err
@@ -276,6 +303,137 @@ func run(opt options) error {
 		return err
 	}
 	defer eng.Close()
+	mode := "read-only"
+	if opt.mutable {
+		mode = "mutable"
+	}
+	if wd != nil {
+		mode += ", durable"
+	}
+	var ckpt func() error
+	if wd != nil {
+		ckpt = st.Checkpoint
+	}
+	shutdown := func() {
+		st.Close()
+		if opt.mutable {
+			us := st.Stats()
+			log.Printf("updates drained: epoch %d, %d applied in %d commits, %d rejected (%d violations)",
+				us.Epoch, us.Applied, us.Batches, us.RejectedViolation+us.RejectedError, us.RejectedViolation)
+		}
+		if wd != nil {
+			// Final checkpoint: the next start loads the snapshot and
+			// replays nothing. Close is allowed before Checkpoint — it only
+			// bars new writes.
+			if err := st.Checkpoint(); err != nil {
+				log.Printf("wal: shutdown checkpoint failed (log retained, recovery will replay it): %v", err)
+			} else {
+				log.Printf("wal: shutdown checkpoint at epoch %d", st.Epoch())
+			}
+			if err := wd.Close(); err != nil {
+				log.Printf("wal: close: %v", err)
+			}
+		}
+	}
+	return serveHTTP(opt, eng, in, started, g.NumNodes(), g.NumEdges(), mode, st.Epoch, ckpt, shutdown)
+}
+
+// runSharded serves a partitioned store: the graph and index set split
+// across -shards stores behind a router, queries scatter/gather over
+// consistent cuts, and with -wal each shard keeps its own log under the
+// state directory (the SHARDMAP at its root pins the partition).
+func runSharded(opt options, started time.Time) error {
+	if opt.writeIndex != "" {
+		return fmt.Errorf("-write-index is not supported with -shards (the index set is partitioned across the shards)")
+	}
+	var (
+		r   *shard.Router
+		in  *graph.Interner
+		err error
+	)
+	durable := false
+	if opt.wal != "" && shard.HasState(opt.wal) {
+		in = graph.NewInterner()
+		var info *shard.RecoverInfo
+		r, info, err = shard.Recover(opt.wal, in, opt.fsync)
+		if err != nil {
+			return err
+		}
+		if info.TornSeqs > 0 {
+			log.Printf("shard: rewound %d torn cross-shard update(s) a crash left partially logged", info.TornSeqs)
+		}
+		log.Printf("shard: recovered %d shards from %s: %d replayed records -> gsn %d, epoch vector %v",
+			r.NumShards(), opt.wal, info.Records, info.GSN, info.Vector)
+		if opt.dataset != "" || opt.graph != "" {
+			log.Printf("shard: %s already holds state; -dataset/-graph/-schema/-index ignored", opt.wal)
+		}
+		durable = true
+	} else {
+		var g *graph.Graph
+		var idx *access.IndexSet
+		g, in, idx, err = load(opt)
+		if err != nil {
+			return err
+		}
+		if opt.wal != "" {
+			r, err = shard.Create(opt.wal, in, g, idx, opt.shards, opt.fsync)
+			if err != nil {
+				return err
+			}
+			log.Printf("shard: initialized %d shards under %s", opt.shards, opt.wal)
+			durable = true
+		} else {
+			r, err = shard.New(g, idx, opt.shards)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	eng, err := runtime.NewFromRouter(r, runtime.Config{Workers: opt.workers})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	rs := r.Stats()
+	mode := fmt.Sprintf("%d shards, read-only", r.NumShards())
+	if opt.mutable {
+		mode = fmt.Sprintf("%d shards, mutable", r.NumShards())
+	}
+	if durable {
+		mode += ", durable"
+	}
+	var ckpt func() error
+	if durable {
+		ckpt = r.Checkpoint
+	}
+	shutdown := func() {
+		r.Close()
+		if opt.mutable {
+			us := r.Stats()
+			log.Printf("updates drained: gsn %d, %d applied in %d commits, %d rejected (%d violations)",
+				us.GSN, us.Applied, us.Batches, us.RejectedViolation+us.RejectedError, us.RejectedViolation)
+		}
+		if durable {
+			if err := r.Checkpoint(); err != nil {
+				log.Printf("wal: shutdown checkpoint failed (logs retained, recovery will replay them): %v", err)
+			} else {
+				log.Printf("wal: shutdown checkpoint at gsn %d", r.GSN())
+			}
+			if err := r.CloseDirs(); err != nil {
+				log.Printf("wal: close: %v", err)
+			}
+		}
+	}
+	return serveHTTP(opt, eng, in, started, int(rs.Nodes), int(rs.Edges), mode, r.GSN, ckpt, shutdown)
+}
+
+// serveHTTP runs the HTTP side of the daemon until a shutdown signal or a
+// listener error: it mounts the server over eng, runs the periodic
+// checkpoint ticker when checkpoint is non-nil, and on SIGINT/SIGTERM
+// drains in-flight requests before handing control to the source-specific
+// shutdown hook (close the store or router, final checkpoint, close the
+// WAL directories).
+func serveHTTP(opt options, eng *runtime.Engine, in *graph.Interner, started time.Time, nodes, edges int, mode string, version func() uint64, checkpoint func() error, shutdown func()) error {
 	if opt.timeout == 0 {
 		// The operator said "no deadline"; server.Config treats zero as
 		// "unset, use the library default", so translate explicitly.
@@ -294,19 +452,12 @@ func run(opt options) error {
 	if err != nil {
 		return err
 	}
-	mode := "read-only"
-	if opt.mutable {
-		mode = "mutable"
-	}
-	if wd != nil {
-		mode += ", durable"
-	}
 	log.Printf("serving |V|=%d |E|=%d, %d constraints on %s, %s (startup %s)",
-		g.NumNodes(), g.NumEdges(), idx.Schema().Count(), l.Addr(), mode, time.Since(started).Round(time.Millisecond))
+		nodes, edges, eng.Schema().Count(), l.Addr(), mode, time.Since(started).Round(time.Millisecond))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if wd != nil && opt.checkpoint > 0 {
+	if checkpoint != nil && opt.checkpoint > 0 {
 		go func() {
 			tick := time.NewTicker(opt.checkpoint)
 			defer tick.Stop()
@@ -315,8 +466,8 @@ func run(opt options) error {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					epoch := st.Epoch()
-					if err := st.Checkpoint(); err != nil {
+					epoch := version()
+					if err := checkpoint(); err != nil {
 						log.Printf("wal: periodic checkpoint failed: %v", err)
 					} else {
 						log.Printf("wal: checkpointed at epoch %d", epoch)
@@ -337,30 +488,12 @@ func run(opt options) error {
 		defer cancel()
 		// Shutdown drains in-flight requests — updates included, since
 		// each POST /update runs synchronously inside its handler. Only
-		// then is the store closed, so no accepted update is lost.
+		// then is the source closed, so no accepted update is lost.
 		if err := srv.Shutdown(sctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}
 		<-errc // Serve has returned http.ErrServerClosed
-		st.Close()
-		if opt.mutable {
-			us := st.Stats()
-			log.Printf("updates drained: epoch %d, %d applied in %d commits, %d rejected (%d violations)",
-				us.Epoch, us.Applied, us.Batches, us.RejectedViolation+us.RejectedError, us.RejectedViolation)
-		}
-		if wd != nil {
-			// Final checkpoint: the next start loads the snapshot and
-			// replays nothing. Close is allowed before Checkpoint — it only
-			// bars new writes.
-			if err := st.Checkpoint(); err != nil {
-				log.Printf("wal: shutdown checkpoint failed (log retained, recovery will replay it): %v", err)
-			} else {
-				log.Printf("wal: shutdown checkpoint at epoch %d", st.Epoch())
-			}
-			if err := wd.Close(); err != nil {
-				log.Printf("wal: close: %v", err)
-			}
-		}
+		shutdown()
 		log.Printf("drained; closing engine")
 		return nil
 	}

@@ -18,6 +18,7 @@ import (
 	"boundedg/internal/pattern"
 	"boundedg/internal/runtime"
 	"boundedg/internal/server"
+	"boundedg/internal/shard"
 	"boundedg/internal/store"
 	"boundedg/internal/workload"
 )
@@ -365,5 +366,209 @@ func TestWALRequiresMutable(t *testing.T) {
 	err := run(options{wal: t.TempDir(), graph: "unused"})
 	if err == nil || !strings.Contains(err.Error(), "-mutable") {
 		t.Fatalf("err = %v, want -mutable requirement", err)
+	}
+}
+
+// TestShardedFlagValidation pins the -shards cross-checks: out-of-range
+// counts, -write-index, and — because the partition is fixed at creation
+// — any mismatch between the flag and what the state directory actually
+// holds must refuse to start with an error naming the fix.
+func TestShardedFlagValidation(t *testing.T) {
+	dir, _ := writeFixture(t)
+	gflag := filepath.Join(dir, "g.json")
+	iflag := filepath.Join(dir, "idx.json")
+
+	if err := run(options{shards: 0, graph: gflag, index: iflag}); err == nil || !strings.Contains(err.Error(), "-shards must be between") {
+		t.Fatalf("shards=0: err = %v", err)
+	}
+	if err := run(options{shards: shard.MaxShards + 1, graph: gflag, index: iflag}); err == nil || !strings.Contains(err.Error(), "-shards must be between") {
+		t.Fatalf("shards over max: err = %v", err)
+	}
+	if err := run(options{shards: 2, writeIndex: filepath.Join(dir, "out.json"), graph: gflag, index: iflag}); err == nil || !strings.Contains(err.Error(), "-write-index") {
+		t.Fatalf("write-index with shards: err = %v", err)
+	}
+
+	// A directory seeded unsharded refuses -shards.
+	unshardedDir := filepath.Join(dir, "wal-unsharded")
+	_, _, _, wd, _, err := loadOrRecover(options{graph: gflag, index: iflag, wal: unshardedDir, mutable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Close()
+	if err := run(options{shards: 2, wal: unshardedDir, mutable: true}); err == nil || !strings.Contains(err.Error(), "unsharded state") {
+		t.Fatalf("unsharded state with -shards: err = %v", err)
+	}
+
+	// A directory created N-sharded refuses any other -shards value.
+	shardedDir := filepath.Join(dir, "wal-sharded")
+	g, in, idx, err := load(options{graph: gflag, index: iflag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := shard.Create(shardedDir, in, g, idx, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if err := r.CloseDirs(); err != nil {
+		t.Fatal(err)
+	}
+	err = run(options{shards: 2, wal: shardedDir, mutable: true})
+	if err == nil || !strings.Contains(err.Error(), "holds 4-shard state") || !strings.Contains(err.Error(), "-shards=4") {
+		t.Fatalf("shard-count mismatch: err = %v", err)
+	}
+}
+
+// TestShardedDaemonRestart drives the -shards -wal lifecycle runSharded()
+// is built from: first boot partitions the fixture and seeds one WAL
+// directory per shard, updates commit across shards through HTTP, the
+// process "crashes" (no shutdown checkpoint), and a second boot recovers
+// every shard and reconciles the vector — answers preserved, GSN
+// numbering continuing, and /stats reporting the per-shard blocks. A
+// checkpointed shutdown must leave nothing to replay on boot 3.
+func TestShardedDaemonRestart(t *testing.T) {
+	dir, _ := writeFixture(t)
+	walDir := filepath.Join(dir, "shards")
+	const nshards = 3
+
+	var lastInfo *shard.RecoverInfo
+	boot := func() (*shard.Router, *httptest.Server, func()) {
+		t.Helper()
+		var r *shard.Router
+		if shard.HasState(walDir) {
+			in := graph.NewInterner()
+			var err error
+			r, lastInfo, err = shard.Recover(walDir, in, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := runtime.NewFromRouter(r, runtime.Config{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := server.New(eng, in, server.Config{EnableUpdates: true})
+			ts := httptest.NewServer(srv.Handler())
+			return r, ts, func() { ts.Close(); eng.Close(); r.CloseDirs() }
+		}
+		g, in, idx, err := load(options{graph: filepath.Join(dir, "g.json"), index: filepath.Join(dir, "idx.json")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err = shard.Create(walDir, in, g, idx, nshards, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := runtime.NewFromRouter(r, runtime.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(eng, in, server.Config{EnableUpdates: true})
+		ts := httptest.NewServer(srv.Handler())
+		return r, ts, func() { ts.Close(); eng.Close(); r.CloseDirs() }
+	}
+	post := func(ts *httptest.Server, path, body string, out any) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("decode (status %d): %v", resp.StatusCode, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	q := "u1: award\nu2: year\nu3: movie\nu3 -> u1, u2"
+	query := func(ts *httptest.Server) server.QueryResponse {
+		t.Helper()
+		var r server.QueryResponse
+		if st := post(ts, "/query", fmt.Sprintf(`{"pattern": %q, "limit": 10000}`, q), &r); st != http.StatusOK {
+			t.Fatalf("query status %d", st)
+		}
+		return r
+	}
+
+	// Boot 1: partition + seed, mutate, crash without a checkpoint.
+	_, ts1, stop1 := boot()
+	before := query(ts1)
+	if before.Count == 0 {
+		t.Fatal("no matches to mutate")
+	}
+	if len(before.Vector) != nshards {
+		t.Fatalf("query vector %v, want %d entries", before.Vector, nshards)
+	}
+	movie := before.Matches[0][2]
+	var up server.UpdateResponse
+	if st := post(ts1, "/update", fmt.Sprintf(`{"del_nodes": [%d]}`, movie), &up); st != http.StatusOK {
+		t.Fatalf("update status %d", st)
+	}
+	if up.Epoch != 1 || len(up.Vector) != nshards || len(up.ShardLogOffsets) != nshards {
+		t.Fatalf("update response %+v", up)
+	}
+	logged := 0
+	for _, off := range up.ShardLogOffsets {
+		if off > 0 {
+			logged++
+		}
+	}
+	if logged == 0 {
+		t.Fatalf("no shard reported a log offset: %v", up.ShardLogOffsets)
+	}
+	want := query(ts1)
+	stop1() // kill: shard logs hold the update, snapshots are still epoch 0
+
+	// Boot 2: recover every shard, reconcile the vector.
+	r2, ts2, stop2 := boot()
+	if lastInfo == nil || lastInfo.GSN != 1 {
+		t.Fatalf("recovered info %+v, want gsn 1", lastInfo)
+	}
+	got := query(ts2)
+	if got.Count != want.Count || !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Fatalf("recovered answers diverge: %d matches vs %d", got.Count, want.Count)
+	}
+	var stats server.StatsResponse
+	resp, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Epoch != 1 || len(stats.Shards) != nshards || len(stats.Vector) != nshards {
+		t.Fatalf("sharded stats %+v", stats)
+	}
+	for i, ss := range stats.Shards {
+		if ss.Shard != i || !ss.WAL.Enabled {
+			t.Fatalf("shard stats block %d: %+v", i, ss)
+		}
+	}
+	// GSN numbering continues across the restart.
+	var up2 server.UpdateResponse
+	if st := post(ts2, "/update", `{"add_nodes": [{"label": "movie"}]}`, &up2); st != http.StatusOK {
+		t.Fatalf("post-recovery update status %d", st)
+	}
+	if up2.Epoch != 2 {
+		t.Fatalf("post-recovery gsn %d, want 2", up2.Epoch)
+	}
+	// A checkpointed shutdown must leave nothing to replay on boot 3.
+	if err := r2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	stop2()
+
+	_, ts3, stop3 := boot()
+	defer stop3()
+	if lastInfo.Records != 0 {
+		t.Fatalf("boot 3 replayed %d records, want 0 after checkpoint", lastInfo.Records)
+	}
+	if lastInfo.GSN != 2 {
+		t.Fatalf("boot 3 gsn %d, want 2", lastInfo.GSN)
+	}
+	final := query(ts3)
+	if final.Count != want.Count {
+		t.Fatalf("boot 3 answers diverge: %d matches vs %d", final.Count, want.Count)
 	}
 }

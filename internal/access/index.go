@@ -109,6 +109,13 @@ func (x *Index) addRow(g *graph.Graph, v graph.NodeID) {
 // insert adds v to the entry of key. vs is the entry's VS tuple (any
 // order; nil for type-1), consulted only when the entry is created to
 // register the key under its tuple nodes.
+//
+// Entries are kept in ascending node-ID order. That canonical order is
+// what makes sharded execution bit-identical to unsharded: a shard holds
+// the subsequence of each entry whose members it owns, and an ascending
+// k-way merge of the shard subsequences reproduces the unsharded entry
+// exactly, for any shard count. (The on-disk snapshot codec already
+// writes members sorted, so this changes no persisted state.)
 func (x *Index) insert(key string, vs []graph.NodeID, v graph.NodeID) {
 	entry, existed := x.entries[key]
 	if !existed {
@@ -121,7 +128,15 @@ func (x *Index) insert(key string, vs []graph.NodeID, v graph.NodeID) {
 			ks[key] = struct{}{}
 		}
 	}
-	x.entries[key] = append(entry, v)
+	if n := len(entry); n > 0 && entry[n-1] > v {
+		i := sort.Search(n, func(i int) bool { return entry[i] >= v })
+		entry = append(entry, 0)
+		copy(entry[i+1:], entry[i:])
+		entry[i] = v
+		x.entries[key] = entry
+	} else {
+		x.entries[key] = append(entry, v)
+	}
 	ks, ok := x.memberKeys[v]
 	if !ok {
 		ks = make(map[string]struct{})
@@ -144,14 +159,14 @@ func (x *Index) dropEntryKey(key string) {
 	}
 }
 
-// removeRow deletes node v from every entry it appears in.
+// removeRow deletes node v from every entry it appears in, preserving the
+// ascending entry order insert maintains.
 func (x *Index) removeRow(v graph.NodeID) {
 	for key := range x.memberKeys[v] {
 		entry := x.entries[key]
 		for i, w := range entry {
 			if w == v {
-				entry[i] = entry[len(entry)-1]
-				entry = entry[:len(entry)-1]
+				entry = append(entry[:i], entry[i+1:]...)
 				break
 			}
 		}
@@ -267,6 +282,22 @@ func (x *Index) check() *Violation {
 type IndexSet struct {
 	schema  *Schema
 	indexes []*Index
+
+	// rowOwner, when set, restricts maintenance to the rows this instance
+	// owns: maintainRows re-derives a node's memberships only if
+	// rowOwner(v) holds. A shard's set thereby stays the exact row
+	// partition of the global index — remote-endpoint stubs living in the
+	// shard graph never grow local rows. Entry purges are NOT filtered
+	// (a deleted VS node kills its entries on every shard holding them).
+	rowOwner func(graph.NodeID) bool
+}
+
+// SetRowOwner installs the row-ownership filter (nil accepts every row).
+// The shard runtime calls it right after Split or snapshot recovery.
+func (s *IndexSet) SetRowOwner(f func(graph.NodeID) bool) { s.rowOwner = f }
+
+func (s *IndexSet) ownsRow(v graph.NodeID) bool {
+	return s.rowOwner == nil || s.rowOwner(v)
 }
 
 // Build constructs indices for every constraint of A over g and verifies
@@ -372,7 +403,7 @@ func (x *Index) clone() *Index {
 // immutable). The copy can be maintained independently — the versioned
 // store uses this for its second copy-on-write instance.
 func (s *IndexSet) Clone() *IndexSet {
-	c := &IndexSet{schema: s.schema, indexes: make([]*Index, len(s.indexes))}
+	c := &IndexSet{schema: s.schema, indexes: make([]*Index, len(s.indexes)), rowOwner: s.rowOwner}
 	for i, x := range s.indexes {
 		c.indexes[i] = x.clone()
 	}
@@ -387,11 +418,61 @@ func (s *IndexSet) maintainRows(g *graph.Graph, rows []graph.NodeID) {
 	for _, x := range s.indexes {
 		for _, v := range rows {
 			x.removeRow(v)
-			if g.Contains(v) && g.LabelOf(v) == x.c.L {
+			if g.Contains(v) && s.ownsRow(v) && g.LabelOf(v) == x.c.L {
 				x.addRow(g, v)
 			}
 		}
 	}
+}
+
+// EntryLen returns the current size of the i-th constraint's entry for
+// key (0 if absent). The shard router sums it across shards to evaluate
+// cardinality bounds against the global entry a row partition splits up.
+func (s *IndexSet) EntryLen(i int, key string) int {
+	return len(s.indexes[i].entries[key])
+}
+
+// RebindSchema swaps the set's schema for an equivalent one. Recovery
+// needs it: each shard's snapshot decode builds a private *Schema, but
+// plan compilation compares schemas by pointer, so all shards must share
+// one. The schemas must agree constraint-for-constraint.
+func (s *IndexSet) RebindSchema(a *Schema) error {
+	if a.Count() != len(s.indexes) {
+		return fmt.Errorf("access: cannot rebind schema: %d constraints, set has %d", a.Count(), len(s.indexes))
+	}
+	for i, x := range s.indexes {
+		c := a.At(i)
+		if c.Key() != x.c.Key() || c.N != x.c.N {
+			return fmt.Errorf("access: cannot rebind schema: constraint %d differs (%v vs %v)", i, c, x.c)
+		}
+	}
+	s.schema = a
+	return nil
+}
+
+// Split row-partitions the set: member v of every entry goes to shard
+// owner(v), under the same entry key (keys carry global node IDs). Entry
+// subsequences inherit the ascending order, so a k-way merge of the shard
+// entries reproduces the global entry exactly. Entries with no members on
+// a shard are simply absent there. The schema pointer is shared; callers
+// install the matching row-ownership filter on each part afterwards.
+func (s *IndexSet) Split(n int, owner func(graph.NodeID) int) []*IndexSet {
+	parts := make([]*IndexSet, n)
+	for p := range parts {
+		parts[p] = &IndexSet{schema: s.schema, indexes: make([]*Index, len(s.indexes))}
+		for i, x := range s.indexes {
+			parts[p].indexes[i] = newIndex(x.c)
+		}
+	}
+	for i, x := range s.indexes {
+		for key, entry := range x.entries {
+			vs := decodeTupleKey(key)
+			for _, v := range entry {
+				parts[owner(v)].indexes[i].insert(key, vs, v)
+			}
+		}
+	}
+	return parts
 }
 
 // checkRows returns the cardinality violations among entries containing
@@ -488,52 +569,13 @@ type DeltaResult struct {
 // reverse map. Deleting a node next to a hub therefore costs the
 // affected entries, not a re-derivation of the hub's whole row.
 func (s *IndexSet) ApplyDeltaTx(g *graph.Graph, d *graph.Delta) (*DeltaResult, error) {
-	// changed: every pre-existing node whose adjacency the delta touches
-	// (the rows a Frozen.Refresh must re-read, and the rollback set).
-	// maintain ⊆ changed: the rows whose index derivations must re-run.
-	changed, maintain := d.ChangedRows(g)
-	var deleted []graph.NodeID
-	for _, v := range d.DelNodes {
-		if g.Contains(v) {
-			deleted = append(deleted, v)
-		}
-	}
-	newIDs, undo, err := d.ApplyLogged(g)
+	sd, err := s.StageDelta(g, d)
 	if err != nil {
-		undo.Revert(g)
 		return nil, err
 	}
-	rows := make([]graph.NodeID, 0, len(maintain)+len(newIDs))
-	for v := range maintain {
-		rows = append(rows, v)
-	}
-	rows = append(rows, newIDs...)
-	for _, x := range s.indexes {
-		for _, c := range deleted {
-			x.purgeVSNode(c)
-		}
-	}
-	s.maintainRows(g, rows)
-	if viols := s.checkRows(rows); len(viols) > 0 {
-		undo.Revert(g)
-		// Roll back by re-deriving the FULL changed set against the
-		// restored graph: that rebuilds the purged entries too, since
-		// every member of a purged entry neighbored a deleted node and is
-		// therefore in changed, and membership is a pure function of the
-		// graph's current neighborhoods.
-		rollback := rows
-		for v := range changed {
-			if _, ok := maintain[v]; !ok {
-				rollback = append(rollback, v)
-			}
-		}
-		s.maintainRows(g, rollback)
+	if viols := sd.Violations(); len(viols) > 0 {
+		sd.Rollback()
 		return nil, &ViolationError{Violations: viols}
 	}
-	touched := make([]graph.NodeID, 0, len(changed)+len(newIDs))
-	for v := range changed {
-		touched = append(touched, v)
-	}
-	touched = append(touched, newIDs...)
-	return &DeltaResult{NewIDs: newIDs, Touched: touched}, nil
+	return sd.Result(), nil
 }

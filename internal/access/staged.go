@@ -1,0 +1,129 @@
+package access
+
+import "boundedg/internal/graph"
+
+// StagedDelta is an applied-but-undecided delta: the graph and indexes
+// reflect d, and the stage holds everything needed to either keep that
+// state or roll it back exactly. ApplyDeltaTx stages, checks bounds and
+// decides locally; the shard router stages one sub-delta per shard and
+// decides globally (aggregating entry sizes across the row partition)
+// before committing or rolling back every shard — the all-or-nothing
+// cross-shard verdict.
+//
+// A stage is only valid while the graph and index are otherwise
+// untouched: stage the next delta only after Violations/Rollback settled
+// this one.
+type StagedDelta struct {
+	s    *IndexSet
+	g    *graph.Graph
+	undo *graph.Undo
+	res  *DeltaResult
+
+	rows     []graph.NodeID // maintained rows: direct ∪ new IDs
+	changed  map[graph.NodeID]struct{}
+	maintain map[graph.NodeID]struct{}
+}
+
+// StageDelta applies d to g and incrementally maintains the indexes, but
+// defers the accept/reject decision: call Violations to evaluate the
+// bounds locally, then either keep the stage or Rollback. A structural
+// error (bad node or edge reference) reverts everything and returns the
+// error; the graph and indexes are then exactly untouched.
+func (s *IndexSet) StageDelta(g *graph.Graph, d *graph.Delta) (*StagedDelta, error) {
+	// changed: every pre-existing node whose adjacency the delta touches
+	// (the rows a Frozen.Refresh must re-read, and the rollback set).
+	// maintain ⊆ changed: the rows whose index derivations must re-run.
+	changed, maintain := d.ChangedRows(g)
+	var deleted []graph.NodeID
+	for _, v := range d.DelNodes {
+		if g.Contains(v) {
+			deleted = append(deleted, v)
+		}
+	}
+	newIDs, undo, err := d.ApplyLogged(g)
+	if err != nil {
+		undo.Revert(g)
+		return nil, err
+	}
+	rows := make([]graph.NodeID, 0, len(maintain)+len(newIDs))
+	for v := range maintain {
+		rows = append(rows, v)
+	}
+	rows = append(rows, newIDs...)
+	for _, x := range s.indexes {
+		for _, c := range deleted {
+			x.purgeVSNode(c)
+		}
+	}
+	s.maintainRows(g, rows)
+	touched := make([]graph.NodeID, 0, len(changed)+len(newIDs))
+	for v := range changed {
+		touched = append(touched, v)
+	}
+	touched = append(touched, newIDs...)
+	return &StagedDelta{
+		s:        s,
+		g:        g,
+		undo:     undo,
+		res:      &DeltaResult{NewIDs: newIDs, Touched: touched},
+		rows:     rows,
+		changed:  changed,
+		maintain: maintain,
+	}, nil
+}
+
+// Result reports the staged delta's outcome (valid only while the stage
+// is kept).
+func (sd *StagedDelta) Result() *DeltaResult { return sd.res }
+
+// Violations evaluates the cardinality bounds against the staged state,
+// scoped to the entries this delta could have grown. The pre-stage state
+// must have satisfied the bounds.
+func (sd *StagedDelta) Violations() []Violation {
+	return sd.s.checkRows(sd.rows)
+}
+
+// TouchedEntry names one index entry whose membership the staged delta
+// may have changed on this instance: the CIdx-th constraint's entry for
+// Key. The router unions these across shards to know which global
+// entries need a cross-shard size check.
+type TouchedEntry struct {
+	CIdx int
+	Key  string
+}
+
+// TouchedEntries lists the entries the maintained rows currently belong
+// to, per constraint — the sharded counterpart of the checkRows scope.
+func (sd *StagedDelta) TouchedEntries() []TouchedEntry {
+	var out []TouchedEntry
+	for ci, x := range sd.s.indexes {
+		seen := make(map[string]struct{})
+		for _, v := range sd.rows {
+			for key := range x.memberKeys[v] {
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				out = append(out, TouchedEntry{CIdx: ci, Key: key})
+			}
+		}
+	}
+	return out
+}
+
+// Rollback restores the graph and the indexes to their exact pre-stage
+// state, including the node-ID space.
+func (sd *StagedDelta) Rollback() {
+	sd.undo.Revert(sd.g)
+	// Re-derive the FULL changed set against the restored graph: that
+	// rebuilds the purged entries too, since every member of a purged
+	// entry neighbored a deleted node and is therefore in changed, and
+	// membership is a pure function of the graph's current neighborhoods.
+	rollback := sd.rows
+	for v := range sd.changed {
+		if _, ok := sd.maintain[v]; !ok {
+			rollback = append(rollback, v)
+		}
+	}
+	sd.s.maintainRows(sd.g, rollback)
+}

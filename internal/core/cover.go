@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"boundedg/internal/access"
 	"boundedg/internal/graph"
 	"boundedg/internal/pattern"
@@ -33,7 +35,8 @@ func (r *CoverResult) UncoveredNodes() []pattern.Node {
 	return out
 }
 
-// UncoveredEdges lists the pattern edges outside the edge cover.
+// UncoveredEdges lists the pattern edges outside the edge cover, ordered
+// by (from, to) so diagnostics are deterministic across runs.
 func (r *CoverResult) UncoveredEdges() [][2]pattern.Node {
 	var out [][2]pattern.Node
 	for e, c := range r.EdgeCovered {
@@ -41,6 +44,12 @@ func (r *CoverResult) UncoveredEdges() [][2]pattern.Node {
 			out = append(out, [2]pattern.Node{e[0], e[1]})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
 	return out
 }
 

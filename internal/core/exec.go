@@ -75,6 +75,25 @@ type ExecConfig struct {
 	// context's error — so a dropped connection or an expired deadline
 	// stops the work instead of letting it run to completion.
 	Ctx context.Context
+	// Shards, when non-empty, evaluates the plan scatter/gather over a
+	// sharded store's pinned cut: every index probe looks up each
+	// shard's row partition and merges the (ascending, disjoint)
+	// results back into exactly the global entry, while label, value
+	// and edge-direction checks route to the node's owner shard — the
+	// answer is bit-identical to the unsharded run. The g and idx
+	// arguments of ExecWith are ignored (and may be nil); ShardOf must
+	// be set to the router's node→shard map.
+	Shards  []ShardView
+	ShardOf func(graph.NodeID) int
+}
+
+// ShardView is one shard's pinned state inside a consistent cut: its
+// graph, the optional frozen snapshot for direction checks, and its row
+// partition of the index set.
+type ShardView struct {
+	G   *graph.Graph
+	Fz  *graph.Frozen
+	Idx *access.IndexSet
 }
 
 // ExecScratch holds the reusable buffers of one plan execution: the
@@ -157,13 +176,12 @@ func (p *Plan) Exec(g *graph.Graph, idx *access.IndexSet) (*BoundedGraph, *ExecS
 // produces exactly the same BoundedGraph and stats as Exec for any worker
 // count.
 func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (*BoundedGraph, *ExecStats, error) {
-	if idx == nil || idx.Schema() != p.A {
-		return nil, nil, ErrSchemaMismatch
-	}
 	workers := 1
 	var fz *graph.Frozen
 	var scratch *ExecScratch
 	var ctx context.Context
+	var shards []ShardView
+	var shardOf func(graph.NodeID) int
 	if cfg != nil {
 		if cfg.Workers > 1 {
 			workers = cfg.Workers
@@ -171,6 +189,21 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 		fz = cfg.Frozen
 		scratch = cfg.Scratch
 		ctx = cfg.Ctx
+		if len(cfg.Shards) > 0 {
+			shards = cfg.Shards
+			shardOf = cfg.ShardOf
+		}
+	}
+	if shards == nil {
+		if idx == nil || idx.Schema() != p.A {
+			return nil, nil, ErrSchemaMismatch
+		}
+	} else {
+		for i := range shards {
+			if shards[i].Idx == nil || shards[i].Idx.Schema() != p.A {
+				return nil, nil, ErrSchemaMismatch
+			}
+		}
 	}
 	// ctxErr reports the sticky cancellation state; nil ctx never cancels.
 	ctxErr := func() error {
@@ -186,14 +219,63 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 	if fromPool {
 		scratch = execScratchPool.Get().(*ExecScratch)
 	}
-	hasEdge := g.HasEdge
-	if fz != nil {
-		hasEdge = fz.HasEdge
+
+	// All graph and index access below goes through these accessors, so
+	// the serial and scattered paths share one evaluation loop. A merged
+	// scatter probe counts as ONE index lookup accessing the merged
+	// result — the row partition sums back to the global entry, so the
+	// stats are bit-identical to the unsharded run.
+	var (
+		lookup   func(ci int, tuple []graph.NodeID) []graph.NodeID
+		matches  func(u pattern.Node, v graph.NodeID) bool
+		labelOf  func(v graph.NodeID) graph.Label
+		valueOf  func(v graph.NodeID) graph.Value
+		hasEdge  func(from, to graph.NodeID) bool
+		interner *graph.Interner
+		idCap    int
+	)
+	if shards == nil {
+		lookup = func(ci int, tuple []graph.NodeID) []graph.NodeID { return idx.Index(ci).Lookup(tuple) }
+		matches = func(u pattern.Node, v graph.NodeID) bool { return p.Q.MatchesNode(u, g, v) }
+		labelOf = g.LabelOf
+		valueOf = g.ValueOf
+		hasEdge = g.HasEdge
+		if fz != nil {
+			hasEdge = fz.HasEdge
+		}
+		interner = g.Interner()
+		idCap = g.Cap()
+	} else {
+		home := func(v graph.NodeID) *ShardView { return &shards[shardOf(v)] }
+		lookup = func(ci int, tuple []graph.NodeID) []graph.NodeID {
+			parts := make([][]graph.NodeID, 0, len(shards))
+			for i := range shards {
+				if r := shards[i].Idx.Index(ci).Lookup(tuple); len(r) > 0 {
+					parts = append(parts, r)
+				}
+			}
+			return mergeAscending(parts)
+		}
+		matches = func(u pattern.Node, v graph.NodeID) bool { return p.Q.MatchesNode(u, home(v).G, v) }
+		labelOf = func(v graph.NodeID) graph.Label { return home(v).G.LabelOf(v) }
+		valueOf = func(v graph.NodeID) graph.Value { return home(v).G.ValueOf(v) }
+		hasEdge = func(from, to graph.NodeID) bool {
+			sv := home(from)
+			if sv.Fz != nil {
+				return sv.Fz.HasEdge(from, to)
+			}
+			return sv.G.HasEdge(from, to)
+		}
+		interner = shards[0].G.Interner()
+		for i := range shards {
+			if c := shards[i].G.Cap(); c > idCap {
+				idCap = c
+			}
+		}
 	}
 
 	n := p.Q.NumNodes()
 	stats := &ExecStats{}
-	idCap := g.Cap()
 
 	// cmat[u]: candidate matches for u, as ordered slice + dense set.
 	cmat := make([][]graph.NodeID, n)
@@ -233,7 +315,7 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 		}
 		var result []graph.NodeID
 		if op.Deps == nil {
-			vs := idx.Index(op.CIdx).Lookup(nil)
+			vs := lookup(op.CIdx, nil)
 			stats.IndexLookups++
 			stats.NodesAccessed += len(vs)
 			chk := strideChecker{ctx: ctx}
@@ -241,7 +323,7 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 				if chk.cancelled() {
 					return nil, nil, cancelFetch(result)
 				}
-				if p.Q.MatchesNode(op.U, g, v) && seen.Add(v) {
+				if matches(op.U, v) && seen.Add(v) {
 					result = append(result, v)
 				}
 			}
@@ -259,11 +341,11 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 			// serial dedups straight into result, shards buffer and the
 			// in-order merge dedups.
 			fetchTuple := func(tuple []graph.NodeID, out *shardOut, emit func(graph.NodeID)) {
-				vs := idx.Index(op.CIdx).Lookup(tuple)
+				vs := lookup(op.CIdx, tuple)
 				out.lookups++
 				out.accessed += len(vs)
 				for _, v := range vs {
-					if p.Q.MatchesNode(op.U, g, v) {
+					if matches(op.U, v) {
 						emit(v)
 					}
 				}
@@ -355,7 +437,7 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 			}
 		}
 	}
-	gq := graph.NewWithCapacity(g.Interner(), distinct)
+	gq := graph.NewWithCapacity(interner, distinct)
 	bg := &BoundedGraph{G: gq, Cands: make([][]graph.NodeID, n), ToOrig: make([]graph.NodeID, 0, distinct)}
 	remap := scratch.getRemap(idCap) // source ID -> GQ ID + 1; all zero here
 	for ui := 0; ui < n; ui++ {
@@ -363,7 +445,7 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 		for _, v := range cmat[ui] {
 			rv := remap[v]
 			if rv == 0 {
-				nv := gq.AddNode(g.LabelOf(v), g.ValueOf(v))
+				nv := gq.AddNode(labelOf(v), valueOf(v))
 				rv = int32(nv) + 1
 				remap[v] = rv
 				bg.ToOrig = append(bg.ToOrig, v) // nv == len(ToOrig)-1
@@ -413,7 +495,7 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 		// serial inserts into GQ directly, shards buffer verified pairs
 		// for the in-order merge.
 		verifyTuple := func(tuple []graph.NodeID, out *shardOut, emit func(vf, vtto graph.NodeID)) {
-			cands := idx.Index(ec.CIdx).Lookup(tuple)
+			cands := lookup(ec.CIdx, tuple)
 			out.lookups++
 			out.accessed += len(cands)
 			vo := tuple[oi]
@@ -474,6 +556,40 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 	releaseRemap()
 	releaseCsets()
 	return bg, stats, nil
+}
+
+// mergeAscending merges ascending, pairwise-disjoint node-ID slices into
+// one ascending slice — reassembling a row-partitioned index entry into
+// exactly the global entry. With zero or one non-empty part no merge is
+// needed; the single part is returned as-is (shared, not copied), so the
+// common case of an entry whose members all hash to one shard is free.
+func mergeAscending(parts [][]graph.NodeID) []graph.NodeID {
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return parts[0]
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	merged := make([]graph.NodeID, 0, total)
+	pos := make([]int, len(parts))
+	for len(merged) < total {
+		best := -1
+		for i, p := range parts {
+			if pos[i] >= len(p) {
+				continue
+			}
+			if best < 0 || p[pos[i]] < parts[best][pos[best]] {
+				best = i
+			}
+		}
+		merged = append(merged, parts[best][pos[best]])
+		pos[best]++
+	}
+	return merged
 }
 
 // numTuples returns the size of the cartesian product of the candidate

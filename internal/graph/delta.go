@@ -16,6 +16,13 @@ type Delta struct {
 	DelEdges [][2]NodeID
 	// DelNodes lists nodes to remove (with their incident edges).
 	DelNodes []NodeID
+
+	// AddNodeIDs, when non-nil, pins an explicit ID for each AddNodes entry
+	// (same length, applied via AddNodeAt). The sharded runtime uses it to
+	// replay globally assigned IDs into per-shard sub-deltas; it is an
+	// in-memory field only and deliberately absent from the JSON codec, so
+	// external clients cannot pick their own IDs.
+	AddNodeIDs []NodeID
 }
 
 // NodeSpec describes a node inserted by a Delta.
@@ -111,10 +118,11 @@ func (d *Delta) ChangedRows(g *Graph) (changed, direct map[NodeID]struct{}) {
 // are copied; the elements are values).
 func (d *Delta) Clone() *Delta {
 	return &Delta{
-		AddNodes: append([]NodeSpec(nil), d.AddNodes...),
-		AddEdges: append([][2]NodeID(nil), d.AddEdges...),
-		DelEdges: append([][2]NodeID(nil), d.DelEdges...),
-		DelNodes: append([]NodeID(nil), d.DelNodes...),
+		AddNodes:   append([]NodeSpec(nil), d.AddNodes...),
+		AddEdges:   append([][2]NodeID(nil), d.AddEdges...),
+		DelEdges:   append([][2]NodeID(nil), d.DelEdges...),
+		DelNodes:   append([]NodeID(nil), d.DelNodes...),
+		AddNodeIDs: append([]NodeID(nil), d.AddNodeIDs...),
 	}
 }
 
@@ -152,11 +160,30 @@ func (d *Delta) ApplyLogged(g *Graph) ([]NodeID, *Undo, error) {
 }
 
 func (d *Delta) apply(g *Graph, u *Undo) ([]NodeID, *Undo, error) {
+	if d.AddNodeIDs != nil && len(d.AddNodeIDs) != len(d.AddNodes) {
+		return nil, u, fmt.Errorf("graph: delta has %d AddNodeIDs for %d AddNodes", len(d.AddNodeIDs), len(d.AddNodes))
+	}
 	newIDs := make([]NodeID, len(d.AddNodes))
 	for i, spec := range d.AddNodes {
-		newIDs[i] = g.AddNode(spec.Label, spec.Value)
+		if d.AddNodeIDs == nil {
+			newIDs[i] = g.AddNode(spec.Label, spec.Value)
+			if u != nil {
+				u.log = append(u.log, undoOp{kind: undoAddNode, v: newIDs[i]})
+			}
+			continue
+		}
+		id := d.AddNodeIDs[i]
+		preLen := len(g.labels)
+		if err := g.AddNodeAt(id, spec.Label, spec.Value); err != nil {
+			return newIDs, u, err
+		}
+		newIDs[i] = id
 		if u != nil {
-			u.log = append(u.log, undoOp{kind: undoAddNode, v: newIDs[i]})
+			if int(id) < preLen {
+				u.log = append(u.log, undoOp{kind: undoReviveNode, v: id})
+			} else {
+				u.log = append(u.log, undoOp{kind: undoAddNodeAt, v: id, preLen: preLen})
+			}
 		}
 	}
 	resolve := func(id NodeID) NodeID {
@@ -219,15 +246,18 @@ const (
 	undoAddEdge
 	undoDelEdge
 	undoDelNode
+	undoReviveNode // AddNodeAt revived an in-range tombstone
+	undoAddNodeAt  // AddNodeAt extended the ID space (preLen = cap before)
 )
 
 type undoOp struct {
-	kind  undoKind
-	v, w  NodeID
-	label Label
-	value Value
-	out   []NodeID
-	in    []NodeID
+	kind   undoKind
+	v, w   NodeID
+	preLen int
+	label  Label
+	value  Value
+	out    []NodeID
+	in     []NodeID
 }
 
 // Undo is the mutation log of one ApplyLogged call. Revert replays it
@@ -250,6 +280,10 @@ func (u *Undo) Revert(g *Graph) {
 			// All edges touching the node were logged after its insertion
 			// and are already reverted, so it is edge-free by now.
 			g.dropLastNode(op.v)
+		case undoReviveNode:
+			g.retireRevivedNode(op.v)
+		case undoAddNodeAt:
+			g.truncateTo(op.v, op.preLen)
 		case undoAddEdge:
 			if err := g.RemoveEdge(op.v, op.w); err != nil {
 				panic(fmt.Sprintf("graph: revert add-edge (%d,%d): %v", op.v, op.w, err))

@@ -177,6 +177,89 @@ func (g *Graph) RemoveNode(v NodeID) error {
 	return nil
 }
 
+// AddNodeAt inserts a node under an explicit, caller-assigned ID — the
+// sharded runtime's counterpart of AddNode: node IDs are assigned once,
+// globally, and every shard graph that materializes the node (as owner or
+// as a remote-endpoint stub) must file it under the same ID. An ID at or
+// beyond the current cap extends the ID space, padding the gap with
+// tombstones; an in-range tombstone ID revives the slot (shard graphs use
+// tombstones for the IDs they do not hold, so a stub for an older node
+// lands on one). Inserting over a live node is an error.
+func (g *Graph) AddNodeAt(id NodeID, l Label, v Value) error {
+	if id < 0 {
+		return ErrNoSuchNode
+	}
+	if int(id) < len(g.labels) {
+		if g.labels[id] != NoLabel {
+			return fmt.Errorf("graph: AddNodeAt(%d): ID already live", id)
+		}
+		g.labels[id] = l
+		g.values[id] = v
+		g.byLabel[l] = insertIDSorted(g.byLabel[l], id)
+		g.numNodes++
+		return nil
+	}
+	for NodeID(len(g.labels)) < id {
+		g.labels = append(g.labels, NoLabel)
+		g.values = append(g.values, Value{})
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+	}
+	g.labels = append(g.labels, l)
+	g.values = append(g.values, v)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byLabel[l] = append(g.byLabel[l], id) // id is the new maximum: append keeps the row sorted
+	g.numNodes++
+	return nil
+}
+
+// retireRevivedNode re-tombstones a node revived by AddNodeAt. The node
+// must be edge-free; it exists solely for Undo.Revert.
+func (g *Graph) retireRevivedNode(v NodeID) {
+	if !g.valid(v) {
+		panic(fmt.Sprintf("graph: retireRevivedNode(%d): not a live node", v))
+	}
+	if len(g.out[v]) != 0 || len(g.in[v]) != 0 {
+		panic(fmt.Sprintf("graph: retireRevivedNode(%d): node still has edges", v))
+	}
+	l := g.labels[v]
+	g.byLabel[l] = removeIDOrdered(g.byLabel[l], v)
+	if len(g.byLabel[l]) == 0 {
+		delete(g.byLabel, l)
+	}
+	g.labels[v] = NoLabel
+	g.values[v] = Value{}
+	g.numNodes--
+}
+
+// truncateTo undoes an ID-space extension by AddNodeAt: v must be the
+// topmost live node, preLen the cap before its insertion, and every slot
+// in [preLen, v) a gap tombstone. It exists solely for Undo.Revert.
+func (g *Graph) truncateTo(v NodeID, preLen int) {
+	if int(v) != len(g.labels)-1 || !g.valid(v) {
+		panic(fmt.Sprintf("graph: truncateTo(%d): not the topmost live node", v))
+	}
+	if len(g.out[v]) != 0 || len(g.in[v]) != 0 {
+		panic(fmt.Sprintf("graph: truncateTo(%d): node still has edges", v))
+	}
+	for i := preLen; i < int(v); i++ {
+		if g.labels[i] != NoLabel {
+			panic(fmt.Sprintf("graph: truncateTo(%d): slot %d not a gap tombstone", v, i))
+		}
+	}
+	l := g.labels[v]
+	g.byLabel[l] = removeID(g.byLabel[l], v)
+	if len(g.byLabel[l]) == 0 {
+		delete(g.byLabel, l)
+	}
+	g.labels = g.labels[:preLen]
+	g.values = g.values[:preLen]
+	g.out = g.out[:preLen]
+	g.in = g.in[:preLen]
+	g.numNodes--
+}
+
 // restoreNode revives tombstone v with its original label and value. It is
 // the inverse of RemoveNode minus the incident edges (the caller re-adds
 // those) and exists solely for Undo.Revert.
@@ -477,6 +560,48 @@ func (g *Graph) Clone() *Graph {
 	}
 	c.numNodes = g.numNodes
 	c.numEdges = g.numEdges
+	return c
+}
+
+// CloneFiltered returns a copy of g restricted to the nodes satisfying
+// keepNode and the edges satisfying keepEdge, preserving the node-ID
+// space: excluded nodes become tombstones under their original IDs, and
+// an edge survives only if both endpoints are kept and keepEdge(from, to)
+// holds. The shard partitioner uses it to carve per-shard graphs (owned
+// nodes plus remote-endpoint stubs) out of one global graph without the
+// O(n log n) byLabel churn of replaying node-by-node.
+func (g *Graph) CloneFiltered(keepNode func(NodeID) bool, keepEdge func(from, to NodeID) bool) *Graph {
+	c := New(g.interner)
+	c.labels = make([]Label, len(g.labels))
+	c.values = make([]Value, len(g.values))
+	c.out = make([][]NodeID, len(g.out))
+	c.in = make([][]NodeID, len(g.in))
+	for i, l := range g.labels {
+		v := NodeID(i)
+		if l == NoLabel || !keepNode(v) {
+			c.labels[i] = NoLabel
+			continue
+		}
+		c.labels[i] = l
+		c.values[i] = g.values[i]
+		c.byLabel[l] = append(c.byLabel[l], v) // i ascends: rows stay sorted
+		c.numNodes++
+	}
+	for i, outs := range g.out {
+		if c.labels[i] == NoLabel {
+			continue
+		}
+		from := NodeID(i)
+		for _, to := range outs {
+			if c.labels[to] == NoLabel || !keepEdge(from, to) {
+				continue
+			}
+			c.out[from] = append(c.out[from], to)
+			c.in[to] = append(c.in[to], from)
+			c.edges[packEdge(from, to)] = struct{}{}
+			c.numEdges++
+		}
+	}
 	return c
 }
 

@@ -28,6 +28,7 @@ import (
 	"boundedg/internal/graph"
 	"boundedg/internal/match"
 	"boundedg/internal/pattern"
+	"boundedg/internal/shard"
 	"boundedg/internal/store"
 )
 
@@ -97,7 +98,11 @@ type Result struct {
 	Sub   *match.SubgraphResult
 	Sim   *match.SimResult
 	Epoch uint64
-	Err   error
+	// Vector is the per-shard epoch vector the query's cut pinned. Nil on
+	// an unsharded engine; on a sharded one, Epoch is the cut's global
+	// sequence number and Vector its per-shard epochs.
+	Vector []uint64
+	Err    error
 }
 
 // Future is the async handle returned by Submit.
@@ -119,7 +124,26 @@ type task struct {
 	ctx  context.Context
 	q    Query
 	snap *store.Snapshot // pinned at Submit; released by the worker
+	cut  *shard.Cut      // sharded engines pin a cut instead of a snapshot
 	fut  *Future
+}
+
+// release unpins whatever the task pinned at Submit.
+func (t *task) release() {
+	if t.cut != nil {
+		t.cut.Release()
+		return
+	}
+	t.snap.Release()
+}
+
+// version returns the publication version the task pinned: the snapshot
+// epoch, or the cut's global sequence number.
+func (t *task) version() uint64 {
+	if t.cut != nil {
+		return t.cut.GSN
+	}
+	return t.snap.Epoch
 }
 
 // Stats are the engine's cumulative counters.
@@ -138,7 +162,8 @@ type Stats struct {
 // Each query evaluates against the snapshot current at its Submit; the
 // store's writer may publish new epochs concurrently.
 type Engine struct {
-	src    *store.Store
+	src    *store.Store   // unsharded source; nil on a sharded engine
+	router *shard.Router  // sharded source; nil on an unsharded engine
 	schema *access.Schema // immutable across epochs
 	cfg    Config
 
@@ -187,13 +212,26 @@ func NewFromStore(st *store.Store, cfg Config) (*Engine, error) {
 	if st == nil {
 		return nil, errors.New("runtime: engine needs a store")
 	}
-	cfg = cfg.withDefaults()
-	e := &Engine{
-		src:    st,
-		schema: st.Schema(),
-		cfg:    cfg,
-		tasks:  make(chan task, cfg.QueueDepth),
+	return start(&Engine{src: st, schema: st.Schema()}, cfg)
+}
+
+// NewFromRouter starts an engine reading from a sharded router. Every
+// Submit pins a consistent cut — one snapshot per shard, all published by
+// the same commit boundary — and the query evaluates scatter/gather over
+// it (core.ExecConfig.Shards), producing answers bit-identical to an
+// unsharded engine over the same logical graph. Result.Epoch is the cut's
+// global sequence number and Result.Vector its per-shard epochs.
+func NewFromRouter(r *shard.Router, cfg Config) (*Engine, error) {
+	if r == nil {
+		return nil, errors.New("runtime: engine needs a router")
 	}
+	return start(&Engine{router: r, schema: r.Schema()}, cfg)
+}
+
+func start(e *Engine, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e.cfg = cfg
+	e.tasks = make(chan task, cfg.QueueDepth)
 	e.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go e.worker()
@@ -204,12 +242,78 @@ func NewFromStore(st *store.Store, cfg Config) (*Engine, error) {
 // Schema returns the access schema the engine serves.
 func (e *Engine) Schema() *access.Schema { return e.schema }
 
-// Store returns the epoch-versioned store the engine reads from.
+// Store returns the epoch-versioned store the engine reads from, or nil
+// on a sharded engine (use Router).
 func (e *Engine) Store() *store.Store { return e.src }
 
+// Router returns the sharded router the engine reads from, or nil on an
+// unsharded engine (use Store).
+func (e *Engine) Router() *shard.Router { return e.router }
+
 // Acquire pins and returns the store's current snapshot (see
-// store.Store.Acquire); the caller must Release it.
+// store.Store.Acquire); the caller must Release it. Unsharded engines
+// only — a sharded engine pins cuts (Router().AcquireCut).
 func (e *Engine) Acquire() *store.Snapshot { return e.src.Acquire() }
+
+// Version returns the engine's current publication version: the store
+// epoch, or the router's global sequence number when sharded. Cache keys
+// derived from it invalidate on every published update either way.
+func (e *Engine) Version() uint64 {
+	if e.router != nil {
+		return e.router.GSN()
+	}
+	return e.src.Epoch()
+}
+
+// UpdateOutcome reports one delta applied through the engine's source,
+// unifying store.Result and shard.Result for the serving layer.
+type UpdateOutcome struct {
+	// Epoch is the published version: the store epoch, or the global
+	// sequence number when sharded.
+	Epoch uint64
+	// Vector is the per-shard epoch vector after the commit (sharded
+	// engines only).
+	Vector []uint64
+	// NewIDs are the node IDs assigned to the delta's AddNodes.
+	NewIDs []graph.NodeID
+	// TouchedRows counts the rows whose adjacency the delta changed.
+	TouchedRows int
+	// LogOffset is the WAL offset the update is durable through
+	// (unsharded engines with a WAL).
+	LogOffset int64
+	// ShardLogOffsets holds each shard's WAL offset for this update
+	// (sharded engines with WALs; zero for untouched shards).
+	ShardLogOffsets []int64
+}
+
+// ApplyDelta applies one delta through the engine's source — the store's
+// group commit, or the router's cross-shard commit — with identical
+// accept/reject semantics either way.
+func (e *Engine) ApplyDelta(d *graph.Delta) (UpdateOutcome, error) {
+	if e.router != nil {
+		res, err := e.router.Apply(d)
+		if err != nil {
+			return UpdateOutcome{}, err
+		}
+		return UpdateOutcome{
+			Epoch:           res.GSN,
+			Vector:          res.Vector,
+			NewIDs:          res.NewIDs,
+			TouchedRows:     res.TouchedRows,
+			ShardLogOffsets: res.LogOffsets,
+		}, nil
+	}
+	res, err := e.src.Apply(d)
+	if err != nil {
+		return UpdateOutcome{}, err
+	}
+	return UpdateOutcome{
+		Epoch:       res.Epoch,
+		NewIDs:      res.NewIDs,
+		TouchedRows: res.TouchedRows,
+		LogOffset:   res.LogOffset,
+	}, nil
+}
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
@@ -219,19 +323,36 @@ func (e *Engine) worker() {
 		Workers: e.cfg.IntraQueryWorkers,
 		Scratch: core.NewExecScratch(),
 	}
+	var shardOf func(graph.NodeID) int
+	if e.router != nil {
+		m := e.router.Map()
+		shardOf = m.Of
+	}
 	for t := range e.tasks {
 		if err := t.ctx.Err(); err != nil {
 			// The submitter gave up while the task sat in the queue;
 			// resolve promptly without touching the graph.
-			t.fut.res = Result{Err: err, Epoch: t.snap.Epoch}
+			t.fut.res = Result{Err: err, Epoch: t.version()}
+		} else if t.cut != nil {
+			cfg.Ctx = t.ctx
+			views := make([]core.ShardView, len(t.cut.Snaps))
+			for i, sn := range t.cut.Snaps {
+				views[i] = core.ShardView{G: sn.G, Fz: sn.Fz, Idx: sn.Idx}
+			}
+			cfg.Shards = views
+			cfg.ShardOf = shardOf
+			t.fut.res = e.eval(t.q, cfg, nil, nil, t.cut.GSN, t.cut.Vector)
+			cfg.Ctx = nil
+			cfg.Shards = nil
+			cfg.ShardOf = nil
 		} else {
 			cfg.Ctx = t.ctx
 			cfg.Frozen = t.snap.Fz
-			t.fut.res = e.eval(t.q, cfg, t.snap)
+			t.fut.res = e.eval(t.q, cfg, t.snap.G, t.snap.Idx, t.snap.Epoch, nil)
 			cfg.Ctx = nil
 			cfg.Frozen = nil
 		}
-		t.snap.Release()
+		t.release()
 		e.completed.Add(1)
 		if t.fut.res.Err != nil {
 			e.failed.Add(1)
@@ -268,16 +389,21 @@ func (e *Engine) Submit(ctx context.Context, q Query) *Future {
 		close(fut.done)
 		return fut
 	}
-	snap := e.src.Acquire()
+	t := task{ctx: ctx, q: q, fut: fut}
+	if e.router != nil {
+		t.cut = e.router.AcquireCut()
+	} else {
+		t.snap = e.src.Acquire()
+	}
 	// Sending under the read lock keeps the channel-close in Close safe
 	// while letting any number of submitters block in their own selects
 	// concurrently — a full queue backpressures each of them until a
 	// worker frees a slot or that submitter's context dies.
 	select {
-	case e.tasks <- task{ctx: ctx, q: q, snap: snap, fut: fut}:
+	case e.tasks <- t:
 		e.submitted.Add(1)
 	case <-ctx.Done():
-		snap.Release()
+		t.release()
 		fut.res = Result{Err: ctx.Err()}
 		close(fut.done)
 	}
@@ -361,22 +487,24 @@ func (e *Engine) plan(q Query) (*core.Plan, error) {
 	return p, err
 }
 
-// eval runs one query end to end against one pinned snapshot: plan
-// (cached across epochs), fetch GQ through the snapshot's indices, then
-// match inside GQ and map the relation back to the source graph's IDs.
-func (e *Engine) eval(q Query, cfg *core.ExecConfig, snap *store.Snapshot) Result {
+// eval runs one query end to end against one pinned view — a snapshot's
+// graph and index set, or (g and idx nil) a sharded cut already loaded
+// into cfg.Shards: plan (cached across epochs), fetch GQ through the
+// indices, then match inside GQ and map the relation back to the source
+// graph's IDs.
+func (e *Engine) eval(q Query, cfg *core.ExecConfig, g *graph.Graph, idx *access.IndexSet, epoch uint64, vector []uint64) Result {
 	if q.Pattern == nil {
-		return Result{Err: ErrNilQuery, Epoch: snap.Epoch}
+		return Result{Err: ErrNilQuery, Epoch: epoch, Vector: vector}
 	}
 	p, err := e.plan(q)
 	if err != nil {
-		return Result{Err: err, Epoch: snap.Epoch}
+		return Result{Err: err, Epoch: epoch, Vector: vector}
 	}
-	bg, stats, err := p.ExecWith(snap.G, snap.Idx, cfg)
+	bg, stats, err := p.ExecWith(g, idx, cfg)
 	if err != nil {
-		return Result{Err: err, Epoch: snap.Epoch}
+		return Result{Err: err, Epoch: epoch, Vector: vector}
 	}
-	res := Result{BG: bg, Stats: stats, Epoch: snap.Epoch}
+	res := Result{BG: bg, Stats: stats, Epoch: epoch, Vector: vector}
 	if q.FetchOnly {
 		return res
 	}
@@ -395,7 +523,7 @@ func (e *Engine) eval(q Query, cfg *core.ExecConfig, snap *store.Snapshot) Resul
 	// A boundary cancel keeps Stats: the fetch ran, so its access
 	// accounting is real even though no result is returned.
 	if err := ctxErr(); err != nil {
-		return Result{Err: err, Stats: stats, Epoch: snap.Epoch}
+		return Result{Err: err, Stats: stats, Epoch: epoch, Vector: vector}
 	}
 	switch q.Sem {
 	case core.Subgraph:
@@ -412,7 +540,7 @@ func (e *Engine) eval(q Query, cfg *core.ExecConfig, snap *store.Snapshot) Resul
 		res.Sim = sim
 	}
 	if err := ctxErr(); err != nil {
-		return Result{Err: err, Stats: stats, Epoch: snap.Epoch}
+		return Result{Err: err, Stats: stats, Epoch: epoch, Vector: vector}
 	}
 	return res
 }

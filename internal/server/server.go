@@ -133,6 +133,9 @@ type QueryResponse struct {
 	Pairs int `json:"pairs,omitempty"`
 	// Stats carries the bounded-evaluation access accounting.
 	Stats *core.ExecStats `json:"stats,omitempty"`
+	// Vector is the per-shard epoch vector the query's consistent cut
+	// pinned (sharded daemons only; see boundedgd -shards).
+	Vector []uint64 `json:"vector,omitempty"`
 	// Cached reports whether this response was served from the result
 	// cache.
 	Cached bool `json:"cached"`
@@ -164,6 +167,13 @@ type UpdateResponse struct {
 	// at — the update is durable through it (boundedgd -wal). Omitted on
 	// a daemon without a WAL.
 	LogOffset int64 `json:"log_offset,omitempty"`
+	// Vector is the per-shard epoch vector this update published
+	// (sharded daemons only); Epoch is then the global sequence number.
+	Vector []uint64 `json:"vector,omitempty"`
+	// ShardLogOffsets holds each shard's WAL offset for this update's
+	// envelope records (sharded daemons with -wal; zero entries for
+	// shards the delta did not touch).
+	ShardLogOffsets []int64 `json:"shard_log_offsets,omitempty"`
 	// ElapsedMS is the server-side handling time of this request.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
@@ -201,10 +211,24 @@ type CacheStats struct {
 	Misses   uint64 `json:"misses"`
 }
 
-// StatsResponse is the body of GET /stats.
+// ShardStats is one shard's block in a sharded daemon's /stats: its
+// published epoch (the epoch-vector entry), its commit queue depth, and
+// its own write-ahead log's figures.
+type ShardStats struct {
+	Shard      int      `json:"shard"`
+	Epoch      uint64   `json:"epoch"`
+	QueueDepth int      `json:"queue_depth"`
+	WAL        WALStats `json:"wal"`
+}
+
+// StatsResponse is the body of GET /stats. On a sharded daemon
+// (boundedgd -shards > 1), Epoch is the global sequence number, Vector
+// the per-shard epoch vector, and Shards the per-shard breakdown; the
+// top-level WAL block then only reports Enabled (offsets are per shard).
 type StatsResponse struct {
 	UptimeSec   float64       `json:"uptime_sec"`
 	Epoch       uint64        `json:"epoch"`
+	Vector      []uint64      `json:"vector,omitempty"`
 	GraphNodes  int           `json:"graph_nodes"`
 	GraphEdges  int           `json:"graph_edges"`
 	Constraints int           `json:"constraints"`
@@ -212,6 +236,7 @@ type StatsResponse struct {
 	Cache       CacheStats    `json:"cache"`
 	Updates     UpdateStats   `json:"updates"`
 	WAL         WALStats      `json:"wal"`
+	Shards      []ShardStats  `json:"shards,omitempty"`
 	Served      uint64        `json:"served"`
 	Errors      uint64        `json:"errors"`
 }
@@ -398,7 +423,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey(s.eng.Store().Epoch(), canon, sem, limit)
+	key := cacheKey(s.eng.Version(), canon, sem, limit)
 	if v, ok := s.results.Get(key); ok {
 		resp := *v.(*QueryResponse) // shallow copy; cached fields are read-only
 		resp.Cached = true
@@ -453,7 +478,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := &QueryResponse{Sem: sem.String(), Stats: res.Stats}
+	resp := &QueryResponse{Sem: sem.String(), Stats: res.Stats, Vector: res.Vector}
 	for _, u := range q.Nodes() {
 		resp.Vars = append(resp.Vars, q.Name(u))
 	}
@@ -517,7 +542,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.eng.Store().Apply(d)
+	res, err := s.eng.ApplyDelta(d)
 	if err != nil {
 		var verr *access.ViolationError
 		switch {
@@ -541,11 +566,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	s.writeJSON(w, http.StatusOK, UpdateResponse{
-		Epoch:       res.Epoch,
-		NewIDs:      res.NewIDs,
-		TouchedRows: res.TouchedRows,
-		LogOffset:   res.LogOffset,
-		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),
+		Epoch:           res.Epoch,
+		NewIDs:          res.NewIDs,
+		TouchedRows:     res.TouchedRows,
+		LogOffset:       res.LogOffset,
+		Vector:          res.Vector,
+		ShardLogOffsets: res.ShardLogOffsets,
+		ElapsedMS:       float64(time.Since(started)) / float64(time.Millisecond),
 	})
 }
 
@@ -560,16 +587,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if capacity < 0 {
 		capacity = 0 // disabled reads as "no cache"
 	}
-	snap := s.eng.Acquire()
-	nodes, edges := snap.G.NumNodes(), snap.G.NumEdges()
-	epoch := snap.Epoch
-	snap.Release()
-	us := s.eng.Store().Stats()
-	s.writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		UptimeSec:   time.Since(s.start).Seconds(),
-		Epoch:       epoch,
-		GraphNodes:  nodes,
-		GraphEdges:  edges,
 		Constraints: s.eng.Schema().Count(),
 		Engine:      s.eng.Stats(),
 		Cache: CacheStats{
@@ -578,7 +597,46 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hits:     hits,
 			Misses:   misses,
 		},
-		Updates: UpdateStats{
+		Served: s.served.Load(),
+		Errors: s.errors.Load(),
+	}
+	if rt := s.eng.Router(); rt != nil {
+		rs := rt.Stats()
+		resp.Epoch = rs.GSN
+		resp.Vector = rs.Vector
+		resp.GraphNodes = int(rs.Nodes)
+		resp.GraphEdges = int(rs.Edges)
+		resp.Updates = UpdateStats{
+			Enabled:           s.cfg.EnableUpdates,
+			Applied:           rs.Applied,
+			Batches:           rs.Batches,
+			RejectedViolation: rs.RejectedViolation,
+			RejectedError:     rs.RejectedError,
+			TouchedRows:       rs.TouchedRows,
+		}
+		resp.Shards = make([]ShardStats, len(rs.Shards))
+		for i, ss := range rs.Shards {
+			resp.WAL.Enabled = resp.WAL.Enabled || ss.Durable
+			resp.Shards[i] = ShardStats{
+				Shard:      i,
+				Epoch:      ss.Epoch,
+				QueueDepth: ss.QueueDepth,
+				WAL: WALStats{
+					Enabled:             ss.Durable,
+					Offset:              ss.WALOffset,
+					Records:             ss.WALRecords,
+					Syncs:               ss.WALSyncs,
+					LastCheckpointEpoch: ss.LastCheckpointEpoch,
+				},
+			}
+		}
+	} else {
+		snap := s.eng.Acquire()
+		resp.GraphNodes, resp.GraphEdges = snap.G.NumNodes(), snap.G.NumEdges()
+		resp.Epoch = snap.Epoch
+		snap.Release()
+		us := s.eng.Store().Stats()
+		resp.Updates = UpdateStats{
 			Enabled:           s.cfg.EnableUpdates,
 			Applied:           us.Applied,
 			Batches:           us.Batches,
@@ -586,17 +644,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RejectedError:     us.RejectedError,
 			TouchedRows:       us.TouchedRows,
 			LastApplyMS:       float64(us.LastApplyNS) / 1e6,
-		},
-		WAL: WALStats{
+		}
+		resp.WAL = WALStats{
 			Enabled:             us.Durable,
 			Offset:              us.WALOffset,
 			Records:             us.WALRecords,
 			Syncs:               us.WALSyncs,
 			LastCheckpointEpoch: us.LastCheckpointEpoch,
-		},
-		Served: s.served.Load(),
-		Errors: s.errors.Load(),
-	})
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

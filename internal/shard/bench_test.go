@@ -1,0 +1,193 @@
+// Sharded-store benchmarks: update throughput through the router's
+// cross-shard group commit and query throughput through the engine's
+// scatter/gather path, swept over shard counts against the unsharded
+// baseline. When benchmarks ran, TestMain emits the collected figures as
+// JSON (BENCH_shard.json, or the path in BENCH_SHARD_OUT) so the shard
+// perf trajectory has machine-readable data points.
+package shard_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/core"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/runtime"
+	"boundedg/internal/shard"
+	"boundedg/internal/store"
+	"boundedg/internal/workload"
+)
+
+type benchRec struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Ops     int     `json:"ops"`
+}
+
+var (
+	benchMu   sync.Mutex
+	benchRecs []benchRec
+)
+
+// record captures b's figures after its timed loop; b.Name() carries the
+// shard-count subtest path.
+func record(b *testing.B) {
+	b.StopTimer()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	benchRecs = append(benchRecs, benchRec{
+		Name:    b.Name(),
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Ops:     b.N,
+	})
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if len(benchRecs) > 0 {
+		out := os.Getenv("BENCH_SHARD_OUT")
+		if out == "" {
+			out = "BENCH_shard.json"
+		}
+		// The harness reruns each benchmark while calibrating N; keep only
+		// the final (largest-N) measurement per name, in first-seen order.
+		final := make(map[string]int)
+		var recs []benchRec
+		for _, r := range benchRecs {
+			if i, ok := final[r.Name]; ok {
+				if r.Ops >= recs[i].Ops {
+					recs[i] = r
+				}
+				continue
+			}
+			final[r.Name] = len(recs)
+			recs = append(recs, r)
+		}
+		doc := struct {
+			Note       string     `json:"note"`
+			Benchmarks []benchRec `json:"benchmarks"`
+		}{
+			Note:       "go test ./internal/shard -bench 'Sharded' ; one apply op = one add+delete edge pair through the group commit, one query op = one EvalBatch of the bounded workload",
+			Benchmarks: recs,
+		}
+		if b, err := json.MarshalIndent(doc, "", "  "); err == nil {
+			_ = os.WriteFile(out, append(b, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+var shardCounts = []int{1, 2, 4, 8}
+
+// BenchmarkShardedApply measures write throughput: one op is an
+// accepted add-edge delta followed by its compensating delete, routed
+// through the cross-shard group commit ("unsharded" applies the same
+// pairs to a plain store). Random endpoints make most pairs cross-shard
+// at higher shard counts.
+func BenchmarkShardedApply(b *testing.B) {
+	d0 := workload.IMDb(0.3, 5)
+	live := d0.G.NodeList()
+	pairLoop := func(b *testing.B, apply func(*graph.Delta) error) {
+		rng := rand.New(rand.NewSource(9))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			from := live[rng.Intn(len(live))]
+			to := live[rng.Intn(len(live))]
+			add := &graph.Delta{AddEdges: [][2]graph.NodeID{{from, to}}}
+			if err := apply(add); err == nil {
+				del := &graph.Delta{DelEdges: [][2]graph.NodeID{{from, to}}}
+				if err := apply(del); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		record(b)
+	}
+	b.Run("unsharded", func(b *testing.B) {
+		g := d0.G.Clone()
+		idx := access.BuildUnchecked(g, d0.Schema)
+		st := store.New(g, idx)
+		pairLoop(b, func(d *graph.Delta) error {
+			_, err := st.Apply(d)
+			return err
+		})
+	})
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			g := d0.G.Clone()
+			idx := access.BuildUnchecked(g, d0.Schema)
+			r, err := shard.New(g, idx, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairLoop(b, func(d *graph.Delta) error {
+				_, err := r.Apply(d)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkShardedQuery measures read throughput: one op is an EvalBatch
+// of every effectively bounded query in the standard 20-query load, both
+// semantics, served by a 4-worker engine — over one snapshot
+// ("unsharded") or a consistent cut with scatter/gather fetches.
+func BenchmarkShardedQuery(b *testing.B) {
+	d0 := workload.IMDb(0.3, 5)
+	qs := workload.DefaultQueryGen.Generate(d0, 20, 4)
+	var queries []runtime.Query
+	mopt := match.SubgraphOptions{MaxMatches: 10_000}
+	for _, q := range qs {
+		if p, err := core.NewPlan(q, d0.Schema, core.Subgraph); err == nil {
+			queries = append(queries, runtime.Query{Pattern: q, Sem: core.Subgraph, Sub: mopt, Plan: p})
+		}
+		if p, err := core.NewPlan(q, d0.Schema, core.Simulation); err == nil {
+			queries = append(queries, runtime.Query{Pattern: q, Sem: core.Simulation, Plan: p})
+		}
+	}
+	if len(queries) == 0 {
+		b.Fatal("no bounded bench queries found")
+	}
+	batchLoop := func(b *testing.B, eng *runtime.Engine) {
+		defer eng.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.EvalBatch(nil, queries) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		record(b)
+	}
+	b.Run("unsharded", func(b *testing.B) {
+		g := d0.G.Clone()
+		idx := access.BuildUnchecked(g, d0.Schema)
+		eng, err := runtime.New(g, idx, runtime.Config{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batchLoop(b, eng)
+	})
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			g := d0.G.Clone()
+			idx := access.BuildUnchecked(g, d0.Schema)
+			r, err := shard.New(g, idx, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := runtime.NewFromRouter(r, runtime.Config{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batchLoop(b, eng)
+		})
+	}
+}

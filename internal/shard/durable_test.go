@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/store"
+	"boundedg/internal/wal"
+	"boundedg/internal/workload"
+)
+
+// copyTree snapshots a sharded state directory (SHARDMAP plus the
+// shard-<i>/ subdirectories) into a fresh temp dir — the "disk image at
+// the moment of the crash".
+func copyTree(t testing.TB, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(p string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil || rel == "." {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if de.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// holdsSeq reports whether shard s's log in a state directory holds an
+// envelope record for update sequence number seq.
+func holdsSeq(t *testing.T, dir string, in *graph.Interner, s int, seq uint64) bool {
+	t.Helper()
+	d, err := wal.OpenDirEnveloped(shardPath(dir, s), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	_, _, _, logPath, err := d.LoadSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := wal.ScanEnvelopes(logPath, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRouterCrashTornBatch kills the router between shard A's fsync and
+// shard B's in the middle of a cross-shard commit, then proves recovery
+// rewinds the torn batch on both sides: the crash image holds the record
+// on A but not on B, the reconciliation cut discards it, and the
+// recovered router resumes bit-identical to an unsharded reference that
+// never saw the torn delta — after which the same delta re-applies
+// cleanly on both.
+func TestRouterCrashTornBatch(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			d := workload.IMDb(0.12, 7)
+			g1 := d.G.Clone()
+			idx1 := access.BuildUnchecked(g1, d.Schema)
+			ust := store.New(g1, idx1)
+
+			dir := t.TempDir()
+			g2 := d.G.Clone()
+			idx2 := access.BuildUnchecked(g2, d.Schema)
+			r, err := Create(dir, d.In, g2, idx2, n, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := r.Map()
+
+			// Warm up both sides with the differential update stream so the
+			// crash lands on a non-trivial log, and checkpoint shard 0
+			// mid-stream so recovery's reconciliation also exercises the
+			// checkpoint-subsumes-records path for the surviving prefix.
+			rng := rand.New(rand.NewSource(7))
+			accepted := uint64(0)
+			for i := 0; i < 40; i++ {
+				snap := ust.Acquire()
+				delta := randomDelta(rng, snap.G)
+				snap.Release()
+				_, uerr := ust.Apply(delta.Clone())
+				_, serr := r.Apply(delta.Clone())
+				if (uerr == nil) != (serr == nil) {
+					t.Fatalf("warmup delta %d: unsharded err %v, sharded err %v", i, uerr, serr)
+				}
+				if uerr == nil {
+					accepted++
+				}
+				if i == 20 {
+					if err := r.Store(0).Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			preGSN := r.GSN()
+			if e := ust.Epoch(); e != preGSN {
+				t.Fatalf("reference epoch %d, router GSN %d after warmup", e, preGSN)
+			}
+
+			// Pick a live cross-shard edge; deleting it is a guaranteed-
+			// accepted delta with two participant shards.
+			var from, to graph.NodeID
+			found := false
+			snap := ust.Acquire()
+			snap.G.Edges(func(a, b graph.NodeID) bool {
+				if m.Of(a) != m.Of(b) {
+					from, to, found = a, b, true
+					return false
+				}
+				return true
+			})
+			snap.Release()
+			if !found {
+				t.Fatal("no cross-shard edge in dataset")
+			}
+			shardA, shardB := m.Of(from), m.Of(to)
+			if shardB < shardA {
+				shardA, shardB = shardB, shardA
+			}
+			tornSeq := accepted + 1
+
+			// Crash between shard A's fsync and shard B's: the hook runs
+			// after each shard's records are durable; at s == shardA the
+			// lower participant has logged and the higher has not.
+			var crashDir string
+			r.hookAfterShardLog = func(s int) error {
+				if s == shardA {
+					crashDir = copyTree(t, dir)
+					return fmt.Errorf("injected crash between shard fsyncs")
+				}
+				return nil
+			}
+			torn := &graph.Delta{DelEdges: [][2]graph.NodeID{{from, to}}}
+			if _, err := r.Apply(torn.Clone()); !errors.Is(err, store.ErrWedged) {
+				t.Fatalf("torn apply: want wedged error, got %v", err)
+			}
+			if crashDir == "" {
+				t.Fatal("crash hook never fired")
+			}
+
+			// The crash image is genuinely torn: shard A durably holds the
+			// record, shard B does not.
+			inspect := copyTree(t, crashDir)
+			if !holdsSeq(t, inspect, d.In, shardA, tornSeq) {
+				t.Fatalf("crash image: shard %d should hold seq %d", shardA, tornSeq)
+			}
+			if holdsSeq(t, inspect, d.In, shardB, tornSeq) {
+				t.Fatalf("crash image: shard %d should not hold seq %d", shardB, tornSeq)
+			}
+
+			// Recovery must cut the torn batch on both sides and resume at
+			// the pre-crash cut.
+			r2, info, err := Recover(crashDir, d.In, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() {
+				r2.Close()
+				if err := r2.CloseDirs(); err != nil {
+					t.Error(err)
+				}
+			})
+			if info.TornSeqs != 1 {
+				t.Fatalf("recovery rewound %d torn sequences, want 1", info.TornSeqs)
+			}
+			if info.GSN != preGSN {
+				t.Fatalf("recovered GSN %d, want pre-crash %d", info.GSN, preGSN)
+			}
+			if info.Seq != accepted {
+				t.Fatalf("recovered seq %d, want %d", info.Seq, accepted)
+			}
+			usnap := ust.Acquire()
+			checkShardedState(t, r2, usnap.G, usnap.Idx, d.In)
+			usnap.Release()
+
+			// The half-applied delta left no trace: re-applying it succeeds
+			// identically on the recovered router and the reference.
+			ures, uerr := ust.Apply(torn.Clone())
+			sres, serr := r2.Apply(torn.Clone())
+			if uerr != nil || serr != nil {
+				t.Fatalf("re-apply after recovery: unsharded err %v, sharded err %v", uerr, serr)
+			}
+			if ures.Epoch != sres.GSN {
+				t.Fatalf("re-apply: epoch %d vs GSN %d", ures.Epoch, sres.GSN)
+			}
+			if ures.TouchedRows != sres.TouchedRows {
+				t.Fatalf("re-apply: touched rows %d vs %d", ures.TouchedRows, sres.TouchedRows)
+			}
+			usnap = ust.Acquire()
+			checkShardedState(t, r2, usnap.G, usnap.Idx, d.In)
+			usnap.Release()
+		})
+	}
+}

@@ -1,0 +1,50 @@
+// Package shard partitions the versioned store: a Router owns N
+// store.Store instances behind a deterministic node-ID→shard map, splits
+// every update delta into per-shard sub-deltas with an all-or-nothing
+// cross-shard verdict, logs each shard's sub-deltas to that shard's own
+// WAL, and publishes a version vector queries pin as one consistent cut.
+// Sharded serving is bit-identical to the unsharded store: the shard
+// graphs row-partition the global graph (plus remote-endpoint stubs),
+// the shard indexes row-partition the global indexes, and scatter/gather
+// merges per-shard lookups back into the exact global answer.
+package shard
+
+import (
+	"fmt"
+
+	"boundedg/internal/graph"
+)
+
+// MaxShards bounds the shard count; the partitioner tracks shard
+// memberships in a uint64 bitmask.
+const MaxShards = 64
+
+// Map is the deterministic node-ID→shard partition. It is pure state —
+// the shard count — plus a fixed stable hash, so any process that knows
+// the count routes every node identically, forever; it is serialized into
+// checkpoints (the SHARDMAP file) to pin that contract.
+type Map struct {
+	Shards int
+}
+
+// NewMap validates the shard count.
+func NewMap(n int) (Map, error) {
+	if n < 1 || n > MaxShards {
+		return Map{}, fmt.Errorf("shard: shard count %d out of range [1,%d]", n, MaxShards)
+	}
+	return Map{Shards: n}, nil
+}
+
+// Of returns the shard owning node v. The hash is the splitmix64
+// finalizer — stable across runs, platforms and Go versions; changing it
+// would orphan every persisted shard layout.
+func (m Map) Of(v graph.NodeID) int {
+	if m.Shards <= 1 {
+		return 0
+	}
+	z := uint64(v) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(m.Shards))
+}

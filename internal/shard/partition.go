@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+)
+
+// Partition splits a global graph and its index set into per-shard parts
+// under m. Shard s's graph keeps the full global ID space (absent nodes
+// are tombstones, so IDs mean the same thing everywhere) and holds:
+//
+//   - every node it owns, with its FULL adjacency — each edge (u,w) is
+//     stored on both h(u) and h(w), so the owner of either endpoint sees
+//     the whole neighborhood of its nodes without remote reads;
+//   - a remote-endpoint stub (label + value, no non-local edges) for
+//     every neighbor of an owned node that lives elsewhere.
+//
+// The index set is row-partitioned by member owner (access.IndexSet.Split)
+// with the matching row-ownership filter installed, so incremental
+// maintenance on a shard only ever grows the rows that shard owns and a
+// k-way merge of shard entries reproduces each global entry exactly.
+func Partition(g *graph.Graph, idx *access.IndexSet, m Map) ([]*graph.Graph, []*access.IndexSet) {
+	n := m.Shards
+	// One pass over the edges decides shard membership: every node starts
+	// on its owner; an edge pulls each endpoint onto the other's owner as
+	// a stub.
+	mask := make([]uint64, g.Cap())
+	g.Nodes(func(v graph.NodeID) bool {
+		mask[v] |= 1 << uint(m.Of(v))
+		return true
+	})
+	g.Edges(func(from, to graph.NodeID) bool {
+		mask[from] |= 1 << uint(m.Of(to))
+		mask[to] |= 1 << uint(m.Of(from))
+		return true
+	})
+	graphs := make([]*graph.Graph, n)
+	for s := 0; s < n; s++ {
+		bit := uint64(1) << uint(s)
+		graphs[s] = g.CloneFiltered(
+			func(v graph.NodeID) bool { return mask[v]&bit != 0 },
+			func(from, to graph.NodeID) bool {
+				return m.Of(from) == s || m.Of(to) == s
+			},
+		)
+	}
+	idxs := idx.Split(n, m.Of)
+	for s := 0; s < n; s++ {
+		installRowOwner(idxs[s], m, s)
+	}
+	return graphs, idxs
+}
+
+// installRowOwner installs the row-ownership filter tying shard s's index
+// part to the map.
+func installRowOwner(idx *access.IndexSet, m Map, s int) {
+	idx.SetRowOwner(func(v graph.NodeID) bool { return m.Of(v) == s })
+}

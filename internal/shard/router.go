@@ -1,0 +1,496 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/store"
+	"boundedg/internal/wal"
+)
+
+// Result reports one accepted update through the router.
+type Result struct {
+	// GSN is the global sequence number (the batch epoch) the update
+	// published at. Concurrently accepted deltas share it.
+	GSN uint64
+	// Vector is the per-shard epoch vector after the commit. A shard the
+	// batch did not touch keeps its previous epoch — entries are the
+	// epochs a consistent cut at this GSN pins.
+	Vector []uint64
+	// NewIDs are the global node IDs assigned to the delta's AddNodes.
+	NewIDs []graph.NodeID
+	// TouchedRows counts the rows whose adjacency the delta changed,
+	// summed globally — identical to the unsharded figure.
+	TouchedRows int
+	// LogOffsets holds, per shard, the WAL offset this delta's envelope
+	// record ends at (0 for shards the delta did not touch, and
+	// everywhere on an in-memory router).
+	LogOffsets []int64
+}
+
+// Stats is a point-in-time observation of the router.
+type Stats struct {
+	GSN    uint64
+	Vector []uint64
+	// Nodes/Edges are the global live counts (each edge counted once,
+	// not per replica).
+	Nodes int64
+	Edges int64
+	// NextID is the next free global node ID.
+	NextID int64
+	// Applied/Batches/TouchedRows and the rejection counters mirror the
+	// unsharded store's, accounted at the router (per-shard store stats
+	// would double-count cross-shard deltas).
+	Applied           uint64
+	Batches           uint64
+	RejectedViolation uint64
+	RejectedError     uint64
+	TouchedRows       uint64
+	// QueueDepth is the number of Apply calls waiting in the router's
+	// group-commit queue at observation time.
+	QueueDepth int
+	// Shards holds each shard store's own stats (epoch, queue depths,
+	// WAL figures).
+	Shards []store.Stats
+}
+
+// Router owns one store per shard behind a deterministic node partition
+// and coordinates cross-shard commits: updates split into per-shard
+// sub-deltas, stage on every participant, get one global accept/reject
+// verdict (cardinality bounds are summed across the row partition), log
+// to each participant's own WAL, and publish atomically under the
+// router's publication lock so the epoch vector is never observed
+// half-advanced.
+type Router struct {
+	m      Map
+	stores []*store.Store
+	dirs   []*wal.Dir // nil entries when in-memory
+	fsync  bool
+
+	qmu   sync.Mutex
+	queue []*routerReq
+	lmu   sync.Mutex // leader lock: serializes commitBatch
+
+	// mu is the publication lock: held for write while a batch commits
+	// every shard's epoch, for read while a cut acquires every shard's
+	// snapshot — a cut therefore always observes the vector at a batch
+	// boundary.
+	mu  sync.RWMutex
+	gsn atomic.Uint64
+
+	seq    atomic.Uint64 // last assigned update sequence number
+	nextID atomic.Int64  // next free global node ID
+	nodes  atomic.Int64
+	edges  atomic.Int64
+
+	applied atomic.Uint64
+	batches atomic.Uint64
+	touched atomic.Uint64
+	rejViol atomic.Uint64
+	rejErr  atomic.Uint64
+
+	// hookAfterShardLog, when set, runs after shard s's records are
+	// durably logged (post-fsync) and before the next shard's — the
+	// crash-injection point for torn cross-shard batches. An error is
+	// treated as a log failure at that point.
+	hookAfterShardLog func(s int) error
+}
+
+type routerReq struct {
+	d    *graph.Delta
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// New builds an in-memory router over g and idx split n ways. The inputs
+// are consumed (partitioned into per-shard copies); the caller must not
+// use them afterwards.
+func New(g *graph.Graph, idx *access.IndexSet, nshards int) (*Router, error) {
+	m, err := NewMap(nshards)
+	if err != nil {
+		return nil, err
+	}
+	graphs, idxs := Partition(g, idx, m)
+	r := &Router{m: m, stores: make([]*store.Store, nshards), dirs: make([]*wal.Dir, nshards)}
+	for s := 0; s < nshards; s++ {
+		r.stores[s] = store.New(graphs[s], idxs[s])
+	}
+	r.nextID.Store(int64(g.Cap()))
+	r.nodes.Store(int64(g.NumNodes()))
+	r.edges.Store(int64(g.NumEdges()))
+	return r, nil
+}
+
+// Map returns the node partition.
+func (r *Router) Map() Map { return r.m }
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return r.m.Shards }
+
+// Schema returns the access schema (shared by every shard's index set).
+func (r *Router) Schema() *access.Schema { return r.stores[0].Schema() }
+
+// GSN returns the current global sequence number.
+func (r *Router) GSN() uint64 { return r.gsn.Load() }
+
+// Store returns shard s's store (tests and stats).
+func (r *Router) Store(s int) *store.Store { return r.stores[s] }
+
+// Cut is a pinned consistent snapshot of every shard: one epoch vector,
+// acquired atomically with respect to commits. Release it when done.
+type Cut struct {
+	Snaps  []*store.Snapshot
+	Vector []uint64
+	GSN    uint64
+}
+
+// AcquireCut pins the current epoch on every shard under the publication
+// read lock, so the snapshots form exactly the vector a single commit
+// boundary published — a query never mixes epochs.
+func (r *Router) AcquireCut() *Cut {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Cut{
+		Snaps:  make([]*store.Snapshot, len(r.stores)),
+		Vector: make([]uint64, len(r.stores)),
+	}
+	for i, st := range r.stores {
+		s := st.Acquire()
+		c.Snaps[i] = s
+		c.Vector[i] = s.Epoch
+	}
+	c.GSN = r.gsn.Load()
+	return c
+}
+
+// Release unpins every shard snapshot of the cut.
+func (c *Cut) Release() {
+	for _, s := range c.Snaps {
+		s.Release()
+	}
+}
+
+// Apply routes one delta through the cross-shard group commit. Semantics
+// match store.Apply exactly: all-or-nothing across shards, structural
+// errors and *access.ViolationError rejections leave every shard (and
+// the global ID space) untouched, and on success the publishing cut is
+// visible to AcquireCut before Apply returns.
+func (r *Router) Apply(d *graph.Delta) (Result, error) {
+	req := &routerReq{d: d, done: make(chan struct{})}
+	r.qmu.Lock()
+	r.queue = append(r.queue, req)
+	r.qmu.Unlock()
+
+	r.lead()
+
+	<-req.done
+	return req.res, req.err
+}
+
+// lead mirrors store.lead: every queued caller contends for the leader
+// lock, the winner commits the whole queue.
+func (r *Router) lead() {
+	r.lmu.Lock()
+	defer r.lmu.Unlock()
+	r.qmu.Lock()
+	batch := r.queue
+	r.queue = nil
+	r.qmu.Unlock()
+	if len(batch) > 0 {
+		r.commitBatch(batch)
+	}
+}
+
+// commitBatch runs one cross-shard group commit: a transaction on every
+// shard, per-delta split + stage + global verdict, per-shard envelope
+// logging in shard order, one atomic vector publication.
+func (r *Router) commitBatch(batch []*routerReq) {
+	settled := false
+	var txns []*store.Txn
+	txnsOpen := false
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		// A panic mid-commit (a splitter/staging invariant violation) on
+		// any shard poisons all of them: the batch never published, the
+		// shadow states are suspect, and partial wedging would desync the
+		// shards. Fail the waiters, wedge everything, re-panic.
+		if txnsOpen {
+			for _, t := range txns {
+				_ = t.RewindLog()
+				t.Wedge()
+			}
+		}
+		if !settled {
+			for _, req := range batch {
+				if req.err == nil {
+					req.err = fmt.Errorf("shard: commit panicked: %v", rec)
+				}
+				close(req.done)
+			}
+		}
+		panic(rec)
+	}()
+	finish := func() {
+		settled = true
+		for _, req := range batch {
+			close(req.done)
+		}
+	}
+
+	n := r.m.Shards
+	txns = make([]*store.Txn, n)
+	for s := 0; s < n; s++ {
+		t, err := r.stores[s].BeginTxn()
+		if err != nil {
+			for i := 0; i < s; i++ {
+				txns[i].Abort()
+			}
+			for _, req := range batch {
+				req.err = err
+			}
+			finish()
+			return
+		}
+		txns[s] = t
+	}
+	txnsOpen = true
+	graphs := func(s int) *graph.Graph { return txns[s].Graph() }
+	schema := r.Schema()
+
+	epoch := r.gsn.Load() + 1
+	seq := r.seq.Load()
+	nextID := graph.NodeID(r.nextID.Load())
+	var accepted []*routerReq
+	// stagedReqs[s] maps shard s's staged entries (in order) back to the
+	// requests they belong to, for log-offset attribution.
+	stagedReqs := make([][]*routerReq, n)
+	nodeDelta, edgeDelta := 0, 0
+	var totalRows uint64
+	for _, req := range batch {
+		if req.d.AddNodeIDs != nil {
+			req.err = fmt.Errorf("shard: delta may not pin node IDs")
+			r.rejErr.Add(1)
+			continue
+		}
+		sp, err := splitDelta(req.d, r.m, graphs, nextID)
+		if err != nil {
+			req.err = err
+			r.rejErr.Add(1)
+			continue
+		}
+		sds := make([]*access.StagedDelta, len(sp.parts))
+		for i, t := range sp.parts {
+			sd, err := txns[t].Stage(sp.subs[t], seq+1, sp.parts)
+			if err != nil {
+				// splitDelta validated the delta globally; a shard
+				// refusing its sub-delta means the simulation and the
+				// shard state disagree.
+				panic(fmt.Sprintf("shard: shard %d rejected pre-validated sub-delta: %v", t, err))
+			}
+			sds[i] = sd
+		}
+		if viols := r.checkGlobal(txns, schema, sds); len(viols) > 0 {
+			for i := len(sp.parts) - 1; i >= 0; i-- {
+				txns[sp.parts[i]].UnstageLast()
+			}
+			req.err = &access.ViolationError{Violations: viols}
+			r.rejViol.Add(1)
+			continue
+		}
+		seq++
+		nextID += graph.NodeID(len(req.d.AddNodes))
+		nodeDelta += sp.nodeDelta
+		edgeDelta += sp.edgeDelta
+		totalRows += uint64(sp.touched)
+		req.res = Result{NewIDs: sp.newIDs, TouchedRows: sp.touched, LogOffsets: make([]int64, n)}
+		for _, t := range sp.parts {
+			stagedReqs[t] = append(stagedReqs[t], req)
+		}
+		accepted = append(accepted, req)
+	}
+	if len(accepted) == 0 {
+		for s := n - 1; s >= 0; s-- {
+			txns[s].Abort()
+		}
+		txnsOpen = false
+		finish()
+		return
+	}
+
+	// Durability: each participant logs its own envelope records, in
+	// shard order. The batch is durable once every shard synced; a
+	// failure part-way leaves a torn batch, which is rewound here (and,
+	// after a crash, by recovery's reconciliation cut).
+	for s := 0; s < n; s++ {
+		offs, err := txns[s].Log(epoch)
+		if err == nil && r.hookAfterShardLog != nil {
+			err = r.hookAfterShardLog(s)
+		}
+		if err != nil {
+			r.wedgeAll(txns, batch, err)
+			txnsOpen = false
+			settled = true
+			for _, req := range batch {
+				close(req.done)
+			}
+			return
+		}
+		for i, req := range stagedReqs[s] {
+			req.res.LogOffsets[s] = offs[i]
+		}
+	}
+
+	// Publication: every shard's Commit runs under the publication write
+	// lock, so cuts observe either no shard or every shard at the new
+	// epoch.
+	r.mu.Lock()
+	for s := 0; s < n; s++ {
+		txns[s].Commit(epoch)
+	}
+	r.gsn.Store(epoch)
+	vector := make([]uint64, n)
+	for s := 0; s < n; s++ {
+		vector[s] = r.stores[s].Epoch()
+	}
+	r.mu.Unlock()
+	txnsOpen = false
+
+	r.seq.Store(seq)
+	r.nextID.Store(int64(nextID))
+	r.nodes.Add(int64(nodeDelta))
+	r.edges.Add(int64(edgeDelta))
+	r.applied.Add(uint64(len(accepted)))
+	r.batches.Add(1)
+	r.touched.Add(totalRows)
+	for _, req := range accepted {
+		req.res.GSN = epoch
+		req.res.Vector = vector
+	}
+	finish()
+}
+
+// checkGlobal evaluates the cardinality bounds for the entries a staged
+// delta touched, summing each entry's size across the whole row
+// partition — the sum is exactly the unsharded entry's size, so the
+// verdict (and the reported worst counts) is bit-identical. At most one
+// violation per constraint, in schema order, carrying the worst count.
+func (r *Router) checkGlobal(txns []*store.Txn, schema *access.Schema, sds []*access.StagedDelta) []access.Violation {
+	type key struct {
+		ci  int
+		key string
+	}
+	seen := make(map[key]struct{})
+	worst := make(map[int]int)
+	for _, sd := range sds {
+		for _, te := range sd.TouchedEntries() {
+			k := key{te.CIdx, te.Key}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			total := 0
+			for _, t := range txns {
+				total += t.Index().EntryLen(te.CIdx, te.Key)
+			}
+			if total > schema.At(te.CIdx).N && total > worst[te.CIdx] {
+				worst[te.CIdx] = total
+			}
+		}
+	}
+	var viols []access.Violation
+	for ci := 0; ci < schema.Count(); ci++ {
+		if w := worst[ci]; w > 0 {
+			viols = append(viols, access.Violation{Constraint: schema.At(ci), Count: w})
+		}
+	}
+	return viols
+}
+
+// wedgeAll handles a per-shard log failure mid-batch: rewind every
+// record the batch already appended on any shard, wedge every store, and
+// fail the accepted requests — mirroring the unsharded wedge path.
+func (r *Router) wedgeAll(txns []*store.Txn, batch []*routerReq, cause error) {
+	rewindNote := ""
+	for _, t := range txns {
+		if err := t.RewindLog(); err != nil && rewindNote == "" {
+			rewindNote = fmt.Sprintf(" (log rewind also failed: %v; recovery may replay this batch)", err)
+		}
+	}
+	for _, t := range txns {
+		t.Wedge()
+	}
+	for _, req := range batch {
+		if req.err == nil {
+			req.err = fmt.Errorf("%w; update not committed: %v%s", store.ErrWedged, cause, rewindNote)
+			req.res = Result{}
+		}
+	}
+}
+
+// Checkpoint checkpoints every shard's WAL at its current epoch. Shard
+// checkpoints are independently consistent (each snapshot is a published
+// shard epoch); recovery's sequence reconciliation re-aligns them.
+func (r *Router) Checkpoint() error {
+	var errs []error
+	for s, st := range r.stores {
+		if err := st.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close closes every shard store (drains writers) and their WALs.
+func (r *Router) Close() {
+	for _, st := range r.stores {
+		st.Close()
+	}
+}
+
+// CloseDirs closes the shard WAL directories (after Close + a final
+// Checkpoint).
+func (r *Router) CloseDirs() error {
+	var errs []error
+	for s, d := range r.dirs {
+		if d == nil {
+			continue
+		}
+		if err := d.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats gathers router-level and per-shard statistics.
+func (r *Router) Stats() Stats {
+	st := Stats{
+		GSN:               r.gsn.Load(),
+		Vector:            make([]uint64, len(r.stores)),
+		Nodes:             r.nodes.Load(),
+		Edges:             r.edges.Load(),
+		NextID:            r.nextID.Load(),
+		Applied:           r.applied.Load(),
+		Batches:           r.batches.Load(),
+		RejectedViolation: r.rejViol.Load(),
+		RejectedError:     r.rejErr.Load(),
+		TouchedRows:       r.touched.Load(),
+		Shards:            make([]store.Stats, len(r.stores)),
+	}
+	r.qmu.Lock()
+	st.QueueDepth = len(r.queue)
+	r.qmu.Unlock()
+	for i, s := range r.stores {
+		st.Shards[i] = s.Stats()
+		st.Vector[i] = st.Shards[i].Epoch
+	}
+	return st
+}

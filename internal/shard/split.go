@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"sort"
+
+	"boundedg/internal/graph"
+)
+
+// splitResult is a top-level delta split into per-shard sub-deltas, plus
+// the globally simulated outcome the router reports and accounts with.
+type splitResult struct {
+	subs []*graph.Delta // per shard; nil where the delta does not touch
+	// parts lists the shards with a non-nil sub-delta, ascending — the
+	// participants of the cross-shard commit.
+	parts []int
+	// newIDs are the global node IDs assigned to d.AddNodes (valid only
+	// if the delta is accepted; a reject returns them to the pool).
+	newIDs []graph.NodeID
+	// touched is the global TouchedRows figure — len(changed ∪ newIDs)
+	// exactly as the unsharded store computes it.
+	touched int
+	// nodeDelta/edgeDelta are the delta's net effect on the GLOBAL node
+	// and edge counts (each edge counted once, not per replica).
+	nodeDelta int
+	edgeDelta int
+}
+
+// splitDelta validates d against the union of the shard graphs and splits
+// it into per-shard sub-deltas. It performs the unsharded apply's full
+// structural validation — same op order (AddNodes, AddEdges, DelEdges,
+// DelNodes), same sentinel errors, same ErrDupEdge-is-skipped semantics —
+// by simulating the delta against the global view the shard graphs
+// jointly represent, without mutating anything. The caller stages the
+// returned sub-deltas; because validation already passed globally, a
+// per-shard staging failure afterwards is a splitter bug and panics.
+//
+// Each sub-delta carries resolved global node IDs only (AddNodeIDs pins
+// the inserted IDs; AddEdges endpoints are rewritten, so no negative refs
+// remain). Nodes a shard must newly materialize — inserted nodes on their
+// owner, remote endpoints of new cross-shard edges — appear in that
+// sub-delta's AddNodes. graphs(s) must be shard s's current (caught-up)
+// graph; nextID is the next free global node ID.
+func splitDelta(d *graph.Delta, m Map, graphs func(int) *graph.Graph, nextID graph.NodeID) (*splitResult, error) {
+	n := m.Shards
+	res := &splitResult{
+		subs:   make([]*graph.Delta, n),
+		newIDs: make([]graph.NodeID, len(d.AddNodes)),
+	}
+	sub := func(t int) *graph.Delta {
+		if res.subs[t] == nil {
+			res.subs[t] = &graph.Delta{}
+		}
+		return res.subs[t]
+	}
+	// has[t] tracks the nodes this delta materializes on shard t (owner
+	// copies and stubs), so each lands in AddNodes at most once.
+	has := make([]map[graph.NodeID]bool, n)
+
+	// Simulation state: the delta's effect so far, layered over the shard
+	// graphs. liveNew holds nodes this delta inserts (until deleted);
+	// added/gone hold edges inserted / removed relative to the graphs;
+	// deleted holds pre-existing nodes removed.
+	liveNew := make(map[graph.NodeID]graph.NodeSpec)
+	added := make(map[[2]graph.NodeID]struct{})
+	gone := make(map[[2]graph.NodeID]struct{})
+	deleted := make(map[graph.NodeID]struct{})
+
+	ownerContains := func(v graph.NodeID) bool {
+		return v >= 0 && graphs(m.Of(v)).Contains(v)
+	}
+	live := func(v graph.NodeID) bool {
+		if _, del := deleted[v]; del {
+			return false
+		}
+		if _, ok := liveNew[v]; ok {
+			return true
+		}
+		return ownerContains(v)
+	}
+	specOf := func(v graph.NodeID) graph.NodeSpec {
+		if sp, ok := liveNew[v]; ok {
+			return sp
+		}
+		og := graphs(m.Of(v))
+		return graph.NodeSpec{Label: og.LabelOf(v), Value: og.ValueOf(v)}
+	}
+	edgeExists := func(u, w graph.NodeID) bool {
+		k := [2]graph.NodeID{u, w}
+		if _, ok := added[k]; ok {
+			return true
+		}
+		if _, ok := gone[k]; ok {
+			return false
+		}
+		if u < 0 || w < 0 {
+			return false
+		}
+		return graphs(m.Of(u)).HasEdge(u, w)
+	}
+	materialize := func(t int, v graph.NodeID) {
+		if graphs(t).Contains(v) || has[t][v] {
+			return
+		}
+		if has[t] == nil {
+			has[t] = make(map[graph.NodeID]bool)
+		}
+		has[t][v] = true
+		sp := specOf(v)
+		s := sub(t)
+		s.AddNodes = append(s.AddNodes, sp)
+		s.AddNodeIDs = append(s.AddNodeIDs, v)
+	}
+	targets := func(u, w graph.NodeID) [2]int {
+		tu, tw := m.Of(u), m.Of(w)
+		if tu == tw {
+			return [2]int{tu, -1}
+		}
+		return [2]int{tu, tw}
+	}
+
+	// changed: the global ChangedRows set, evaluated against the
+	// pre-delta state exactly like graph.Delta.ChangedRows — the owner
+	// shard holds the full adjacency of each of its nodes, so neighbor
+	// enumeration there is the global one.
+	changed := make(map[graph.NodeID]struct{})
+	addChanged := func(v graph.NodeID) {
+		if ownerContains(v) {
+			changed[v] = struct{}{}
+		}
+	}
+	for _, e := range d.AddEdges {
+		addChanged(e[0])
+		addChanged(e[1])
+	}
+	for _, e := range d.DelEdges {
+		addChanged(e[0])
+		addChanged(e[1])
+	}
+	for _, v := range d.DelNodes {
+		if !ownerContains(v) {
+			continue
+		}
+		changed[v] = struct{}{}
+		for _, w := range graphs(m.Of(v)).Neighbors(v) {
+			changed[w] = struct{}{}
+		}
+	}
+
+	// AddNodes: assign the next global IDs and materialize each node on
+	// its owner shard.
+	for k, sp := range d.AddNodes {
+		id := nextID + graph.NodeID(k)
+		res.newIDs[k] = id
+		liveNew[id] = sp
+		materialize(m.Of(id), id)
+	}
+	res.nodeDelta = len(d.AddNodes)
+
+	// AddEdges: validate like graph.AddEdge (ErrNoSuchNode on an invalid
+	// endpoint, duplicates silently skipped), then fan the edge to both
+	// endpoint owners, creating remote-endpoint stubs as needed.
+	resolve := func(id graph.NodeID) graph.NodeID {
+		if k, ok := graph.IsNewNodeRef(id); ok {
+			if k < len(res.newIDs) {
+				return res.newIDs[k]
+			}
+			return graph.InvalidNode
+		}
+		return id
+	}
+	for _, e := range d.AddEdges {
+		u, w := resolve(e[0]), resolve(e[1])
+		if !live(u) || !live(w) {
+			return nil, graph.ErrNoSuchNode
+		}
+		if edgeExists(u, w) {
+			continue
+		}
+		added[[2]graph.NodeID{u, w}] = struct{}{}
+		res.edgeDelta++
+		for _, t := range targets(u, w) {
+			if t < 0 {
+				continue
+			}
+			materialize(t, u)
+			materialize(t, w)
+			s := sub(t)
+			s.AddEdges = append(s.AddEdges, [2]graph.NodeID{u, w})
+		}
+	}
+
+	// DelEdges: like graph.RemoveEdge these do NOT resolve new-node refs
+	// (matching the unsharded apply); a missing edge is ErrNoSuchEdge.
+	// Both endpoint owners store the edge, so both get the deletion.
+	for _, e := range d.DelEdges {
+		u, w := e[0], e[1]
+		if !edgeExists(u, w) {
+			return nil, graph.ErrNoSuchEdge
+		}
+		k := [2]graph.NodeID{u, w}
+		if _, ok := added[k]; ok {
+			delete(added, k)
+		} else {
+			gone[k] = struct{}{}
+		}
+		res.edgeDelta--
+		for _, t := range targets(u, w) {
+			if t < 0 {
+				continue
+			}
+			s := sub(t)
+			s.DelEdges = append(s.DelEdges, k)
+		}
+	}
+
+	// DelNodes: the deletion goes to every shard holding any copy of the
+	// node — its owner, stub holders, and shards this delta materialized
+	// it on. Incident edges are enumerated (via the owner's full
+	// adjacency) to keep the global edge count exact; each shard's
+	// RemoveNode tears down its local copies itself.
+	for _, v := range d.DelNodes {
+		if !live(v) {
+			return nil, graph.ErrNoSuchNode
+		}
+		if _, isNew := liveNew[v]; isNew {
+			delete(liveNew, v)
+		} else {
+			og := graphs(m.Of(v))
+			for _, w := range og.Out(v) {
+				k := [2]graph.NodeID{v, w}
+				if _, dead := gone[k]; !dead {
+					gone[k] = struct{}{}
+					res.edgeDelta--
+				}
+			}
+			for _, w := range og.In(v) {
+				k := [2]graph.NodeID{w, v}
+				if _, dead := gone[k]; !dead {
+					gone[k] = struct{}{}
+					res.edgeDelta--
+				}
+			}
+			deleted[v] = struct{}{}
+		}
+		for k := range added {
+			if k[0] == v || k[1] == v {
+				delete(added, k)
+				res.edgeDelta--
+			}
+		}
+		res.nodeDelta--
+		for t := 0; t < n; t++ {
+			if graphs(t).Contains(v) || has[t][v] {
+				s := sub(t)
+				s.DelNodes = append(s.DelNodes, v)
+			}
+		}
+	}
+
+	for t := 0; t < n; t++ {
+		if res.subs[t] != nil {
+			res.parts = append(res.parts, t)
+		}
+	}
+	sort.Ints(res.parts)
+	res.touched = len(changed) + len(res.newIDs)
+	return res, nil
+}

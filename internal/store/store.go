@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -73,6 +74,9 @@ type Stats struct {
 	// LastApplyNS is the wall time of the most recent group commit
 	// (replay + apply + log + refresh + publish, for the whole batch).
 	LastApplyNS int64
+	// QueueDepth is the number of Apply calls waiting in the group-commit
+	// queue at observation time.
+	QueueDepth int
 
 	// Durable reports whether a WAL is attached; the remaining fields are
 	// zero without one. WALOffset is the committed log offset, WALRecords
@@ -103,7 +107,8 @@ type Store struct {
 	qmu   sync.Mutex // guards queue; never held while blocking
 	queue []*commitReq
 
-	mu     sync.Mutex // serializes batch leaders, Checkpoint and Close
+	mu     sync.Mutex // serializes batch leaders, checkpoint commits and Close
+	ckptMu sync.Mutex // serializes whole Checkpoint calls (writers keep running)
 	closed bool
 	wedged bool           // a WAL failure poisoned the shadow; writes stay barred
 	shadow *state         // instance not backing cur; nil until first Apply
@@ -436,23 +441,110 @@ func (st *Store) waitDrained(s *Snapshot) {
 	}
 }
 
+// errWedgedCheckpoint bars checkpoints on a store wedged by a WAL
+// failure, whose published state may be ahead of what the log can prove.
+var errWedgedCheckpoint = errors.New("store: wedged by an earlier WAL failure; refusing to checkpoint")
+
 // Checkpoint rewrites the WAL snapshot at the currently published epoch
-// and rotates the log, bounding recovery replay. It serializes with
-// writers (commits block for its duration) and is allowed after Close —
-// the shutdown path drains, closes, then checkpoints so a clean restart
-// replays nothing — but not on a store wedged by a WAL failure, whose
-// published state may be ahead of what the log can prove.
+// and rotates the log, bounding recovery replay. The O(|G|) snapshot is
+// serialized from a pinned immutable epoch with the writer lock free —
+// commits proceed concurrently; the lock is taken only for the log
+// rotation and MANIFEST swap, and only if the published epoch still
+// matches the prepared snapshot (otherwise the snapshot is discarded and
+// prepared again; after a few laps of being outrun by sustained writes
+// it serializes under the lock for guaranteed progress). Allowed after
+// Close — the shutdown path drains, closes, then checkpoints so a clean
+// restart replays nothing.
 func (st *Store) Checkpoint() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.dur == nil {
 		return ErrNotDurable
 	}
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	for attempt := 0; attempt < 3; attempt++ {
+		st.mu.Lock()
+		wedged := st.wedged
+		st.mu.Unlock()
+		if wedged {
+			return errWedgedCheckpoint
+		}
+		snap := st.Acquire()
+		epoch := snap.Epoch
+		if epoch == st.dur.LastCheckpointEpoch() {
+			// Nothing committed since the last checkpoint: the files on
+			// disk are already exactly this state.
+			snap.Release()
+			return nil
+		}
+		// Encode under the pin at memory speed, then release before the
+		// slow file writes: a held pin would stall the writer (it waits
+		// out the pinned epoch's readers two commits later) nearly as
+		// badly as a held lock.
+		gJSON, iJSON, err := encodeSnapshot(snap)
+		snap.Release()
+		if err != nil {
+			return err
+		}
+		pend, err := st.dur.PrepareCheckpoint(epoch, gJSON, iJSON)
+		if err != nil {
+			return err
+		}
+		st.mu.Lock()
+		if st.wedged {
+			st.mu.Unlock()
+			pend.Discard()
+			return errWedgedCheckpoint
+		}
+		if st.cur.Load().Epoch == epoch {
+			err := st.commitCheckpointLocked(pend)
+			st.mu.Unlock()
+			return err
+		}
+		st.mu.Unlock()
+		// The published epoch moved on while we prepared: the snapshot
+		// files name a stale epoch and committing them would rewind the
+		// manifest's view of the log base. Drop them and re-prepare.
+		pend.Discard()
+	}
+	// Sustained writes outran every prepare: serialize this one under the
+	// writer lock, the pre-refactor behavior, for guaranteed progress.
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.wedged {
-		return errors.New("store: wedged by an earlier WAL failure; refusing to checkpoint")
+		return errWedgedCheckpoint
 	}
 	snap := st.cur.Load()
-	if err := st.dur.Checkpoint(snap.Epoch, snap.G, snap.Idx); err != nil {
+	gJSON, iJSON, err := encodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	if snap.Epoch == st.dur.LastCheckpointEpoch() {
+		return nil
+	}
+	pend, err := st.dur.PrepareCheckpoint(snap.Epoch, gJSON, iJSON)
+	if err != nil {
+		return err
+	}
+	return st.commitCheckpointLocked(pend)
+}
+
+// encodeSnapshot serializes a pinned epoch's graph and index set to their
+// checkpoint JSON forms.
+func encodeSnapshot(snap *Snapshot) ([]byte, []byte, error) {
+	var gbuf, ibuf bytes.Buffer
+	if err := snap.G.WriteSnapshotJSON(&gbuf); err != nil {
+		return nil, nil, fmt.Errorf("store: encode checkpoint graph: %w", err)
+	}
+	if err := snap.Idx.WriteJSON(&ibuf, snap.G.Interner()); err != nil {
+		return nil, nil, fmt.Errorf("store: encode checkpoint index: %w", err)
+	}
+	return gbuf.Bytes(), ibuf.Bytes(), nil
+}
+
+// commitCheckpointLocked finishes a prepared checkpoint under st.mu
+// (appends quiesced): log rotation + MANIFEST swap.
+func (st *Store) commitCheckpointLocked(pend *wal.PendingCheckpoint) error {
+	if err := pend.Commit(); err != nil {
 		if errors.Is(err, wal.ErrCheckpointAmbiguous) {
 			// The manifest swap may or may not survive a crash, so no log
 			// can safely acknowledge further appends: wedge. Readers keep
@@ -463,7 +555,7 @@ func (st *Store) Checkpoint() error {
 		}
 		return err
 	}
-	st.lastCheckpoint.Store(snap.Epoch)
+	st.lastCheckpoint.Store(pend.Epoch())
 	return nil
 }
 
@@ -488,6 +580,9 @@ func (st *Store) Stats() Stats {
 		TouchedRows:       st.touched.Load(),
 		LastApplyNS:       st.lastApplyNS.Load(),
 	}
+	st.qmu.Lock()
+	s.QueueDepth = len(st.queue)
+	st.qmu.Unlock()
 	if st.dur != nil {
 		ls := st.dur.Log().Stats()
 		s.Durable = true

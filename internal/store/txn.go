@@ -1,0 +1,194 @@
+package store
+
+import (
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/wal"
+)
+
+// Txn is one exclusive write transaction on a store — the shard router's
+// half of a cross-shard group commit. Where Apply decides, logs and
+// publishes in one step, a Txn splits the commit so the router can hold
+// every shard at the same stage: BeginTxn on all shards (taking each
+// writer lock and catching the shadow instance up), Stage the per-shard
+// sub-deltas, decide globally (UnstageLast rolls a rejected delta back on
+// each participant), Log the accepted ones per shard, then Commit every
+// shard under the router's publication lock so the epoch vector advances
+// atomically — or Abort/Wedge on the failure paths.
+//
+// The writer lock is held from BeginTxn until Commit, Abort or Wedge, so
+// exactly one of those must be called, exactly once.
+type Txn struct {
+	st     *Store
+	cur    *Snapshot // published snapshot at begin; stable while we hold st.mu
+	staged []txnEntry
+	wlog   *wal.Log
+	pre    wal.LogStats
+}
+
+type txnEntry struct {
+	sd     *access.StagedDelta
+	d      *graph.Delta // private clone: lag-replay source and log payload
+	seq    uint64
+	shards []int
+}
+
+// BeginTxn takes the writer lock and prepares the shadow instance (drains
+// the epoch-before-last's readers, replays the lag deltas), exactly like
+// a group-commit leader entering commitBatch. It fails with ErrClosed on
+// a closed or wedged store.
+func (st *Store) BeginTxn() (*Txn, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cur := st.cur.Load()
+	if st.shadow == nil {
+		st.shadow = &state{g: cur.G.Clone(), idx: cur.Idx.Clone()}
+	}
+	st.waitDrained(st.prev)
+	st.prev = nil
+	for _, ld := range st.lag {
+		if _, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, ld); err != nil {
+			panic("store: lag replay diverged: " + err.Error())
+		}
+	}
+	st.lag = nil
+	return &Txn{st: st, cur: cur}, nil
+}
+
+// Graph returns the staged (shadow) graph — the caught-up state deltas
+// stage onto. The router's delta splitter reads it for validation and
+// stub construction. Valid only while the transaction is open.
+func (t *Txn) Graph() *graph.Graph { return t.st.shadow.g }
+
+// Index returns the staged (shadow) index set. The router reads entry
+// sizes from it to aggregate cardinality bounds across shards.
+func (t *Txn) Index() *access.IndexSet { return t.st.shadow.idx }
+
+// Stage applies one sub-delta to the shadow state, deferring the verdict.
+// seq and shards are the envelope metadata logged with the delta (the
+// router-wide update sequence number and the participant shards). On a
+// structural error nothing is staged. A staged delta must be settled —
+// by UnstageLast, or by the transaction-level Commit/Abort — before the
+// next Stage's rollback can be valid.
+func (t *Txn) Stage(d *graph.Delta, seq uint64, shards []int) (*access.StagedDelta, error) {
+	c := d.Clone()
+	sd, err := t.st.shadow.idx.StageDelta(t.st.shadow.g, c)
+	if err != nil {
+		return nil, err
+	}
+	t.staged = append(t.staged, txnEntry{sd: sd, d: c, seq: seq, shards: shards})
+	return sd, nil
+}
+
+// UnstageLast rolls back the most recently staged delta — the rejection
+// path of the router's all-or-nothing verdict, called on every
+// participant of a delta whose aggregated bounds failed.
+func (t *Txn) UnstageLast() {
+	n := len(t.staged)
+	e := t.staged[n-1]
+	t.staged = t.staged[:n-1]
+	e.sd.Rollback()
+}
+
+// Log appends one envelope record per staged delta at the given epoch
+// (the router's global sequence number) and, when the store syncs,
+// fsyncs once — this shard's durability point. It returns the post-record
+// log offsets in staged order; on a store without a WAL the offsets are
+// zero. On error the caller must RewindLog every shard already logged
+// and Wedge the stores.
+func (t *Txn) Log(epoch uint64) ([]int64, error) {
+	offs := make([]int64, len(t.staged))
+	if t.st.dur == nil {
+		return offs, nil
+	}
+	t.wlog = t.st.dur.Log()
+	t.pre = t.wlog.Stats()
+	for i, e := range t.staged {
+		if t.st.hookAppend != nil {
+			if err := t.st.hookAppend(i); err != nil {
+				return nil, err
+			}
+		}
+		env := &wal.Envelope{Seq: e.seq, Shards: e.shards, AddIDs: e.d.AddNodeIDs, Delta: e.d}
+		off, err := t.wlog.AppendEnvelope(epoch, env)
+		if err != nil {
+			return nil, err
+		}
+		offs[i] = off
+	}
+	if t.st.fsync {
+		if err := t.wlog.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	return offs, nil
+}
+
+// RewindLog durably discards the records this transaction appended — the
+// cleanup when another shard's Log failed and the batch, already refused
+// to its callers, must not survive to be replayed by recovery.
+func (t *Txn) RewindLog() error {
+	if t.wlog == nil {
+		return nil
+	}
+	return t.wlog.Rewind(t.pre)
+}
+
+// Commit publishes the staged deltas as the given epoch and releases the
+// writer lock. With nothing staged (the shard sat this batch out) no new
+// snapshot is published — the shard's epoch simply skips the global
+// sequence number. The router calls Commit on every shard under its
+// publication write lock, so queries pinning a cut never observe the
+// vector half-advanced.
+func (t *Txn) Commit(epoch uint64) {
+	st := t.st
+	if len(t.staged) == 0 {
+		st.mu.Unlock()
+		return
+	}
+	var rows []graph.NodeID
+	deltas := make([]*graph.Delta, len(t.staged))
+	for i, e := range t.staged {
+		rows = append(rows, e.sd.Result().Touched...)
+		deltas[i] = e.d
+	}
+	cur := t.cur
+	next := &Snapshot{
+		G:     st.shadow.g,
+		Fz:    cur.Fz.Refresh(st.shadow.g, rows),
+		Idx:   st.shadow.idx,
+		Epoch: epoch,
+		st:    st.shadow,
+	}
+	st.cur.Store(next)
+	cur.retired.Store(true)
+	st.prev = cur
+	st.shadow = cur.st
+	st.lag = deltas
+	st.applied.Add(uint64(len(t.staged)))
+	st.batches.Add(1)
+	st.touched.Add(uint64(len(rows)))
+	st.mu.Unlock()
+}
+
+// Abort rolls back every staged delta (newest first) and releases the
+// writer lock; the published state is untouched.
+func (t *Txn) Abort() {
+	for len(t.staged) > 0 {
+		t.UnstageLast()
+	}
+	t.st.mu.Unlock()
+}
+
+// Wedge poisons the store after a cross-shard durability failure: the
+// staged shadow state is abandoned, writes are permanently refused
+// (readers keep the published epoch, exactly like the unsharded wedge
+// path), and the writer lock is released.
+func (t *Txn) Wedge() {
+	t.st.closed = true
+	t.st.wedged = true
+	t.st.mu.Unlock()
+}

@@ -40,10 +40,11 @@ type manifest struct {
 // and the MANIFEST tying them together. One Dir owns the directory for
 // the process lifetime; the store serializes all calls except HasState.
 type Dir struct {
-	path string
-	in   *graph.Interner
-	log  atomic.Pointer[Log] // swapped at checkpoints; nil until Init/Recover
-	m    manifest            // valid once recovered or initialized
+	path      string
+	in        *graph.Interner
+	enveloped bool                // sharded dir: logs carry Envelopes ("bgwal002")
+	log       atomic.Pointer[Log] // swapped at checkpoints; nil until Init/Recover
+	m         manifest            // valid once recovered or initialized
 
 	// Crash-injection points for tests: called between the checkpoint
 	// file-dance steps so a test can capture the directory exactly as a
@@ -69,6 +70,19 @@ func OpenDir(path string, in *graph.Interner) (*Dir, error) {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
 	return &Dir{path: path, in: in}, nil
+}
+
+// OpenDirEnveloped is OpenDir for one shard's directory of a sharded
+// store: checkpoints rotate to enveloped logs, and recovery goes through
+// LoadSnapshot + OpenEnvelopes + AdoptLog (driven by the shard router,
+// which reconciles all shard logs) instead of Recover.
+func OpenDirEnveloped(path string, in *graph.Interner) (*Dir, error) {
+	d, err := OpenDir(path, in)
+	if err != nil {
+		return nil, err
+	}
+	d.enveloped = true
+	return d, nil
 }
 
 // Log returns the current log (nil before Init or Recover). Safe to
@@ -121,38 +135,10 @@ type RecoverInfo struct {
 // snapshot and log disagree and recovery fails loudly rather than guess.
 // The log is left truncated past its valid prefix and open for appends.
 func (d *Dir) Recover() (*graph.Graph, *access.IndexSet, *RecoverInfo, error) {
-	if d.log.Load() != nil {
-		return nil, nil, nil, errors.New("wal: dir already recovered")
-	}
-	mf, err := os.ReadFile(filepath.Join(d.path, manifestName))
+	g, idx, m, err := d.loadSnapshot()
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("wal: read manifest: %w", err)
+		return nil, nil, nil, err
 	}
-	dec := json.NewDecoder(strings.NewReader(string(mf)))
-	dec.DisallowUnknownFields()
-	var m manifest
-	if err := dec.Decode(&m); err != nil {
-		return nil, nil, nil, fmt.Errorf("wal: decode manifest: %w", err)
-	}
-	gf, err := os.Open(filepath.Join(d.path, m.Graph))
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("wal: open graph snapshot: %w", err)
-	}
-	g, err := graph.ReadSnapshotJSON(gf, d.in)
-	gf.Close()
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("wal: load graph snapshot: %w", err)
-	}
-	xf, err := os.Open(filepath.Join(d.path, m.Index))
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("wal: open index snapshot: %w", err)
-	}
-	idx, err := access.ReadIndexSet(xf, d.in)
-	xf.Close()
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("wal: load index snapshot: %w", err)
-	}
-
 	info := &RecoverInfo{CheckpointEpoch: m.Epoch, Epoch: m.Epoch}
 	l, oi, err := Open(filepath.Join(d.path, m.Log), d.in, func(epoch uint64, delta *graph.Delta) error {
 		if _, err := idx.ApplyDeltaTx(g, delta); err != nil {
@@ -177,14 +163,79 @@ func (d *Dir) Recover() (*graph.Graph, *access.IndexSet, *RecoverInfo, error) {
 	return g, idx, info, nil
 }
 
+// loadSnapshot reads the MANIFEST and decodes the snapshot files, without
+// touching the log.
+func (d *Dir) loadSnapshot() (*graph.Graph, *access.IndexSet, manifest, error) {
+	var m manifest
+	if d.log.Load() != nil {
+		return nil, nil, m, errors.New("wal: dir already recovered")
+	}
+	mf, err := os.ReadFile(filepath.Join(d.path, manifestName))
+	if err != nil {
+		return nil, nil, m, fmt.Errorf("wal: read manifest: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(mf)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, nil, m, fmt.Errorf("wal: decode manifest: %w", err)
+	}
+	gf, err := os.Open(filepath.Join(d.path, m.Graph))
+	if err != nil {
+		return nil, nil, m, fmt.Errorf("wal: open graph snapshot: %w", err)
+	}
+	g, err := graph.ReadSnapshotJSON(gf, d.in)
+	gf.Close()
+	if err != nil {
+		return nil, nil, m, fmt.Errorf("wal: load graph snapshot: %w", err)
+	}
+	xf, err := os.Open(filepath.Join(d.path, m.Index))
+	if err != nil {
+		return nil, nil, m, fmt.Errorf("wal: open index snapshot: %w", err)
+	}
+	idx, err := access.ReadIndexSet(xf, d.in)
+	xf.Close()
+	if err != nil {
+		return nil, nil, m, fmt.Errorf("wal: load index snapshot: %w", err)
+	}
+	return g, idx, m, nil
+}
+
+// LoadSnapshot is phase one of sharded recovery: it reads the MANIFEST
+// and decodes the snapshot, returning the checkpoint epoch and the
+// absolute path of the log — which the shard router scans on every shard
+// (ScanEnvelopes) to reconcile a cut before any log is opened or
+// truncated. Finish with AdoptLog.
+func (d *Dir) LoadSnapshot() (*graph.Graph, *access.IndexSet, uint64, string, error) {
+	g, idx, m, err := d.loadSnapshot()
+	if err != nil {
+		return nil, nil, 0, "", err
+	}
+	d.m = m
+	return g, idx, m.Epoch, filepath.Join(d.path, m.Log), nil
+}
+
+// AdoptLog installs the log opened (and possibly truncated) by the shard
+// router as this directory's current log, completing a recovery started
+// with LoadSnapshot.
+func (d *Dir) AdoptLog(l *Log) error {
+	if d.log.Load() != nil {
+		return errors.New("wal: dir already has a log")
+	}
+	if l.BaseEpoch() != d.m.Epoch {
+		return fmt.Errorf("wal: log base epoch %d does not match checkpoint epoch %d", l.BaseEpoch(), d.m.Epoch)
+	}
+	d.log.Store(l)
+	d.removeStale()
+	return nil
+}
+
 // Checkpoint rewrites the snapshot at the given epoch and rotates the
 // log. g and idx must be the published state of exactly that epoch, and
 // no record may be appended concurrently (the store holds its writer
 // lock). On success the previous log and snapshot files are gone and the
 // current log is empty, based at epoch.
 func (d *Dir) Checkpoint(epoch uint64, g *graph.Graph, idx *access.IndexSet) error {
-	old := d.log.Load()
-	if old == nil {
+	if d.log.Load() == nil {
 		return errors.New("wal: dir not initialized")
 	}
 	if epoch == d.m.Epoch {
@@ -192,50 +243,109 @@ func (d *Dir) Checkpoint(epoch uint64, g *graph.Graph, idx *access.IndexSet) err
 		// are already exactly this state.
 		return nil
 	}
-	if err := d.checkpoint(epoch, g, idx); err != nil {
-		return err
-	}
-	// The swap is durable; the old log is unreferenced, so a close error
-	// (its records were already synced per batch) changes nothing.
-	_ = old.Close()
-	return nil
+	return d.checkpoint(epoch, g, idx)
 }
 
-// checkpoint performs the file dance shared by Init and Checkpoint:
-//
-//  1. write snapshot-<epoch>.{graph,index}.json, fsynced
-//  2. create wal-<epoch>.log (empty, fsynced header)
-//  3. write MANIFEST.tmp, fsync, rename over MANIFEST, fsync the dir
-//  4. best-effort remove files the new MANIFEST does not reference
-//
-// A crash before step 3's rename leaves the old MANIFEST pointing at the
-// old snapshot and the old log — which still holds every record since the
-// old checkpoint, because rotation happens strictly before the swap and
-// appends are quiesced throughout. A crash after the rename leaves the
-// new snapshot with an empty log. Both recover to the same state.
+// checkpoint performs the full file dance shared by Init and Checkpoint
+// (see prepare and PendingCheckpoint.Commit, which split it so the
+// snapshot write can run without quiescing appends).
 func (d *Dir) checkpoint(epoch uint64, g *graph.Graph, idx *access.IndexSet) error {
+	p, err := d.prepare(epoch, g.WriteSnapshotJSON, func(w io.Writer) error {
+		return idx.WriteJSON(w, d.in)
+	})
+	if err != nil {
+		return err
+	}
+	return p.Commit()
+}
+
+// PendingCheckpoint is a checkpoint between its two phases: the snapshot
+// files are durably on disk, but the MANIFEST still names the previous
+// checkpoint. Commit finishes the swap (appends must be quiesced by
+// then); Discard abandons the snapshot files.
+type PendingCheckpoint struct {
+	d     *Dir
+	m     manifest
+	epoch uint64
+}
+
+// PrepareCheckpoint writes and fsyncs the snapshot files for the given
+// epoch from pre-encoded JSON. It touches only fresh epoch-named files,
+// so it may run concurrently with appends to the current log — this is
+// the O(|G|) phase the store performs outside its writer lock.
+func (d *Dir) PrepareCheckpoint(epoch uint64, graphJSON, indexJSON []byte) (*PendingCheckpoint, error) {
+	return d.prepare(epoch, func(w io.Writer) error {
+		_, err := w.Write(graphJSON)
+		return err
+	}, func(w io.Writer) error {
+		_, err := w.Write(indexJSON)
+		return err
+	})
+}
+
+// prepare is phase one of the checkpoint dance: write
+// snapshot-<epoch>.{graph,index}.json, fsynced.
+func (d *Dir) prepare(epoch uint64, writeGraph, writeIndex func(io.Writer) error) (*PendingCheckpoint, error) {
 	m := manifest{
 		Epoch: epoch,
 		Graph: fmt.Sprintf("snapshot-%d.graph.json", epoch),
 		Index: fmt.Sprintf("snapshot-%d.index.json", epoch),
 		Log:   fmt.Sprintf("wal-%d.log", epoch),
 	}
-	if err := writeFileSync(filepath.Join(d.path, m.Graph), g.WriteSnapshotJSON); err != nil {
-		return err
+	if err := writeFileSync(filepath.Join(d.path, m.Graph), writeGraph); err != nil {
+		return nil, err
 	}
-	if err := writeFileSync(filepath.Join(d.path, m.Index), func(w io.Writer) error {
-		return idx.WriteJSON(w, d.in)
-	}); err != nil {
-		return err
+	if err := writeFileSync(filepath.Join(d.path, m.Index), writeIndex); err != nil {
+		return nil, err
 	}
 	if d.hookAfterSnapshot != nil {
 		d.hookAfterSnapshot()
 	}
+	return &PendingCheckpoint{d: d, m: m, epoch: epoch}, nil
+}
+
+// Epoch returns the epoch the pending checkpoint was prepared at.
+func (p *PendingCheckpoint) Epoch() uint64 { return p.epoch }
+
+// Discard abandons a prepared checkpoint (the published epoch moved on
+// before the caller could commit it). The orphaned snapshot files are
+// removed best-effort; removeStale would collect them later anyway.
+func (p *PendingCheckpoint) Discard() {
+	d := p.d
+	if p.m.Graph != d.m.Graph {
+		_ = os.Remove(filepath.Join(d.path, p.m.Graph))
+	}
+	if p.m.Index != d.m.Index {
+		_ = os.Remove(filepath.Join(d.path, p.m.Index))
+	}
+}
+
+// Commit is phase two of the checkpoint dance:
+//
+//  2. create wal-<epoch>.log (empty, fsynced header)
+//  3. write MANIFEST.tmp, fsync, rename over MANIFEST, fsync the dir
+//  4. best-effort remove files the new MANIFEST does not reference
+//
+// No record may be appended concurrently (the store holds its writer
+// lock across Commit). A crash before step 3's rename leaves the old
+// MANIFEST pointing at the old snapshot and the old log — which still
+// holds every record since the old checkpoint, because rotation happens
+// strictly before the swap and appends are quiesced throughout. A crash
+// after the rename leaves the new snapshot with an empty log. Both
+// recover to the same state.
+func (p *PendingCheckpoint) Commit() error {
+	d := p.d
+	m := p.m
+	old := d.log.Load()
 	// A stale wal-<epoch>.log can exist if a previous checkpoint at this
 	// epoch crashed between log creation and the manifest swap; it is
 	// empty (appends are quiesced during checkpoints) and safe to replace.
 	_ = os.Remove(filepath.Join(d.path, m.Log))
-	nl, err := Create(filepath.Join(d.path, m.Log), d.in, epoch)
+	createLog := Create
+	if d.enveloped {
+		createLog = CreateEnveloped
+	}
+	nl, err := createLog(filepath.Join(d.path, m.Log), d.in, p.epoch)
 	if err != nil {
 		return err
 	}
@@ -283,6 +393,12 @@ func (d *Dir) checkpoint(epoch uint64, g *graph.Graph, idx *access.IndexSet) err
 	d.log.Store(nl)
 	d.m = m
 	d.removeStale()
+	if old != nil {
+		// The swap is durable; the old log is unreferenced, so a close
+		// error (its records were already synced per batch) changes
+		// nothing.
+		_ = old.Close()
+	}
 	return nil
 }
 
@@ -332,6 +448,19 @@ func writeFileSync(path string, fn func(io.Writer) error) error {
 	}
 	return nil
 }
+
+// WriteFileAtomic writes data to path via a synced temp file renamed into
+// place — the same crash discipline the manifest uses — for callers
+// outside this package (the shard router's SHARDMAP).
+func WriteFileAtomic(path string, data []byte) error {
+	return writeFileSync(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs a directory so renames within it are durable.
+func SyncDir(path string) error { return syncDir(path) }
 
 // syncDir fsyncs a directory so renames within it are durable.
 func syncDir(path string) error {

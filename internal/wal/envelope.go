@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"boundedg/internal/graph"
+)
+
+// Envelope is the record payload of a sharded log (magic "bgwal002"): one
+// shard's sub-delta of a cross-shard update, wrapped with the metadata
+// recovery needs to reconcile the shard logs into one consistent history.
+//
+//   - Seq is the router-wide sequence number of the originating update; a
+//     cross-shard update appends one record per participant shard, all
+//     carrying the same Seq.
+//   - Shards lists every participant, so recovery can tell whether a Seq
+//     is fully logged (each participant either holds the record or has a
+//     checkpoint past its epoch) or torn — torn batches are rewound on
+//     every shard.
+//   - AddIDs pins the globally assigned node IDs of the sub-delta's
+//     AddNodes (same length), replayed through Delta.AddNodeIDs.
+//
+// The payload encoding is a binary prefix (uvarint Seq, uvarint shard
+// count + shards, uvarint ID count + IDs) followed by the sub-delta in
+// the strict graph.Delta JSON codec — no JSON-in-JSON.
+type Envelope struct {
+	Seq    uint64
+	Shards []int
+	AddIDs []graph.NodeID
+	Delta  *graph.Delta
+}
+
+func encodeEnvelope(e *Envelope, in *graph.Interner) ([]byte, error) {
+	buf := binary.AppendUvarint(nil, e.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Shards)))
+	for _, s := range e.Shards {
+		if s < 0 {
+			return nil, fmt.Errorf("wal: envelope shard %d negative", s)
+		}
+		buf = binary.AppendUvarint(buf, uint64(s))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(e.AddIDs)))
+	for _, id := range e.AddIDs {
+		if id < 0 {
+			return nil, fmt.Errorf("wal: envelope node ID %d negative", id)
+		}
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	w := bytes.NewBuffer(buf)
+	if err := e.Delta.WriteJSON(w, in); err != nil {
+		return nil, fmt.Errorf("wal: encode envelope delta: %w", err)
+	}
+	return w.Bytes(), nil
+}
+
+func decodeEnvelope(payload []byte, in *graph.Interner) (*Envelope, error) {
+	rd := bytes.NewReader(payload)
+	uv := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return 0, fmt.Errorf("wal: envelope %s: %w", what, err)
+		}
+		return v, nil
+	}
+	e := &Envelope{}
+	var err error
+	if e.Seq, err = uv("seq"); err != nil {
+		return nil, err
+	}
+	nShards, err := uv("shard count")
+	if err != nil {
+		return nil, err
+	}
+	if nShards > uint64(len(payload)) {
+		return nil, fmt.Errorf("wal: envelope shard count %d implausible", nShards)
+	}
+	e.Shards = make([]int, nShards)
+	for i := range e.Shards {
+		s, err := uv("shard")
+		if err != nil {
+			return nil, err
+		}
+		e.Shards[i] = int(s)
+	}
+	nIDs, err := uv("node-ID count")
+	if err != nil {
+		return nil, err
+	}
+	if nIDs > uint64(len(payload)) {
+		return nil, fmt.Errorf("wal: envelope node-ID count %d implausible", nIDs)
+	}
+	e.AddIDs = make([]graph.NodeID, nIDs)
+	for i := range e.AddIDs {
+		id, err := uv("node ID")
+		if err != nil {
+			return nil, err
+		}
+		e.AddIDs[i] = graph.NodeID(id)
+	}
+	d, err := graph.ReadDeltaJSON(rd, in)
+	if err != nil {
+		return nil, fmt.Errorf("wal: envelope delta: %w", err)
+	}
+	if len(e.AddIDs) != len(d.AddNodes) {
+		return nil, fmt.Errorf("wal: envelope has %d node IDs for %d AddNodes", len(e.AddIDs), len(d.AddNodes))
+	}
+	if len(e.AddIDs) > 0 {
+		d.AddNodeIDs = e.AddIDs
+	}
+	e.Delta = d
+	return e, nil
+}
+
+// AppendEnvelope writes one envelope record at the given commit epoch
+// (the router's global sequence number for the batch) and returns the log
+// offset after it. The log must have been created with CreateEnveloped.
+func (l *Log) AppendEnvelope(epoch uint64, e *Envelope) (int64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	payload, err := encodeEnvelope(e, l.in)
+	if err != nil {
+		return 0, err
+	}
+	return l.appendPayload(epoch, payload)
+}
+
+// EnvelopeInfo describes one valid record found by ScanEnvelopes.
+type EnvelopeInfo struct {
+	Epoch  uint64
+	Seq    uint64
+	Shards []int
+	// Start and End are the file offsets of the record's first byte and
+	// of the byte just past it. Passing a record's Start as the cut to
+	// OpenEnvelopes removes it and everything after it.
+	Start int64
+	End   int64
+}
+
+// ScanEnvelopes reads a sharded log without modifying it, returning its
+// base epoch and every record of the valid prefix (a torn or corrupt tail
+// simply ends the prefix). Recovery scans all shard logs first, decides
+// the reconciliation cut, and only then opens each log with
+// OpenEnvelopes.
+func ScanEnvelopes(path string, in *graph.Interner) (uint64, []EnvelopeInfo, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	if len(raw) < headerSize || string(raw[:len(magic)]) != magicEnv {
+		return 0, nil, fmt.Errorf("wal: %s is not a sharded log file (bad header)", path)
+	}
+	base := binary.LittleEndian.Uint64(raw[len(magic):])
+	var recs []EnvelopeInfo
+	pos := int64(headerSize)
+	prevEpoch := base
+	for pos < int64(len(raw)) {
+		if int64(len(raw))-pos < int64(frameSize) {
+			break
+		}
+		frame := raw[pos : pos+int64(frameSize)]
+		length := binary.LittleEndian.Uint32(frame)
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		epoch := binary.LittleEndian.Uint64(frame[8:])
+		if length > maxRecordBytes || int64(len(raw))-pos < int64(frameSize)+int64(length) {
+			break
+		}
+		payload := raw[pos+int64(frameSize) : pos+int64(frameSize)+int64(length)]
+		sum := crc32.Update(crc32.Checksum(frame[8:], crcTable), crcTable, payload)
+		if sum != crc || epoch <= base || epoch < prevEpoch {
+			break
+		}
+		e, err := decodeEnvelope(payload, in)
+		if err != nil {
+			break
+		}
+		start := pos
+		pos += int64(frameSize) + int64(length)
+		recs = append(recs, EnvelopeInfo{Epoch: epoch, Seq: e.Seq, Shards: e.Shards, Start: start, End: pos})
+		prevEpoch = epoch
+	}
+	return base, recs, nil
+}
+
+// OpenEnvelopes opens a sharded log for appending, replaying every valid
+// record that starts below cut (pass cut < 0 for no cut) and truncating
+// the file after the last one — both the torn tail and everything at or
+// past the reconciliation cut are durably discarded.
+func OpenEnvelopes(path string, in *graph.Interner, cut int64, replay func(epoch uint64, e *Envelope) error) (*Log, OpenInfo, error) {
+	return openLog(path, in, magicEnv, cut, func(epoch uint64, payload []byte) (string, error) {
+		e, err := decodeEnvelope(payload, in)
+		if err != nil {
+			return fmt.Sprintf("record payload does not decode: %v", err), nil
+		}
+		if replay != nil {
+			return "", replay(epoch, e)
+		}
+		return "", nil
+	})
+}

@@ -55,6 +55,7 @@ import (
 // Framing constants.
 const (
 	magic      = "bgwal001"
+	magicEnv   = "bgwal002"         // sharded logs: payloads are Envelopes, not bare deltas
 	headerSize = len(magic) + 8 + 4 // magic + base epoch + CRC of base
 	frameSize  = 4 + 4 + 8          // length + crc + epoch
 
@@ -102,12 +103,22 @@ type LogStats struct {
 // Create creates a fresh log at path, based at the given checkpoint
 // epoch. The header is written and synced before Create returns.
 func Create(path string, in *graph.Interner, base uint64) (*Log, error) {
+	return create(path, in, base, magic)
+}
+
+// CreateEnveloped is Create for a sharded log: the distinct magic keeps a
+// plain Recover from silently misreading envelope payloads as deltas.
+func CreateEnveloped(path string, in *graph.Interner, base uint64) (*Log, error) {
+	return create(path, in, base, magicEnv)
+}
+
+func create(path string, in *graph.Interner, base uint64, mg string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create log: %w", err)
 	}
 	hdr := make([]byte, 0, headerSize)
-	hdr = append(hdr, magic...)
+	hdr = append(hdr, mg...)
 	hdr = binary.LittleEndian.AppendUint64(hdr, base)
 	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(hdr[len(magic):], crcTable))
 	if _, err := f.Write(hdr); err != nil {
@@ -140,6 +151,27 @@ type OpenInfo struct {
 // paper over. replay may be nil to open without replaying (the records
 // are still validated to find the true end).
 func Open(path string, in *graph.Interner, replay func(epoch uint64, d *graph.Delta) error) (*Log, OpenInfo, error) {
+	return openLog(path, in, magic, -1, func(epoch uint64, payload []byte) (string, error) {
+		d, err := graph.ReadDeltaJSON(bytes.NewReader(payload), in)
+		if err != nil {
+			return fmt.Sprintf("record payload does not decode: %v", err), nil
+		}
+		if replay != nil {
+			return "", replay(epoch, d)
+		}
+		return "", nil
+	})
+}
+
+// openLog is the scan loop shared by Open and OpenEnvelopes: it walks the
+// record frames, validates CRC and epoch ordering, hands each payload to
+// handle, and truncates the file after the last valid record. handle
+// returns a non-empty reason to end the valid prefix at this record (torn
+// or undecodable payload), or an error to abort the open (replay failed).
+// If limit >= 0, the valid prefix additionally ends at the first record
+// starting at or beyond that byte offset — the cross-shard reconciliation
+// cut.
+func openLog(path string, in *graph.Interner, mg string, limit int64, handle func(epoch uint64, payload []byte) (string, error)) (*Log, OpenInfo, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, OpenInfo{}, fmt.Errorf("wal: open log: %w", err)
@@ -158,7 +190,7 @@ func Open(path string, in *graph.Interner, replay func(epoch uint64, d *graph.De
 	// (slow checkpoints under sustained writes) stays bounded.
 	br := bufio.NewReader(f)
 	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr[:len(magic)]) != magic {
+	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr[:len(magic)]) != mg {
 		f.Close()
 		return nil, OpenInfo{}, fmt.Errorf("wal: %s is not a log file (bad header)", path)
 	}
@@ -175,6 +207,10 @@ func Open(path string, in *graph.Interner, replay func(epoch uint64, d *graph.De
 	frame := make([]byte, frameSize)
 	var payload []byte
 	for pos < size {
+		if limit >= 0 && pos >= limit {
+			info.TruncateReason = "cross-shard reconciliation cut"
+			break
+		}
 		if size-pos < int64(frameSize) {
 			info.TruncateReason = "torn record header"
 			break
@@ -212,16 +248,14 @@ func Open(path string, in *graph.Interner, replay func(epoch uint64, d *graph.De
 			info.TruncateReason = fmt.Sprintf("record epoch %d out of order (base %d, previous %d)", epoch, base, prevEpoch)
 			break
 		}
-		d, err := graph.ReadDeltaJSON(bytes.NewReader(payload), in)
+		reason, err := handle(epoch, payload)
 		if err != nil {
-			info.TruncateReason = fmt.Sprintf("record payload does not decode: %v", err)
-			break
+			f.Close()
+			return nil, info, fmt.Errorf("wal: replay record %d (epoch %d): %w", info.Records, epoch, err)
 		}
-		if replay != nil {
-			if err := replay(epoch, d); err != nil {
-				f.Close()
-				return nil, info, fmt.Errorf("wal: replay record %d (epoch %d): %w", info.Records, epoch, err)
-			}
+		if reason != "" {
+			info.TruncateReason = reason
+			break
 		}
 		prevEpoch = epoch
 		info.Records++
@@ -260,14 +294,18 @@ func (l *Log) Append(epoch uint64, d *graph.Delta) (int64, error) {
 	if err := d.WriteJSON(&payload, l.in); err != nil {
 		return 0, fmt.Errorf("wal: encode delta: %w", err)
 	}
-	if payload.Len() > maxRecordBytes {
-		return 0, fmt.Errorf("wal: delta encodes to %d bytes (max %d)", payload.Len(), maxRecordBytes)
+	return l.appendPayload(epoch, payload.Bytes())
+}
+
+func (l *Log) appendPayload(epoch uint64, payload []byte) (int64, error) {
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record encodes to %d bytes (max %d)", len(payload), maxRecordBytes)
 	}
-	rec := make([]byte, 0, frameSize+payload.Len())
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(payload.Len()))
+	rec := make([]byte, 0, frameSize+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
 	rec = binary.LittleEndian.AppendUint32(rec, 0) // CRC patched below
 	rec = binary.LittleEndian.AppendUint64(rec, epoch)
-	rec = append(rec, payload.Bytes()...)
+	rec = append(rec, payload...)
 	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[8:], crcTable))
 	if _, err := l.f.Write(rec); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
