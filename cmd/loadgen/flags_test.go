@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// flagSynopsis renders the canonical -h flag listing (PrintDefaults on
+// the FlagSet registerFlags populates) — the text the README embeds.
+func flagSynopsis() string {
+	var opt options
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	registerFlags(fs, &opt)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+	return buf.String()
+}
+
+// TestReadmeFlagSynopsis pins the README's loadgen flags block to the
+// actual flag set, the same contract cmd/boundedgd enforces for its own
+// block: the fenced code between the markers must be byte-identical to
+// `loadgen -h` output (minus the Usage line). On failure the message
+// carries the expected block — paste it over the stale one.
+func TestReadmeFlagSynopsis(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin = "<!-- loadgen-flags:begin -->"
+	const end = "<!-- loadgen-flags:end -->"
+	text := string(readme)
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s / %s markers around the flag synopsis", begin, end)
+	}
+	block := text[i+len(begin) : j]
+	open := strings.Index(block, "```text\n")
+	if open < 0 {
+		t.Fatalf("no ```text fence between the flag-synopsis markers")
+	}
+	block = block[open+len("```text\n"):]
+	close := strings.LastIndex(block, "```")
+	if close < 0 {
+		t.Fatalf("unterminated flag-synopsis fence in README.md")
+	}
+	got := block[:close]
+	if want := flagSynopsis(); got != want {
+		t.Errorf("README flag synopsis is stale; regenerate the block between the markers to:\n%s", want)
+	}
+}

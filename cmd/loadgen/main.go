@@ -1,0 +1,145 @@
+// Command loadgen drives a running boundedgd with a mixed read/write
+// HTTP workload and reports per-op-class latency histograms (p50/p95/p99
+// and max), throughput, and end-to-end ordering checks. Workers are
+// closed-loop by default — each issues its next request only after the
+// previous response lands — and -rate switches to open-loop pacing.
+//
+// The generator rebuilds the daemon's dataset from the same
+// (-dataset, -scale, -seed) triple, so start both sides with matching
+// values:
+//
+//	boundedgd -dataset imdb -scale 0.5 -mutable &
+//	loadgen -addr localhost:8080 -dataset imdb -scale 0.5 -duration 30s
+//
+// Reads are generated bounded pattern queries; writes are add-edge
+// deltas on zipf- or uniform-selected live nodes, each followed by its
+// compensating delete so the graph orbits its initial state. -sweep runs
+// the standard {read-heavy, write-heavy} x {uniform, zipf} grid and is
+// what produces the committed BENCH_loadgen.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"boundedg/internal/loadgen"
+)
+
+type options struct {
+	addr    string
+	dataset string
+	scale   float64
+	seed    int64
+
+	workers  int
+	rate     float64
+	readPct  float64
+	zipf     float64
+	warmup   time.Duration
+	duration time.Duration
+	queries  int
+	timeout  time.Duration
+
+	sweep bool
+	out   string
+}
+
+// registerFlags binds every loadgen flag onto fs. It is the single
+// source of truth for the flag synopsis: the README flags block must
+// match fs.PrintDefaults output (enforced by TestReadmeFlagSynopsis).
+func registerFlags(fs *flag.FlagSet, opt *options) {
+	fs.StringVar(&opt.addr, "addr", "localhost:8080", "boundedgd address (host:port or URL)")
+	fs.StringVar(&opt.dataset, "dataset", "imdb", "dataset the daemon was started with: imdb, dbpedia or webbase")
+	fs.Float64Var(&opt.scale, "scale", 1.0, "daemon's -scale (must match for live node IDs to line up)")
+	fs.Int64Var(&opt.seed, "seed", 1, "daemon's -seed (must match)")
+	fs.IntVar(&opt.workers, "workers", 8, "concurrent workers")
+	fs.Float64Var(&opt.rate, "rate", 0, "target requests/sec across the pool (0 = closed loop)")
+	fs.Float64Var(&opt.readPct, "read-pct", 0.9, "fraction of ops that are queries, in [0,1]")
+	fs.Float64Var(&opt.zipf, "zipf", 0, "zipf s parameter for update node selection (> 1; 0 = uniform)")
+	fs.DurationVar(&opt.warmup, "warmup", time.Second, "unrecorded warmup before measurement")
+	fs.DurationVar(&opt.duration, "duration", 10*time.Second, "measured window")
+	fs.IntVar(&opt.queries, "queries", 16, "distinct generated query patterns cycled by readers")
+	fs.DurationVar(&opt.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	fs.BoolVar(&opt.sweep, "sweep", false, "run the {read-heavy, write-heavy} x {uniform, zipf} grid (ignores -read-pct/-zipf)")
+	fs.StringVar(&opt.out, "out", "", "write the JSON report here ('' = stdout; -sweep default BENCH_loadgen.json)")
+}
+
+func (opt *options) config() loadgen.Config {
+	return loadgen.Config{
+		Addr:     opt.addr,
+		Dataset:  opt.dataset,
+		Scale:    opt.scale,
+		Seed:     opt.seed,
+		Workers:  opt.workers,
+		Rate:     opt.rate,
+		ReadPct:  opt.readPct,
+		ZipfS:    opt.zipf,
+		Warmup:   opt.warmup,
+		Duration: opt.duration,
+		Queries:  opt.queries,
+		Timeout:  opt.timeout,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var opt options
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	registerFlags(fs, &opt)
+	_ = fs.Parse(os.Args[1:])
+
+	var doc any
+	if opt.sweep {
+		if opt.out == "" {
+			opt.out = "BENCH_loadgen.json"
+		}
+		sd, err := loadgen.Sweep(opt.config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range sd.Runs {
+			logRun(r)
+		}
+		doc = sd
+	} else {
+		rep, err := loadgen.Run(opt.config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		logRun(rep)
+		doc = rep
+	}
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if opt.out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(opt.out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", opt.out)
+}
+
+func logRun(r *loadgen.Report) {
+	name := r.Name
+	if name == "" {
+		name = "run"
+	}
+	log.Printf("%s: %.0f ops/s  read p50/p99 %s/%s (%d ops, %d err)  write p50/p99 %s/%s (%d ops, %d rej, %d err)  gsn %d->%d",
+		name, r.OpsPerSec,
+		ns(r.Read.Latency.P50Ns), ns(r.Read.Latency.P99Ns), r.Read.Ops, r.Read.Errors,
+		ns(r.Write.Latency.P50Ns), ns(r.Write.Latency.P99Ns), r.Write.Ops, r.Write.Rejects, r.Write.Errors,
+		r.GSNStart, r.GSNEnd)
+}
+
+func ns(v int64) string { return fmt.Sprint(time.Duration(v).Round(time.Microsecond)) }

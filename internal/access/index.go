@@ -18,10 +18,14 @@ import (
 type Index struct {
 	c Constraint
 
-	// entries maps the encoded sorted node IDs of VS to the common
-	// l-labeled neighbors of VS. For type-1 constraints the single key is
-	// the empty string and the entry lists all l-labeled nodes.
-	entries map[string][]graph.NodeID
+	// entries maps the encoded sorted node IDs of VS to the entry holding
+	// the common l-labeled neighbors of VS. For type-1 constraints the
+	// single key is the empty string and the entry lists all l-labeled
+	// nodes. Entries live behind a pointer so the maintenance hot path can
+	// grow a member list without re-assigning the map slot, and the entry
+	// carries its canonical key string so the reverse maps register it
+	// without re-allocating one per insert.
+	entries map[string]*indexEntry
 
 	// memberKeys is the reverse map: for each l-labeled node, the entry
 	// keys it appears in. It powers incremental maintenance.
@@ -32,6 +36,23 @@ type Index struct {
 	// purge exactly the entries keyed through the node — O(affected
 	// entries) instead of re-deriving every neighbor's full row.
 	vsKeys map[graph.NodeID]map[string]struct{}
+
+	// addRow scratch, reused across calls. Index maintenance is
+	// single-writer (it runs under the store's writer lock) and readers
+	// never touch these; clone deliberately leaves them zero.
+	scrGroups  [][]graph.NodeID
+	scrOdo     []int
+	scrCombo   []graph.NodeID
+	scrSorted  []graph.NodeID
+	scrKey     []byte
+	scrEmptied []string
+}
+
+// indexEntry is one materialized entry: the canonical interned key plus
+// the ascending member list.
+type indexEntry struct {
+	key     string
+	members []graph.NodeID
 }
 
 // Constraint returns the constraint this index serves.
@@ -61,21 +82,33 @@ func BuildIndex(g *graph.Graph, c Constraint) *Index {
 func newIndex(c Constraint) *Index {
 	return &Index{
 		c:          c,
-		entries:    make(map[string][]graph.NodeID),
+		entries:    make(map[string]*indexEntry),
 		memberKeys: make(map[graph.NodeID]map[string]struct{}),
 		vsKeys:     make(map[graph.NodeID]map[string]struct{}),
 	}
 }
 
 // addRow inserts node v (labeled c.L) into every entry whose VS is an
-// S-labeled subset of v's neighborhood.
+// S-labeled subset of v's neighborhood. It allocates only when an entry
+// or a member is seen for the first time — the steady-state path of the
+// live update loop (remove a row, re-derive it) reuses the index's
+// scratch buffers and the entries' existing storage.
 func (x *Index) addRow(g *graph.Graph, v graph.NodeID) {
 	if x.c.Type1() {
 		x.insert("", nil, v)
 		return
 	}
 	// Group v's neighbors by the labels of S.
-	groups := make([][]graph.NodeID, len(x.c.S))
+	k := len(x.c.S)
+	if cap(x.scrGroups) < k {
+		x.scrGroups = make([][]graph.NodeID, k)
+		x.scrOdo = make([]int, k)
+		x.scrCombo = make([]graph.NodeID, k)
+	}
+	groups := x.scrGroups[:k]
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
 	for _, w := range g.Neighbors(v) {
 		wl := g.LabelOf(w)
 		for i, sl := range x.c.S {
@@ -90,20 +123,65 @@ func (x *Index) addRow(g *graph.Graph, v graph.NodeID) {
 			return // no S-labeled set exists in v's neighborhood
 		}
 	}
-	// Enumerate the cartesian product of the groups.
-	combo := make([]graph.NodeID, len(groups))
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(groups) {
-			x.insert(encodeKey(combo), combo, v)
+	// Enumerate the cartesian product of the groups (odometer order).
+	odo, combo := x.scrOdo[:k], x.scrCombo[:k]
+	for i := range odo {
+		odo[i] = 0
+		combo[i] = groups[i][0]
+	}
+	for {
+		x.insertHot(combo, v)
+		i := k - 1
+		for ; i >= 0; i-- {
+			if odo[i]++; odo[i] < len(groups[i]) {
+				combo[i] = groups[i][odo[i]]
+				break
+			}
+			odo[i] = 0
+			combo[i] = groups[i][0]
+		}
+		if i < 0 {
 			return
 		}
-		for _, w := range groups[i] {
-			combo[i] = w
-			rec(i + 1)
+	}
+}
+
+// insertHot adds v to the entry of the VS tuple combo, encoding the key
+// into scratch so the lookup is allocation-free; the key string is
+// materialized only when the entry does not exist yet.
+func (x *Index) insertHot(combo []graph.NodeID, v graph.NodeID) {
+	sorted := append(x.scrSorted[:0], combo...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
 	}
-	rec(0)
+	buf := x.scrKey[:0]
+	for _, u := range sorted {
+		buf = binary.AppendUvarint(buf, uint64(u))
+	}
+	x.scrSorted, x.scrKey = sorted, buf
+	e, ok := x.entries[string(buf)] // no-copy map probe
+	if !ok {
+		key := string(buf)
+		e = &indexEntry{key: key}
+		x.entries[key] = e
+		for _, u := range combo {
+			ks, ok := x.vsKeys[u]
+			if !ok {
+				ks = make(map[string]struct{})
+				x.vsKeys[u] = ks
+			}
+			ks[key] = struct{}{}
+		}
+	}
+	e.add(v)
+	ks, ok := x.memberKeys[v]
+	if !ok {
+		ks = make(map[string]struct{})
+		x.memberKeys[v] = ks
+	}
+	ks[e.key] = struct{}{}
 }
 
 // insert adds v to the entry of key. vs is the entry's VS tuple (any
@@ -117,8 +195,10 @@ func (x *Index) addRow(g *graph.Graph, v graph.NodeID) {
 // exactly, for any shard count. (The on-disk snapshot codec already
 // writes members sorted, so this changes no persisted state.)
 func (x *Index) insert(key string, vs []graph.NodeID, v graph.NodeID) {
-	entry, existed := x.entries[key]
+	e, existed := x.entries[key]
 	if !existed {
+		e = &indexEntry{key: key}
+		x.entries[key] = e
 		for _, u := range vs {
 			ks, ok := x.vsKeys[u]
 			if !ok {
@@ -128,21 +208,27 @@ func (x *Index) insert(key string, vs []graph.NodeID, v graph.NodeID) {
 			ks[key] = struct{}{}
 		}
 	}
-	if n := len(entry); n > 0 && entry[n-1] > v {
-		i := sort.Search(n, func(i int) bool { return entry[i] >= v })
-		entry = append(entry, 0)
-		copy(entry[i+1:], entry[i:])
-		entry[i] = v
-		x.entries[key] = entry
-	} else {
-		x.entries[key] = append(entry, v)
-	}
+	e.add(v)
 	ks, ok := x.memberKeys[v]
 	if !ok {
 		ks = make(map[string]struct{})
 		x.memberKeys[v] = ks
 	}
-	ks[key] = struct{}{}
+	ks[e.key] = struct{}{}
+}
+
+// add inserts v into the entry's ascending member list.
+func (e *indexEntry) add(v graph.NodeID) {
+	m := e.members
+	if n := len(m); n > 0 && m[n-1] > v {
+		i := sort.Search(n, func(i int) bool { return m[i] >= v })
+		m = append(m, 0)
+		copy(m[i+1:], m[i:])
+		m[i] = v
+		e.members = m
+	} else {
+		e.members = append(m, v)
+	}
 }
 
 // dropEntryKey forgets an emptied/purged entry's key registrations on the
@@ -162,21 +248,41 @@ func (x *Index) dropEntryKey(key string) {
 // removeRow deletes node v from every entry it appears in, preserving the
 // ascending entry order insert maintains.
 func (x *Index) removeRow(v graph.NodeID) {
+	x.scrEmptied = x.removeRowKeep(v, x.scrEmptied[:0])
+	x.dropIfEmpty(x.scrEmptied)
+}
+
+// removeRowKeep removes v from every entry it appears in but defers
+// dropping the entries this empties, appending their keys to dst. The
+// maintenance path re-derives the row right after the removal, and a
+// singleton entry that survives the update keeps its key string, entry
+// struct and reverse-map registrations instead of being dropped and
+// re-allocated on every touch. The caller must settle the returned keys
+// with dropIfEmpty once the row is re-derived.
+func (x *Index) removeRowKeep(v graph.NodeID, dst []string) []string {
 	for key := range x.memberKeys[v] {
-		entry := x.entries[key]
-		for i, w := range entry {
+		e := x.entries[key]
+		for i, w := range e.members {
 			if w == v {
-				entry = append(entry[:i], entry[i+1:]...)
+				e.members = append(e.members[:i], e.members[i+1:]...)
 				break
 			}
 		}
-		if len(entry) == 0 {
-			x.dropEntryKey(key)
-		} else {
-			x.entries[key] = entry
+		if len(e.members) == 0 {
+			dst = append(dst, key)
 		}
 	}
 	delete(x.memberKeys, v)
+	return dst
+}
+
+// dropIfEmpty drops the entries of the given keys that are still empty.
+func (x *Index) dropIfEmpty(keys []string) {
+	for _, key := range keys {
+		if e := x.entries[key]; e != nil && len(e.members) == 0 {
+			x.dropEntryKey(key)
+		}
+	}
 }
 
 // purgeVSNode deletes every entry whose VS tuple contains c (a node being
@@ -189,7 +295,7 @@ func (x *Index) purgeVSNode(c graph.NodeID) {
 		return
 	}
 	for key := range keys {
-		for _, w := range x.entries[key] {
+		for _, w := range x.entries[key].members {
 			if ks := x.memberKeys[w]; ks != nil {
 				delete(ks, key)
 				if len(ks) == 0 {
@@ -208,13 +314,13 @@ func (x *Index) purgeVSNode(c graph.NodeID) {
 // |S| <= 8 (the map access through string(buf) does not copy).
 func (x *Index) Lookup(vs []graph.NodeID) []graph.NodeID {
 	if x.c.Type1() {
-		return x.entries[""]
+		return x.entries[""].membersOrNil()
 	}
 	if len(vs) != len(x.c.S) {
 		return nil
 	}
 	if len(vs) > 8 {
-		return x.entries[encodeKey(vs)]
+		return x.entries[encodeKey(vs)].membersOrNil()
 	}
 	var tuple [8]graph.NodeID
 	n := copy(tuple[:], vs)
@@ -229,7 +335,16 @@ func (x *Index) Lookup(vs []graph.NodeID) []graph.NodeID {
 	for _, v := range sorted {
 		k += binary.PutUvarint(buf[k:], uint64(v))
 	}
-	return x.entries[string(buf[:k])]
+	return x.entries[string(buf[:k])].membersOrNil()
+}
+
+// membersOrNil is the nil-safe member accessor for lookup paths probing
+// possibly-absent entries.
+func (e *indexEntry) membersOrNil() []graph.NodeID {
+	if e == nil {
+		return nil
+	}
+	return e.members
 }
 
 // MaxEntry returns the size of the largest entry (0 for an empty index) —
@@ -237,8 +352,8 @@ func (x *Index) Lookup(vs []graph.NodeID) []graph.NodeID {
 func (x *Index) MaxEntry() int {
 	m := 0
 	for _, e := range x.entries {
-		if len(e) > m {
-			m = len(e)
+		if len(e.members) > m {
+			m = len(e.members)
 		}
 	}
 	return m
@@ -252,7 +367,7 @@ func (x *Index) NumEntries() int { return len(x.entries) }
 func (x *Index) SizeNodes() int {
 	t := 0
 	for _, e := range x.entries {
-		t += len(e)
+		t += len(e.members)
 	}
 	return t
 }
@@ -378,12 +493,12 @@ func (s *IndexSet) SizeNodes() int {
 func (x *Index) clone() *Index {
 	c := &Index{
 		c:          x.c,
-		entries:    make(map[string][]graph.NodeID, len(x.entries)),
+		entries:    make(map[string]*indexEntry, len(x.entries)),
 		memberKeys: make(map[graph.NodeID]map[string]struct{}, len(x.memberKeys)),
 		vsKeys:     make(map[graph.NodeID]map[string]struct{}, len(x.vsKeys)),
 	}
 	for k, e := range x.entries {
-		c.entries[k] = append([]graph.NodeID(nil), e...)
+		c.entries[k] = &indexEntry{key: k, members: append([]graph.NodeID(nil), e.members...)}
 	}
 	cloneKeys := func(dst map[graph.NodeID]map[string]struct{}, src map[graph.NodeID]map[string]struct{}) {
 		for v, ks := range src {
@@ -415,12 +530,27 @@ func (s *IndexSet) Clone() *IndexSet {
 // if live and matching the constraint's l, re-inserted against its current
 // neighborhood. Cost is O(Σ degree(rows)), independent of |G|.
 func (s *IndexSet) maintainRows(g *graph.Graph, rows []graph.NodeID) {
-	for _, x := range s.indexes {
-		for _, v := range rows {
-			x.removeRow(v)
-			if g.Contains(v) && s.ownsRow(v) && g.LabelOf(v) == x.c.L {
+	for _, v := range rows {
+		live := g.Contains(v)
+		var l graph.Label
+		own := false
+		if live {
+			l = g.LabelOf(v)
+			own = s.ownsRow(v)
+		}
+		for _, x := range s.indexes {
+			if live && x.c.L != l {
+				// Labels are immutable, so a live node is only ever a
+				// member of indexes over its own label; nothing to remove
+				// or re-derive elsewhere. (A deleted node's label is gone
+				// — every index must be checked for stale membership.)
+				continue
+			}
+			x.scrEmptied = x.removeRowKeep(v, x.scrEmptied[:0])
+			if live && own {
 				x.addRow(g, v)
 			}
+			x.dropIfEmpty(x.scrEmptied)
 		}
 	}
 }
@@ -429,7 +559,7 @@ func (s *IndexSet) maintainRows(g *graph.Graph, rows []graph.NodeID) {
 // key (0 if absent). The shard router sums it across shards to evaluate
 // cardinality bounds against the global entry a row partition splits up.
 func (s *IndexSet) EntryLen(i int, key string) int {
-	return len(s.indexes[i].entries[key])
+	return len(s.indexes[i].entries[key].membersOrNil())
 }
 
 // RebindSchema swaps the set's schema for an equivalent one. Recovery
@@ -467,7 +597,7 @@ func (s *IndexSet) Split(n int, owner func(graph.NodeID) int) []*IndexSet {
 	for i, x := range s.indexes {
 		for key, entry := range x.entries {
 			vs := decodeTupleKey(key)
-			for _, v := range entry {
+			for _, v := range entry.members {
 				parts[owner(v)].indexes[i].insert(key, vs, v)
 			}
 		}
@@ -488,7 +618,7 @@ func (s *IndexSet) checkRows(rows []graph.NodeID) []Violation {
 		worst := 0
 		for _, v := range rows {
 			for key := range x.memberKeys[v] {
-				if n := len(x.entries[key]); n > x.c.N && n > worst {
+				if n := len(x.entries[key].members); n > x.c.N && n > worst {
 					worst = n
 				}
 			}
@@ -528,6 +658,34 @@ func (s *IndexSet) ApplyDelta(g *graph.Graph, d *graph.Delta) ([]graph.NodeID, [
 		}
 	}
 	return newIDs, viols, nil
+}
+
+// ReplayDelta applies an already-accepted delta to the paired
+// copy-on-write instance — the lag catch-up of the epoch-versioned
+// store. d was validated and accepted on the other instance while both
+// instances were identical, so the transactional machinery is skipped:
+// no undo log, no violation re-check, and the maintained row set is the
+// accepted stage's Touched set (changed rows plus new IDs) instead of a
+// re-derivation. Touched can strictly contain the rows whose index
+// derivations had to re-run; re-deriving the extras is harmless —
+// membership is a pure function of the graph's current neighborhoods.
+func (s *IndexSet) ReplayDelta(g *graph.Graph, d *graph.Delta, rows []graph.NodeID) error {
+	var deleted []graph.NodeID
+	for _, v := range d.DelNodes {
+		if g.Contains(v) {
+			deleted = append(deleted, v)
+		}
+	}
+	if _, err := d.Apply(g); err != nil {
+		return err
+	}
+	for _, x := range s.indexes {
+		for _, c := range deleted {
+			x.purgeVSNode(c)
+		}
+	}
+	s.maintainRows(g, rows)
+	return nil
 }
 
 // ViolationError is the error ApplyDeltaTx returns for a delta rejected

@@ -54,7 +54,7 @@ func (s *IndexSet) WriteJSON(w io.Writer, in *graph.Interner) error {
 		}
 		sort.Strings(keys) // deterministic output
 		for _, k := range keys {
-			members := append([]graph.NodeID(nil), x.entries[k]...)
+			members := append([]graph.NodeID(nil), x.entries[k].members...)
 			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 			ji.Entries = append(ji.Entries, jsonEntry{VS: decodeTupleKey(k), Members: members})
 		}

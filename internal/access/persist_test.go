@@ -34,7 +34,7 @@ func TestIndexSetPersistRoundTrip(t *testing.T) {
 				i, a.NumEntries(), a.SizeNodes(), b.NumEntries(), b.SizeNodes())
 		}
 		for key, want := range a.entries {
-			if !sameIDSet(b.entries[key], want) {
+			if !sameIDSet(b.entries[key].membersOrNil(), want.members) {
 				t.Fatalf("constraint %d key %q differs", i, key)
 			}
 		}

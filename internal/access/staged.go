@@ -19,9 +19,17 @@ type StagedDelta struct {
 	undo *graph.Undo
 	res  *DeltaResult
 
-	rows     []graph.NodeID // maintained rows: direct ∪ new IDs
-	changed  map[graph.NodeID]struct{}
-	maintain map[graph.NodeID]struct{}
+	rows  []graph.NodeID // maintained rows: direct ∪ new IDs
+	extra []graph.NodeID // changed − direct: deleted nodes' neighbors
+}
+
+func containsID(s []graph.NodeID, v graph.NodeID) bool {
+	for _, w := range s {
+		if w == v {
+			return true
+		}
+	}
+	return false
 }
 
 // StageDelta applies d to g and incrementally maintains the indexes, but
@@ -30,24 +38,57 @@ type StagedDelta struct {
 // error (bad node or edge reference) reverts everything and returns the
 // error; the graph and indexes are then exactly untouched.
 func (s *IndexSet) StageDelta(g *graph.Graph, d *graph.Delta) (*StagedDelta, error) {
-	// changed: every pre-existing node whose adjacency the delta touches
-	// (the rows a Frozen.Refresh must re-read, and the rollback set).
-	// maintain ⊆ changed: the rows whose index derivations must re-run.
-	changed, maintain := d.ChangedRows(g)
-	var deleted []graph.NodeID
-	for _, v := range d.DelNodes {
-		if g.Contains(v) {
-			deleted = append(deleted, v)
+	// rows seeds with the rows whose index derivations must re-run — the
+	// pre-existing nodes the delta names explicitly (graph.Delta's
+	// "direct" set, evaluated before Apply); newly inserted IDs join
+	// after Apply. extra holds the rest of the changed set — deleted
+	// nodes' neighbors, whose adjacency shrinks but whose derivations the
+	// entry purge covers — needed only by Refresh (via Touched) and
+	// Rollback. Without DelNodes the two sets coincide and extra stays
+	// nil, so the hot edge-churn path builds one small deduplicated
+	// slice and no maps.
+	rows := make([]graph.NodeID, 0, 2*len(d.AddEdges)+2*len(d.DelEdges)+len(d.DelNodes)+len(d.AddNodes))
+	direct := func(v graph.NodeID) {
+		if v >= 0 && g.Contains(v) && !containsID(rows, v) {
+			rows = append(rows, v)
 		}
+	}
+	for _, e := range d.AddEdges {
+		direct(e[0])
+		direct(e[1])
+	}
+	for _, e := range d.DelEdges {
+		direct(e[0])
+		direct(e[1])
+	}
+	var deleted, extra []graph.NodeID
+	for _, v := range d.DelNodes {
+		if v < 0 || !g.Contains(v) {
+			continue
+		}
+		direct(v)
+		deleted = append(deleted, v)
+		for _, w := range g.Neighbors(v) {
+			if !containsID(rows, w) && !containsID(extra, w) {
+				extra = append(extra, w)
+			}
+		}
+	}
+	if len(deleted) > 0 {
+		// A deleted node may itself neighbor another deleted node and
+		// land in extra before its own DelNode entry moved it to rows.
+		kept := extra[:0]
+		for _, w := range extra {
+			if !containsID(rows, w) {
+				kept = append(kept, w)
+			}
+		}
+		extra = kept
 	}
 	newIDs, undo, err := d.ApplyLogged(g)
 	if err != nil {
 		undo.Revert(g)
 		return nil, err
-	}
-	rows := make([]graph.NodeID, 0, len(maintain)+len(newIDs))
-	for v := range maintain {
-		rows = append(rows, v)
 	}
 	rows = append(rows, newIDs...)
 	for _, x := range s.indexes {
@@ -56,19 +97,18 @@ func (s *IndexSet) StageDelta(g *graph.Graph, d *graph.Delta) (*StagedDelta, err
 		}
 	}
 	s.maintainRows(g, rows)
-	touched := make([]graph.NodeID, 0, len(changed)+len(newIDs))
-	for v := range changed {
-		touched = append(touched, v)
+	touched := rows // Touched = changed ∪ new = rows ∪ extra; both read-only once staged
+	if len(extra) > 0 {
+		touched = make([]graph.NodeID, 0, len(rows)+len(extra))
+		touched = append(append(touched, rows...), extra...)
 	}
-	touched = append(touched, newIDs...)
 	return &StagedDelta{
-		s:        s,
-		g:        g,
-		undo:     undo,
-		res:      &DeltaResult{NewIDs: newIDs, Touched: touched},
-		rows:     rows,
-		changed:  changed,
-		maintain: maintain,
+		s:     s,
+		g:     g,
+		undo:  undo,
+		res:   &DeltaResult{NewIDs: newIDs, Touched: touched},
+		rows:  rows,
+		extra: extra,
 	}, nil
 }
 
@@ -95,35 +135,44 @@ type TouchedEntry struct {
 // TouchedEntries lists the entries the maintained rows currently belong
 // to, per constraint — the sharded counterpart of the checkRows scope.
 func (sd *StagedDelta) TouchedEntries() []TouchedEntry {
-	var out []TouchedEntry
+	return sd.AppendTouchedEntries(nil)
+}
+
+// AppendTouchedEntries appends the touched entries to dst (deduplicated
+// against everything already in it) and returns the extended slice — the
+// allocation-light form the router's per-delta cross-shard size check
+// uses with a reusable scratch slice. Touched-entry sets are small, so
+// deduplication is a linear scan rather than a map.
+func (sd *StagedDelta) AppendTouchedEntries(dst []TouchedEntry) []TouchedEntry {
 	for ci, x := range sd.s.indexes {
-		seen := make(map[string]struct{})
 		for _, v := range sd.rows {
+		keys:
 			for key := range x.memberKeys[v] {
-				if _, dup := seen[key]; dup {
-					continue
+				for i := range dst {
+					if dst[i].CIdx == ci && dst[i].Key == key {
+						continue keys
+					}
 				}
-				seen[key] = struct{}{}
-				out = append(out, TouchedEntry{CIdx: ci, Key: key})
+				dst = append(dst, TouchedEntry{CIdx: ci, Key: key})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Rollback restores the graph and the indexes to their exact pre-stage
 // state, including the node-ID space.
 func (sd *StagedDelta) Rollback() {
 	sd.undo.Revert(sd.g)
-	// Re-derive the FULL changed set against the restored graph: that
-	// rebuilds the purged entries too, since every member of a purged
-	// entry neighbored a deleted node and is therefore in changed, and
-	// membership is a pure function of the graph's current neighborhoods.
+	// Re-derive the FULL changed set (rows ∪ extra) against the restored
+	// graph: that rebuilds the purged entries too, since every member of
+	// a purged entry neighbored a deleted node and is therefore in the
+	// changed set, and membership is a pure function of the graph's
+	// current neighborhoods.
 	rollback := sd.rows
-	for v := range sd.changed {
-		if _, ok := sd.maintain[v]; !ok {
-			rollback = append(rollback, v)
-		}
+	if len(sd.extra) > 0 {
+		rollback = make([]graph.NodeID, 0, len(sd.rows)+len(sd.extra))
+		rollback = append(append(rollback, sd.rows...), sd.extra...)
 	}
 	sd.s.maintainRows(sd.g, rollback)
 }

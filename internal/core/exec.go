@@ -194,6 +194,14 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 			shardOf = cfg.ShardOf
 		}
 	}
+	if len(shards) == 1 {
+		// A single shard holds the entire graph and the whole index set,
+		// so the scatter/gather accessors would add only closure
+		// indirection and per-probe part collection. Collapse to the
+		// unsharded path — trivially bit-identical.
+		g, idx, fz = shards[0].G, shards[0].Idx, shards[0].Fz
+		shards, shardOf = nil, nil
+	}
 	if shards == nil {
 		if idx == nil || idx.Schema() != p.A {
 			return nil, nil, ErrSchemaMismatch
@@ -248,11 +256,28 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 	} else {
 		home := func(v graph.NodeID) *ShardView { return &shards[shardOf(v)] }
 		lookup = func(ci int, tuple []graph.NodeID) []graph.NodeID {
-			parts := make([][]graph.NodeID, 0, len(shards))
+			// Most entries' rows hash to one shard, so the common probe
+			// finds at most one non-empty part — returned as-is (shared,
+			// not copied) with no slice-of-parts allocation. The parts
+			// slice materializes only when a real merge is needed.
+			var first []graph.NodeID
+			var parts [][]graph.NodeID
 			for i := range shards {
-				if r := shards[i].Idx.Index(ci).Lookup(tuple); len(r) > 0 {
-					parts = append(parts, r)
+				r := shards[i].Idx.Index(ci).Lookup(tuple)
+				if len(r) == 0 {
+					continue
 				}
+				if first == nil {
+					first = r
+					continue
+				}
+				if parts == nil {
+					parts = append(make([][]graph.NodeID, 0, len(shards)), first)
+				}
+				parts = append(parts, r)
+			}
+			if parts == nil {
+				return first
 			}
 			return mergeAscending(parts)
 		}

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // Frozen is a read-only CSR-style snapshot of a Graph: adjacency lives in
 // two flat arrays (out- and in-edges) with per-node offsets, and each
@@ -28,16 +28,23 @@ type Frozen struct {
 	inAdj    []NodeID
 
 	// Patch layer; nil on a root built by Freeze. Rows present in a patch
-	// override every older layer and the base (a nil slice marks a row
-	// emptied by deletion).
-	parent   *Frozen
-	patchOut map[NodeID][]NodeID
-	patchIn  map[NodeID][]NodeID
+	// override every older layer and the base (a nil run marks a row
+	// emptied by deletion). Out- and in-runs share one map: a refreshed
+	// row always patches both, so the key sets coincide and a lookup
+	// walks half the probes two maps would cost.
+	parent *Frozen
+	patch  map[NodeID]patchRow
 
 	capN     int // dense ID space of the snapshot (grows with inserts)
 	numEdges int
 	depth    int // chain length above the root
 	patched  int // cumulative patched-row count across the chain
+}
+
+// patchRow is one patched row's adjacency: the out- and in-neighbor runs
+// re-read (sorted) from the live graph at refresh time.
+type patchRow struct {
+	out, in []NodeID
 }
 
 // maxPatchDepth bounds the lookup chain: at this depth Refresh merges all
@@ -67,8 +74,7 @@ func buildCSR(adj [][]NodeID) ([]int32, []NodeID) {
 	for i, ns := range adj {
 		start[i] = int32(len(flat))
 		flat = append(flat, ns...)
-		run := flat[start[i]:]
-		sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+		slices.Sort(flat[start[i]:])
 	}
 	start[len(adj)] = int32(len(flat))
 	return start, flat
@@ -81,8 +87,8 @@ func buildCSR(adj [][]NodeID) ([]int32, []NodeID) {
 // inserted and deleted nodes, and neighbors of deleted nodes. Duplicate
 // and negative entries are ignored.
 //
-// Cost is O(Σ degree(rows)) plus, every maxPatchDepth epochs, a flatten
-// pass over the live patch rows. When the cumulative patched rows exceed
+// Cost is O(Σ degree(rows)) plus amortized LSM-style compaction of the
+// patch chain (O(log patched) re-copies per row). When the cumulative patched rows exceed
 // a quarter of the ID space the refresh amortizes into a full Freeze —
 // by then Ω(|V|/4) row-work has been paid in, so the O(|G|) rebuild stays
 // proportional to the update work that provoked it. f is not modified;
@@ -94,8 +100,7 @@ func (f *Frozen) Refresh(g *Graph, rows []NodeID) *Frozen {
 	}
 	nf := &Frozen{
 		parent:   f,
-		patchOut: make(map[NodeID][]NodeID, len(rows)),
-		patchIn:  make(map[NodeID][]NodeID, len(rows)),
+		patch:    make(map[NodeID]patchRow, len(rows)),
 		capN:     capN,
 		numEdges: g.NumEdges(),
 		depth:    f.depth + 1,
@@ -104,39 +109,45 @@ func (f *Frozen) Refresh(g *Graph, rows []NodeID) *Frozen {
 		if v < 0 || int(v) >= capN {
 			continue
 		}
-		if _, dup := nf.patchOut[v]; dup {
+		if _, dup := nf.patch[v]; dup {
 			continue
 		}
-		nf.patchOut[v] = sortedCopy(g.Out(v))
-		nf.patchIn[v] = sortedCopy(g.In(v))
+		nf.patch[v] = patchRow{out: sortedCopy(g.Out(v)), in: sortedCopy(g.In(v))}
 	}
-	nf.patched = f.patched + len(nf.patchOut)
+	nf.patched = f.patched + len(nf.patch)
 	if nf.depth >= maxPatchDepth {
 		nf.flatten()
 	}
 	return nf
 }
 
-// flatten merges the whole patch chain into nf, leaving the root as its
-// only parent. Newer layers win; cost is O(live patched rows).
+// flatten compacts the patch chain into nf, LSM-style: walking newest to
+// oldest, a layer joins the merge while it holds no more than twice the
+// rows merged so far (so a row settled in a big layer is re-copied only
+// once comparably many newer rows have accumulated — O(log patched)
+// copies per row over its lifetime, where merging the whole chain every
+// flatten re-copied every live row each time), except that layers deeper
+// than half the depth budget merge unconditionally, keeping the probe
+// chain short. Newer layers win on overlap.
 func (nf *Frozen) flatten() {
-	root := nf.parent
-	for p := nf.parent; p.parent != nil; p = p.parent {
-		for v, run := range p.patchOut {
-			if _, ok := nf.patchOut[v]; !ok {
-				nf.patchOut[v] = run
+	p := nf.parent
+	for p.parent != nil && (len(p.patch) <= 2*len(nf.patch) || p.depth > maxPatchDepth/2) {
+		for v, row := range p.patch {
+			if _, ok := nf.patch[v]; !ok {
+				nf.patch[v] = row
 			}
 		}
-		for v, run := range p.patchIn {
-			if _, ok := nf.patchIn[v]; !ok {
-				nf.patchIn[v] = run
-			}
-		}
-		root = p.parent
+		p = p.parent
 	}
-	nf.parent = root
-	nf.depth = 1
-	nf.patched = len(nf.patchOut)
+	nf.parent = p
+	if p.parent == nil {
+		nf.depth, nf.patched = 1, len(nf.patch)
+	} else {
+		// patched sums layer sizes, over-counting rows patched in two
+		// layers — conservative: it only brings the full re-freeze
+		// forward, never past it.
+		nf.depth, nf.patched = p.depth+1, p.patched+len(nf.patch)
+	}
 }
 
 func sortedCopy(run []NodeID) []NodeID {
@@ -144,7 +155,7 @@ func sortedCopy(run []NodeID) []NodeID {
 		return nil
 	}
 	out := append([]NodeID(nil), run...)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 
@@ -159,8 +170,8 @@ func (f *Frozen) Out(v NodeID) []NodeID {
 	}
 	p := f
 	for p.parent != nil {
-		if run, ok := p.patchOut[v]; ok {
-			return run
+		if row, ok := p.patch[v]; ok {
+			return row.out
 		}
 		p = p.parent
 	}
@@ -178,8 +189,8 @@ func (f *Frozen) In(v NodeID) []NodeID {
 	}
 	p := f
 	for p.parent != nil {
-		if run, ok := p.patchIn[v]; ok {
-			return run
+		if row, ok := p.patch[v]; ok {
+			return row.in
 		}
 		p = p.parent
 	}

@@ -1,0 +1,149 @@
+// Package hist provides a concurrency-safe log-linear latency histogram:
+// power-of-two magnitude buckets subdivided linearly, so quantile error is
+// bounded by a constant relative factor (1/subBuckets) at every scale from
+// microseconds to minutes while the whole histogram stays a few KB of
+// atomic counters. Both the serving daemon's /stats latency block and the
+// load generator's per-op-class reports are built on it.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// magnitudes covers values up to 2^magnitudes-1 ns (~68 s with 36);
+	// larger observations clamp into the last bucket.
+	magnitudes = 36
+	// subBuckets linearly subdivides each power-of-two magnitude, giving
+	// a worst-case relative quantile error of 1/subBuckets ≈ 3%.
+	subBuckets = 32
+)
+
+// H is a log-linear histogram of non-negative int64 observations
+// (nanoseconds by convention). The zero value is ready to use; Observe
+// and the readers may be called concurrently from any goroutine.
+type H struct {
+	count atomic.Uint64
+	sum   atomic.Uint64
+	max   atomic.Int64
+	// buckets[m*subBuckets+s] counts observations whose magnitude (bit
+	// length) is m, linearly placed by their top sub-bucket bits.
+	buckets [magnitudes * subBuckets]atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index. Values below subBuckets land
+// in the linear prefix (magnitude small enough that the sub-bucket width
+// is one), so tiny observations are exact.
+func bucketOf(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	m := bits.Len64(uint64(v)) - 1 // 2^m <= v < 2^(m+1)
+	sub := (v >> (uint(m) - 5)) - subBuckets
+	i := m*subBuckets + int(sub)
+	if i >= magnitudes*subBuckets {
+		i = magnitudes*subBuckets - 1
+	}
+	return i
+}
+
+// lowerBound returns the smallest value mapping to bucket i — the
+// conservative representative reported for quantiles falling in i.
+func lowerBound(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	m := i / subBuckets
+	sub := i % subBuckets
+	return (int64(subBuckets) + int64(sub)) << (uint(m) - 5)
+}
+
+// Observe records one value; negative values clamp to zero.
+func (h *H) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *H) ObserveSince(start time.Time) { h.Observe(time.Since(start).Nanoseconds()) }
+
+// Count returns the number of observations.
+func (h *H) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest observed value (exact, not bucketed).
+func (h *H) Max() int64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *H) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns a conservative estimate (the bucket lower bound) of
+// the q-quantile, q in [0,1]. With no observations it returns 0. The
+// histogram may be concurrently written; the answer is then a quantile
+// of some interleaving of the writes.
+func (h *H) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank: 1-based index of the target observation in sorted order.
+	rank := uint64(q*float64(n-1)) + 1
+	var seen uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			return lowerBound(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Summary is a point-in-time digest of a histogram, in the units the
+// observations used (nanoseconds by convention), ready for JSON.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// Summarize digests the histogram's current state.
+func (h *H) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		MeanNs: h.Mean(),
+		P50Ns:  h.Quantile(0.50),
+		P95Ns:  h.Quantile(0.95),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Max(),
+	}
+}

@@ -1,0 +1,97 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSmallValuesExact(t *testing.T) {
+	var h H
+	for v := int64(0); v < subBuckets; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != subBuckets {
+		t.Fatalf("count %d, want %d", h.Count(), subBuckets)
+	}
+	// Values below subBuckets are bucketed exactly, so every quantile is
+	// the true order statistic.
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != subBuckets-1 {
+		t.Fatalf("p100 = %d, want %d", got, subBuckets-1)
+	}
+	if got := h.Quantile(0.5); got != (subBuckets-1)/2 {
+		t.Fatalf("p50 = %d, want %d", got, (subBuckets-1)/2)
+	}
+}
+
+func TestQuantileRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h H
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, the shape of a latency distribution.
+		v := int64(1) << uint(rng.Intn(30))
+		v += rng.Int63n(v)
+		h.Observe(v)
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		want := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q)
+		// The estimate is the bucket lower bound: at most one sub-bucket
+		// (1/subBuckets relative) below the true order statistic.
+		lo := want - want/(subBuckets/2) - 1
+		if got < lo || got > want {
+			t.Fatalf("q=%v: got %d, want within [%d, %d]", q, got, lo, want)
+		}
+	}
+	if h.Max() != vals[len(vals)-1] {
+		t.Fatalf("max %d, want %d", h.Max(), vals[len(vals)-1])
+	}
+}
+
+func TestClampAndNegatives(t *testing.T) {
+	var h H
+	h.Observe(-5)
+	if h.Quantile(1) != 0 {
+		t.Fatalf("negative observation should clamp to 0")
+	}
+	huge := int64(1) << 50 // beyond the covered range
+	h.Observe(huge)
+	if h.Max() != huge {
+		t.Fatalf("max %d, want %d", h.Max(), huge)
+	}
+	if got := h.Quantile(1); got <= 0 {
+		t.Fatalf("clamped huge value lost: p100 = %d", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h H
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(int64(time.Second)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	s := h.Summarize()
+	if s.Count != workers*per || s.P50Ns > s.P95Ns || s.P95Ns > s.P99Ns || s.P99Ns > s.MaxNs {
+		t.Fatalf("summary not monotone: %+v", s)
+	}
+}

@@ -1,0 +1,433 @@
+// Package loadgen drives a running boundedgd daemon with a mixed
+// read/write HTTP workload and reports log-linear latency histograms per
+// op class — the measurement harness behind cmd/loadgen and the
+// BENCH_loadgen.json trajectory.
+//
+// Workers are closed-loop by default: each issues its next request only
+// after the previous response lands, so offered load adapts to the
+// server instead of queueing unboundedly. A target rate turns the pool
+// open-loop: workers pace requests to the schedule and the histogram
+// then includes coordinated-omission-free queueing delay.
+//
+// The generator regenerates the daemon's dataset from the same
+// (dataset, scale, seed) triple, so it knows the live node IDs and the
+// schema without asking the server: reads are bounded pattern queries
+// from the standard workload generator, writes are add-edge deltas on
+// zipf- or uniform-selected live endpoints, each followed by its
+// compensating delete so the graph orbits its initial state and node
+// IDs stay valid for the whole run.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boundedg/internal/exp"
+	"boundedg/internal/graph"
+	"boundedg/internal/hist"
+	"boundedg/internal/server"
+	"boundedg/internal/workload"
+)
+
+// Config parameterizes one load run. Addr is required; zero values
+// elsewhere pick the defaults noted on each field.
+type Config struct {
+	// Addr is the daemon's base URL ("http://host:port") or bare
+	// "host:port".
+	Addr string
+	// Dataset/Scale/Seed must match the flags the daemon was started
+	// with — the generator rebuilds the same graph locally to learn live
+	// node IDs and generate answerable queries. Defaults: imdb, 1.0, 1.
+	Dataset string
+	Scale   float64
+	Seed    int64
+	// Workers is the concurrent worker count (default 8).
+	Workers int
+	// Rate, in requests/sec across the pool, switches to open-loop
+	// pacing; 0 (default) is closed-loop.
+	Rate float64
+	// ReadPct in [0,1] is the fraction of ops that are queries
+	// (default 0.9). Writes come in add+compensating-delete pairs; each
+	// half counts as one op.
+	ReadPct float64
+	// ZipfS skews update endpoint selection: 0 (default) is uniform,
+	// values > 1 are the zipf s parameter (smaller = heavier skew
+	// toward the hottest nodes as s→1).
+	ZipfS float64
+	// Warmup runs load without recording (default 1s); Duration is the
+	// measured window (default 10s).
+	Warmup   time.Duration
+	Duration time.Duration
+	// Queries is the number of generated patterns cycled by readers
+	// (default 16).
+	Queries int
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject the httptest
+	// server's).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Addr == "" {
+		return c, fmt.Errorf("loadgen: Addr is required")
+	}
+	if !strings.Contains(c.Addr, "://") {
+		c.Addr = "http://" + c.Addr
+	}
+	c.Addr = strings.TrimRight(c.Addr, "/")
+	if c.Dataset == "" {
+		c.Dataset = "imdb"
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.ReadPct == 0 {
+		c.ReadPct = 0.9
+	}
+	if c.ReadPct < 0 || c.ReadPct > 1 {
+		return c, fmt.Errorf("loadgen: ReadPct must be in [0,1], got %v", c.ReadPct)
+	}
+	if c.ZipfS != 0 && c.ZipfS <= 1 {
+		return c, fmt.Errorf("loadgen: ZipfS must be 0 (uniform) or > 1, got %v", c.ZipfS)
+	}
+	if c.Warmup == 0 {
+		c.Warmup = time.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Queries <= 0 {
+		c.Queries = 16
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	return c, nil
+}
+
+// ClassReport is one op class's measured-window figures.
+type ClassReport struct {
+	// Ops counts completed requests (verdict rejections included).
+	Ops uint64 `json:"ops"`
+	// Rejects counts well-formed verdict rejections (409 conflicts and
+	// 422 violations) — expected under concurrent edge churn, and not
+	// errors.
+	Rejects uint64 `json:"rejects,omitempty"`
+	// Errors counts transport failures and 5xx responses.
+	Errors uint64 `json:"errors"`
+	// Latency digests the client-observed round-trip times.
+	Latency hist.Summary `json:"latency"`
+}
+
+// Report is the outcome of one Run, ready for BENCH_loadgen.json.
+type Report struct {
+	Name        string  `json:"name,omitempty"`
+	Workers     int     `json:"workers"`
+	ReadPct     float64 `json:"read_pct"`
+	ZipfS       float64 `json:"zipf_s"`
+	RateOps     float64 `json:"rate_ops,omitempty"`
+	WarmupSec   float64 `json:"warmup_sec"`
+	MeasuredSec float64 `json:"measured_sec"`
+
+	Read  ClassReport `json:"read"`
+	Write ClassReport `json:"write"`
+	// OpsPerSec is total measured throughput (reads + writes).
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	// GSNStart/GSNEnd bracket the run via /stats; OrderViolations
+	// counts update responses whose epoch ran backwards within a single
+	// worker — always 0 against a correct server.
+	GSNStart        uint64 `json:"gsn_start"`
+	GSNEnd          uint64 `json:"gsn_end"`
+	OrderViolations uint64 `json:"order_violations"`
+
+	// ServerLatency is the daemon's own /stats handling-time block at
+	// run end, separating server time from client-side queueing.
+	ServerLatency server.LatencyStats `json:"server_latency"`
+}
+
+// run-shared mutable state, split from Report so workers touch only
+// atomics.
+type counters struct {
+	readOps, readErrs              atomic.Uint64
+	writeOps, writeRejs, writeErrs atomic.Uint64
+	orderViol                      atomic.Uint64
+}
+
+// Run executes one load run against cfg.Addr and returns its report.
+func Run(cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d, err := exp.Gen(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	live := d.G.NodeList()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("loadgen: generated dataset has no nodes")
+	}
+	qs := workload.DefaultQueryGen.Generate(d, cfg.Queries, cfg.Seed+1)
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("loadgen: no queries generated")
+	}
+	qbodies := make([][]byte, 0, 2*len(qs))
+	for i, q := range qs {
+		sem := "subgraph"
+		if i%2 == 1 {
+			sem = "simulation"
+		}
+		b, err := json.Marshal(server.QueryRequest{Pattern: q.String(), Sem: sem})
+		if err != nil {
+			return nil, err
+		}
+		qbodies = append(qbodies, b)
+	}
+
+	startStats, err := scrapeStats(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: cannot reach %s: %w", cfg.Addr, err)
+	}
+
+	var (
+		cnt      counters
+		measured atomic.Bool
+		readH    = &hist.H{}
+		writeH   = &hist.H{}
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	// Open-loop pacing: each worker owns every Workers-th slot of the
+	// global schedule.
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(cfg.Workers) / cfg.Rate * float64(time.Second))
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(cfg, id, d.In, live, qbodies, &cnt, &measured, readH, writeH, interval, stop)
+		}(w)
+	}
+
+	sleep := func(dur time.Duration) {
+		t := time.NewTimer(dur)
+		defer t.Stop()
+		<-t.C
+	}
+	sleep(cfg.Warmup)
+	measured.Store(true)
+	t0 := time.Now()
+	sleep(cfg.Duration)
+	measured.Store(false)
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+
+	endStats, err := scrapeStats(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final /stats scrape: %w", err)
+	}
+
+	rep := &Report{
+		Workers:     cfg.Workers,
+		ReadPct:     cfg.ReadPct,
+		ZipfS:       cfg.ZipfS,
+		RateOps:     cfg.Rate,
+		WarmupSec:   cfg.Warmup.Seconds(),
+		MeasuredSec: elapsed.Seconds(),
+		Read: ClassReport{
+			Ops:     cnt.readOps.Load(),
+			Errors:  cnt.readErrs.Load(),
+			Latency: readH.Summarize(),
+		},
+		Write: ClassReport{
+			Ops:     cnt.writeOps.Load(),
+			Rejects: cnt.writeRejs.Load(),
+			Errors:  cnt.writeErrs.Load(),
+			Latency: writeH.Summarize(),
+		},
+		GSNStart:        startStats.Epoch,
+		GSNEnd:          endStats.Epoch,
+		OrderViolations: cnt.orderViol.Load(),
+		ServerLatency:   endStats.Latency,
+	}
+	rep.OpsPerSec = float64(rep.Read.Ops+rep.Write.Ops) / elapsed.Seconds()
+	return rep, nil
+}
+
+func scrapeStats(cfg Config) (*server.StatsResponse, error) {
+	resp, err := cfg.Client.Get(cfg.Addr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/stats: HTTP %d", resp.StatusCode)
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// worker runs one closed- or open-loop request loop until stop closes.
+func worker(cfg Config, id int, in *graph.Interner, live []graph.NodeID, qbodies [][]byte, cnt *counters, measured *atomic.Bool, readH, writeH *hist.H, interval time.Duration, stop chan struct{}) {
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(id)))
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(live)-1))
+	}
+	pick := func() graph.NodeID {
+		if zipf != nil {
+			return live[zipf.Uint64()]
+		}
+		return live[rng.Intn(len(live))]
+	}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	var lastEpoch uint64
+
+	// post runs one HTTP op and records it into h when the measured
+	// window is open. It returns the status (0 on transport error) and
+	// the decoded body for 200s on /update.
+	post := func(path string, body []byte, h *hist.H, ops, errs *atomic.Uint64) (int, []byte) {
+		start := time.Now()
+		resp, err := cfg.Client.Post(cfg.Addr+path, "application/json", bytes.NewReader(body))
+		status, raw := 0, []byte(nil)
+		if err == nil {
+			var buf bytes.Buffer
+			_, rerr := buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				status, raw = resp.StatusCode, buf.Bytes()
+			}
+		}
+		if measured.Load() {
+			h.ObserveSince(start)
+			ops.Add(1)
+			if status == 0 || status >= 500 {
+				errs.Add(1)
+			}
+		}
+		return status, raw
+	}
+	deltaBody := func(dl *graph.Delta) []byte {
+		var buf bytes.Buffer
+		if err := dl.WriteJSON(&buf, in); err != nil {
+			panic("loadgen: delta encode: " + err.Error())
+		}
+		return buf.Bytes()
+	}
+	update := func(dl *graph.Delta) int {
+		status, raw := post("/update", deltaBody(dl), writeH, &cnt.writeOps, &cnt.writeErrs)
+		switch {
+		case status == http.StatusOK:
+			var ur struct {
+				Epoch uint64 `json:"epoch"`
+			}
+			if json.Unmarshal(raw, &ur) == nil {
+				// Closed loop: this worker's previous update completed
+				// before this one was sent, so epochs must never run
+				// backwards.
+				if ur.Epoch < lastEpoch {
+					cnt.orderViol.Add(1)
+				}
+				lastEpoch = ur.Epoch
+			}
+		case status == http.StatusConflict || status == http.StatusUnprocessableEntity:
+			if measured.Load() {
+				cnt.writeRejs.Add(1)
+			}
+		}
+		return status
+	}
+
+	next := time.Now()
+	for !stopped() {
+		if interval > 0 {
+			next = next.Add(interval)
+			if wait := time.Until(next); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-stop:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+		}
+		if rng.Float64() < cfg.ReadPct {
+			post("/query", qbodies[rng.Intn(len(qbodies))], readH, &cnt.readOps, &cnt.readErrs)
+			continue
+		}
+		u, v := pick(), pick()
+		e := [2]graph.NodeID{u, v}
+		if update(&graph.Delta{AddEdges: [][2]graph.NodeID{e}}) == http.StatusOK && !stopped() {
+			// Compensate so the graph orbits its initial state. Under
+			// concurrent churn the delete can 409 (another worker's
+			// delete won the race) — a reject, not an error.
+			update(&graph.Delta{DelEdges: [][2]graph.NodeID{e}})
+		}
+	}
+}
+
+// SweepDoc is the BENCH_loadgen.json document: one report per scenario.
+type SweepDoc struct {
+	Note string    `json:"note"`
+	Runs []*Report `json:"runs"`
+}
+
+// Sweep runs the standard {read-heavy, write-heavy} × {uniform, zipf}
+// grid with base's dataset, worker and timing knobs, naming each run.
+func Sweep(base Config) (*SweepDoc, error) {
+	doc := &SweepDoc{
+		Note: "cmd/loadgen -sweep; closed-loop unless rate_ops is set; latencies are client-observed round trips in ns, server_latency is the daemon's own handling time",
+	}
+	for _, mix := range []struct {
+		tag string
+		pct float64
+	}{{"read-heavy", 0.9}, {"write-heavy", 0.1}} {
+		for _, skew := range []struct {
+			tag string
+			s   float64
+		}{{"uniform", 0}, {"zipf", 1.2}} {
+			cfg := base
+			cfg.ReadPct = mix.pct
+			cfg.ZipfS = skew.s
+			rep, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", mix.tag, skew.tag, err)
+			}
+			rep.Name = mix.tag + "/" + skew.tag
+			doc.Runs = append(doc.Runs, rep)
+		}
+	}
+	return doc, nil
+}

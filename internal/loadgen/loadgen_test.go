@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"boundedg/internal/access"
+	"boundedg/internal/exp"
+	"boundedg/internal/runtime"
+	"boundedg/internal/server"
+)
+
+// TestSmoke drives an in-process boundedgd with a short mixed zipf load
+// and pins the end-to-end contract: no transport or 5xx errors, GSN
+// monotone, and a report that round-trips through JSON with every
+// histogram field populated.
+func TestSmoke(t *testing.T) {
+	const (
+		dataset = "imdb"
+		scale   = 0.2
+		seed    = 5
+	)
+	d, err := exp.Gen(dataset, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatalf("index build: %v", viols[0])
+	}
+	eng, err := runtime.New(d.G, idx, runtime.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, d.In, server.Config{EnableUpdates: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		eng.Close()
+	}()
+
+	rep, err := Run(Config{
+		Addr:     ts.URL,
+		Dataset:  dataset,
+		Scale:    scale,
+		Seed:     seed,
+		Workers:  4,
+		ReadPct:  0.5,
+		ZipfS:    1.2,
+		Warmup:   200 * time.Millisecond,
+		Duration: 2 * time.Second,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Read.Errors != 0 || rep.Write.Errors != 0 {
+		t.Fatalf("errors: read=%d write=%d (transport/5xx must be zero)",
+			rep.Read.Errors, rep.Write.Errors)
+	}
+	if rep.Read.Ops == 0 || rep.Write.Ops == 0 {
+		t.Fatalf("empty op class: read=%d write=%d", rep.Read.Ops, rep.Write.Ops)
+	}
+	if rep.OrderViolations != 0 {
+		t.Fatalf("GSN ran backwards %d times within a worker", rep.OrderViolations)
+	}
+	if rep.GSNEnd < rep.GSNStart {
+		t.Fatalf("GSN regressed across the run: %d -> %d", rep.GSNStart, rep.GSNEnd)
+	}
+	if rep.GSNEnd == rep.GSNStart {
+		t.Fatalf("no accepted updates despite %d write ops", rep.Write.Ops)
+	}
+	if rep.Read.Latency.Count != rep.Read.Ops || rep.Write.Latency.Count != rep.Write.Ops {
+		t.Fatalf("histogram counts diverge from op counts: %d/%d read, %d/%d write",
+			rep.Read.Latency.Count, rep.Read.Ops, rep.Write.Latency.Count, rep.Write.Ops)
+	}
+
+	// The report must round-trip through JSON with every histogram field
+	// present — BENCH_loadgen.json consumers key on these names.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"read"`, `"write"`, `"ops"`, `"errors"`, `"latency"`,
+		`"count"`, `"mean_ns"`, `"p50_ns"`, `"p95_ns"`, `"p99_ns"`, `"max_ns"`,
+		`"ops_per_sec"`, `"gsn_start"`, `"gsn_end"`, `"order_violations"`,
+		`"server_latency"`,
+	} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Fatalf("report JSON lacks %s:\n%s", field, raw)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Read.Latency.P95Ns < back.Read.Latency.P50Ns {
+		t.Fatalf("read quantiles not monotone: %+v", back.Read.Latency)
+	}
+
+	// The daemon's own /stats histogram saw the same traffic.
+	if rep.ServerLatency.Query.Count == 0 || rep.ServerLatency.Update.Count == 0 {
+		t.Fatalf("server-side latency block empty: %+v", rep.ServerLatency)
+	}
+}
+
+// TestConfigValidation pins the knob guard rails.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing Addr accepted")
+	}
+	if _, err := Run(Config{Addr: "x", ZipfS: 0.5}); err == nil {
+		t.Fatal("ZipfS in (0,1] accepted; rand.NewZipf needs s > 1")
+	}
+	if _, err := Run(Config{Addr: "x", ReadPct: 1.5}); err == nil {
+		t.Fatal("ReadPct > 1 accepted")
+	}
+}

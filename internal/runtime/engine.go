@@ -324,9 +324,11 @@ func (e *Engine) worker() {
 		Scratch: core.NewExecScratch(),
 	}
 	var shardOf func(graph.NodeID) int
+	var views []core.ShardView // per-worker, refilled per task
 	if e.router != nil {
 		m := e.router.Map()
 		shardOf = m.Of
+		views = make([]core.ShardView, e.router.NumShards())
 	}
 	for t := range e.tasks {
 		if err := t.ctx.Err(); err != nil {
@@ -335,9 +337,9 @@ func (e *Engine) worker() {
 			t.fut.res = Result{Err: err, Epoch: t.version()}
 		} else if t.cut != nil {
 			cfg.Ctx = t.ctx
-			views := make([]core.ShardView, len(t.cut.Snaps))
-			for i, sn := range t.cut.Snaps {
-				views[i] = core.ShardView{G: sn.G, Fz: sn.Fz, Idx: sn.Idx}
+			views = views[:0]
+			for _, sn := range t.cut.Snaps {
+				views = append(views, core.ShardView{G: sn.G, Fz: sn.Fz, Idx: sn.Idx})
 			}
 			cfg.Shards = views
 			cfg.ShardOf = shardOf

@@ -35,6 +35,7 @@ import (
 	"boundedg/internal/access"
 	"boundedg/internal/core"
 	"boundedg/internal/graph"
+	"boundedg/internal/hist"
 	"boundedg/internal/match"
 	"boundedg/internal/pattern"
 	"boundedg/internal/runtime"
@@ -189,6 +190,11 @@ type UpdateStats struct {
 	RejectedError     uint64  `json:"rejected_error"`
 	TouchedRows       uint64  `json:"touched_rows"`
 	LastApplyMS       float64 `json:"last_apply_ms"`
+	// ShardTxns counts shard write transactions begun (sharded daemons
+	// only): ShardTxns/Batches is the mean commit fan-out — near 1 when
+	// the participant-only fast path is doing its job on a well-
+	// partitioned write stream.
+	ShardTxns uint64 `json:"shard_txns,omitempty"`
 }
 
 // WALStats reports the durability subsystem's state in /stats. Offset,
@@ -209,6 +215,16 @@ type CacheStats struct {
 	Capacity int    `json:"capacity"`
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
+}
+
+// LatencyStats reports the server-side handling-time histograms per op
+// class in /stats — every /query and /update request observed from body
+// read to response write (errors included), digested to p50/p95/p99/max.
+// Load generators scrape this block to separate server time from
+// client-side queueing and transport.
+type LatencyStats struct {
+	Query  hist.Summary `json:"query"`
+	Update hist.Summary `json:"update"`
 }
 
 // ShardStats is one shard's block in a sharded daemon's /stats: its
@@ -236,6 +252,7 @@ type StatsResponse struct {
 	Cache       CacheStats    `json:"cache"`
 	Updates     UpdateStats   `json:"updates"`
 	WAL         WALStats      `json:"wal"`
+	Latency     LatencyStats  `json:"latency"`
 	Shards      []ShardStats  `json:"shards,omitempty"`
 	Served      uint64        `json:"served"`
 	Errors      uint64        `json:"errors"`
@@ -256,7 +273,8 @@ type Server struct {
 	hs    *http.Server
 	start time.Time
 
-	served, errors atomic.Uint64
+	served, errors      atomic.Uint64
+	latQuery, latUpdate hist.H
 }
 
 // New returns a server over eng. in must be the interner shared by the
@@ -385,6 +403,7 @@ func cacheKey(epoch uint64, canon string, sem core.Semantics, limit int) string 
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
+	defer s.latQuery.ObserveSince(started)
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
@@ -528,6 +547,7 @@ const maxUpdateBodyBytes = 16 << 20
 // /update behind write authorization, like any write API.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
+	defer s.latUpdate.ObserveSince(started)
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
@@ -597,6 +617,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hits:     hits,
 			Misses:   misses,
 		},
+		Latency: LatencyStats{
+			Query:  s.latQuery.Summarize(),
+			Update: s.latUpdate.Summarize(),
+		},
 		Served: s.served.Load(),
 		Errors: s.errors.Load(),
 	}
@@ -613,6 +637,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RejectedViolation: rs.RejectedViolation,
 			RejectedError:     rs.RejectedError,
 			TouchedRows:       rs.TouchedRows,
+			ShardTxns:         rs.ShardTxns,
 		}
 		resp.Shards = make([]ShardStats, len(rs.Shards))
 		for i, ss := range rs.Shards {

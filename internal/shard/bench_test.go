@@ -55,13 +55,39 @@ func TestMain(m *testing.M) {
 		if out == "" {
 			out = "BENCH_shard.json"
 		}
-		// The harness reruns each benchmark while calibrating N; keep only
-		// the final (largest-N) measurement per name, in first-seen order.
+		// The harness reruns each benchmark while calibrating N, and
+		// -count repeats the full-length run. Per name keep the largest-N
+		// measurement (calibration runs are too short to trust) and, among
+		// runs of that length, the smallest ns/op: the minimum over
+		// repetitions is the least-interference estimate on a shared
+		// machine, where scheduler steal time only ever adds.
 		final := make(map[string]int)
 		var recs []benchRec
+		// Seed with the existing file's records so a partial run (-bench
+		// ShardedApply only, say) refreshes its own entries and keeps the
+		// rest — the apply and query sweeps need very different iteration
+		// counts, so the committed file is produced by two invocations.
+		// Benchmarks that ran in this process always win over the file.
+		if raw, err := os.ReadFile(out); err == nil {
+			var prev struct {
+				Benchmarks []benchRec `json:"benchmarks"`
+			}
+			if json.Unmarshal(raw, &prev) == nil {
+				ran := make(map[string]bool, len(benchRecs))
+				for _, r := range benchRecs {
+					ran[r.Name] = true
+				}
+				for _, r := range prev.Benchmarks {
+					if !ran[r.Name] {
+						final[r.Name] = len(recs)
+						recs = append(recs, r)
+					}
+				}
+			}
+		}
 		for _, r := range benchRecs {
 			if i, ok := final[r.Name]; ok {
-				if r.Ops >= recs[i].Ops {
+				if r.Ops > recs[i].Ops || (r.Ops == recs[i].Ops && r.NsPerOp < recs[i].NsPerOp) {
 					recs[i] = r
 				}
 				continue
@@ -73,7 +99,7 @@ func TestMain(m *testing.M) {
 			Note       string     `json:"note"`
 			Benchmarks []benchRec `json:"benchmarks"`
 		}{
-			Note:       "go test ./internal/shard -bench 'Sharded' ; one apply op = one add+delete edge pair through the group commit, one query op = one EvalBatch of the bounded workload",
+			Note:       "BENCH_SHARD_OUT=<repo root>/BENCH_shard.json go test ./internal/shard -bench ShardedApply -benchtime 4000x -count 12 -timeout 0 ; then -bench ShardedQuery -benchtime 200x -count 3 (query ops are ~10ms, a full-length sweep would blow the test timeout); single-core runner: shards>1 carries the second participant's transaction scaffolding with no parallelism to repay it — the stage/log/commit fan-outs engage at GOMAXPROCS>1; per name the fastest full-length repetition is kept (min over -count, the least-interference estimate on a shared box) and a partial run refreshes only its own entries; one apply op = one add+delete edge pair through the group commit (participant-only txns, per-shard WAL syncs in parallel), one query op = one EvalBatch of the bounded workload; end-to-end HTTP numbers live in BENCH_loadgen.json (cmd/loadgen -sweep)",
 			Benchmarks: recs,
 		}
 		if b, err := json.MarshalIndent(doc, "", "  "); err == nil {
@@ -94,6 +120,21 @@ func BenchmarkShardedApply(b *testing.B) {
 	d0 := workload.IMDb(0.3, 5)
 	live := d0.G.NodeList()
 	pairLoop := func(b *testing.B, apply func(*graph.Delta) error) {
+		// Warm up to steady state before timing: the first write through
+		// each store pays a one-off O(|G|) clone of its second instance
+		// (and the first few epochs build the CSR patch chain), which
+		// would otherwise be amortized over whatever b.N the harness
+		// picked — a fixed cost masquerading as per-op cost.
+		wrng := rand.New(rand.NewSource(7))
+		for i := 0; i < 256; i++ {
+			from := live[wrng.Intn(len(live))]
+			to := live[wrng.Intn(len(live))]
+			if err := apply(&graph.Delta{AddEdges: [][2]graph.NodeID{{from, to}}}); err == nil {
+				if err := apply(&graph.Delta{DelEdges: [][2]graph.NodeID{{from, to}}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
 		rng := rand.New(rand.NewSource(9))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

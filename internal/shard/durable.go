@@ -66,7 +66,8 @@ func Create(path string, in *graph.Interner, g *graph.Graph, idx *access.IndexSe
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 		r.dirs[s] = d
-		r.stores[s] = store.New(graphs[s], idxs[s], store.WithWAL(d, fsync))
+		r.stores[s] = store.New(graphs[s], idxs[s],
+			store.WithWAL(d, fsync), store.WithRefreshFilter(m.ownsFn(s)))
 	}
 	mb, err := json.Marshal(shardMapFile{Version: 1, Shards: nshards, Hash: shardMapHash})
 	if err != nil {
@@ -272,7 +273,8 @@ func Recover(path string, in *graph.Interner, fsync bool) (*Router, *RecoverInfo
 	}
 	for s, st := range states {
 		r.stores[s] = store.New(st.g, st.idx,
-			store.WithWAL(st.dir, fsync), store.WithBaseEpoch(info.Vector[s]))
+			store.WithWAL(st.dir, fsync), store.WithBaseEpoch(info.Vector[s]),
+			store.WithRefreshFilter(m.ownsFn(s)))
 	}
 	info.Seq = maxSeq
 	info.TornSeqs = len(torn)

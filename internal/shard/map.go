@@ -48,3 +48,10 @@ func (m Map) Of(v graph.NodeID) int {
 	z ^= z >> 31
 	return int(z % uint64(m.Shards))
 }
+
+// ownsFn returns shard s's ownership predicate — the store-level
+// Frozen-refresh filter: every frozen-adjacency read for a row is served
+// by the row's owner, so non-owner replicas skip the per-commit patch.
+func (m Map) ownsFn(s int) func(graph.NodeID) bool {
+	return func(v graph.NodeID) bool { return m.Of(v) == s }
+}

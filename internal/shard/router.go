@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +51,10 @@ type Stats struct {
 	RejectedViolation uint64
 	RejectedError     uint64
 	TouchedRows       uint64
+	// ShardTxns counts shard write transactions begun: a batch touching
+	// k shards opens k, so ShardTxns/Batches is the mean commit fan-out
+	// — the observable for the participant-only fast path.
+	ShardTxns uint64
 	// QueueDepth is the number of Apply calls waiting in the router's
 	// group-commit queue at observation time.
 	QueueDepth int
@@ -87,16 +92,27 @@ type Router struct {
 	nodes  atomic.Int64
 	edges  atomic.Int64
 
-	applied atomic.Uint64
-	batches atomic.Uint64
-	touched atomic.Uint64
-	rejViol atomic.Uint64
-	rejErr  atomic.Uint64
+	applied   atomic.Uint64
+	batches   atomic.Uint64
+	touched   atomic.Uint64
+	rejViol   atomic.Uint64
+	rejErr    atomic.Uint64
+	shardTxns atomic.Uint64 // shard transactions begun: k per batch touching k shards
 
+	// checkGlobal scratch, reused across batches (commitBatch is
+	// serialized by lmu).
+	scrTouched []access.TouchedEntry
+	scrWorst   []int
+
+	// hookBeforeShardLog, when set, runs immediately before shard s's
+	// records are appended; an error fails that shard's log step with
+	// nothing appended — the kill-point for "this shard never synced".
+	hookBeforeShardLog func(s int) error
 	// hookAfterShardLog, when set, runs after shard s's records are
-	// durably logged (post-fsync) and before the next shard's — the
-	// crash-injection point for torn cross-shard batches. An error is
-	// treated as a log failure at that point.
+	// durably logged (post-fsync) — the crash-injection point for torn
+	// cross-shard batches. An error is treated as a log failure at that
+	// point. Participants log concurrently, so crash tests coordinate the
+	// two hooks to pin exactly which subset of shards synced.
 	hookAfterShardLog func(s int) error
 }
 
@@ -118,7 +134,7 @@ func New(g *graph.Graph, idx *access.IndexSet, nshards int) (*Router, error) {
 	graphs, idxs := Partition(g, idx, m)
 	r := &Router{m: m, stores: make([]*store.Store, nshards), dirs: make([]*wal.Dir, nshards)}
 	for s := 0; s < nshards; s++ {
-		r.stores[s] = store.New(graphs[s], idxs[s])
+		r.stores[s] = store.New(graphs[s], idxs[s], store.WithRefreshFilter(m.ownsFn(s)))
 	}
 	r.nextID.Store(int64(g.Cap()))
 	r.nodes.Store(int64(g.NumNodes()))
@@ -206,26 +222,47 @@ func (r *Router) lead() {
 	}
 }
 
-// commitBatch runs one cross-shard group commit: a transaction on every
-// shard, per-delta split + stage + global verdict, per-shard envelope
-// logging in shard order, one atomic vector publication.
+// commitBatch runs one cross-shard group commit on the participant
+// shards only: the published snapshots serve as read views, a
+// transaction opens lazily on the shards the batch actually stages onto,
+// the participants' envelope records log concurrently and join before
+// the single atomic vector publication. A batch touching k of N shards
+// therefore pays k writer locks, k fsyncs and k epoch bumps; the other
+// shards' epochs simply skip the GSN — exactly the vector the all-shards
+// protocol published, since an empty-staged Commit never bumped them
+// either.
 func (r *Router) commitBatch(batch []*routerReq) {
 	settled := false
-	var txns []*store.Txn
+	n := r.m.Shards
+	txns := make([]*store.Txn, n)
 	txnsOpen := false
+	snaps := make([]*store.Snapshot, n)
+	for s := 0; s < n; s++ {
+		snaps[s] = r.stores[s].Acquire()
+	}
+	defer func() {
+		for _, sn := range snaps {
+			sn.Release()
+		}
+	}()
 	defer func() {
 		rec := recover()
 		if rec == nil {
 			return
 		}
 		// A panic mid-commit (a splitter/staging invariant violation) on
-		// any shard poisons all of them: the batch never published, the
-		// shadow states are suspect, and partial wedging would desync the
-		// shards. Fail the waiters, wedge everything, re-panic.
+		// any shard poisons all of them — including the shards the batch
+		// never opened: the batch never published, the shadow states are
+		// suspect, and partial wedging would desync the shards. Fail the
+		// waiters, wedge everything, re-panic.
 		if txnsOpen {
-			for _, t := range txns {
-				_ = t.RewindLog()
-				t.Wedge()
+			for s, t := range txns {
+				if t != nil {
+					_ = t.RewindLog()
+					t.Wedge()
+				} else {
+					r.stores[s].Wedge()
+				}
 			}
 		}
 		if !settled {
@@ -245,35 +282,39 @@ func (r *Router) commitBatch(batch []*routerReq) {
 		}
 	}
 
-	n := r.m.Shards
-	txns = make([]*store.Txn, n)
-	for s := 0; s < n; s++ {
-		t, err := r.stores[s].BeginTxn()
-		if err != nil {
-			for i := 0; i < s; i++ {
-				txns[i].Abort()
-			}
-			for _, req := range batch {
-				req.err = err
-			}
-			finish()
-			return
+	graphs := func(s int) *graph.Graph {
+		if txns[s] != nil {
+			return txns[s].Graph()
 		}
-		txns[s] = t
+		return snaps[s].G
 	}
-	txnsOpen = true
-	graphs := func(s int) *graph.Graph { return txns[s].Graph() }
 	schema := r.Schema()
+	// fan gates the CPU-bound fan-outs (staging, commit): with one
+	// schedulable CPU the goroutine handoffs cost latency and buy no
+	// parallelism. durable gates the log fan-out separately — fsyncs
+	// block in the kernel, so they overlap even on one CPU.
+	fan := runtime.GOMAXPROCS(0) > 1
+	durable := false
+	for _, d := range r.dirs {
+		if d != nil {
+			durable = true
+			break
+		}
+	}
 
 	epoch := r.gsn.Load() + 1
 	seq := r.seq.Load()
 	nextID := graph.NodeID(r.nextID.Load())
 	var accepted []*routerReq
 	// stagedReqs[s] maps shard s's staged entries (in order) back to the
-	// requests they belong to, for log-offset attribution.
+	// requests they belong to, for log-offset attribution. counted[s]
+	// dedupes the ShardTxns accounting across the batch's requests.
 	stagedReqs := make([][]*routerReq, n)
+	counted := make([]bool, n)
 	nodeDelta, edgeDelta := 0, 0
 	var totalRows uint64
+	var beginErr error
+reqs:
 	for _, req := range batch {
 		if req.d.AddNodeIDs != nil {
 			req.err = fmt.Errorf("shard: delta may not pin node IDs")
@@ -286,18 +327,87 @@ func (r *Router) commitBatch(batch []*routerReq) {
 			r.rejErr.Add(1)
 			continue
 		}
+		// Open and stage on this delta's participants concurrently: the
+		// shards are independent stores, and the fixed per-shard costs
+		// (BeginTxn's shadow catch-up, index staging) dominate small
+		// cross-shard deltas — serializing them made a k-shard delta k×
+		// slower than a single-shard one. Distinct parts write disjoint
+		// txns slots; the shared flags are reconciled after the join.
 		sds := make([]*access.StagedDelta, len(sp.parts))
+		stageBeginErrs := make([]error, len(sp.parts))
+		stageErrs := make([]error, len(sp.parts))
+		stagePanics := make([]any, len(sp.parts))
+		stageOne := func(i int) {
+			defer func() {
+				if p := recover(); p != nil {
+					stagePanics[i] = p
+				}
+			}()
+			t := sp.parts[i]
+			if txns[t] == nil {
+				tx, err := r.stores[t].BeginTxn()
+				if err != nil {
+					stageBeginErrs[i] = err
+					return
+				}
+				txns[t] = tx
+			}
+			sds[i], stageErrs[i] = txns[t].Stage(sp.subs[t], seq+1, sp.parts)
+		}
+		if len(sp.parts) <= 1 || !fan {
+			// Staging is CPU-bound (no blocking points), so on a single-CPU
+			// host the goroutine handoffs are pure overhead — run the parts
+			// in order instead.
+			for i := range sp.parts {
+				stageOne(i)
+			}
+		} else {
+			// First participant runs on this goroutine: with k parts only
+			// k-1 handoffs are paid.
+			var wg sync.WaitGroup
+			for i := 1; i < len(sp.parts); i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					stageOne(i)
+				}(i)
+			}
+			stageOne(0)
+			wg.Wait()
+		}
+		opened := uint64(0)
+		for s := 0; s < n; s++ {
+			if txns[s] != nil {
+				txnsOpen = true
+			}
+		}
+		for _, t := range sp.parts {
+			if txns[t] != nil && !counted[t] {
+				counted[t] = true
+				opened++
+			}
+		}
+		r.shardTxns.Add(opened)
+		for i := range sp.parts {
+			if p := stagePanics[i]; p != nil {
+				panic(p)
+			}
+		}
+		for i := range sp.parts {
+			if err := stageBeginErrs[i]; err != nil {
+				beginErr = err
+				break reqs
+			}
+		}
 		for i, t := range sp.parts {
-			sd, err := txns[t].Stage(sp.subs[t], seq+1, sp.parts)
-			if err != nil {
+			if err := stageErrs[i]; err != nil {
 				// splitDelta validated the delta globally; a shard
 				// refusing its sub-delta means the simulation and the
 				// shard state disagree.
 				panic(fmt.Sprintf("shard: shard %d rejected pre-validated sub-delta: %v", t, err))
 			}
-			sds[i] = sd
 		}
-		if viols := r.checkGlobal(txns, schema, sds); len(viols) > 0 {
+		if viols := r.checkGlobal(txns, snaps, schema, sds); len(viols) > 0 {
 			for i := len(sp.parts) - 1; i >= 0; i-- {
 				txns[sp.parts[i]].UnstageLast()
 			}
@@ -316,25 +426,87 @@ func (r *Router) commitBatch(batch []*routerReq) {
 		}
 		accepted = append(accepted, req)
 	}
+	if beginErr != nil {
+		// A shard refused to open (closed or wedged) partway through the
+		// batch. Nothing is logged yet, so abort every open transaction —
+		// unstaging the already-accepted deltas — and fail the batch
+		// wholesale; per-delta rejections decided before the failure keep
+		// their own verdicts.
+		for s := n - 1; s >= 0; s-- {
+			if txns[s] != nil {
+				txns[s].Abort()
+			}
+		}
+		txnsOpen = false
+		for _, req := range batch {
+			if req.err == nil {
+				req.err = beginErr
+				req.res = Result{}
+			}
+		}
+		finish()
+		return
+	}
 	if len(accepted) == 0 {
 		for s := n - 1; s >= 0; s-- {
-			txns[s].Abort()
+			if txns[s] != nil {
+				txns[s].Abort()
+			}
 		}
 		txnsOpen = false
 		finish()
 		return
 	}
 
-	// Durability: each participant logs its own envelope records, in
-	// shard order. The batch is durable once every shard synced; a
-	// failure part-way leaves a torn batch, which is rewound here (and,
-	// after a crash, by recovery's reconciliation cut).
+	// Durability: each participant logs its own envelope records
+	// concurrently; the join gates publication, so the batch is durable
+	// once every participant synced. Cross-shard ordering is not
+	// load-bearing: recovery's reconciliation cut keeps a sequence only
+	// if every participant durably holds it, whichever subset of shards
+	// survived a crash. Any failure rewinds the whole batch here.
+	parts := make([]int, 0, n)
 	for s := 0; s < n; s++ {
+		if len(stagedReqs[s]) > 0 {
+			parts = append(parts, s)
+		}
+	}
+	offsBy := make([][]int64, n)
+	logErrs := make([]error, n)
+	logOne := func(s int) {
+		if r.hookBeforeShardLog != nil {
+			if err := r.hookBeforeShardLog(s); err != nil {
+				logErrs[s] = err
+				return
+			}
+		}
 		offs, err := txns[s].Log(epoch)
 		if err == nil && r.hookAfterShardLog != nil {
 			err = r.hookAfterShardLog(s)
 		}
-		if err != nil {
+		offsBy[s], logErrs[s] = offs, err
+	}
+	if len(parts) <= 1 || !durable {
+		// Without a WAL there is nothing to overlap — Log is a no-op per
+		// shard — so skip the goroutine fan-out.
+		for _, s := range parts {
+			logOne(s)
+		}
+	} else {
+		// Durable participants log concurrently even on one CPU: the
+		// fsyncs block in the kernel, so their waits overlap.
+		var wg sync.WaitGroup
+		for _, s := range parts[1:] {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				logOne(s)
+			}(s)
+		}
+		logOne(parts[0])
+		wg.Wait()
+	}
+	for _, s := range parts {
+		if err := logErrs[s]; err != nil {
 			r.wedgeAll(txns, batch, err)
 			txnsOpen = false
 			settled = true
@@ -343,17 +515,54 @@ func (r *Router) commitBatch(batch []*routerReq) {
 			}
 			return
 		}
+	}
+	for _, s := range parts {
 		for i, req := range stagedReqs[s] {
-			req.res.LogOffsets[s] = offs[i]
+			req.res.LogOffsets[s] = offsBy[s][i]
 		}
 	}
 
-	// Publication: every shard's Commit runs under the publication write
-	// lock, so cuts observe either no shard or every shard at the new
-	// epoch.
+	// Publication: every participant's Commit runs under the publication
+	// write lock, so cuts observe either no shard or every shard at the
+	// new epoch. Open transactions whose staged deltas were all rejected
+	// commit empty (just releasing the writer lock); untouched shards
+	// keep their previous epoch in the vector.
 	r.mu.Lock()
+	open := make([]int, 0, n)
 	for s := 0; s < n; s++ {
-		txns[s].Commit(epoch)
+		if txns[s] != nil {
+			open = append(open, s)
+		}
+	}
+	if len(open) <= 1 || !fan {
+		for _, s := range open {
+			txns[s].Commit(epoch)
+		}
+	} else {
+		// Commits are per-store work (snapshot refresh, writer unlock) on
+		// independent shards; the publication lock already makes the
+		// vector advance atomic, so running them concurrently changes
+		// only the latency, not what a cut can observe.
+		commitPanics := make([]any, n)
+		var wg sync.WaitGroup
+		for _, s := range open[1:] {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				defer func() { commitPanics[s] = recover() }()
+				txns[s].Commit(epoch)
+			}(s)
+		}
+		func(s int) {
+			defer func() { commitPanics[s] = recover() }()
+			txns[s].Commit(epoch)
+		}(open[0])
+		wg.Wait()
+		for _, s := range open {
+			if p := commitPanics[s]; p != nil {
+				panic(p)
+			}
+		}
 	}
 	r.gsn.Store(epoch)
 	vector := make([]uint64, n)
@@ -382,31 +591,36 @@ func (r *Router) commitBatch(batch []*routerReq) {
 // partition — the sum is exactly the unsharded entry's size, so the
 // verdict (and the reported worst counts) is bit-identical. At most one
 // violation per constraint, in schema order, carrying the worst count.
-func (r *Router) checkGlobal(txns []*store.Txn, schema *access.Schema, sds []*access.StagedDelta) []access.Violation {
-	type key struct {
-		ci  int
-		key string
-	}
-	seen := make(map[key]struct{})
-	worst := make(map[int]int)
+// Shards without an open transaction contribute their published index —
+// nothing staged on them this batch, so published and shadow agree.
+func (r *Router) checkGlobal(txns []*store.Txn, snaps []*store.Snapshot, schema *access.Schema, sds []*access.StagedDelta) []access.Violation {
+	touched := r.scrTouched[:0]
 	for _, sd := range sds {
-		for _, te := range sd.TouchedEntries() {
-			k := key{te.CIdx, te.Key}
-			if _, dup := seen[k]; dup {
-				continue
+		touched = sd.AppendTouchedEntries(touched)
+	}
+	r.scrTouched = touched
+	if cap(r.scrWorst) < schema.Count() {
+		r.scrWorst = make([]int, schema.Count())
+	}
+	worst := r.scrWorst[:schema.Count()]
+	for i := range worst {
+		worst[i] = 0
+	}
+	for _, te := range touched {
+		total := 0
+		for s := range txns {
+			if txns[s] != nil {
+				total += txns[s].Index().EntryLen(te.CIdx, te.Key)
+			} else {
+				total += snaps[s].Idx.EntryLen(te.CIdx, te.Key)
 			}
-			seen[k] = struct{}{}
-			total := 0
-			for _, t := range txns {
-				total += t.Index().EntryLen(te.CIdx, te.Key)
-			}
-			if total > schema.At(te.CIdx).N && total > worst[te.CIdx] {
-				worst[te.CIdx] = total
-			}
+		}
+		if total > schema.At(te.CIdx).N && total > worst[te.CIdx] {
+			worst[te.CIdx] = total
 		}
 	}
 	var viols []access.Violation
-	for ci := 0; ci < schema.Count(); ci++ {
+	for ci := range worst {
 		if w := worst[ci]; w > 0 {
 			viols = append(viols, access.Violation{Constraint: schema.At(ci), Count: w})
 		}
@@ -415,17 +629,26 @@ func (r *Router) checkGlobal(txns []*store.Txn, schema *access.Schema, sds []*ac
 }
 
 // wedgeAll handles a per-shard log failure mid-batch: rewind every
-// record the batch already appended on any shard, wedge every store, and
-// fail the accepted requests — mirroring the unsharded wedge path.
+// record the batch already appended on any shard, wedge every store —
+// the ones the batch never opened included, so the fleet fails in
+// lockstep — and fail the accepted requests, mirroring the unsharded
+// wedge path.
 func (r *Router) wedgeAll(txns []*store.Txn, batch []*routerReq, cause error) {
 	rewindNote := ""
 	for _, t := range txns {
+		if t == nil {
+			continue
+		}
 		if err := t.RewindLog(); err != nil && rewindNote == "" {
 			rewindNote = fmt.Sprintf(" (log rewind also failed: %v; recovery may replay this batch)", err)
 		}
 	}
-	for _, t := range txns {
-		t.Wedge()
+	for s, t := range txns {
+		if t != nil {
+			t.Wedge()
+		} else {
+			r.stores[s].Wedge()
+		}
 	}
 	for _, req := range batch {
 		if req.err == nil {
@@ -483,6 +706,7 @@ func (r *Router) Stats() Stats {
 		RejectedViolation: r.rejViol.Load(),
 		RejectedError:     r.rejErr.Load(),
 		TouchedRows:       r.touched.Load(),
+		ShardTxns:         r.shardTxns.Load(),
 		Shards:            make([]store.Stats, len(r.stores)),
 	}
 	r.qmu.Lock()

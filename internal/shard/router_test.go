@@ -201,3 +201,78 @@ func TestRouterDifferential(t *testing.T) {
 		}
 	}
 }
+
+// TestRouterSingleShardFastPath pins the participant-only commit: a
+// delta touching one shard opens exactly one shard transaction, bumps
+// exactly one epoch-vector slot (the rest keep their previous epochs
+// while the GSN advances), and a cross-shard delta opens exactly its
+// participant count — verdicts staying identical to the unsharded store
+// throughout.
+func TestRouterSingleShardFastPath(t *testing.T) {
+	const n = 4
+	d := workload.IMDb(0.12, 7)
+	g1 := d.G.Clone()
+	idx1 := access.BuildUnchecked(g1, d.Schema)
+	ust := store.New(g1, idx1)
+	g2 := d.G.Clone()
+	idx2 := access.BuildUnchecked(g2, d.Schema)
+	r, err := New(g2, idx2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Map()
+
+	// One guaranteed-accepted intra-shard delta and one cross-shard one.
+	var intra, cross [2]graph.NodeID
+	haveIntra, haveCross := false, false
+	snap := ust.Acquire()
+	snap.G.Edges(func(a, b graph.NodeID) bool {
+		if m.Of(a) == m.Of(b) && !haveIntra {
+			intra, haveIntra = [2]graph.NodeID{a, b}, true
+		}
+		if m.Of(a) != m.Of(b) && !haveCross {
+			cross, haveCross = [2]graph.NodeID{a, b}, true
+		}
+		return !(haveIntra && haveCross)
+	})
+	snap.Release()
+	if !haveIntra || !haveCross {
+		t.Fatal("dataset lacks an intra-shard or cross-shard edge")
+	}
+
+	apply := func(d *graph.Delta, wantTxns uint64, wantBumped []int) {
+		t.Helper()
+		before := r.Stats()
+		ures, uerr := ust.Apply(d.Clone())
+		sres, serr := r.Apply(d.Clone())
+		if uerr != nil || serr != nil {
+			t.Fatalf("apply: unsharded err %v, sharded err %v", uerr, serr)
+		}
+		if ures.Epoch != sres.GSN || ures.TouchedRows != sres.TouchedRows {
+			t.Fatalf("verdict diverged: epoch %d vs GSN %d, rows %d vs %d",
+				ures.Epoch, sres.GSN, ures.TouchedRows, sres.TouchedRows)
+		}
+		after := r.Stats()
+		if got := after.ShardTxns - before.ShardTxns; got != wantTxns {
+			t.Fatalf("delta opened %d shard txns, want %d", got, wantTxns)
+		}
+		bumped := make(map[int]bool, len(wantBumped))
+		for _, s := range wantBumped {
+			bumped[s] = true
+		}
+		for s := 0; s < n; s++ {
+			if bumped[s] {
+				if after.Vector[s] != sres.GSN {
+					t.Fatalf("participant shard %d epoch %d, want GSN %d", s, after.Vector[s], sres.GSN)
+				}
+			} else if after.Vector[s] != before.Vector[s] {
+				t.Fatalf("untouched shard %d epoch moved %d -> %d", s, before.Vector[s], after.Vector[s])
+			}
+		}
+	}
+
+	// Deleting an intra-shard edge touches exactly the owner shard.
+	apply(&graph.Delta{DelEdges: [][2]graph.NodeID{intra}}, 1, []int{m.Of(intra[0])})
+	// Deleting a cross-shard edge touches exactly both endpoint owners.
+	apply(&graph.Delta{DelEdges: [][2]graph.NodeID{cross}}, 2, []int{m.Of(cross[0]), m.Of(cross[1])})
+}

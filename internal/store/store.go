@@ -98,6 +98,42 @@ type commitReq struct {
 	done chan struct{}
 }
 
+// lagEntry is one delta the published instance has absorbed but the
+// shadow has not, plus the row set its accepted stage maintained — the
+// inputs of access.IndexSet.ReplayDelta, which catches the shadow up
+// without re-running the transactional accept/reject machinery.
+type lagEntry struct {
+	d    *graph.Delta
+	rows []graph.NodeID
+}
+
+// lagRows derives a lag entry's replay row set from the accepted
+// stage's Touched set. With an ownership filter installed the non-owned
+// rows are dropped: index maintenance is owner-gated on both instances,
+// so a stub row's replay would be a no-op probe of empty structures on
+// every index — the instances stay identical without it.
+func (st *Store) lagRows(touched []graph.NodeID) []graph.NodeID {
+	if st.ownRow == nil {
+		return touched
+	}
+	n := 0
+	for _, v := range touched {
+		if st.ownRow(v) {
+			n++
+		}
+	}
+	if n == len(touched) {
+		return touched
+	}
+	kept := make([]graph.NodeID, 0, n)
+	for _, v := range touched {
+		if st.ownRow(v) {
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
 // Store is the epoch-versioned graph store. Construct with New, read with
 // Acquire/Release, write with Apply. Any number of concurrent readers;
 // concurrent writers are grouped into batches (see the package comment).
@@ -110,13 +146,17 @@ type Store struct {
 	mu     sync.Mutex // serializes batch leaders, checkpoint commits and Close
 	ckptMu sync.Mutex // serializes whole Checkpoint calls (writers keep running)
 	closed bool
-	wedged bool           // a WAL failure poisoned the shadow; writes stay barred
-	shadow *state         // instance not backing cur; nil until first Apply
-	prev   *Snapshot      // last snapshot that exposed shadow; drained before reuse
-	lag    []*graph.Delta // deltas cur's instance has seen but shadow has not
+	wedged bool       // a WAL failure poisoned the shadow; writes stay barred
+	shadow *state     // instance not backing cur; nil until first Apply
+	prev   *Snapshot  // last snapshot that exposed shadow; drained before reuse
+	lag    []lagEntry // deltas cur's instance has seen but shadow has not
 
 	dur   *wal.Dir // nil on a non-durable store
 	fsync bool
+
+	// ownRow, when set, scopes Frozen refreshes to the rows it accepts
+	// (see WithRefreshFilter).
+	ownRow func(graph.NodeID) bool
 
 	// hookAppend, when non-nil, runs before the i-th accepted delta's WAL
 	// append; a returned error takes the append-failure path. Tests use
@@ -142,6 +182,19 @@ func WithWAL(d *wal.Dir, fsync bool) Option {
 		st.dur = d
 		st.fsync = fsync
 		st.lastCheckpoint.Store(d.LastCheckpointEpoch())
+	}
+}
+
+// WithRefreshFilter restricts which touched rows each commit re-reads
+// into the CSR snapshot (Frozen). The sharded router serves every
+// frozen-adjacency read for a row from the row's owner shard, so a
+// non-owner replica (a stub node holding its copy of a cross-shard
+// edge) never has its frozen run consulted and need not pay the
+// per-commit patch for it. Only the Frozen refresh scope is affected —
+// the live graph and the indexes are always fully maintained.
+func WithRefreshFilter(own func(graph.NodeID) bool) Option {
+	return func(st *Store) {
+		st.ownRow = own
 	}
 }
 
@@ -313,7 +366,7 @@ func (st *Store) commitBatch(batch []*commitReq) {
 		// Catch the shadow up with the deltas the published instance has
 		// already absorbed. They were accepted there, and the instances
 		// were identical before them, so they must replay cleanly.
-		if _, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, ld); err != nil {
+		if err := st.shadow.idx.ReplayDelta(st.shadow.g, ld.d, ld.rows); err != nil {
 			panic("store: lag replay diverged: " + err.Error())
 		}
 	}
@@ -321,7 +374,7 @@ func (st *Store) commitBatch(batch []*commitReq) {
 
 	epoch := cur.Epoch + 1
 	var accepted []*commitReq
-	var acceptedDeltas []*graph.Delta
+	var acceptedLag []lagEntry
 	var rows []graph.NodeID
 	for _, req := range batch {
 		res, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, req.d)
@@ -341,7 +394,7 @@ func (st *Store) commitBatch(batch []*commitReq) {
 		// Keep a private copy for the lag replay and the log: the caller
 		// is free to reuse or mutate d after Apply returns, and both must
 		// reproduce the exact delta the published instance absorbed.
-		acceptedDeltas = append(acceptedDeltas, req.d.Clone())
+		acceptedLag = append(acceptedLag, lagEntry{d: req.d.Clone(), rows: st.lagRows(res.Touched)})
 	}
 	if len(accepted) == 0 {
 		// Nothing survived: no epoch, no log records, published state
@@ -364,7 +417,7 @@ func (st *Store) commitBatch(batch []*commitReq) {
 					return
 				}
 			}
-			off, err := wlog.Append(epoch, acceptedDeltas[i])
+			off, err := wlog.Append(epoch, acceptedLag[i].d)
 			if err != nil {
 				settled = true
 				st.wedge(batch, err, wlog, pre)
@@ -381,6 +434,16 @@ func (st *Store) commitBatch(batch []*commitReq) {
 		}
 	}
 
+	nrows := len(rows)
+	if st.ownRow != nil {
+		kept := rows[:0]
+		for _, v := range rows {
+			if st.ownRow(v) {
+				kept = append(kept, v)
+			}
+		}
+		rows = kept
+	}
 	next := &Snapshot{
 		G:     st.shadow.g,
 		Fz:    cur.Fz.Refresh(st.shadow.g, rows),
@@ -393,11 +456,11 @@ func (st *Store) commitBatch(batch []*commitReq) {
 	cur.retired.Store(true)
 	st.prev = cur
 	st.shadow = cur.st
-	st.lag = acceptedDeltas
+	st.lag = acceptedLag
 
 	st.applied.Add(uint64(len(accepted)))
 	st.batches.Add(1)
-	st.touched.Add(uint64(len(rows)))
+	st.touched.Add(uint64(nrows))
 	st.lastApplyNS.Store(time.Since(started).Nanoseconds())
 	finish()
 }
@@ -566,6 +629,19 @@ func (st *Store) commitCheckpointLocked(pend *wal.PendingCheckpoint) error {
 func (st *Store) Close() {
 	st.mu.Lock()
 	st.closed = true
+	st.mu.Unlock()
+}
+
+// Wedge poisons the store without an open transaction: writes are
+// permanently refused while readers keep the published epoch — the same
+// terminal state a WAL failure leaves. The shard router uses it to keep
+// every shard of a failed cross-shard batch in lockstep, including the
+// shards the batch never opened a transaction on (partially wedging the
+// fleet would let their epochs drift from the global sequence).
+func (st *Store) Wedge() {
+	st.mu.Lock()
+	st.closed = true
+	st.wedged = true
 	st.mu.Unlock()
 }
 

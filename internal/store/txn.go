@@ -50,7 +50,7 @@ func (st *Store) BeginTxn() (*Txn, error) {
 	st.waitDrained(st.prev)
 	st.prev = nil
 	for _, ld := range st.lag {
-		if _, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, ld); err != nil {
+		if err := st.shadow.idx.ReplayDelta(st.shadow.g, ld.d, ld.rows); err != nil {
 			panic("store: lag replay diverged: " + err.Error())
 		}
 	}
@@ -69,17 +69,19 @@ func (t *Txn) Index() *access.IndexSet { return t.st.shadow.idx }
 
 // Stage applies one sub-delta to the shadow state, deferring the verdict.
 // seq and shards are the envelope metadata logged with the delta (the
-// router-wide update sequence number and the participant shards). On a
-// structural error nothing is staged. A staged delta must be settled —
-// by UnstageLast, or by the transaction-level Commit/Abort — before the
+// router-wide update sequence number and the participant shards). The
+// transaction takes ownership of d — it becomes the lag-replay source
+// and log payload, so the caller must not reuse or mutate it afterwards
+// (the router hands over freshly split sub-deltas). On a structural
+// error nothing is staged. A staged delta must be settled — by
+// UnstageLast, or by the transaction-level Commit/Abort — before the
 // next Stage's rollback can be valid.
 func (t *Txn) Stage(d *graph.Delta, seq uint64, shards []int) (*access.StagedDelta, error) {
-	c := d.Clone()
-	sd, err := t.st.shadow.idx.StageDelta(t.st.shadow.g, c)
+	sd, err := t.st.shadow.idx.StageDelta(t.st.shadow.g, d)
 	if err != nil {
 		return nil, err
 	}
-	t.staged = append(t.staged, txnEntry{sd: sd, d: c, seq: seq, shards: shards})
+	t.staged = append(t.staged, txnEntry{sd: sd, d: d, seq: seq, shards: shards})
 	return sd, nil
 }
 
@@ -150,10 +152,21 @@ func (t *Txn) Commit(epoch uint64) {
 		return
 	}
 	var rows []graph.NodeID
-	deltas := make([]*graph.Delta, len(t.staged))
+	lag := make([]lagEntry, len(t.staged))
 	for i, e := range t.staged {
-		rows = append(rows, e.sd.Result().Touched...)
-		deltas[i] = e.d
+		touched := e.sd.Result().Touched
+		rows = append(rows, touched...)
+		lag[i] = lagEntry{d: e.d, rows: st.lagRows(touched)}
+	}
+	nrows := len(rows)
+	if st.ownRow != nil {
+		kept := rows[:0]
+		for _, v := range rows {
+			if st.ownRow(v) {
+				kept = append(kept, v)
+			}
+		}
+		rows = kept
 	}
 	cur := t.cur
 	next := &Snapshot{
@@ -167,10 +180,10 @@ func (t *Txn) Commit(epoch uint64) {
 	cur.retired.Store(true)
 	st.prev = cur
 	st.shadow = cur.st
-	st.lag = deltas
+	st.lag = lag
 	st.applied.Add(uint64(len(t.staged)))
 	st.batches.Add(1)
-	st.touched.Add(uint64(len(rows)))
+	st.touched.Add(uint64(nrows))
 	st.mu.Unlock()
 }
 
