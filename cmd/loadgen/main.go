@@ -14,8 +14,10 @@
 // Reads are generated bounded pattern queries; writes are add-edge
 // deltas on zipf- or uniform-selected live nodes, each followed by its
 // compensating delete so the graph orbits its initial state. -sweep runs
-// the standard {read-heavy, write-heavy} x {uniform, zipf} grid and is
-// what produces the committed BENCH_loadgen.json.
+// the standard {read-heavy, write-heavy} x {uniform, zipf} grid plus a
+// read-mostly-with-updates scenario that reports the daemon's cache hit
+// and revalidation rates, and is what produces the committed
+// BENCH_loadgen.json.
 package main
 
 import (
@@ -64,7 +66,7 @@ func registerFlags(fs *flag.FlagSet, opt *options) {
 	fs.DurationVar(&opt.duration, "duration", 10*time.Second, "measured window")
 	fs.IntVar(&opt.queries, "queries", 16, "distinct generated query patterns cycled by readers")
 	fs.DurationVar(&opt.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
-	fs.BoolVar(&opt.sweep, "sweep", false, "run the {read-heavy, write-heavy} x {uniform, zipf} grid (ignores -read-pct/-zipf)")
+	fs.BoolVar(&opt.sweep, "sweep", false, "run the {read-heavy, write-heavy} x {uniform, zipf} grid plus the read-mostly cache scenario (ignores -read-pct/-zipf)")
 	fs.StringVar(&opt.out, "out", "", "write the JSON report here ('' = stdout; -sweep default BENCH_loadgen.json)")
 }
 

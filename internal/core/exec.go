@@ -85,6 +85,13 @@ type ExecConfig struct {
 	// be set to the router's node→shard map.
 	Shards  []ShardView
 	ShardOf func(graph.NodeID) int
+	// Footprint, when non-nil, records the execution's read set — the
+	// rows each plan op resolved to and the type-1 labels it consulted
+	// (see Footprint for why that set determines the answer). Recording
+	// happens only on the calling goroutine, after each op's parallel
+	// phase has merged, so a shared ExecConfig prototype stays safe as
+	// long as the footprint itself serves one execution at a time.
+	Footprint *Footprint
 }
 
 // ShardView is one shard's pinned state inside a consistent cut: its
@@ -182,6 +189,7 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 	var ctx context.Context
 	var shards []ShardView
 	var shardOf func(graph.NodeID) int
+	var fp *Footprint
 	if cfg != nil {
 		if cfg.Workers > 1 {
 			workers = cfg.Workers
@@ -189,6 +197,7 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 		fz = cfg.Frozen
 		scratch = cfg.Scratch
 		ctx = cfg.Ctx
+		fp = cfg.Footprint
 		if len(cfg.Shards) > 0 {
 			shards = cfg.Shards
 			shardOf = cfg.ShardOf
@@ -439,6 +448,18 @@ func (p *Plan) ExecWith(g *graph.Graph, idx *access.IndexSet, cfg *ExecConfig) (
 		}
 		cmat[op.U] = result
 		fetched[op.U] = true
+		if fp != nil {
+			// The op's resolved rows enter the read set; tuple inputs of
+			// later ops are drawn from these, so recording each op's final
+			// candidates transitively covers every index key the plan
+			// probes. Type-1 ops additionally pin the consulted label —
+			// their entries shift on bare node inserts/deletes that touch
+			// no recorded row.
+			fp.addRows(result)
+			if op.Deps == nil {
+				fp.addLabel(p.A.At(op.CIdx).L)
+			}
+		}
 	}
 	for ui := 0; ui < n; ui++ {
 		if !fetched[ui] {

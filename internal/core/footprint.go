@@ -1,0 +1,102 @@
+package core
+
+import "boundedg/internal/graph"
+
+// maxFootprintRows caps the number of distinct rows a footprint records.
+// Past it the footprint marks itself overflowed and stops accumulating:
+// an overflowed footprint answers Disjoint with false, so a cached result
+// backed by one is never promoted — correctness degrades to recomputation,
+// never to a wrong answer. Bounded evaluation keeps real footprints far
+// below this (the fetched fragment is access-constraint-bounded,
+// independent of |G|); the cap exists for adversarially broad queries.
+const maxFootprintRows = 1 << 16
+
+// Footprint is the read set of one plan execution: every row whose index
+// entries or adjacency the evaluation consulted, plus the labels of the
+// type-1 constraints it probed. A cached answer (including its access
+// stats) is a pure function of this set:
+//
+//   - every index entry the plan looks up is keyed by a tuple of
+//     already-fetched rows (which are in the footprint), and an entry's
+//     membership changes only when edges incident to its key rows change —
+//     so any entry drift implies a changed row inside the footprint;
+//   - type-1 entries (empty key) are the exception: they list all
+//     l-labeled rows, so a bare node insert or delete shifts them without
+//     touching any pre-existing row the plan saw. The consulted labels
+//     cover that case — the store's change summaries carry the labels of
+//     inserted and deleted nodes;
+//   - label and value predicates, and direction probes on fetched pairs,
+//     read only footprint rows (labels and values are immutable).
+//
+// Therefore: if a span of epochs changed no footprint row and inserted or
+// deleted no node carrying a consulted type-1 label, the answer at the
+// old epoch is bit-identical to a fresh execution at the new one — the
+// promotion invariant the server's revalidating result cache relies on.
+type Footprint struct {
+	rows     map[graph.NodeID]struct{}
+	labels   map[graph.Label]struct{}
+	overflow bool
+}
+
+// NewFootprint returns an empty footprint ready to be attached to an
+// ExecConfig. A footprint serves one execution at a time.
+func NewFootprint() *Footprint {
+	return &Footprint{rows: make(map[graph.NodeID]struct{}), labels: make(map[graph.Label]struct{})}
+}
+
+// addRows records the rows a plan op resolved to.
+func (f *Footprint) addRows(vs []graph.NodeID) {
+	if f.overflow {
+		return
+	}
+	for _, v := range vs {
+		if len(f.rows) >= maxFootprintRows {
+			f.overflow = true
+			return
+		}
+		f.rows[v] = struct{}{}
+	}
+}
+
+// addLabel records a consulted type-1 constraint's label.
+func (f *Footprint) addLabel(l graph.Label) { f.labels[l] = struct{}{} }
+
+// Overflowed reports whether the row cap was hit; an overflowed footprint
+// is unusable for promotion (Disjoint always answers false).
+func (f *Footprint) Overflowed() bool { return f.overflow }
+
+// NumRows returns the number of distinct rows recorded.
+func (f *Footprint) NumRows() int { return len(f.rows) }
+
+// HasRow reports whether row v is in the footprint.
+func (f *Footprint) HasRow(v graph.NodeID) bool {
+	_, ok := f.rows[v]
+	return ok
+}
+
+// HasLabel reports whether type-1 label l was consulted.
+func (f *Footprint) HasLabel(l graph.Label) bool {
+	_, ok := f.labels[l]
+	return ok
+}
+
+// Disjoint reports whether the footprint intersects neither the changed
+// rows nor the inserted/deleted-node labels of a change summary — the
+// promotion test. An overflowed footprint is never disjoint: rows it
+// failed to record could be among the changes.
+func (f *Footprint) Disjoint(rows []graph.NodeID, labels []graph.Label) bool {
+	if f.overflow {
+		return false
+	}
+	for _, v := range rows {
+		if _, ok := f.rows[v]; ok {
+			return false
+		}
+	}
+	for _, l := range labels {
+		if _, ok := f.labels[l]; ok {
+			return false
+		}
+	}
+	return true
+}

@@ -136,6 +136,23 @@ type ClassReport struct {
 	Latency hist.Summary `json:"latency"`
 }
 
+// CacheReport is the daemon result cache's activity across the run
+// (warmup included), computed as the difference of the /stats cache
+// counters between the bracketing scrapes. HitRate is hits over cache
+// lookups (hits + misses); RevalidationRate is the fraction of hits that
+// were stale entries promoted by delta-intersection revalidation rather
+// than served at their original epoch. All zero against a daemon running
+// with the cache disabled.
+type CacheReport struct {
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Revalidated uint64  `json:"revalidated"`
+	Recomputed  uint64  `json:"recomputed"`
+	RingOutrun  uint64  `json:"ring_outrun"`
+	HitRate     float64 `json:"hit_rate"`
+	RevalRate   float64 `json:"revalidation_rate"`
+}
+
 // Report is the outcome of one Run, ready for BENCH_loadgen.json.
 type Report struct {
 	Name        string  `json:"name,omitempty"`
@@ -161,6 +178,9 @@ type Report struct {
 	// ServerLatency is the daemon's own /stats handling-time block at
 	// run end, separating server time from client-side queueing.
 	ServerLatency server.LatencyStats `json:"server_latency"`
+
+	// Cache is the daemon result cache's activity over the run.
+	Cache CacheReport `json:"cache"`
 }
 
 // run-shared mutable state, split from Report so workers touch only
@@ -272,7 +292,27 @@ func Run(cfg Config) (*Report, error) {
 		ServerLatency:   endStats.Latency,
 	}
 	rep.OpsPerSec = float64(rep.Read.Ops+rep.Write.Ops) / elapsed.Seconds()
+	rep.Cache = cacheDelta(startStats.Cache, endStats.Cache)
 	return rep, nil
+}
+
+// cacheDelta subtracts the bracketing /stats cache counters and derives
+// the rates.
+func cacheDelta(start, end server.CacheStats) CacheReport {
+	cr := CacheReport{
+		Hits:        end.Hits - start.Hits,
+		Misses:      end.Misses - start.Misses,
+		Revalidated: end.Revalidated - start.Revalidated,
+		Recomputed:  end.Recomputed - start.Recomputed,
+		RingOutrun:  end.RingOutrun - start.RingOutrun,
+	}
+	if lookups := cr.Hits + cr.Misses; lookups > 0 {
+		cr.HitRate = float64(cr.Hits) / float64(lookups)
+	}
+	if cr.Hits > 0 {
+		cr.RevalRate = float64(cr.Revalidated) / float64(cr.Hits)
+	}
+	return cr
 }
 
 func scrapeStats(cfg Config) (*server.StatsResponse, error) {
@@ -405,7 +445,11 @@ type SweepDoc struct {
 }
 
 // Sweep runs the standard {read-heavy, write-heavy} × {uniform, zipf}
-// grid with base's dataset, worker and timing knobs, naming each run.
+// grid plus a read-mostly-with-updates scenario (the cache-revalidation
+// stress: a 95% read mix whose sparse writes keep advancing the epoch,
+// so steady-state cache hits exist only because stale entries are
+// promoted), with base's dataset, worker and timing knobs, naming each
+// run.
 func Sweep(base Config) (*SweepDoc, error) {
 	doc := &SweepDoc{
 		Note: "cmd/loadgen -sweep; closed-loop unless rate_ops is set; latencies are client-observed round trips in ns, server_latency is the daemon's own handling time",
@@ -429,5 +473,14 @@ func Sweep(base Config) (*SweepDoc, error) {
 			doc.Runs = append(doc.Runs, rep)
 		}
 	}
+	cfg := base
+	cfg.ReadPct = 0.95
+	cfg.ZipfS = 0
+	rep, err := Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("read-mostly/updates: %w", err)
+	}
+	rep.Name = "read-mostly/updates"
+	doc.Runs = append(doc.Runs, rep)
 	return doc, nil
 }

@@ -90,6 +90,8 @@ func TestSmoke(t *testing.T) {
 		`"count"`, `"mean_ns"`, `"p50_ns"`, `"p95_ns"`, `"p99_ns"`, `"max_ns"`,
 		`"ops_per_sec"`, `"gsn_start"`, `"gsn_end"`, `"order_violations"`,
 		`"server_latency"`,
+		`"cache"`, `"hits"`, `"misses"`, `"revalidated"`, `"recomputed"`,
+		`"ring_outrun"`, `"hit_rate"`, `"revalidation_rate"`,
 	} {
 		if !bytes.Contains(raw, []byte(field)) {
 			t.Fatalf("report JSON lacks %s:\n%s", field, raw)
@@ -106,6 +108,17 @@ func TestSmoke(t *testing.T) {
 	// The daemon's own /stats histogram saw the same traffic.
 	if rep.ServerLatency.Query.Count == 0 || rep.ServerLatency.Update.Count == 0 {
 		t.Fatalf("server-side latency block empty: %+v", rep.ServerLatency)
+	}
+
+	// The daemon ran with its result cache on; cycling a fixed query set
+	// must produce cache hits, and the hit rate must be consistent with
+	// the raw counters.
+	if rep.Cache.Hits == 0 {
+		t.Fatalf("no cache hits despite a cycled query set: %+v", rep.Cache)
+	}
+	wantRate := float64(rep.Cache.Hits) / float64(rep.Cache.Hits+rep.Cache.Misses)
+	if rep.Cache.HitRate != wantRate {
+		t.Fatalf("hit_rate %v inconsistent with counters %+v", rep.Cache.HitRate, rep.Cache)
 	}
 }
 

@@ -83,6 +83,11 @@ type Query struct {
 	// FetchOnly stops after fetching the bounded subgraph GQ, skipping
 	// the matching phase; Result.Sub/Sim stay nil.
 	FetchOnly bool
+	// NeedFootprint records the execution's read set (see core.Footprint)
+	// and returns it on Result.Footprint — the input of the server
+	// cache's delta-intersection revalidation. Off by default: recording
+	// costs a map insert per fetched candidate.
+	NeedFootprint bool
 }
 
 // Result is the outcome of one query: the fetched bounded subgraph with
@@ -102,7 +107,10 @@ type Result struct {
 	// an unsharded engine; on a sharded one, Epoch is the cut's global
 	// sequence number and Vector its per-shard epochs.
 	Vector []uint64
-	Err    error
+	// Footprint is the execution's read set, set only on success and only
+	// when the query asked for it (Query.NeedFootprint).
+	Footprint *core.Footprint
+	Err       error
 }
 
 // Future is the async handle returned by Submit.
@@ -265,6 +273,18 @@ func (e *Engine) Version() uint64 {
 	return e.src.Epoch()
 }
 
+// ChangedSince reports the union of changes between version e and some
+// version S ≥ the current one (store epochs, or GSNs when sharded) — the
+// revalidation input for caches holding results computed at e. ok is
+// false when the source's recent-deltas ring cannot vouch for the span;
+// see store.Store.ChangedSince and shard.Router.ChangedSince.
+func (e *Engine) ChangedSince(epoch uint64) (store.ChangeSummary, bool) {
+	if e.router != nil {
+		return e.router.ChangedSince(epoch)
+	}
+	return e.src.ChangedSince(epoch)
+}
+
 // UpdateOutcome reports one delta applied through the engine's source,
 // unifying store.Result and shard.Result for the serving layer.
 type UpdateOutcome struct {
@@ -337,6 +357,9 @@ func (e *Engine) worker() {
 			t.fut.res = Result{Err: err, Epoch: t.version()}
 		} else if t.cut != nil {
 			cfg.Ctx = t.ctx
+			if t.q.NeedFootprint {
+				cfg.Footprint = core.NewFootprint()
+			}
 			views = views[:0]
 			for _, sn := range t.cut.Snaps {
 				views = append(views, core.ShardView{G: sn.G, Fz: sn.Fz, Idx: sn.Idx})
@@ -345,13 +368,18 @@ func (e *Engine) worker() {
 			cfg.ShardOf = shardOf
 			t.fut.res = e.eval(t.q, cfg, nil, nil, t.cut.GSN, t.cut.Vector)
 			cfg.Ctx = nil
+			cfg.Footprint = nil
 			cfg.Shards = nil
 			cfg.ShardOf = nil
 		} else {
 			cfg.Ctx = t.ctx
+			if t.q.NeedFootprint {
+				cfg.Footprint = core.NewFootprint()
+			}
 			cfg.Frozen = t.snap.Fz
 			t.fut.res = e.eval(t.q, cfg, t.snap.G, t.snap.Idx, t.snap.Epoch, nil)
 			cfg.Ctx = nil
+			cfg.Footprint = nil
 			cfg.Frozen = nil
 		}
 		t.release()
@@ -506,7 +534,7 @@ func (e *Engine) eval(q Query, cfg *core.ExecConfig, g *graph.Graph, idx *access
 	if err != nil {
 		return Result{Err: err, Epoch: epoch, Vector: vector}
 	}
-	res := Result{BG: bg, Stats: stats, Epoch: epoch, Vector: vector}
+	res := Result{BG: bg, Stats: stats, Epoch: epoch, Vector: vector, Footprint: cfg.Footprint}
 	if q.FetchOnly {
 		return res
 	}

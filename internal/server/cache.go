@@ -3,21 +3,19 @@ package server
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
 )
 
 // lru is a small mutex-guarded LRU map. The server keeps two: the result
-// cache (normalized pattern + query args -> response) and the
+// cache (normalized pattern + query args -> cacheEntry) and the
 // parsed-pattern cache (normalized pattern -> *pattern.Pattern, so repeat
 // queries present the engine with a stable pointer and hit its plan
-// cache).
+// cache). Hit/miss accounting lives with the caller — only the server
+// knows whether a stale result entry revalidated or recomputed.
 type lru struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
-
-	hits, misses atomic.Uint64
 }
 
 type lruEntry struct {
@@ -32,8 +30,6 @@ func newLRU(cap int) *lru {
 }
 
 // Get returns the cached value for key, marking it most recently used.
-// A disabled cache neither hits nor counts misses — its counters stay
-// zero so /stats reads as "no cache", not "cold cache".
 func (c *lru) Get(key string) (any, bool) {
 	if c.cap <= 0 {
 		return nil, false
@@ -42,10 +38,8 @@ func (c *lru) Get(key string) (any, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses.Add(1)
 		return nil, false
 	}
-	c.hits.Add(1)
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }
@@ -53,13 +47,24 @@ func (c *lru) Get(key string) (any, bool) {
 // Put inserts (or refreshes) key, evicting the least recently used entry
 // when the cache is full.
 func (c *lru) Put(key string, val any) {
+	c.PutIf(key, val, func(any) bool { return true })
+}
+
+// PutIf inserts key if absent; if key is present, the existing value is
+// replaced only when replace(existing) says so — the decision runs under
+// the cache lock, so a slow writer racing a newer one cannot clobber it
+// (the server replaces result entries only by strictly newer epoch).
+// Either way the entry is marked most recently used.
+func (c *lru) PutIf(key string, val any, replace func(existing any) bool) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = val
+		if replace(el.Value.(*lruEntry).val) {
+			el.Value.(*lruEntry).val = val
+		}
 		c.order.MoveToFront(el)
 		return
 	}
@@ -76,9 +81,4 @@ func (c *lru) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
-}
-
-// Counters returns the cumulative hit and miss counts.
-func (c *lru) Counters() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
 }

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"boundedg/internal/graph"
+	"boundedg/internal/workload"
+)
+
+// postQueryNorm posts a query body and returns status plus the response
+// normalized for cached-vs-fresh comparison: besides the volatile fields
+// postRaw drops, it also drops the "cached" marker — everything else
+// (matches, access stats, epoch, vector) must be byte-identical whether
+// the answer came from a promoted cache entry or a fresh execution.
+func postQueryNorm(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode (status %d): %v", resp.StatusCode, err)
+	}
+	delete(v, "elapsed_ms")
+	delete(v, "cached")
+	norm, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, norm
+}
+
+// cacheCounters scrapes the /stats cache block.
+func cacheCounters(t *testing.T, e *env) CacheStats {
+	t.Helper()
+	resp, err := http.Get(e.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr.Cache
+}
+
+// TestCacheRevalidationProperty is the differential property test for
+// epoch-surviving cache promotion: two identical servers — one with the
+// result cache on, one with it disabled — receive the same update and
+// query stream, and every response must be byte-identical (modulo the
+// "cached" marker). Updates mix footprint-intersecting deltas (forcing
+// recomputation) with edge flips inside a disjoint pad region (allowing
+// promotion), so both freshen outcomes are exercised; the test fails if
+// the cached server never actually revalidated or never recomputed.
+func TestCacheRevalidationProperty(t *testing.T) {
+	cfgOn := Config{EnableUpdates: true, MaxLimit: 1 << 20, DefaultLimit: 1 << 20}
+	cfgOff := cfgOn
+	cfgOff.CacheSize = -1
+
+	t.Run("unsharded", func(t *testing.T) {
+		d := workload.IMDb(0.05, 9)
+		oracle := d.G.Clone()
+		cached := newEnv(t, d, cfgOn)
+		fresh := newEnv(t, workload.IMDb(0.05, 9), cfgOff)
+		runCacheDifferential(t, cached, fresh, oracle)
+	})
+	for _, n := range shardSweep(t, []int{2}) {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			d := workload.IMDb(0.05, 9)
+			oracle := d.G.Clone()
+			cached := newShardedEnv(t, d, n, cfgOn)
+			fresh := newShardedEnv(t, workload.IMDb(0.05, 9), n, cfgOff)
+			runCacheDifferential(t, cached, fresh, oracle)
+		})
+	}
+}
+
+// runCacheDifferential drives the paired servers. oracle is a private
+// clone of the servers' initial graph, kept in lockstep by replaying
+// every accepted delta — the update generator reads it instead of the
+// servers' internals, which keeps this test shape-agnostic (the sharded
+// engine has no single store snapshot to acquire).
+func runCacheDifferential(t *testing.T, cached, fresh *env, oracle *graph.Graph) {
+	t.Helper()
+	queries := workload.DefaultQueryGen.Generate(cached.d, 10, 4)
+	if len(queries) == 0 {
+		t.Fatal("no queries generated")
+	}
+
+	// postUpdate applies one delta to both servers and insists the
+	// verdicts (status, epoch, assigned IDs, touched rows) agree; both
+	// servers evolved from identical datasets, so they must stay in
+	// lockstep. Returns the cached server's decoded response.
+	postUpdate := func(d *graph.Delta) (int, UpdateResponse) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf, cached.d.In); err != nil {
+			t.Fatal(err)
+		}
+		cs, cb := postRaw(t, cached.ts.URL+"/update", buf.Bytes())
+		fs, fb := postRaw(t, fresh.ts.URL+"/update", buf.Bytes())
+		if cs != fs || !bytes.Equal(cb, fb) {
+			t.Fatalf("update verdicts diverged:\ncached: %d %s\nfresh:  %d %s", cs, cb, fs, fb)
+		}
+		var ur UpdateResponse
+		if cs == http.StatusOK {
+			if err := json.Unmarshal(cb, &ur); err != nil {
+				t.Fatal(err)
+			}
+			ids, err := d.Clone().Apply(oracle)
+			if err != nil {
+				t.Fatalf("oracle rejected a server-accepted delta: %v", err)
+			}
+			if len(ids) != len(ur.NewIDs) {
+				t.Fatalf("oracle assigned %d ids, server %d", len(ids), len(ur.NewIDs))
+			}
+			for i := range ids {
+				if ids[i] != ur.NewIDs[i] {
+					t.Fatalf("oracle id %d, server id %d", ids[i], ur.NewIDs[i])
+				}
+			}
+		}
+		return cs, ur
+	}
+
+	// Set up the pad region: two fresh nodes joined by an edge, using
+	// the first label the access bounds still have headroom for. Edge
+	// flips between them are disjoint from any footprint that contains
+	// neither node, so queries seeded on other labels can promote.
+	labels := oracle.Labels()
+	var pad [2]graph.NodeID
+	padOK := false
+	for _, l := range labels {
+		d := &graph.Delta{
+			AddNodes: []graph.NodeSpec{{Label: l}, {Label: l}},
+			AddEdges: [][2]graph.NodeID{{graph.NewNodeRef(0), graph.NewNodeRef(1)}},
+		}
+		if status, ur := postUpdate(d); status == http.StatusOK {
+			pad[0], pad[1] = ur.NewIDs[0], ur.NewIDs[1]
+			padOK = true
+			break
+		}
+	}
+	if !padOK {
+		t.Fatal("no label has headroom for the pad region")
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	qi := 0
+	padHasEdge := true
+	for round := 0; round < 12; round++ {
+		// One footprint-intersecting update (random against live rows;
+		// rejections are fine — both servers must agree either way) and
+		// one pad edge flip per round.
+		postUpdate(shardUpdateDelta(rng, oracle))
+
+		flip := &graph.Delta{}
+		if padHasEdge {
+			flip.DelEdges = [][2]graph.NodeID{{pad[0], pad[1]}}
+		} else {
+			flip.AddEdges = [][2]graph.NodeID{{pad[0], pad[1]}}
+		}
+		if status, _ := postUpdate(flip); status == http.StatusOK {
+			padHasEdge = !padHasEdge
+		}
+
+		for k := 0; k < 3; k++ {
+			q := queries[qi%len(queries)]
+			sem := "subgraph"
+			if qi%2 == 1 {
+				sem = "simulation"
+			}
+			qi++
+			body, err := json.Marshal(QueryRequest{Pattern: q.String(), Sem: sem})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, cb := postQueryNorm(t, cached.ts.URL, body)
+			fs, fb := postQueryNorm(t, fresh.ts.URL, body)
+			if cs != fs {
+				t.Fatalf("round %d q%d/%s: status %d cached vs %d fresh", round, qi, sem, cs, fs)
+			}
+			if !bytes.Equal(cb, fb) {
+				t.Fatalf("round %d q%d/%s: responses diverged\ncached: %s\nfresh:  %s", round, qi, sem, cb, fb)
+			}
+		}
+	}
+
+	cc := cacheCounters(t, cached)
+	if cc.Revalidated == 0 {
+		t.Fatalf("cached server never promoted an entry: %+v", cc)
+	}
+	if cc.Recomputed == 0 {
+		t.Fatalf("cached server never recomputed a stale entry: %+v", cc)
+	}
+	fc := cacheCounters(t, fresh)
+	if fc.Hits != 0 || fc.Revalidated != 0 || fc.Recomputed != 0 || fc.RingOutrun != 0 || fc.Misses != 0 {
+		t.Fatalf("disabled cache reported activity: %+v", fc)
+	}
+}

@@ -9,9 +9,14 @@
 //
 // When updates are enabled the server is a read/write store: POST /update
 // applies a graph.Delta through the engine's epoch-versioned store,
-// publishing a new epoch snapshot that subsequent queries (and cache
-// lookups — result-cache keys carry the epoch) see immediately, while
-// queries already in flight keep the epoch they were submitted under.
+// publishing a new epoch snapshot that subsequent queries see
+// immediately, while queries already in flight keep the epoch they were
+// submitted under. Cached results are epoch-surviving: each entry carries
+// the read footprint of its execution (core.Footprint), and an entry
+// stale by epoch is revalidated against the store's recent-deltas ring —
+// if the epochs since it was computed changed nothing it read, it is
+// promoted in place and served without re-execution (see the cache
+// section of docs/ARCHITECTURE.md for the invariant).
 //
 // Endpoints:
 //
@@ -209,12 +214,22 @@ type WALStats struct {
 	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
 }
 
-// CacheStats reports the result cache's state in /stats.
+// CacheStats reports the result cache's state in /stats. Hits counts
+// every request served from the cache without re-execution; Revalidated
+// is the subset of Hits where the entry was stale by epoch and promoted
+// after its footprint proved disjoint from the changes. Misses counts
+// requests that executed; Recomputed and RingOutrun are the subsets that
+// found a stale entry but could not promote it — the footprint
+// intersected the changes (or had overflowed), or the recent-deltas ring
+// no longer covered the span. All counters stay zero on a disabled cache.
 type CacheStats struct {
-	Size     int    `json:"size"`
-	Capacity int    `json:"capacity"`
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
+	Size        int    `json:"size"`
+	Capacity    int    `json:"capacity"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Revalidated uint64 `json:"revalidated"`
+	Recomputed  uint64 `json:"recomputed"`
+	RingOutrun  uint64 `json:"ring_outrun"`
 }
 
 // LatencyStats reports the server-side handling-time histograms per op
@@ -275,6 +290,23 @@ type Server struct {
 
 	served, errors      atomic.Uint64
 	latQuery, latUpdate hist.H
+
+	// Result-cache accounting (see CacheStats). Hits/misses live here
+	// rather than in the LRU because only the serving path knows whether
+	// a stale entry revalidated or had to recompute.
+	cacheHits, cacheMisses            atomic.Uint64
+	cacheReval, cacheRecomp, cacheOut atomic.Uint64
+}
+
+// cacheEntry is one result-cache value: the cached response, the epoch
+// (or GSN) it is valid at, and the read footprint of the execution that
+// produced it. Entries are immutable — promotion to a newer epoch
+// replaces the entry, guarded by PutIf so a racing slower writer can
+// never roll an entry's epoch back.
+type cacheEntry struct {
+	resp  *QueryResponse
+	epoch uint64
+	fp    *core.Footprint
 }
 
 // New returns a server over eng. in must be the interner shared by the
@@ -393,12 +425,57 @@ func (s *Server) normalize(src string) (*pattern.Pattern, string, error) {
 	return q, canon, nil
 }
 
-// cacheKey includes the epoch the response was computed at, so an update
-// invalidates every older result in one stroke: post-update lookups use
-// the new epoch and can never see a pre-update answer, while the stale
-// entries age out of the LRU.
-func cacheKey(epoch uint64, canon string, sem core.Semantics, limit int) string {
-	return fmt.Sprintf("%d|%d|%d|%s", epoch, sem, limit, canon)
+// cacheKey identifies a query by what it asks, not when it was answered:
+// the epoch deliberately stays OUT of the key, so an entry computed at an
+// older epoch is still found after updates and gets the chance to
+// revalidate instead of being recomputed. Staleness is handled at the
+// entry level (cacheEntry.epoch plus the freshen path); a pre-update
+// answer can never be served at a newer version without the footprint
+// check vouching for it.
+func cacheKey(canon string, sem core.Semantics, limit int) string {
+	return fmt.Sprintf("%d|%d|%s", sem, limit, canon)
+}
+
+// freshen decides whether a cached entry may be served at the engine's
+// current version. Current entries pass straight through; a stale entry
+// is revalidated against the recent-deltas ring: if every epoch since it
+// was computed changed nothing in its read footprint (and inserted or
+// deleted no node whose label a consulted type-1 entry lists), the answer
+// is bit-identical at the new version, so the entry is promoted in place
+// — an O(|Δ|) set intersection instead of a re-execution. Promotion is
+// refused (recompute instead) when the ring was outrun, the footprint
+// overflowed or intersects the changes, or — sharded — the summary
+// carries no epoch vector to restamp the response with.
+func (s *Server) freshen(key string, ent *cacheEntry) (*QueryResponse, bool) {
+	ver := s.eng.Version()
+	if ent.epoch >= ver {
+		return ent.resp, true
+	}
+	sum, ok := s.eng.ChangedSince(ent.epoch)
+	if !ok {
+		s.cacheOut.Add(1)
+		return nil, false
+	}
+	if sum.Epoch < ver || ent.fp == nil || !ent.fp.Disjoint(sum.Rows, sum.Labels) {
+		s.cacheRecomp.Add(1)
+		return nil, false
+	}
+	resp := ent.resp
+	if s.eng.Router() != nil {
+		if sum.Vector == nil {
+			// No vector to restamp with — a promoted response must report
+			// the exact cut a fresh execution at sum.Epoch would pin.
+			s.cacheRecomp.Add(1)
+			return nil, false
+		}
+		v := *ent.resp
+		v.Vector = sum.Vector
+		resp = &v
+	}
+	promoted := &cacheEntry{resp: resp, epoch: sum.Epoch, fp: ent.fp}
+	s.results.PutIf(key, promoted, func(old any) bool { return old.(*cacheEntry).epoch < sum.Epoch })
+	s.cacheReval.Add(1)
+	return resp, true
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -442,14 +519,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey(s.eng.Version(), canon, sem, limit)
+	cacheOn := s.cfg.CacheSize > 0
+	key := cacheKey(canon, sem, limit)
 	if v, ok := s.results.Get(key); ok {
-		resp := *v.(*QueryResponse) // shallow copy; cached fields are read-only
-		resp.Cached = true
-		resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
-		s.served.Add(1)
-		s.writeJSON(w, http.StatusOK, resp)
-		return
+		if cached, ok := s.freshen(key, v.(*cacheEntry)); ok {
+			s.cacheHits.Add(1)
+			resp := *cached // shallow copy; cached fields are read-only
+			resp.Cached = true
+			resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+			s.served.Add(1)
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		s.cacheMisses.Add(1)
+	} else if cacheOn {
+		s.cacheMisses.Add(1)
 	}
 
 	// The request context already dies with the client connection; layer
@@ -479,6 +563,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Pattern: q,
 		Sem:     sem,
 		Sub:     match.SubgraphOptions{StoreMatches: true, MaxMatches: limit, MaxSteps: s.cfg.MaxSteps},
+		// The footprint makes the cached result epoch-surviving; without
+		// a cache it would be recorded for nothing.
+		NeedFootprint: cacheOn,
 	})
 	if res.Err != nil {
 		switch {
@@ -521,10 +608,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Pairs = res.Sim.Pairs()
 		resp.Complete = true
 	}
-	// Cache under the epoch that actually produced the answer: if an
-	// update landed between the lookup and the evaluation, the result
-	// belongs to the newer epoch and must not shadow either key.
-	s.results.Put(cacheKey(res.Epoch, canon, sem, limit), resp)
+	// Cache tagged with the epoch that actually produced the answer, and
+	// only over a strictly older entry: two executions of the same query
+	// may race, and the one that pinned the newer epoch must win no
+	// matter which writes last.
+	if cacheOn {
+		ent := &cacheEntry{resp: resp, epoch: res.Epoch, fp: res.Footprint}
+		s.results.PutIf(key, ent, func(old any) bool { return old.(*cacheEntry).epoch < res.Epoch })
+	}
 
 	out := *resp
 	out.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
@@ -602,7 +693,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	hits, misses := s.results.Counters()
 	capacity := s.cfg.CacheSize
 	if capacity < 0 {
 		capacity = 0 // disabled reads as "no cache"
@@ -612,10 +702,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Constraints: s.eng.Schema().Count(),
 		Engine:      s.eng.Stats(),
 		Cache: CacheStats{
-			Size:     s.results.Len(),
-			Capacity: capacity,
-			Hits:     hits,
-			Misses:   misses,
+			Size:        s.results.Len(),
+			Capacity:    capacity,
+			Hits:        s.cacheHits.Load(),
+			Misses:      s.cacheMisses.Load(),
+			Revalidated: s.cacheReval.Load(),
+			Recomputed:  s.cacheRecomp.Load(),
+			RingOutrun:  s.cacheOut.Load(),
 		},
 		Latency: LatencyStats{
 			Query:  s.latQuery.Summarize(),

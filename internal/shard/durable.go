@@ -56,7 +56,7 @@ func Create(path string, in *graph.Interner, g *graph.Graph, idx *access.IndexSe
 		return nil, fmt.Errorf("shard: create dir: %w", err)
 	}
 	graphs, idxs := Partition(g, idx, m)
-	r := &Router{m: m, stores: make([]*store.Store, nshards), dirs: make([]*wal.Dir, nshards), fsync: fsync}
+	r := &Router{m: m, stores: make([]*store.Store, nshards), dirs: make([]*wal.Dir, nshards), fsync: fsync, clog: store.NewChangeLog(0)}
 	for s := 0; s < nshards; s++ {
 		d, err := wal.OpenDirEnveloped(shardPath(path, s), in)
 		if err != nil {
@@ -67,7 +67,8 @@ func Create(path string, in *graph.Interner, g *graph.Graph, idx *access.IndexSe
 		}
 		r.dirs[s] = d
 		r.stores[s] = store.New(graphs[s], idxs[s],
-			store.WithWAL(d, fsync), store.WithRefreshFilter(m.ownsFn(s)))
+			store.WithWAL(d, fsync), store.WithRefreshFilter(m.ownsFn(s)),
+			store.WithChangeLog(-1))
 	}
 	mb, err := json.Marshal(shardMapFile{Version: 1, Shards: nshards, Hash: shardMapHash})
 	if err != nil {
@@ -212,7 +213,7 @@ func Recover(path string, in *graph.Interner, fsync bool) (*Router, *RecoverInfo
 	info := &RecoverInfo{Vector: make([]uint64, n)}
 	maxSeq := uint64(0)
 	torn := make(map[uint64]bool)
-	r := &Router{m: m, stores: make([]*store.Store, n), dirs: make([]*wal.Dir, n), fsync: fsync}
+	r := &Router{m: m, stores: make([]*store.Store, n), dirs: make([]*wal.Dir, n), fsync: fsync, clog: store.NewChangeLog(0)}
 	var nextID int64
 	var nodes, edges int64
 	for s, st := range states {
@@ -274,7 +275,7 @@ func Recover(path string, in *graph.Interner, fsync bool) (*Router, *RecoverInfo
 	for s, st := range states {
 		r.stores[s] = store.New(st.g, st.idx,
 			store.WithWAL(st.dir, fsync), store.WithBaseEpoch(info.Vector[s]),
-			store.WithRefreshFilter(m.ownsFn(s)))
+			store.WithRefreshFilter(m.ownsFn(s)), store.WithChangeLog(-1))
 	}
 	info.Seq = maxSeq
 	info.TornSeqs = len(torn)

@@ -87,6 +87,12 @@ type Router struct {
 	mu  sync.RWMutex
 	gsn atomic.Uint64
 
+	// clog is the router's recent-deltas ring, keyed by GSN with each
+	// slot carrying the vector that GSN published. The shard stores'
+	// own rings are disabled — per-shard epochs are useless to a cache
+	// keyed by global sequence numbers.
+	clog *store.ChangeLog
+
 	seq    atomic.Uint64 // last assigned update sequence number
 	nextID atomic.Int64  // next free global node ID
 	nodes  atomic.Int64
@@ -132,9 +138,9 @@ func New(g *graph.Graph, idx *access.IndexSet, nshards int) (*Router, error) {
 		return nil, err
 	}
 	graphs, idxs := Partition(g, idx, m)
-	r := &Router{m: m, stores: make([]*store.Store, nshards), dirs: make([]*wal.Dir, nshards)}
+	r := &Router{m: m, stores: make([]*store.Store, nshards), dirs: make([]*wal.Dir, nshards), clog: store.NewChangeLog(0)}
 	for s := 0; s < nshards; s++ {
-		r.stores[s] = store.New(graphs[s], idxs[s], store.WithRefreshFilter(m.ownsFn(s)))
+		r.stores[s] = store.New(graphs[s], idxs[s], store.WithRefreshFilter(m.ownsFn(s)), store.WithChangeLog(-1))
 	}
 	r.nextID.Store(int64(g.Cap()))
 	r.nodes.Store(int64(g.NumNodes()))
@@ -313,6 +319,8 @@ func (r *Router) commitBatch(batch []*routerReq) {
 	counted := make([]bool, n)
 	nodeDelta, edgeDelta := 0, 0
 	var totalRows uint64
+	var batchRows []graph.NodeID // changed ∪ new rows across accepted deltas
+	var batchLabels []graph.Label
 	var beginErr error
 reqs:
 	for _, req := range batch {
@@ -420,6 +428,8 @@ reqs:
 		nodeDelta += sp.nodeDelta
 		edgeDelta += sp.edgeDelta
 		totalRows += uint64(sp.touched)
+		batchRows = append(batchRows, sp.rows...)
+		batchLabels = append(batchLabels, sp.labels...)
 		req.res = Result{NewIDs: sp.newIDs, TouchedRows: sp.touched, LogOffsets: make([]int64, n)}
 		for _, t := range sp.parts {
 			stagedReqs[t] = append(stagedReqs[t], req)
@@ -564,11 +574,16 @@ reqs:
 			}
 		}
 	}
-	r.gsn.Store(epoch)
 	vector := make([]uint64, n)
 	for s := 0; s < n; s++ {
 		vector[s] = r.stores[s].Epoch()
 	}
+	// Record the batch's changes before the GSN becomes visible (still
+	// under the publication lock): ChangedSince must cover through every
+	// GSN a reader can observe, or a revalidation racing this commit
+	// could promote a cached result across an unrecorded span.
+	r.clog.Record(epoch, vector, batchRows, batchLabels)
+	r.gsn.Store(epoch)
 	r.mu.Unlock()
 	txnsOpen = false
 
@@ -584,6 +599,17 @@ reqs:
 		req.res.Vector = vector
 	}
 	finish()
+}
+
+// ChangedSince reports the union of changes in GSNs (e, S], S ≥ the
+// current GSN, as a store.ChangeSummary whose Vector is the epoch vector
+// published at S — the vector a promoted cached result must report, since
+// a fresh cut at S pins exactly it. ok is false when the ring was outrun,
+// a bulk batch overflowed its slot, or e is ahead of everything recorded
+// (with no commits recorded yet only the empty span e == GSN is vouched
+// for).
+func (r *Router) ChangedSince(e uint64) (store.ChangeSummary, bool) {
+	return r.clog.Since(e, r.gsn.Load())
 }
 
 // checkGlobal evaluates the cardinality bounds for the entries a staged

@@ -19,6 +19,12 @@ type splitResult struct {
 	// touched is the global TouchedRows figure — len(changed ∪ newIDs)
 	// exactly as the unsharded store computes it.
 	touched int
+	// rows materializes that set (changed ∪ newIDs) for the router's
+	// recent-deltas ring; touched == len(rows).
+	rows []graph.NodeID
+	// labels holds the labels of nodes the delta inserts or deletes —
+	// the type-1 entry shifts the ring must report.
+	labels []graph.Label
 	// nodeDelta/edgeDelta are the delta's net effect on the GLOBAL node
 	// and edge counts (each edge counted once, not per replica).
 	nodeDelta int
@@ -152,6 +158,7 @@ func splitDelta(d *graph.Delta, m Map, graphs func(int) *graph.Graph, nextID gra
 		id := nextID + graph.NodeID(k)
 		res.newIDs[k] = id
 		liveNew[id] = sp
+		res.labels = append(res.labels, sp.Label)
 		materialize(m.Of(id), id)
 	}
 	res.nodeDelta = len(d.AddNodes)
@@ -222,6 +229,7 @@ func splitDelta(d *graph.Delta, m Map, graphs func(int) *graph.Graph, nextID gra
 		if !live(v) {
 			return nil, graph.ErrNoSuchNode
 		}
+		res.labels = append(res.labels, specOf(v).Label)
 		if _, isNew := liveNew[v]; isNew {
 			delete(liveNew, v)
 		} else {
@@ -263,6 +271,11 @@ func splitDelta(d *graph.Delta, m Map, graphs func(int) *graph.Graph, nextID gra
 		}
 	}
 	sort.Ints(res.parts)
-	res.touched = len(changed) + len(res.newIDs)
+	res.rows = make([]graph.NodeID, 0, len(changed)+len(res.newIDs))
+	for v := range changed {
+		res.rows = append(res.rows, v)
+	}
+	res.rows = append(res.rows, res.newIDs...)
+	res.touched = len(res.rows)
 	return res, nil
 }

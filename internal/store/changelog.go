@@ -1,0 +1,143 @@
+package store
+
+import (
+	"sync"
+
+	"boundedg/internal/graph"
+)
+
+// ChangeSummary is the union of everything that changed across a span of
+// epochs: the rows whose adjacency was modified (including inserted and
+// deleted nodes — exactly the per-epoch ChangedRows ∪ new-ID sets), and
+// the labels of nodes inserted or deleted anywhere in the span (type-1
+// index entries shift on those even when no pre-existing row changed).
+// A cached query result whose core.Footprint is disjoint from both sets
+// is bit-identical to a fresh execution at Epoch.
+type ChangeSummary struct {
+	// Epoch is the newest epoch the summary covers — the version a
+	// disjoint cached result may be promoted to. It is always at least
+	// the store's published epoch at the time of the call.
+	Epoch uint64
+	// Vector is the per-shard epoch vector published at Epoch (sharded
+	// routers only; nil on an unsharded store).
+	Vector []uint64
+	// Rows is the union of changed rows over the span. It may contain
+	// duplicates; callers only membership-test against it.
+	Rows []graph.NodeID
+	// Labels holds the labels of nodes inserted or deleted in the span,
+	// with duplicates possible.
+	Labels []graph.Label
+}
+
+// Bounds on the recent-deltas ring. Slots bound how many epochs back a
+// cached result can still be revalidated; the per-slot row cap bounds the
+// ring's memory at slots×rows and turns a bulk epoch into an overflow
+// slot — spans crossing one report outrun, again degrading to
+// recomputation rather than an unsound promotion.
+const (
+	defaultChangeLogSlots = 256
+	changeLogRowCap       = 4096
+)
+
+// changeSlot is one published epoch's change record.
+type changeSlot struct {
+	epoch    uint64
+	vector   []uint64
+	rows     []graph.NodeID
+	labels   []graph.Label
+	overflow bool // rows exceeded the cap and were dropped
+}
+
+// ChangeLog is a bounded ring of per-epoch change records, shared by the
+// unsharded store (keyed by epoch) and the sharded router (keyed by GSN,
+// slots carrying the published vector). Writers record under the
+// publisher's own serialization, BEFORE the new version becomes visible,
+// so the ring always covers through at least the published version —
+// readers can never observe a version the ring has a gap below.
+type ChangeLog struct {
+	mu    sync.Mutex
+	slots []changeSlot
+	next  int // slot index the next record lands in
+	n     int // recorded slots (≤ len(slots))
+}
+
+// NewChangeLog returns an empty ring of the given slot count; slots <= 0
+// picks the default.
+func NewChangeLog(slots int) *ChangeLog {
+	if slots <= 0 {
+		slots = defaultChangeLogSlots
+	}
+	return &ChangeLog{slots: make([]changeSlot, slots)}
+}
+
+// Record appends one epoch's changes. Epochs must arrive contiguously
+// ascending (the publishers' +1-per-batch numbering guarantees it).
+// The rows and labels are copied; vector is retained as passed (callers
+// hand over an immutable slice).
+func (cl *ChangeLog) Record(epoch uint64, vector []uint64, rows []graph.NodeID, labels []graph.Label) {
+	s := changeSlot{epoch: epoch, vector: vector}
+	if len(rows) > changeLogRowCap {
+		s.overflow = true
+	} else {
+		// Fresh allocations, never reused: summaries returned to readers
+		// may share these slices after the slot itself is overwritten.
+		s.rows = append([]graph.NodeID(nil), rows...)
+		s.labels = append([]graph.Label(nil), labels...)
+	}
+	cl.mu.Lock()
+	cl.slots[cl.next] = s
+	cl.next = (cl.next + 1) % len(cl.slots)
+	if cl.n < len(cl.slots) {
+		cl.n++
+	}
+	cl.mu.Unlock()
+}
+
+// Since returns the union of changes in epochs (e, newest], where newest
+// is the latest recorded epoch. cur is the caller's published version;
+// ok requires the span to be fully covered: nothing recorded is fine only
+// when e == cur (an idle store), and any overflow slot or outrun span
+// reports !ok.
+func (cl *ChangeLog) Since(e, cur uint64) (ChangeSummary, bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.n == 0 {
+		if e == cur {
+			return ChangeSummary{Epoch: cur}, true
+		}
+		return ChangeSummary{}, false
+	}
+	newestIdx := (cl.next - 1 + len(cl.slots)) % len(cl.slots)
+	newest := cl.slots[newestIdx].epoch
+	if newest < cur || e > newest {
+		// A gap above the ring (recording is pre-publication, so this is
+		// a caller error) or a future epoch: refuse.
+		return ChangeSummary{}, false
+	}
+	oldest := newest - uint64(cl.n) + 1
+	if e+1 < oldest {
+		return ChangeSummary{}, false // outrun: the span's tail was evicted
+	}
+	sum := ChangeSummary{Epoch: newest, Vector: cl.slots[newestIdx].vector}
+	if e == newest {
+		return sum, true
+	}
+	if cl.n == 1 || e+1 == newest {
+		// Single-slot span: share the slot's (immutable) slices.
+		s := &cl.slots[newestIdx]
+		if s.overflow {
+			return ChangeSummary{}, false
+		}
+		sum.Rows, sum.Labels = s.rows, s.labels
+		return sum, true
+	}
+	for ep := e + 1; ep <= newest; ep++ {
+		s := &cl.slots[(newestIdx-int(newest-ep)+len(cl.slots)*2)%len(cl.slots)]
+		if s.overflow {
+			return ChangeSummary{}, false
+		}
+		sum.Rows = append(sum.Rows, s.rows...)
+		sum.Labels = append(sum.Labels, s.labels...)
+	}
+	return sum, true
+}

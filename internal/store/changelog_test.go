@@ -1,0 +1,143 @@
+package store
+
+import (
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/workload"
+)
+
+// TestChangeLogSince pins the ring's span algebra: empty spans, covered
+// spans (union of the right slots), outrun spans, overflow slots, and
+// epochs ahead of everything recorded.
+func TestChangeLogSince(t *testing.T) {
+	cl := NewChangeLog(4)
+
+	// Nothing recorded: only the empty span is vouched for.
+	if sum, ok := cl.Since(7, 7); !ok || sum.Epoch != 7 || len(sum.Rows) != 0 {
+		t.Fatalf("empty ring, e==cur: got %+v ok=%v", sum, ok)
+	}
+	if _, ok := cl.Since(6, 7); ok {
+		t.Fatal("empty ring vouched for a non-empty span")
+	}
+
+	row := func(v int) []graph.NodeID { return []graph.NodeID{graph.NodeID(v)} }
+	for e := 1; e <= 6; e++ {
+		cl.Record(uint64(e), nil, row(e), []graph.Label{graph.Label(e)})
+	}
+	// Slots now hold epochs 3..6.
+	if sum, ok := cl.Since(6, 6); !ok || sum.Epoch != 6 || len(sum.Rows) != 0 {
+		t.Fatalf("e==newest: got %+v ok=%v", sum, ok)
+	}
+	sum, ok := cl.Since(3, 6)
+	if !ok || sum.Epoch != 6 || len(sum.Rows) != 3 || len(sum.Labels) != 3 {
+		t.Fatalf("span (3,6]: got %+v ok=%v", sum, ok)
+	}
+	want := map[graph.NodeID]bool{4: true, 5: true, 6: true}
+	for _, v := range sum.Rows {
+		if !want[v] {
+			t.Fatalf("span (3,6] carries unexpected row %d", v)
+		}
+	}
+	// e+1 == oldest is the last span still covered; one older is outrun.
+	if _, ok := cl.Since(2, 6); !ok {
+		t.Fatal("span (2,6] should be covered (oldest slot is epoch 3)")
+	}
+	if _, ok := cl.Since(1, 6); ok {
+		t.Fatal("span (1,6] should be outrun")
+	}
+	// A future epoch is never vouched for.
+	if _, ok := cl.Since(9, 6); ok {
+		t.Fatal("future epoch vouched for")
+	}
+
+	// An overflow slot poisons every span crossing it, and only those.
+	big := make([]graph.NodeID, changeLogRowCap+1)
+	cl.Record(7, nil, big, nil)
+	cl.Record(8, nil, row(8), nil)
+	if _, ok := cl.Since(6, 8); ok {
+		t.Fatal("span crossing the overflow slot was vouched for")
+	}
+	if sum, ok := cl.Since(7, 8); !ok || len(sum.Rows) != 1 || sum.Rows[0] != 8 {
+		t.Fatalf("span above the overflow slot: got %+v ok=%v", sum, ok)
+	}
+}
+
+// TestStoreChangedSince drives the ring through real commits: changed
+// rows of edge updates, labels of inserted and deleted nodes, vouching
+// only for covered spans, and the no-op span on an idle store.
+func TestStoreChangedSince(t *testing.T) {
+	d := workload.IMDb(0.05, 3)
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatalf("index build: %v", viols[0])
+	}
+	st := New(d.G, idx)
+
+	if sum, ok := st.ChangedSince(0); !ok || sum.Epoch != 0 {
+		t.Fatalf("idle store, empty span: got %+v ok=%v", sum, ok)
+	}
+	if _, ok := st.ChangedSince(1); ok {
+		t.Fatal("idle store vouched for a future epoch")
+	}
+
+	// Edge deletion between two live nodes (deletions cannot violate the
+	// access bounds): both endpoints are changed rows.
+	snap := st.Acquire()
+	var u, v graph.NodeID
+	for _, n := range snap.G.NodeList() {
+		if out := snap.G.Out(n); len(out) > 0 {
+			u, v = n, out[0]
+			break
+		}
+	}
+	snap.Release()
+	if _, err := st.Apply(&graph.Delta{DelEdges: [][2]graph.NodeID{{u, v}}}); err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := st.ChangedSince(0)
+	if !ok || sum.Epoch != 1 {
+		t.Fatalf("ChangedSince(0) = %+v ok=%v", sum, ok)
+	}
+	found := map[graph.NodeID]bool{}
+	for _, r := range sum.Rows {
+		found[r] = true
+	}
+	if !found[u] || !found[v] {
+		t.Fatalf("edge endpoints missing from %v (want %d and %d)", sum.Rows, u, v)
+	}
+	if len(sum.Labels) != 0 {
+		t.Fatalf("pure edge delta reported labels %v", sum.Labels)
+	}
+
+	// Node delete then insert of the same label (delete first keeps the
+	// type-1 bounds satisfied): both epochs must report the label.
+	snap = st.Acquire()
+	lbl := snap.G.Labels()[0]
+	victim := snap.G.NodesByLabel(lbl)[0]
+	snap.Release()
+	if _, err := st.Apply(&graph.Delta{DelNodes: []graph.NodeID{victim}}); err != nil {
+		t.Fatal(err)
+	}
+	if sum, ok := st.ChangedSince(1); !ok || len(sum.Labels) != 1 || sum.Labels[0] != lbl {
+		t.Fatalf("delete epoch labels = %+v ok=%v, want [%d]", sum, ok, lbl)
+	}
+	if _, err := st.Apply(&graph.Delta{AddNodes: []graph.NodeSpec{{Label: lbl}}}); err != nil {
+		t.Fatal(err)
+	}
+	if sum, ok := st.ChangedSince(2); !ok || len(sum.Labels) != 1 || sum.Labels[0] != lbl {
+		t.Fatalf("insert epoch labels = %+v ok=%v, want [%d]", sum, ok, lbl)
+	}
+	// The three-epoch span unions everything.
+	sum, ok = st.ChangedSince(0)
+	if !ok || sum.Epoch != 3 || len(sum.Labels) != 2 {
+		t.Fatalf("full span = %+v ok=%v", sum, ok)
+	}
+
+	// A disabled ring vouches only for the empty span.
+	st2 := New(d.G.Clone(), idx.Clone(), WithChangeLog(-1))
+	if _, ok := st2.ChangedSince(0); !ok {
+		t.Fatal("disabled ring must still vouch for the empty span")
+	}
+}

@@ -158,6 +158,10 @@ type Store struct {
 	// (see WithRefreshFilter).
 	ownRow func(graph.NodeID) bool
 
+	// clog is the recent-deltas ring behind ChangedSince; nil when
+	// disabled (see WithChangeLog).
+	clog *ChangeLog
+
 	// hookAppend, when non-nil, runs before the i-th accepted delta's WAL
 	// append; a returned error takes the append-failure path. Tests use
 	// it to exercise the wedge/rewind machinery.
@@ -198,6 +202,26 @@ func WithRefreshFilter(own func(graph.NodeID) bool) Option {
 	}
 }
 
+// WithChangeLog sizes the recent-deltas ring behind ChangedSince: the
+// store keeps the changed-row/changed-label record of the last `slots`
+// published epochs. slots == 0 keeps the default (256 epochs); negative
+// disables the ring entirely — ChangedSince then only vouches for the
+// no-op span (e == current). The sharded router disables its shard
+// stores' rings and keeps one of its own, keyed by global sequence
+// number.
+func WithChangeLog(slots int) Option {
+	return func(st *Store) {
+		switch {
+		case slots < 0:
+			st.clog = nil
+		case slots == 0:
+			st.clog = NewChangeLog(defaultChangeLogSlots)
+		default:
+			st.clog = NewChangeLog(slots)
+		}
+	}
+}
+
 // WithBaseEpoch makes the store publish its initial state as the given
 // epoch instead of 0 — after WAL recovery, the epoch replay ended on, so
 // epoch numbering (the replication cursor) survives restarts.
@@ -213,7 +237,7 @@ func WithBaseEpoch(epoch uint64) Option {
 // ownership: g and idx must not be read or mutated directly afterwards —
 // all access goes through Acquire and Apply.
 func New(g *graph.Graph, idx *access.IndexSet, opts ...Option) *Store {
-	st := &Store{}
+	st := &Store{clog: NewChangeLog(defaultChangeLogSlots)}
 	s0 := &state{g: g, idx: idx}
 	st.cur.Store(&Snapshot{G: g, Fz: g.Freeze(), Idx: idx, Epoch: 0, st: s0})
 	for _, opt := range opts {
@@ -376,7 +400,21 @@ func (st *Store) commitBatch(batch []*commitReq) {
 	var accepted []*commitReq
 	var acceptedLag []lagEntry
 	var rows []graph.NodeID
+	var labels []graph.Label
 	for _, req := range batch {
+		// Labels of nodes this delta inserts or deletes, for the change
+		// ring: type-1 index entries shift on exactly these. Deleted
+		// labels must be read before the apply tears the nodes down; the
+		// shadow already holds every earlier delta of the batch.
+		var reqLabels []graph.Label
+		for _, sp := range req.d.AddNodes {
+			reqLabels = append(reqLabels, sp.Label)
+		}
+		for _, v := range req.d.DelNodes {
+			if st.shadow.g.Contains(v) {
+				reqLabels = append(reqLabels, st.shadow.g.LabelOf(v))
+			}
+		}
 		res, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, req.d)
 		if err != nil {
 			var verr *access.ViolationError
@@ -390,6 +428,7 @@ func (st *Store) commitBatch(batch []*commitReq) {
 		}
 		req.res = Result{Epoch: epoch, NewIDs: res.NewIDs, TouchedRows: len(res.Touched)}
 		rows = append(rows, res.Touched...) // Touched includes the new IDs
+		labels = append(labels, reqLabels...)
 		accepted = append(accepted, req)
 		// Keep a private copy for the lag replay and the log: the caller
 		// is free to reuse or mutate d after Apply returns, and both must
@@ -434,6 +473,14 @@ func (st *Store) commitBatch(batch []*commitReq) {
 		}
 	}
 
+	if st.clog != nil {
+		// Record the FULL row set (pre-ownership-filter: non-owned stub
+		// rows still carry adjacency a footprint may have read), before
+		// the epoch becomes visible — so ChangedSince always covers
+		// through at least the published epoch and a revalidation racing
+		// this publication can never promote across an unrecorded span.
+		st.clog.Record(epoch, nil, rows, labels)
+	}
 	nrows := len(rows)
 	if st.ownRow != nil {
 		kept := rows[:0]
@@ -502,6 +549,24 @@ func (st *Store) waitDrained(s *Snapshot) {
 			backoff *= 2
 		}
 	}
+}
+
+// ChangedSince reports the union of changes in epochs (e, S], where S ≥
+// the currently published epoch, as a ChangeSummary valid for promoting
+// cached results from epoch e to S. ok is false when the span cannot be
+// vouched for: the ring was outrun (e too old), a bulk epoch overflowed
+// its slot, the ring is disabled, or e is ahead of everything recorded.
+// With no updates recorded yet, only the empty span (e == current epoch)
+// is vouched for.
+func (st *Store) ChangedSince(e uint64) (ChangeSummary, bool) {
+	cur := st.Epoch()
+	if st.clog == nil {
+		if e == cur {
+			return ChangeSummary{Epoch: cur}, true
+		}
+		return ChangeSummary{}, false
+	}
+	return st.clog.Since(e, cur)
 }
 
 // errWedgedCheckpoint bars checkpoints on a store wedged by a WAL
