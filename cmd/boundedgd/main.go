@@ -68,6 +68,7 @@ import (
 	"boundedg/internal/access"
 	"boundedg/internal/exp"
 	"boundedg/internal/graph"
+	"boundedg/internal/replica"
 	"boundedg/internal/runtime"
 	"boundedg/internal/server"
 	"boundedg/internal/shard"
@@ -100,6 +101,8 @@ type options struct {
 	checkpoint time.Duration
 
 	shards int
+
+	follow string
 }
 
 // registerFlags binds every boundedgd flag onto fs. It is the single
@@ -126,6 +129,7 @@ func registerFlags(fs *flag.FlagSet, opt *options) {
 	fs.StringVar(&opt.wal, "wal", "", "write-ahead-log directory for durable updates (requires -mutable); recovers from it when it holds state")
 	fs.BoolVar(&opt.fsync, "fsync", true, "fsync the WAL once per group commit (false trades host-crash durability for latency)")
 	fs.DurationVar(&opt.checkpoint, "checkpoint", 5*time.Minute, "WAL checkpoint interval: rewrite the snapshot and rotate the log (0 disables; shutdown always checkpoints)")
+	fs.StringVar(&opt.follow, "follow", "", "run as a read-only follower of this primary URL: bootstrap from its checkpoint, then stream and replay its WAL (replaces the graph-source flags)")
 }
 
 func main() {
@@ -245,6 +249,19 @@ func loadOrRecover(opt options) (*graph.Graph, *graph.Interner, *access.IndexSet
 
 func run(opt options) error {
 	started := time.Now()
+	if opt.follow != "" {
+		switch {
+		case opt.mutable:
+			return fmt.Errorf("-follow is read-only; updates go to the primary (drop -mutable)")
+		case opt.wal != "":
+			return fmt.Errorf("-follow keeps no local WAL (its durable state is the primary's log); drop -wal")
+		case opt.shards > 1:
+			return fmt.Errorf("following a sharded primary is unsupported; -follow requires -shards=1")
+		case opt.dataset != "" || opt.graph != "":
+			return fmt.Errorf("-follow bootstraps from the primary's checkpoint; drop -dataset/-graph/-schema/-index")
+		}
+		return runFollower(opt, started)
+	}
 	if opt.wal != "" && !opt.mutable {
 		return fmt.Errorf("-wal requires -mutable (the log records accepted updates)")
 	}
@@ -335,7 +352,60 @@ func run(opt options) error {
 			}
 		}
 	}
-	return serveHTTP(opt, eng, in, started, g.NumNodes(), g.NumEdges(), mode, st.Epoch, ckpt, shutdown)
+	return serveHTTP(opt, eng, in, started, g.NumNodes(), g.NumEdges(), mode, st.Epoch, ckpt, shutdown, func(c *server.Config) {
+		// An unsharded durable primary serves the replication endpoints.
+		c.WAL = wd
+	})
+}
+
+// runFollower serves a read-only replica: bootstrap the state from the
+// primary's checkpoint, then replay its WAL stream in the background,
+// publishing each primary epoch as it arrives. Queries, the result cache
+// and revalidation all run unmodified over the replicated store; POST
+// /update is refused with 403. The replication client reconnects with
+// backoff on any disconnect and re-bootstraps when a checkpoint rotation
+// outruns the stream; if the histories ever diverge it stops, leaving
+// the daemon serving its last consistent epoch (the /stats replication
+// block reports it).
+func runFollower(opt options, started time.Time) error {
+	in := graph.NewInterner()
+	rep := replica.New(replica.Config{Primary: opt.follow, Logf: log.Printf}, in)
+	bctx, bcancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	g, idx, epoch, err := rep.Bootstrap(bctx)
+	bcancel()
+	if err != nil {
+		return fmt.Errorf("bootstrap from %s: %w", opt.follow, err)
+	}
+	log.Printf("replica: bootstrapped from %s at epoch %d (|V|=%d |E|=%d)", opt.follow, epoch, g.NumNodes(), g.NumEdges())
+	var stOpts []store.Option
+	if epoch > 0 {
+		stOpts = append(stOpts, store.WithBaseEpoch(epoch))
+	}
+	st := store.New(g, idx, stOpts...)
+	rep.Attach(st)
+	eng, err := runtime.NewFromStore(st, runtime.Config{Workers: opt.workers})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	rctx, rcancel := context.WithCancel(context.Background())
+	defer rcancel()
+	go func() {
+		if err := rep.Run(rctx); err != nil {
+			log.Printf("replica: %v", err)
+		}
+	}()
+	mode := "follower of " + opt.follow
+	shutdown := func() {
+		rcancel()
+		st.Close()
+		rs := rep.Stats()
+		log.Printf("replica: stopped at epoch %d (offset %d, %d reconnects)", rs.AppliedEpoch, rs.Offset, rs.Reconnects)
+	}
+	return serveHTTP(opt, eng, in, started, g.NumNodes(), g.NumEdges(), mode, st.Epoch, nil, shutdown, func(c *server.Config) {
+		c.Follower = true
+		c.ReplicationStats = rep.Stats
+	})
 }
 
 // runSharded serves a partitioned store: the graph and index set split
@@ -424,7 +494,7 @@ func runSharded(opt options, started time.Time) error {
 			}
 		}
 	}
-	return serveHTTP(opt, eng, in, started, int(rs.Nodes), int(rs.Edges), mode, r.GSN, ckpt, shutdown)
+	return serveHTTP(opt, eng, in, started, int(rs.Nodes), int(rs.Edges), mode, r.GSN, ckpt, shutdown, nil)
 }
 
 // serveHTTP runs the HTTP side of the daemon until a shutdown signal or a
@@ -432,21 +502,26 @@ func runSharded(opt options, started time.Time) error {
 // checkpoint ticker when checkpoint is non-nil, and on SIGINT/SIGTERM
 // drains in-flight requests before handing control to the source-specific
 // shutdown hook (close the store or router, final checkpoint, close the
-// WAL directories).
-func serveHTTP(opt options, eng *runtime.Engine, in *graph.Interner, started time.Time, nodes, edges int, mode string, version func() uint64, checkpoint func() error, shutdown func()) error {
+// WAL directories). configure, when non-nil, adjusts the server config
+// beyond the flag-derived fields (replication wiring).
+func serveHTTP(opt options, eng *runtime.Engine, in *graph.Interner, started time.Time, nodes, edges int, mode string, version func() uint64, checkpoint func() error, shutdown func(), configure func(*server.Config)) error {
 	if opt.timeout == 0 {
 		// The operator said "no deadline"; server.Config treats zero as
 		// "unset, use the library default", so translate explicitly.
 		opt.timeout = -1
 	}
-	srv := server.New(eng, in, server.Config{
+	cfg := server.Config{
 		DefaultLimit:  opt.limit,
 		MaxLimit:      opt.maxLimit,
 		Timeout:       opt.timeout,
 		CacheSize:     opt.cache,
 		MaxSteps:      opt.maxSteps,
 		EnableUpdates: opt.mutable,
-	})
+	}
+	if configure != nil {
+		configure(&cfg)
+	}
+	srv := server.New(eng, in, cfg)
 
 	l, err := net.Listen("tcp", opt.addr)
 	if err != nil {

@@ -18,6 +18,10 @@
 // read-mostly-with-updates scenario that reports the daemon's cache hit
 // and revalidation rates, and is what produces the committed
 // BENCH_loadgen.json.
+//
+// -target-follower points reads at a -follow replica while writes keep
+// going to -addr, and the report (and the extra follower-reads sweep
+// scenario) gains the follower's replication lag over the run.
 package main
 
 import (
@@ -32,10 +36,11 @@ import (
 )
 
 type options struct {
-	addr    string
-	dataset string
-	scale   float64
-	seed    int64
+	addr     string
+	follower string
+	dataset  string
+	scale    float64
+	seed     int64
 
 	workers  int
 	rate     float64
@@ -55,6 +60,7 @@ type options struct {
 // match fs.PrintDefaults output (enforced by TestReadmeFlagSynopsis).
 func registerFlags(fs *flag.FlagSet, opt *options) {
 	fs.StringVar(&opt.addr, "addr", "localhost:8080", "boundedgd address (host:port or URL)")
+	fs.StringVar(&opt.follower, "target-follower", "", "read-only follower address: reads go there while writes go to -addr, and the report gains the follower's replication lag (-sweep appends the follower-reads scenario)")
 	fs.StringVar(&opt.dataset, "dataset", "imdb", "dataset the daemon was started with: imdb, dbpedia or webbase")
 	fs.Float64Var(&opt.scale, "scale", 1.0, "daemon's -scale (must match for live node IDs to line up)")
 	fs.Int64Var(&opt.seed, "seed", 1, "daemon's -seed (must match)")
@@ -72,18 +78,19 @@ func registerFlags(fs *flag.FlagSet, opt *options) {
 
 func (opt *options) config() loadgen.Config {
 	return loadgen.Config{
-		Addr:     opt.addr,
-		Dataset:  opt.dataset,
-		Scale:    opt.scale,
-		Seed:     opt.seed,
-		Workers:  opt.workers,
-		Rate:     opt.rate,
-		ReadPct:  opt.readPct,
-		ZipfS:    opt.zipf,
-		Warmup:   opt.warmup,
-		Duration: opt.duration,
-		Queries:  opt.queries,
-		Timeout:  opt.timeout,
+		Addr:         opt.addr,
+		FollowerAddr: opt.follower,
+		Dataset:      opt.dataset,
+		Scale:        opt.scale,
+		Seed:         opt.seed,
+		Workers:      opt.workers,
+		Rate:         opt.rate,
+		ReadPct:      opt.readPct,
+		ZipfS:        opt.zipf,
+		Warmup:       opt.warmup,
+		Duration:     opt.duration,
+		Queries:      opt.queries,
+		Timeout:      opt.timeout,
 	}
 }
 
@@ -137,11 +144,15 @@ func logRun(r *loadgen.Report) {
 	if name == "" {
 		name = "run"
 	}
-	log.Printf("%s: %.0f ops/s  read p50/p99 %s/%s (%d ops, %d err)  write p50/p99 %s/%s (%d ops, %d rej, %d err)  gsn %d->%d",
+	lag := ""
+	if r.Replication != nil {
+		lag = fmt.Sprintf("  lag max/mean %d/%.1f catchup %.0fms", r.Replication.MaxLag, r.Replication.MeanLag, r.Replication.CatchupMS)
+	}
+	log.Printf("%s: %.0f ops/s  read p50/p99 %s/%s (%d ops, %d err)  write p50/p99 %s/%s (%d ops, %d rej, %d err)  gsn %d->%d%s",
 		name, r.OpsPerSec,
 		ns(r.Read.Latency.P50Ns), ns(r.Read.Latency.P99Ns), r.Read.Ops, r.Read.Errors,
 		ns(r.Write.Latency.P50Ns), ns(r.Write.Latency.P99Ns), r.Write.Ops, r.Write.Rejects, r.Write.Errors,
-		r.GSNStart, r.GSNEnd)
+		r.GSNStart, r.GSNEnd, lag)
 }
 
 func ns(v int64) string { return fmt.Sprint(time.Duration(v).Round(time.Microsecond)) }

@@ -23,12 +23,128 @@ type Delta struct {
 	// in-memory field only and deliberately absent from the JSON codec, so
 	// external clients cannot pick their own IDs.
 	AddNodeIDs []NodeID
+
+	// stagedNames holds label names the delta references that are not yet
+	// in the shared interner. ReadDeltaJSON must not intern at decode time
+	// — interning is permanent, so a well-formed delta that is later
+	// rejected would leak its novel labels forever. Instead, AddNodes
+	// entries with a novel label carry the sentinel stagedLabel(k)
+	// pointing at stagedNames[k], and the write path calls ResolveLabels
+	// at its serialized commit point, interning only on acceptance.
+	stagedNames []string
 }
 
 // NodeSpec describes a node inserted by a Delta.
 type NodeSpec struct {
 	Label Label
 	Value Value
+}
+
+// stagedLabel encodes a reference to the k-th entry of Delta.stagedNames:
+// a label the delta introduces that the interner does not hold yet. The
+// encoding starts at -2 so it can never collide with NoLabel (-1), and a
+// staged delta is unmistakable anywhere a real Label is expected —
+// applying one without ResolveLabels fails loudly instead of inserting
+// garbage labels.
+func stagedLabel(k int) Label { return Label(-2 - k) }
+
+// isStagedLabel reports whether l encodes a staged-name reference, and if
+// so which index.
+func isStagedLabel(l Label) (k int, ok bool) {
+	if l <= -2 {
+		return int(-l) - 2, true
+	}
+	return 0, false
+}
+
+// HasStagedLabels reports whether the delta references label names not
+// yet committed to the interner (see ResolveLabels).
+func (d *Delta) HasStagedLabels() bool { return len(d.stagedNames) > 0 }
+
+// internOrStage resolves a label name against in without growing it:
+// known names resolve to their Label, novel ones are staged on the delta
+// (deduplicated) and referenced through a stagedLabel sentinel.
+func (d *Delta) internOrStage(name string, in *Interner) Label {
+	if l, ok := in.Lookup(name); ok {
+		return l
+	}
+	for k, s := range d.stagedNames {
+		if s == name {
+			return stagedLabel(k)
+		}
+	}
+	d.stagedNames = append(d.stagedNames, name)
+	return stagedLabel(len(d.stagedNames) - 1)
+}
+
+// ResolveLabels rewrites every staged label reference to the final Label
+// it will have once committed, predicting the values the interner will
+// assign. It MUST run under the serialization that guards all interner
+// growth (the store's writer lock / the router's leader) — the
+// prediction assumes no concurrent Intern of a novel name. The caller
+// then decides the delta's fate: commit interns the novel names
+// (panicking if any prediction was violated — an invariant breach, not
+// an input error), rollback restores the staged sentinels so the delta
+// can be resolved again later. Exactly one of the two must be called
+// before the serialization is released. A delta with nothing staged
+// returns no-op funcs.
+func (d *Delta) ResolveLabels(in *Interner) (commit, rollback func(), err error) {
+	if len(d.stagedNames) == 0 {
+		// Still guard against dangling sentinels: a sentinel without a
+		// staged name cannot ever resolve.
+		for i := range d.AddNodes {
+			if k, ok := isStagedLabel(d.AddNodes[i].Label); ok {
+				return nil, nil, fmt.Errorf("graph: delta references staged label %d but stages no names", k)
+			}
+		}
+		nop := func() {}
+		return nop, nop, nil
+	}
+	base := Label(in.Len())
+	resolved := make([]Label, len(d.stagedNames))
+	var novel []string
+	for k, name := range d.stagedNames {
+		if l, ok := in.Lookup(name); ok {
+			// Another accepted delta committed this name since decode.
+			resolved[k] = l
+			continue
+		}
+		resolved[k] = base + Label(len(novel))
+		novel = append(novel, name)
+	}
+	var idxs []int
+	var olds []Label
+	for i := range d.AddNodes {
+		k, ok := isStagedLabel(d.AddNodes[i].Label)
+		if !ok {
+			continue
+		}
+		if k >= len(resolved) {
+			for j, pi := range idxs { // undo partial rewrite
+				d.AddNodes[pi].Label = olds[j]
+			}
+			return nil, nil, fmt.Errorf("graph: staged label reference %d out of range (%d staged)", k, len(d.stagedNames))
+		}
+		idxs = append(idxs, i)
+		olds = append(olds, d.AddNodes[i].Label)
+		d.AddNodes[i].Label = resolved[k]
+	}
+	staged := d.stagedNames
+	d.stagedNames = nil
+	commit = func() {
+		for j, name := range novel {
+			if got, want := in.Intern(name), base+Label(j); got != want {
+				panic(fmt.Sprintf("graph: staged label %q interned as %d, predicted %d (interner grew outside the commit serialization)", name, got, want))
+			}
+		}
+	}
+	rollback = func() {
+		for j, i := range idxs {
+			d.AddNodes[i].Label = olds[j]
+		}
+		d.stagedNames = staged
+	}
+	return commit, rollback, nil
 }
 
 // NewNodeRef returns the AddEdges endpoint encoding for the k-th node of
@@ -118,11 +234,12 @@ func (d *Delta) ChangedRows(g *Graph) (changed, direct map[NodeID]struct{}) {
 // are copied; the elements are values).
 func (d *Delta) Clone() *Delta {
 	return &Delta{
-		AddNodes:   append([]NodeSpec(nil), d.AddNodes...),
-		AddEdges:   append([][2]NodeID(nil), d.AddEdges...),
-		DelEdges:   append([][2]NodeID(nil), d.DelEdges...),
-		DelNodes:   append([]NodeID(nil), d.DelNodes...),
-		AddNodeIDs: append([]NodeID(nil), d.AddNodeIDs...),
+		AddNodes:    append([]NodeSpec(nil), d.AddNodes...),
+		AddEdges:    append([][2]NodeID(nil), d.AddEdges...),
+		DelEdges:    append([][2]NodeID(nil), d.DelEdges...),
+		DelNodes:    append([]NodeID(nil), d.DelNodes...),
+		AddNodeIDs:  append([]NodeID(nil), d.AddNodeIDs...),
+		stagedNames: append([]string(nil), d.stagedNames...),
 	}
 }
 
@@ -165,6 +282,9 @@ func (d *Delta) apply(g *Graph, u *Undo) ([]NodeID, *Undo, error) {
 	}
 	newIDs := make([]NodeID, len(d.AddNodes))
 	for i, spec := range d.AddNodes {
+		if spec.Label < 0 {
+			return nil, u, fmt.Errorf("graph: AddNodes[%d] has unresolved label %d (ResolveLabels not run)", i, spec.Label)
+		}
 		if d.AddNodeIDs == nil {
 			newIDs[i] = g.AddNode(spec.Label, spec.Value)
 			if u != nil {

@@ -23,15 +23,25 @@ type jsonDeltaNode struct {
 }
 
 // WriteJSON serializes d to w as a single JSON document, resolving label
-// names through in.
+// names through in (staged labels resolve through the delta's own staged
+// names, so an undecided delta round-trips).
 func (d *Delta) WriteJSON(w io.Writer, in *Interner) error {
 	jd := jsonDelta{
 		AddEdges: d.AddEdges,
 		DelEdges: d.DelEdges,
 		DelNodes: d.DelNodes,
 	}
-	for _, spec := range d.AddNodes {
-		jd.AddNodes = append(jd.AddNodes, jsonDeltaNode{Label: in.Name(spec.Label), Value: spec.Value})
+	for i, spec := range d.AddNodes {
+		name := ""
+		if k, ok := isStagedLabel(spec.Label); ok {
+			if k >= len(d.stagedNames) {
+				return fmt.Errorf("graph: encode delta: add_nodes[%d] references staged label %d of %d", i, k, len(d.stagedNames))
+			}
+			name = d.stagedNames[k]
+		} else {
+			name = in.Name(spec.Label)
+		}
+		jd.AddNodes = append(jd.AddNodes, jsonDeltaNode{Label: name, Value: spec.Value})
 	}
 	bw := bufio.NewWriter(w)
 	if err := json.NewEncoder(bw).Encode(jd); err != nil {
@@ -45,7 +55,10 @@ func (d *Delta) WriteJSON(w io.Writer, in *Interner) error {
 // in add_edges, and negative IDs in del_edges/del_nodes (where no
 // new-node encoding exists) are all rejected — a delta that passes here
 // can still fail structurally against a particular graph, but it is at
-// least self-consistent. Labels are interned through in.
+// least self-consistent. Known labels resolve through in; novel names
+// are staged on the delta rather than interned, so a delta the store
+// later rejects never grows the (permanent) shared interner — the write
+// path commits the staged names via ResolveLabels only on acceptance.
 func ReadDeltaJSON(r io.Reader, in *Interner) (*Delta, error) {
 	var jd jsonDelta
 	dec := json.NewDecoder(bufio.NewReader(r))
@@ -56,8 +69,7 @@ func ReadDeltaJSON(r io.Reader, in *Interner) (*Delta, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("graph: decode delta: trailing data after document")
 	}
-	// Validate before interning anything: a malformed document must not
-	// grow the (permanent) interner.
+	// Validate first so a malformed document stages nothing.
 	for i, e := range jd.AddEdges {
 		for _, id := range e {
 			if k, ok := IsNewNodeRef(id); ok && k >= len(jd.AddNodes) {
@@ -83,7 +95,7 @@ func ReadDeltaJSON(r io.Reader, in *Interner) (*Delta, error) {
 	for _, n := range jd.AddNodes {
 		// Value decodes through its own strict codec (null, integral
 		// number, or string), so n.Value is well-formed here.
-		d.AddNodes = append(d.AddNodes, NodeSpec{Label: in.Intern(n.Label), Value: n.Value})
+		d.AddNodes = append(d.AddNodes, NodeSpec{Label: d.internOrStage(n.Label, in), Value: n.Value})
 	}
 	return d, nil
 }

@@ -67,6 +67,11 @@ func TestDeltaJSONTombstonedTargets(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: decode: %v (codec cannot reject liveness)", name, err)
 		}
+		pre := in.Len()
+		_, rollback, err := d.ResolveLabels(in)
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", name, err)
+		}
 		gg := g.Clone()
 		ids, undo, err := d.ApplyLogged(gg)
 		if err == nil {
@@ -76,6 +81,10 @@ func TestDeltaJSONTombstonedTargets(t *testing.T) {
 			t.Fatalf("%s: err = %v, want no-such-node/edge", name, err)
 		}
 		undo.Revert(gg)
+		rollback()
+		if in.Len() != pre {
+			t.Fatalf("%s: rejected delta grew the interner (%d -> %d)", name, pre, in.Len())
+		}
 		if gg.NumNodes() != g.NumNodes() || gg.NumEdges() != g.NumEdges() || gg.Cap() != g.Cap() {
 			t.Fatalf("%s: reverted graph diverged", name)
 		}
@@ -113,6 +122,11 @@ func TestDeltaJSONMaxNewNodeRefChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	commit, _, err := d.ResolveLabels(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit()
 	g := New(in)
 	ids, err := d.Apply(g)
 	if err != nil {

@@ -42,6 +42,10 @@ type Config struct {
 	// Addr is the daemon's base URL ("http://host:port") or bare
 	// "host:port".
 	Addr string
+	// FollowerAddr, when set, routes every read to this daemon (a -follow
+	// replica of Addr) while writes keep going to Addr, and the report
+	// gains a Replication block with the follower's lag over the run.
+	FollowerAddr string
 	// Dataset/Scale/Seed must match the flags the daemon was started
 	// with — the generator rebuilds the same graph locally to learn live
 	// node IDs and generate answerable queries. Defaults: imdb, 1.0, 1.
@@ -83,6 +87,12 @@ func (c Config) withDefaults() (Config, error) {
 		c.Addr = "http://" + c.Addr
 	}
 	c.Addr = strings.TrimRight(c.Addr, "/")
+	if c.FollowerAddr != "" {
+		if !strings.Contains(c.FollowerAddr, "://") {
+			c.FollowerAddr = "http://" + c.FollowerAddr
+		}
+		c.FollowerAddr = strings.TrimRight(c.FollowerAddr, "/")
+	}
 	if c.Dataset == "" {
 		c.Dataset = "imdb"
 	}
@@ -179,8 +189,37 @@ type Report struct {
 	// run end, separating server time from client-side queueing.
 	ServerLatency server.LatencyStats `json:"server_latency"`
 
-	// Cache is the daemon result cache's activity over the run.
+	// Cache is the daemon result cache's activity over the run. In a
+	// follower-read run this is the FOLLOWER's cache (reads land there).
 	Cache CacheReport `json:"cache"`
+
+	// FollowerAddr and Replication are set on follower-read runs
+	// (Config.FollowerAddr): reads were served by that replica, and
+	// Replication summarizes its lag behind the primary.
+	FollowerAddr string     `json:"follower_addr,omitempty"`
+	Replication  *LagReport `json:"replication,omitempty"`
+}
+
+// LagReport summarizes a follower's replication lag over a run, from its
+// /stats replication block sampled every 50ms during the measured window
+// plus a final drain check after the load stops.
+type LagReport struct {
+	// MaxLag/MeanLag/Samples summarize the measured-window lag samples
+	// (epochs behind the primary per the last received chunk).
+	MaxLag  uint64  `json:"max_lag"`
+	MeanLag float64 `json:"mean_lag"`
+	Samples int     `json:"samples"`
+	// EndAppliedEpoch, EndPrimaryEpoch and EndLag are the follower's
+	// state after the drain window.
+	EndAppliedEpoch uint64 `json:"end_applied_epoch"`
+	EndPrimaryEpoch uint64 `json:"end_primary_epoch"`
+	EndLag          uint64 `json:"end_lag"`
+	// Reconnects is the growth of the follower's reconnect counter over
+	// the run — 0 on a healthy link.
+	Reconnects uint64 `json:"reconnects"`
+	// CatchupMS is how long after the last write the follower needed to
+	// reach the primary's final epoch, or -1 if it had not within 10s.
+	CatchupMS float64 `json:"catchup_ms"`
 }
 
 // run-shared mutable state, split from Report so workers touch only
@@ -222,9 +261,19 @@ func Run(cfg Config) (*Report, error) {
 		qbodies = append(qbodies, b)
 	}
 
-	startStats, err := scrapeStats(cfg)
+	startStats, err := scrapeStats(cfg.Client, cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: cannot reach %s: %w", cfg.Addr, err)
+	}
+	var followerStart *server.StatsResponse
+	if cfg.FollowerAddr != "" {
+		followerStart, err = scrapeStats(cfg.Client, cfg.FollowerAddr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: cannot reach follower %s: %w", cfg.FollowerAddr, err)
+		}
+		if followerStart.Replication == nil {
+			return nil, fmt.Errorf("loadgen: %s is not a follower (no replication block in /stats)", cfg.FollowerAddr)
+		}
 	}
 
 	var (
@@ -249,6 +298,35 @@ func Run(cfg Config) (*Report, error) {
 		}(w)
 	}
 
+	// Lag sampler: poll the follower's replication block through the
+	// measured window.
+	var (
+		lagSamples []uint64
+		lagStop    chan struct{}
+		lagDone    chan struct{}
+	)
+	if cfg.FollowerAddr != "" {
+		lagStop, lagDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(lagDone)
+			tick := time.NewTicker(50 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-lagStop:
+					return
+				case <-tick.C:
+				}
+				if !measured.Load() {
+					continue
+				}
+				if st, err := scrapeStats(cfg.Client, cfg.FollowerAddr); err == nil && st.Replication != nil {
+					lagSamples = append(lagSamples, st.Replication.Lag)
+				}
+			}
+		}()
+	}
+
 	sleep := func(dur time.Duration) {
 		t := time.NewTimer(dur)
 		defer t.Stop()
@@ -263,7 +341,7 @@ func Run(cfg Config) (*Report, error) {
 	close(stop)
 	wg.Wait()
 
-	endStats, err := scrapeStats(cfg)
+	endStats, err := scrapeStats(cfg.Client, cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: final /stats scrape: %w", err)
 	}
@@ -293,6 +371,47 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.OpsPerSec = float64(rep.Read.Ops+rep.Write.Ops) / elapsed.Seconds()
 	rep.Cache = cacheDelta(startStats.Cache, endStats.Cache)
+	if cfg.FollowerAddr != "" {
+		close(lagStop)
+		<-lagDone
+		lr := &LagReport{CatchupMS: -1, Samples: len(lagSamples)}
+		for _, l := range lagSamples {
+			if l > lr.MaxLag {
+				lr.MaxLag = l
+			}
+			lr.MeanLag += float64(l)
+		}
+		if lr.Samples > 0 {
+			lr.MeanLag /= float64(lr.Samples)
+		}
+		// Drain: give the follower up to 10s to reach the primary's
+		// post-run epoch, and time how long it takes.
+		t0 := time.Now()
+		fin := followerStart
+		for deadline := t0.Add(10 * time.Second); ; {
+			fin, err = scrapeStats(cfg.Client, cfg.FollowerAddr)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: follower /stats scrape: %w", err)
+			}
+			if fin.Replication.AppliedEpoch >= endStats.Epoch {
+				lr.CatchupMS = float64(time.Since(t0)) / float64(time.Millisecond)
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		lr.EndAppliedEpoch = fin.Replication.AppliedEpoch
+		lr.EndPrimaryEpoch = fin.Replication.PrimaryEpoch
+		lr.EndLag = fin.Replication.Lag
+		lr.Reconnects = fin.Replication.Reconnects - followerStart.Replication.Reconnects
+		rep.FollowerAddr = cfg.FollowerAddr
+		rep.Replication = lr
+		// Reads were served by the follower, so the cache block that
+		// matches them is the follower's.
+		rep.Cache = cacheDelta(followerStart.Cache, fin.Cache)
+	}
 	return rep, nil
 }
 
@@ -315,8 +434,8 @@ func cacheDelta(start, end server.CacheStats) CacheReport {
 	return cr
 }
 
-func scrapeStats(cfg Config) (*server.StatsResponse, error) {
-	resp, err := cfg.Client.Get(cfg.Addr + "/stats")
+func scrapeStats(client *http.Client, addr string) (*server.StatsResponse, error) {
+	resp, err := client.Get(addr + "/stats")
 	if err != nil {
 		return nil, err
 	}
@@ -352,14 +471,20 @@ func worker(cfg Config, id int, in *graph.Interner, live []graph.NodeID, qbodies
 			return false
 		}
 	}
+	// Reads go to the follower when one is targeted; writes always go to
+	// the primary (the follower would 403 them).
+	readAddr := cfg.Addr
+	if cfg.FollowerAddr != "" {
+		readAddr = cfg.FollowerAddr
+	}
 	var lastEpoch uint64
 
 	// post runs one HTTP op and records it into h when the measured
 	// window is open. It returns the status (0 on transport error) and
 	// the decoded body for 200s on /update.
-	post := func(path string, body []byte, h *hist.H, ops, errs *atomic.Uint64) (int, []byte) {
+	post := func(addr, path string, body []byte, h *hist.H, ops, errs *atomic.Uint64) (int, []byte) {
 		start := time.Now()
-		resp, err := cfg.Client.Post(cfg.Addr+path, "application/json", bytes.NewReader(body))
+		resp, err := cfg.Client.Post(addr+path, "application/json", bytes.NewReader(body))
 		status, raw := 0, []byte(nil)
 		if err == nil {
 			var buf bytes.Buffer
@@ -386,7 +511,7 @@ func worker(cfg Config, id int, in *graph.Interner, live []graph.NodeID, qbodies
 		return buf.Bytes()
 	}
 	update := func(dl *graph.Delta) int {
-		status, raw := post("/update", deltaBody(dl), writeH, &cnt.writeOps, &cnt.writeErrs)
+		status, raw := post(cfg.Addr, "/update", deltaBody(dl), writeH, &cnt.writeOps, &cnt.writeErrs)
 		switch {
 		case status == http.StatusOK:
 			var ur struct {
@@ -424,7 +549,7 @@ func worker(cfg Config, id int, in *graph.Interner, live []graph.NodeID, qbodies
 			}
 		}
 		if rng.Float64() < cfg.ReadPct {
-			post("/query", qbodies[rng.Intn(len(qbodies))], readH, &cnt.readOps, &cnt.readErrs)
+			post(readAddr, "/query", qbodies[rng.Intn(len(qbodies))], readH, &cnt.readOps, &cnt.readErrs)
 			continue
 		}
 		u, v := pick(), pick()
@@ -449,11 +574,16 @@ type SweepDoc struct {
 // stress: a 95% read mix whose sparse writes keep advancing the epoch,
 // so steady-state cache hits exist only because stale entries are
 // promoted), with base's dataset, worker and timing knobs, naming each
-// run.
+// run. When base.FollowerAddr is set (-target-follower) the grid still
+// runs against the primary alone, and one extra follower-reads scenario
+// — writes to the primary, reads from the follower — closes the sweep
+// with the replication lag block in its report.
 func Sweep(base Config) (*SweepDoc, error) {
 	doc := &SweepDoc{
 		Note: "cmd/loadgen -sweep; closed-loop unless rate_ops is set; latencies are client-observed round trips in ns, server_latency is the daemon's own handling time",
 	}
+	grid := base
+	grid.FollowerAddr = ""
 	for _, mix := range []struct {
 		tag string
 		pct float64
@@ -462,7 +592,7 @@ func Sweep(base Config) (*SweepDoc, error) {
 			tag string
 			s   float64
 		}{{"uniform", 0}, {"zipf", 1.2}} {
-			cfg := base
+			cfg := grid
 			cfg.ReadPct = mix.pct
 			cfg.ZipfS = skew.s
 			rep, err := Run(cfg)
@@ -473,7 +603,7 @@ func Sweep(base Config) (*SweepDoc, error) {
 			doc.Runs = append(doc.Runs, rep)
 		}
 	}
-	cfg := base
+	cfg := grid
 	cfg.ReadPct = 0.95
 	cfg.ZipfS = 0
 	rep, err := Run(cfg)
@@ -482,5 +612,16 @@ func Sweep(base Config) (*SweepDoc, error) {
 	}
 	rep.Name = "read-mostly/updates"
 	doc.Runs = append(doc.Runs, rep)
+	if base.FollowerAddr != "" {
+		cfg := base
+		cfg.ReadPct = 0.9
+		cfg.ZipfS = 0
+		rep, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("follower-reads/uniform: %w", err)
+		}
+		rep.Name = "follower-reads/uniform"
+		doc.Runs = append(doc.Runs, rep)
+	}
 	return doc, nil
 }

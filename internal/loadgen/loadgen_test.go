@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"testing"
@@ -9,8 +10,12 @@ import (
 
 	"boundedg/internal/access"
 	"boundedg/internal/exp"
+	"boundedg/internal/graph"
+	"boundedg/internal/replica"
 	"boundedg/internal/runtime"
 	"boundedg/internal/server"
+	"boundedg/internal/store"
+	"boundedg/internal/wal"
 )
 
 // TestSmoke drives an in-process boundedgd with a short mixed zipf load
@@ -119,6 +124,131 @@ func TestSmoke(t *testing.T) {
 	wantRate := float64(rep.Cache.Hits) / float64(rep.Cache.Hits+rep.Cache.Misses)
 	if rep.Cache.HitRate != wantRate {
 		t.Fatalf("hit_rate %v inconsistent with counters %+v", rep.Cache.HitRate, rep.Cache)
+	}
+}
+
+// TestFollowerReadSmoke runs the -target-follower scenario in-process: a
+// durable primary takes the writes, a -follow replica serves the reads,
+// and the report's replication block shows the follower drained to the
+// primary's final epoch.
+func TestFollowerReadSmoke(t *testing.T) {
+	const (
+		dataset = "imdb"
+		scale   = 0.2
+		seed    = 5
+	)
+	d, err := exp.Gen(dataset, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatalf("index build: %v", viols[0])
+	}
+	wd, err := wal.OpenDir(t.TempDir(), d.In)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Init(0, d.G, idx); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(d.G, idx, store.WithWAL(wd, true))
+	eng, err := runtime.NewFromStore(st, runtime.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, d.In, server.Config{EnableUpdates: true, WAL: wd})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		eng.Close()
+		wd.Close()
+	}()
+
+	// The follower: bootstrap from the primary's checkpoint, stream its
+	// WAL, serve read-only queries — exactly what boundedgd -follow wires.
+	fin := graph.NewInterner()
+	rep := replica.New(replica.Config{Primary: ts.URL}, fin)
+	fg, fidx, epoch, err := rep.Bootstrap(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opts []store.Option
+	if epoch > 0 {
+		opts = append(opts, store.WithBaseEpoch(epoch))
+	}
+	fst := store.New(fg, fidx, opts...)
+	rep.Attach(fst)
+	rctx, rcancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- rep.Run(rctx) }()
+	feng, err := runtime.NewFromStore(fst, runtime.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := server.New(feng, fin, server.Config{Follower: true, ReplicationStats: rep.Stats})
+	fts := httptest.NewServer(fsrv.Handler())
+	defer func() {
+		fts.Close()
+		rcancel()
+		if err := <-runDone; err != nil {
+			t.Errorf("replica run: %v", err)
+		}
+		feng.Close()
+	}()
+
+	report, err := Run(Config{
+		Addr:         ts.URL,
+		FollowerAddr: fts.URL,
+		Dataset:      dataset,
+		Scale:        scale,
+		Seed:         seed,
+		Workers:      4,
+		ReadPct:      0.5,
+		Warmup:       200 * time.Millisecond,
+		Duration:     time.Second,
+		Client:       ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if report.Read.Errors != 0 || report.Write.Errors != 0 {
+		t.Fatalf("errors: read=%d write=%d", report.Read.Errors, report.Write.Errors)
+	}
+	if report.Read.Ops == 0 || report.Write.Ops == 0 {
+		t.Fatalf("empty op class: read=%d write=%d", report.Read.Ops, report.Write.Ops)
+	}
+	if report.FollowerAddr != fts.URL {
+		t.Fatalf("follower addr %q, want %q", report.FollowerAddr, fts.URL)
+	}
+	lr := report.Replication
+	if lr == nil {
+		t.Fatal("follower-read report lacks the replication block")
+	}
+	if lr.CatchupMS < 0 {
+		t.Fatalf("follower never caught up: %+v", lr)
+	}
+	if lr.EndLag != 0 || lr.EndAppliedEpoch < report.GSNEnd {
+		t.Fatalf("follower drained to %+v, primary ended at epoch %d", lr, report.GSNEnd)
+	}
+	if lr.Reconnects != 0 {
+		t.Fatalf("healthy in-process link reconnected %d times", lr.Reconnects)
+	}
+
+	// The lag block must survive the JSON round trip under these names —
+	// BENCH_loadgen.json consumers key on them.
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"follower_addr"`, `"replication"`, `"max_lag"`, `"mean_lag"`, `"samples"`,
+		`"end_applied_epoch"`, `"end_primary_epoch"`, `"end_lag"`, `"reconnects"`, `"catchup_ms"`,
+	} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Fatalf("report JSON lacks %s:\n%s", field, raw)
+		}
 	}
 }
 

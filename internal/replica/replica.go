@@ -1,0 +1,369 @@
+// Package replica is the client side of WAL streaming replication: it
+// bootstraps a read-only follower from a primary's checkpoint, replays
+// the primary's committed log records as they stream in, and keeps the
+// follower's epoch-versioned store in lockstep — epoch for epoch, byte
+// for byte — with the primary's published history.
+//
+// The protocol (primary side in internal/server, wire framing in
+// internal/wal):
+//
+//  1. GET /wal/checkpoint → the primary's checkpoint snapshot. The
+//     follower loads it and publishes it as its base epoch.
+//  2. GET /wal/stream?from=<offset>&base=<epoch> → a long-lived chunked
+//     response. Each chunk is one published epoch: all of its records,
+//     verbatim. The follower applies the chunk's deltas as one epoch
+//     (store.ApplyReplicated) and advances its cursor to the chunk's
+//     end offset.
+//  3. The stream ends when a checkpoint rotates the primary's log. The
+//     follower reconnects; a 409 tells it the new log's base epoch. If
+//     its applied epoch equals the new base it resumes at the new log's
+//     first record — nothing is lost, rotation preserves history — and
+//     otherwise it re-bootstraps from the newer checkpoint.
+//
+// Any other disconnect is retried with exponential backoff from the last
+// applied offset; the chunk framing guarantees a torn transfer never
+// applies a partial epoch. Divergence — the primary's accepted record
+// failing to apply here — wedges the store (readers keep the last
+// consistent epoch) and stops the loop; it means the two histories no
+// longer agree and resuming would serve silently wrong answers.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/server"
+	"boundedg/internal/store"
+	"boundedg/internal/wal"
+)
+
+// ErrDiverged wraps every error that stops Run permanently: replica
+// state that can no longer be reconciled with the primary's history
+// (a delta the primary accepted failing here, a primary that lost
+// history the follower already applied, a sharded primary).
+var ErrDiverged = errors.New("replica: cannot continue from primary")
+
+// Config configures a Replica.
+type Config struct {
+	// Primary is the primary's base URL, e.g. "http://10.0.0.1:8080".
+	Primary string
+	// Client is the HTTP client for all requests; nil uses a client with
+	// no overall timeout (the stream request is deliberately unbounded).
+	Client *http.Client
+	// Backoff is the initial reconnect delay, doubling to 32x per silent
+	// failure and resetting once a chunk applies. Defaults to 250ms.
+	Backoff time.Duration
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+
+	// wrapBody, when set (tests), wraps the stream response body — e.g.
+	// to cut the connection after N bytes and exercise resume.
+	wrapBody func(io.ReadCloser) io.ReadCloser
+}
+
+// Replica drives one follower. Construct with New, call Bootstrap to
+// fetch the initial state, build the store over it, Attach the store,
+// then Run in a goroutine for the lifetime of the daemon.
+type Replica struct {
+	cfg Config
+	in  *graph.Interner
+	st  *store.Store
+
+	base    atomic.Uint64 // base epoch of the primary log the cursor points into
+	offset  atomic.Int64  // primary log offset fully applied and published here
+	applied atomic.Uint64 // follower's published epoch
+	primary atomic.Uint64 // primary's published epoch per the last chunk
+
+	reconnects    atomic.Uint64
+	bootstraps    atomic.Uint64
+	connected     atomic.Bool
+	everConnected atomic.Bool
+	diverged      atomic.Bool
+
+	errMu   sync.Mutex
+	lastErr string
+}
+
+// New returns a replica client resolving labels through in (the interner
+// the follower's graph, schema and server share).
+func New(cfg Config, in *graph.Interner) *Replica {
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	return &Replica{cfg: cfg, in: in}
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+func (r *Replica) setErr(err error) {
+	r.errMu.Lock()
+	r.lastErr = err.Error()
+	r.errMu.Unlock()
+}
+
+// Stats adapts the replica's counters to the server's /stats block.
+func (r *Replica) Stats() server.ReplicationStats {
+	s := server.ReplicationStats{
+		Primary:      r.cfg.Primary,
+		AppliedEpoch: r.applied.Load(),
+		PrimaryEpoch: r.primary.Load(),
+		Offset:       r.offset.Load(),
+		Reconnects:   r.reconnects.Load(),
+		Bootstraps:   r.bootstraps.Load(),
+		Connected:    r.connected.Load(),
+		Inconsistent: r.diverged.Load(),
+	}
+	if s.PrimaryEpoch > s.AppliedEpoch {
+		s.Lag = s.PrimaryEpoch - s.AppliedEpoch
+	}
+	r.errMu.Lock()
+	s.LastError = r.lastErr
+	r.errMu.Unlock()
+	return s
+}
+
+// fetchCheckpoint downloads and decodes the primary's current
+// checkpoint.
+func (r *Replica) fetchCheckpoint(ctx context.Context) (*graph.Graph, *access.IndexSet, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.Primary+"/wal/checkpoint", nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotImplemented {
+		return nil, nil, 0, fmt.Errorf("%w: primary is sharded; follower replication only supports unsharded primaries", ErrDiverged)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, nil, 0, fmt.Errorf("replica: checkpoint fetch: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var ck server.CheckpointResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil {
+		return nil, nil, 0, fmt.Errorf("replica: decode checkpoint response: %w", err)
+	}
+	g, err := graph.ReadSnapshotJSON(bytes.NewReader(ck.Graph), r.in)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("replica: load checkpoint graph: %w", err)
+	}
+	idx, err := access.ReadIndexSet(bytes.NewReader(ck.Index), r.in)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("replica: load checkpoint index: %w", err)
+	}
+	return g, idx, ck.Epoch, nil
+}
+
+// Bootstrap fetches the primary's checkpoint and returns its graph and
+// index set for the caller to build the follower store and engine over,
+// along with the checkpoint epoch (pass it to store.WithBaseEpoch). The
+// replica's cursor is anchored at the start of the log that begins at
+// that checkpoint.
+func (r *Replica) Bootstrap(ctx context.Context) (*graph.Graph, *access.IndexSet, uint64, error) {
+	g, idx, epoch, err := r.fetchCheckpoint(ctx)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	r.base.Store(epoch)
+	r.applied.Store(epoch)
+	r.primary.Store(epoch)
+	r.offset.Store(wal.HeaderSize())
+	r.bootstraps.Add(1)
+	return g, idx, epoch, nil
+}
+
+// Attach hands the replica the store built from Bootstrap's state. Must
+// be called before Run.
+func (r *Replica) Attach(st *store.Store) { r.st = st }
+
+// rebootstrap re-anchors a running follower on the primary's current
+// checkpoint after a rotation it could not ride across.
+func (r *Replica) rebootstrap(ctx context.Context) error {
+	g, idx, epoch, err := r.fetchCheckpoint(ctx)
+	if err != nil {
+		return err
+	}
+	if epoch < r.applied.Load() {
+		// The primary's newest checkpoint is behind what this follower
+		// already serves: the primary lost history (e.g. recovered without
+		// an un-fsynced tail the stream had already delivered). Epochs
+		// cannot rewind; an operator must re-seed the follower.
+		return fmt.Errorf("%w: primary checkpoint epoch %d is behind follower epoch %d (primary lost history; re-seed the follower)", ErrDiverged, epoch, r.applied.Load())
+	}
+	if epoch > r.applied.Load() {
+		if err := r.st.ResetReplicated(epoch, g, idx); err != nil {
+			return fmt.Errorf("%w: %v", ErrDiverged, err)
+		}
+	}
+	r.base.Store(epoch)
+	r.applied.Store(epoch)
+	r.offset.Store(wal.HeaderSize())
+	r.bootstraps.Add(1)
+	r.logf("replica: re-bootstrapped from checkpoint at epoch %d", epoch)
+	return nil
+}
+
+// Run streams and applies the primary's log until ctx is canceled,
+// reconnecting with backoff from the last applied offset. It returns nil
+// on cancellation and an ErrDiverged-wrapped error when the follower can
+// no longer follow (the store is left wedged for writes but serving its
+// last consistent epoch).
+func (r *Replica) Run(ctx context.Context) error {
+	if r.st == nil {
+		return errors.New("replica: Run before Attach")
+	}
+	backoff := r.cfg.Backoff
+	for {
+		progressed, err := r.streamOnce(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, ErrDiverged) {
+				r.diverged.Store(true)
+				r.setErr(err)
+				r.logf("replica: stopping: %v", err)
+				return err
+			}
+			r.setErr(err)
+			r.logf("replica: stream: %v (reconnecting in %s)", err, backoff)
+		}
+		if progressed {
+			backoff = r.cfg.Backoff
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		if !progressed && backoff < 32*r.cfg.Backoff {
+			backoff *= 2
+		}
+	}
+}
+
+// streamOnce opens one stream connection and applies chunks until it
+// ends. progressed reports whether at least one epoch applied (resets
+// the caller's backoff). A clean end (rotation, network cut) returns a
+// nil or retriable error; ErrDiverged-wrapped errors are terminal.
+func (r *Replica) streamOnce(ctx context.Context) (progressed bool, err error) {
+	u := fmt.Sprintf("%s/wal/stream?from=%d&base=%d", r.cfg.Primary, r.offset.Load(), r.base.Load())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	if r.everConnected.Swap(true) {
+		r.reconnects.Add(1)
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		// The log rotated. Resume on the new log if our applied epoch is
+		// exactly its base; otherwise catch up from the checkpoint.
+		var rd server.StreamRedirect
+		if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+			return false, fmt.Errorf("replica: decode stream redirect: %w", err)
+		}
+		if rd.LogBaseEpoch == r.applied.Load() {
+			r.base.Store(rd.LogBaseEpoch)
+			r.offset.Store(wal.HeaderSize())
+			r.logf("replica: log rotated; resuming at new base epoch %d", rd.LogBaseEpoch)
+			return true, nil
+		}
+		return true, r.rebootstrap(ctx)
+	case http.StatusNotImplemented:
+		return false, fmt.Errorf("%w: primary is sharded; follower replication only supports unsharded primaries", ErrDiverged)
+	case http.StatusRequestedRangeNotSatisfiable:
+		// The primary has less published log than we already applied: it
+		// lost history. A newer checkpoint cannot exist, so this is
+		// terminal (rebootstrap would find the same truth).
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("%w: primary rejected offset %d: %s (primary lost history; re-seed the follower)", ErrDiverged, r.offset.Load(), strings.TrimSpace(string(body)))
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("replica: stream: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	r.connected.Store(true)
+	defer r.connected.Store(false)
+	body := io.ReadCloser(resp.Body)
+	if r.cfg.wrapBody != nil {
+		body = r.cfg.wrapBody(body)
+		defer body.Close()
+	}
+	for {
+		c, err := wal.ReadChunk(body)
+		if err != nil {
+			if err == io.EOF {
+				// Chunk-boundary end: the primary rotated its log (or shut
+				// down). Reconnect; the base check sorts out which.
+				return progressed, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return progressed, fmt.Errorf("replica: stream cut mid-chunk (will resume from offset %d)", r.offset.Load())
+			}
+			return progressed, err
+		}
+		if err := r.applyChunk(c); err != nil {
+			return progressed, err
+		}
+		progressed = true
+	}
+}
+
+// applyChunk decodes and applies one streamed epoch atomically.
+func (r *Replica) applyChunk(c wal.Chunk) error {
+	recs, err := wal.ParseFrames(c.Frames)
+	if err != nil {
+		return fmt.Errorf("replica: chunk at epoch %d: %w", c.Epoch, err)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("replica: empty chunk at epoch %d", c.Epoch)
+	}
+	deltas := make([]*graph.Delta, len(recs))
+	for i, rec := range recs {
+		if rec.Epoch != c.Epoch {
+			return fmt.Errorf("replica: chunk at epoch %d carries a record of epoch %d", c.Epoch, rec.Epoch)
+		}
+		d, err := graph.ReadDeltaJSON(bytes.NewReader(rec.Payload), r.in)
+		if err != nil {
+			return fmt.Errorf("%w: record of epoch %d does not decode: %v", ErrDiverged, c.Epoch, err)
+		}
+		deltas[i] = d
+	}
+	if err := r.st.ApplyReplicated(c.Epoch, deltas); err != nil {
+		return fmt.Errorf("%w: %v", ErrDiverged, err)
+	}
+	r.applied.Store(c.Epoch)
+	r.offset.Store(c.EndOffset)
+	if c.PrimaryEpoch > r.primary.Load() {
+		r.primary.Store(c.PrimaryEpoch)
+	}
+	return nil
+}

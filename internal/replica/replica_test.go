@@ -1,0 +1,474 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+	"boundedg/internal/runtime"
+	"boundedg/internal/server"
+	"boundedg/internal/store"
+	"boundedg/internal/wal"
+)
+
+// primaryEnv is a durable unsharded primary as boundedgd -mutable -wal
+// runs one, with the replication endpoints enabled.
+type primaryEnv struct {
+	in    *graph.Interner
+	st    *store.Store
+	wd    *wal.Dir
+	eng   *runtime.Engine
+	ts    *httptest.Server
+	years []graph.NodeID
+}
+
+func newPrimary(t *testing.T) *primaryEnv {
+	t.Helper()
+	g := graph.New(nil)
+	in := g.Interner()
+	year := in.Intern("year")
+	movie := in.Intern("movie")
+	var years []graph.NodeID
+	for i := 0; i < 3; i++ {
+		years = append(years, g.AddNode(year, graph.IntValue(int64(2010+i))))
+	}
+	schema := access.NewSchema(
+		access.MustNew(nil, year, 10),
+		access.MustNew([]graph.Label{year}, movie, 100),
+	)
+	idx, viols := access.Build(g, schema)
+	if viols != nil {
+		t.Fatalf("index build: %v", viols[0])
+	}
+	wd, err := wal.OpenDir(t.TempDir(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Init(0, g, idx); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(g, idx, store.WithWAL(wd, true))
+	eng, err := runtime.NewFromStore(st, runtime.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, in, server.Config{EnableUpdates: true, WAL: wd})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		wd.Close()
+	})
+	return &primaryEnv{in: in, st: st, wd: wd, eng: eng, ts: ts, years: years}
+}
+
+// mustApply commits one update (= one epoch) on the primary through the
+// same delta-JSON decode path POST /update uses, so novel labels arrive
+// staged and exercise interner commit on both sides of the stream.
+func (p *primaryEnv) mustApply(t *testing.T, body string) uint64 {
+	t.Helper()
+	d, err := graph.ReadDeltaJSON(strings.NewReader(body), p.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.st.Apply(d); err != nil {
+		t.Fatalf("apply %s: %v", body, err)
+	}
+	return p.st.Stats().Epoch
+}
+
+// addMovie is the standard accepted update: one new movie wired to an
+// existing year.
+func (p *primaryEnv) addMovie(t *testing.T, i int) uint64 {
+	t.Helper()
+	return p.mustApply(t, fmt.Sprintf(
+		`{"add_nodes": [{"label": "movie", "value": %d}], "add_edges": [[-1, %d]]}`, 100+i, p.years[i%len(p.years)]))
+}
+
+// followerEnv is one follower: a replica client over its own interner and
+// store, with Run controllable for stop/restart tests.
+type followerEnv struct {
+	rep    *Replica
+	st     *store.Store
+	in     *graph.Interner
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func newFollower(t *testing.T, primary string, wrap func(io.ReadCloser) io.ReadCloser) *followerEnv {
+	t.Helper()
+	in := graph.NewInterner()
+	rep := New(Config{Primary: primary, Backoff: 2 * time.Millisecond, wrapBody: wrap}, in)
+	g, idx, epoch, err := rep.Bootstrap(context.Background())
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	var opts []store.Option
+	if epoch > 0 {
+		opts = append(opts, store.WithBaseEpoch(epoch))
+	}
+	st := store.New(g, idx, opts...)
+	rep.Attach(st)
+	f := &followerEnv{rep: rep, st: st, in: in}
+	f.start()
+	t.Cleanup(func() {
+		f.stop()
+		st.Close()
+	})
+	return f
+}
+
+func (f *followerEnv) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.done = make(chan error, 1)
+	rep := f.rep
+	go func() { f.done <- rep.Run(ctx) }()
+}
+
+// stop cancels Run and waits for it; safe to call twice.
+func (f *followerEnv) stop() error {
+	if f.cancel == nil {
+		return nil
+	}
+	f.cancel()
+	f.cancel = nil
+	return <-f.done
+}
+
+// waitApplied blocks until the follower has applied and published epoch.
+func (f *followerEnv) waitApplied(t *testing.T, epoch uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for f.rep.applied.Load() < epoch {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at epoch %d waiting for %d (stats %+v)", f.rep.applied.Load(), epoch, f.rep.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// stateBytes serializes a store's published snapshot — graph and index
+// set — through the same codecs checkpoints use. Replication promises
+// byte identity of this serialization between primary and follower at
+// equal epochs.
+func stateBytes(t *testing.T, st *store.Store) (uint64, string, string) {
+	t.Helper()
+	snap := st.Acquire()
+	defer snap.Release()
+	var gb, ib bytes.Buffer
+	if err := snap.G.WriteSnapshotJSON(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Idx.WriteJSON(&ib, snap.G.Interner()); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Epoch, gb.String(), ib.String()
+}
+
+// requireIdentical asserts primary and follower publish the same epoch
+// with byte-identical graph and index serializations.
+func requireIdentical(t *testing.T, p *primaryEnv, f *followerEnv) {
+	t.Helper()
+	pe, pg, pi := stateBytes(t, p.st)
+	fe, fg, fi := stateBytes(t, f.st)
+	if pe != fe {
+		t.Fatalf("epoch mismatch: primary %d, follower %d", pe, fe)
+	}
+	if pg != fg {
+		t.Fatalf("graph snapshots differ at epoch %d:\nprimary:  %s\nfollower: %s", pe, pg, fg)
+	}
+	if pi != fi {
+		t.Fatalf("index snapshots differ at epoch %d:\nprimary:  %s\nfollower: %s", pe, pi, fi)
+	}
+}
+
+// TestFollowerTracksPrimaryByteForByte is the differential replication
+// test: after every primary epoch the follower's published graph and
+// index serialize byte-identically, including epochs that intern novel
+// labels, and rejected updates leave no trace in the stream.
+func TestFollowerTracksPrimaryByteForByte(t *testing.T) {
+	p := newPrimary(t)
+	f := newFollower(t, p.ts.URL, nil)
+
+	requireIdentical(t, p, f) // epoch 0: bootstrap alone must already agree
+
+	for i := 0; i < 4; i++ {
+		epoch := p.addMovie(t, i)
+		f.waitApplied(t, epoch)
+		requireIdentical(t, p, f)
+	}
+
+	// A rejected update must not reach the log, the stream, or either
+	// interner.
+	bad, err := graph.ReadDeltaJSON(strings.NewReader(
+		`{"add_nodes": [{"label": "phantom"}], "add_edges": [[-1, 999999]]}`), p.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.st.Apply(bad); err == nil {
+		t.Fatal("structurally bad delta accepted")
+	}
+
+	// A novel label must stream through and land with the same id.
+	epoch := p.mustApply(t, fmt.Sprintf(
+		`{"add_nodes": [{"label": "director", "value": 7}], "add_edges": [[-1, %d]]}`, p.years[0]))
+	f.waitApplied(t, epoch)
+	requireIdentical(t, p, f)
+	if _, ok := f.in.Lookup("phantom"); ok {
+		t.Fatal("rejected delta's label leaked into the follower's interner")
+	}
+	if _, ok := p.in.Lookup("phantom"); ok {
+		t.Fatal("rejected delta's label leaked into the primary's interner")
+	}
+
+	s := f.rep.Stats()
+	if s.Bootstraps != 1 || s.Inconsistent || s.Lag != 0 {
+		t.Fatalf("follower stats after catch-up: %+v", s)
+	}
+}
+
+// TestFollowerRidesLogRotation checkpoints the primary under a live
+// caught-up follower: the stream ends at a chunk boundary, the reconnect
+// gets the 409 redirect, and the follower resumes on the fresh log
+// without re-bootstrapping.
+func TestFollowerRidesLogRotation(t *testing.T) {
+	p := newPrimary(t)
+	f := newFollower(t, p.ts.URL, nil)
+
+	var epoch uint64
+	for i := 0; i < 3; i++ {
+		epoch = p.addMovie(t, i)
+	}
+	f.waitApplied(t, epoch)
+
+	if err := p.st.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	for i := 3; i < 5; i++ {
+		epoch = p.addMovie(t, i)
+	}
+	f.waitApplied(t, epoch)
+	requireIdentical(t, p, f)
+
+	s := f.rep.Stats()
+	if s.Bootstraps != 1 {
+		t.Fatalf("rotation under a caught-up follower re-bootstrapped: %+v", s)
+	}
+	if s.Reconnects == 0 {
+		t.Fatalf("rotation did not end the stream: %+v", s)
+	}
+}
+
+// TestFollowerRebootstrapsAcrossMissedRotation disconnects the follower,
+// rotates the primary's log while epochs accumulate, and reconnects: the
+// old base is gone and the follower is behind the new one, so it must
+// re-bootstrap from the checkpoint and then resume streaming.
+func TestFollowerRebootstrapsAcrossMissedRotation(t *testing.T) {
+	p := newPrimary(t)
+	f := newFollower(t, p.ts.URL, nil)
+
+	epoch := p.addMovie(t, 0)
+	f.waitApplied(t, epoch)
+	if err := f.stop(); err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+
+	for i := 1; i < 3; i++ {
+		p.addMovie(t, i)
+	}
+	if err := p.st.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	epoch = p.addMovie(t, 3)
+
+	f.start()
+	f.waitApplied(t, epoch)
+	requireIdentical(t, p, f)
+
+	s := f.rep.Stats()
+	if s.Bootstraps != 2 {
+		t.Fatalf("expected exactly one re-bootstrap, got stats %+v", s)
+	}
+}
+
+// recordingBody captures every byte the replica reads off the stream, so
+// the cut-point matrix below knows the exact chunk boundaries.
+type recordingBody struct {
+	rc  io.ReadCloser
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (r *recordingBody) Read(p []byte) (int, error) {
+	n, err := r.rc.Read(p)
+	if n > 0 {
+		r.mu.Lock()
+		r.buf.Write(p[:n])
+		r.mu.Unlock()
+	}
+	return n, err
+}
+
+func (r *recordingBody) Close() error { return r.rc.Close() }
+
+// cuttingBody delivers at most budget bytes, then fails every read as if
+// the connection dropped.
+type cuttingBody struct {
+	rc     io.ReadCloser
+	budget int64
+}
+
+var errCut = errors.New("replica_test: connection cut")
+
+func (c *cuttingBody) Read(p []byte) (int, error) {
+	if c.budget <= 0 {
+		c.rc.Close()
+		return 0, errCut
+	}
+	if int64(len(p)) > c.budget {
+		p = p[:c.budget]
+	}
+	n, err := c.rc.Read(p)
+	c.budget -= int64(n)
+	return n, err
+}
+
+func (c *cuttingBody) Close() error { return c.rc.Close() }
+
+// TestFollowerResumesFromEveryCutPoint is the kill/reconnect matrix: the
+// stream is cut at every chunk boundary and at mid-header and mid-frame
+// points inside every chunk, and after reconnecting from its last applied
+// offset the follower must still converge to a byte-identical state —
+// torn chunks are retransmitted whole, applied chunks are never replayed.
+func TestFollowerResumesFromEveryCutPoint(t *testing.T) {
+	p := newPrimary(t)
+	const updates = 4
+	var last uint64
+	for i := 0; i < updates; i++ {
+		last = p.addMovie(t, i)
+	}
+
+	// Pass 1: a clean follower records the stream's exact bytes.
+	var mu sync.Mutex
+	var recorded bytes.Buffer
+	rec := newFollower(t, p.ts.URL, func(rc io.ReadCloser) io.ReadCloser {
+		return &recordingBody{rc: rc, mu: &mu, buf: &recorded}
+	})
+	rec.waitApplied(t, last)
+	requireIdentical(t, p, rec)
+	mu.Lock()
+	stream := append([]byte(nil), recorded.Bytes()...)
+	mu.Unlock()
+
+	// Parse the recording into cumulative chunk-boundary offsets (in
+	// stream-byte space, not log space).
+	var boundaries []int64
+	br := bytes.NewReader(stream)
+	total := int64(len(stream))
+	for {
+		if _, err := wal.ReadChunk(br); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatalf("recorded stream does not parse: %v", err)
+		}
+		boundaries = append(boundaries, total-int64(br.Len()))
+	}
+	if len(boundaries) != updates {
+		t.Fatalf("recorded %d chunks for %d single-delta epochs", len(boundaries), updates)
+	}
+
+	// The matrix: every chunk boundary, plus a mid-header point and a
+	// mid-frame point inside every chunk.
+	cuts := map[int64]bool{3: true} // mid-header of the very first chunk
+	prev := int64(0)
+	for _, b := range boundaries {
+		cuts[b] = true                               // exactly at a chunk boundary
+		cuts[prev+chunkHeaderSizeForTest()+5] = true // mid-frame, just past the header
+		if b-7 > prev {
+			cuts[b-7] = true // mid-frame, tail of the chunk
+		}
+		prev = b
+	}
+	for cut := range cuts {
+		if cut <= 0 || cut > total {
+			delete(cuts, cut)
+		}
+	}
+
+	for cut := range cuts {
+		cut := cut
+		t.Run(fmt.Sprintf("cut@%d", cut), func(t *testing.T) {
+			first := true
+			f := newFollower(t, p.ts.URL, func(rc io.ReadCloser) io.ReadCloser {
+				if first {
+					first = false
+					return &cuttingBody{rc: rc, budget: cut}
+				}
+				return rc
+			})
+			f.waitApplied(t, last)
+			requireIdentical(t, p, f)
+			if cut < total && f.rep.Stats().Reconnects == 0 {
+				t.Fatalf("cut at byte %d of %d did not force a reconnect", cut, total)
+			}
+		})
+	}
+}
+
+// chunkHeaderSizeForTest re-exports the wire constant for cut-point
+// arithmetic without widening the wal API.
+func chunkHeaderSizeForTest() int64 { return 4 + 8 + 8 + 8 + 4 }
+
+// TestFollowerWedgesOnDivergence hand-feeds the follower's store an epoch
+// the primary never produced and checks the contract: ApplyReplicated
+// refuses out-of-order epochs outright, and a diverging delta wedges the
+// store while readers keep the last consistent epoch.
+func TestFollowerWedgesOnDivergence(t *testing.T) {
+	p := newPrimary(t)
+	f := newFollower(t, p.ts.URL, nil)
+	epoch := p.addMovie(t, 0)
+	f.waitApplied(t, epoch)
+	if err := f.stop(); err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+
+	// Epoch gap: must be refused without wedging.
+	d, err := graph.ReadDeltaJSON(strings.NewReader(
+		fmt.Sprintf(`{"add_nodes": [{"label": "movie", "value": 500}], "add_edges": [[-1, %d]]}`, p.years[0])), f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.st.ApplyReplicated(epoch+2, []*graph.Delta{d}); err == nil {
+		t.Fatal("epoch gap accepted")
+	}
+
+	// A delta that cannot apply (edge to a node that does not exist
+	// here) at the right epoch: the store must wedge.
+	bad, err := graph.ReadDeltaJSON(strings.NewReader(
+		`{"add_nodes": [{"label": "movie", "value": 501}], "add_edges": [[-1, 999999]]}`), f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.st.ApplyReplicated(epoch+1, []*graph.Delta{bad}); err == nil {
+		t.Fatal("diverging delta accepted")
+	}
+	snap := f.st.Acquire()
+	if snap.Epoch != epoch {
+		t.Fatalf("reader epoch moved to %d after divergence; want %d", snap.Epoch, epoch)
+	}
+	snap.Release()
+	if err := f.st.ApplyReplicated(epoch+1, []*graph.Delta{d}); err == nil {
+		t.Fatal("wedged store accepted another replicated epoch")
+	}
+}

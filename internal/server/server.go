@@ -34,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +46,7 @@ import (
 	"boundedg/internal/pattern"
 	"boundedg/internal/runtime"
 	"boundedg/internal/store"
+	"boundedg/internal/wal"
 )
 
 // Config tunes a Server. The zero value picks sensible defaults.
@@ -70,6 +72,19 @@ type Config struct {
 	// EnableUpdates turns on POST /update (the boundedgd -mutable flag).
 	// Off by default: a read-only deployment must not accept writes.
 	EnableUpdates bool
+	// WAL, when set on an unsharded durable daemon, turns on the
+	// replication endpoints: GET /wal/checkpoint serves the current
+	// checkpoint snapshot and GET /wal/stream serves committed log
+	// records from an offset, then tails the live log (see
+	// docs/OPERATIONS.md). Sharded directories are refused with 501 —
+	// scatter/gather replication is not implemented.
+	WAL *wal.Dir
+	// Follower marks this server a read-only replica (boundedgd -follow):
+	// POST /update is refused with a pointer at the primary.
+	Follower bool
+	// ReplicationStats, when set (follower mode), contributes the
+	// "replication" block of GET /stats.
+	ReplicationStats func() ReplicationStats
 }
 
 func (c Config) withDefaults() Config {
@@ -257,20 +272,21 @@ type ShardStats struct {
 // the per-shard epoch vector, and Shards the per-shard breakdown; the
 // top-level WAL block then only reports Enabled (offsets are per shard).
 type StatsResponse struct {
-	UptimeSec   float64       `json:"uptime_sec"`
-	Epoch       uint64        `json:"epoch"`
-	Vector      []uint64      `json:"vector,omitempty"`
-	GraphNodes  int           `json:"graph_nodes"`
-	GraphEdges  int           `json:"graph_edges"`
-	Constraints int           `json:"constraints"`
-	Engine      runtime.Stats `json:"engine"`
-	Cache       CacheStats    `json:"cache"`
-	Updates     UpdateStats   `json:"updates"`
-	WAL         WALStats      `json:"wal"`
-	Latency     LatencyStats  `json:"latency"`
-	Shards      []ShardStats  `json:"shards,omitempty"`
-	Served      uint64        `json:"served"`
-	Errors      uint64        `json:"errors"`
+	UptimeSec   float64           `json:"uptime_sec"`
+	Epoch       uint64            `json:"epoch"`
+	Vector      []uint64          `json:"vector,omitempty"`
+	GraphNodes  int               `json:"graph_nodes"`
+	GraphEdges  int               `json:"graph_edges"`
+	Constraints int               `json:"constraints"`
+	Engine      runtime.Stats     `json:"engine"`
+	Cache       CacheStats        `json:"cache"`
+	Updates     UpdateStats       `json:"updates"`
+	WAL         WALStats          `json:"wal"`
+	Latency     LatencyStats      `json:"latency"`
+	Shards      []ShardStats      `json:"shards,omitempty"`
+	Replication *ReplicationStats `json:"replication,omitempty"`
+	Served      uint64            `json:"served"`
+	Errors      uint64            `json:"errors"`
 }
 
 // Server serves bounded pattern queries over HTTP. Construct with New;
@@ -287,6 +303,13 @@ type Server struct {
 	mux   *http.ServeMux
 	hs    *http.Server
 	start time.Time
+
+	// draining is closed by Shutdown. A graceful http.Server.Shutdown
+	// waits for in-flight requests but never cancels their contexts, so
+	// a long-lived /wal/stream tail would stall the drain for its whole
+	// budget; the stream loop selects on this to end at a chunk boundary.
+	draining  chan struct{}
+	drainOnce sync.Once
 
 	served, errors      atomic.Uint64
 	latQuery, latUpdate hist.H
@@ -321,11 +344,14 @@ func New(eng *runtime.Engine, in *graph.Interner, cfg Config) *Server {
 		patterns: newLRU(patternCacheSize),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		draining: make(chan struct{}),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/wal/checkpoint", s.handleWALCheckpoint)
+	s.mux.HandleFunc("/wal/stream", s.handleWALStream)
 	s.hs = &http.Server{
 		Handler: s.mux,
 		// Bound the whole request read, not just the headers: the
@@ -355,11 +381,15 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
 
 // Shutdown gracefully stops the HTTP side: it stops accepting
-// connections and waits (up to ctx) for in-flight requests to finish.
-// In-flight queries keep their own deadlines; requests arriving after
-// shutdown are refused by the closed listener. The engine is NOT closed
-// here — the caller owns it.
-func (s *Server) Shutdown(ctx context.Context) error { return s.hs.Shutdown(ctx) }
+// connections, ends any live /wal/stream tails at a chunk boundary, and
+// waits (up to ctx) for in-flight requests to finish. In-flight queries
+// keep their own deadlines; requests arriving after shutdown are
+// refused by the closed listener. The engine is NOT closed here — the
+// caller owns it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.draining) })
+	return s.hs.Shutdown(ctx)
+}
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -628,20 +658,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 const maxUpdateBodyBytes = 16 << 20
 
 // handleUpdate applies one graph.Delta through the epoch-versioned store.
-// Labels in the delta are interned into the shared interner: unlike
-// /query, /update is a write endpoint whose whole point is introducing
-// new labels and nodes, so the permanent interner entry is the intended
-// effect. Caveat: interning happens at decode time, so a well-formed
-// delta that is then rejected (409/422) still pins its label names — one
-// interner entry per novel name, bounded by the request size. Malformed
-// bodies (400) intern nothing (ReadDeltaJSON validates first). Deploy
-// /update behind write authorization, like any write API.
+// Labels in an ACCEPTED delta are interned into the shared interner:
+// unlike /query, /update is a write endpoint whose whole point is
+// introducing new labels and nodes, so the permanent interner entry is
+// the intended effect. Novel labels in a delta that is rejected (400,
+// 409 or 422) are never interned — ReadDeltaJSON stages them on the
+// delta and the store commits them only on acceptance — so a rejected
+// update leaves the interner exactly as it found it. Deploy /update
+// behind write authorization, like any write API.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	defer s.latUpdate.ObserveSince(started)
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.cfg.Follower {
+		s.writeError(w, http.StatusForbidden, errors.New("this daemon is a read-only follower (-follow); send updates to the primary"))
 		return
 	}
 	if !s.cfg.EnableUpdates {
@@ -770,6 +804,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Syncs:               us.WALSyncs,
 			LastCheckpointEpoch: us.LastCheckpointEpoch,
 		}
+	}
+	if s.cfg.ReplicationStats != nil {
+		rs := s.cfg.ReplicationStats()
+		resp.Replication = &rs
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -32,6 +32,7 @@ func newDurableEnv(t *testing.T, d *workload.Dataset, cfg Config) *env {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg.WAL = wd // boundedgd wires the WAL dir in for the replication endpoints
 	srv := New(eng, d.In, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"boundedg/internal/access"
+	"boundedg/internal/store"
+	"boundedg/internal/workload"
+)
+
+// TestRouterCheckpointContinuesPastWedgedShard checks the partial-failure
+// contract of Router.Checkpoint: one shard refusing to rotate (here,
+// wedged by a WAL failure) must not stop the other shards' checkpoints —
+// every error is gathered into the joined return, named per shard, while
+// the healthy shards' recovery bound still tightens.
+func TestRouterCheckpointContinuesPastWedgedShard(t *testing.T) {
+	const n = 4
+	d := workload.IMDb(0.12, 5)
+	ref := d.G.Clone()
+	ust := store.New(ref, access.BuildUnchecked(ref, d.Schema))
+	g := d.G.Clone()
+	r, err := Create(t.TempDir(), d.In, g, access.BuildUnchecked(g, d.Schema), n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		r.Close()
+		r.CloseDirs()
+	})
+
+	// Drive enough random accepted updates that every shard has epochs
+	// past its last checkpoint (deltas are drawn against an unsharded
+	// reference clone, the same idiom as the crash tests).
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		snap := ust.Acquire()
+		delta := randomDelta(rng, snap.G)
+		snap.Release()
+		_, uerr := ust.Apply(delta.Clone())
+		_, serr := r.Apply(delta.Clone())
+		if (uerr == nil) != (serr == nil) {
+			t.Fatalf("warmup delta %d: unsharded err %v, sharded err %v", i, uerr, serr)
+		}
+	}
+	for s := 0; s < n; s++ {
+		if r.Store(s).Epoch() == 0 {
+			t.Fatalf("shard %d saw no commits; widen the warmup", s)
+		}
+		if got := r.dirs[s].LastCheckpointEpoch(); got != 0 {
+			t.Fatalf("shard %d already checkpointed at %d", s, got)
+		}
+	}
+
+	const wedged = 1
+	r.Store(wedged).Wedge()
+
+	err = r.Checkpoint()
+	if err == nil {
+		t.Fatal("checkpoint with a wedged shard reported success")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("shard %d", wedged)) {
+		t.Fatalf("checkpoint error does not name the failing shard: %v", err)
+	}
+	if !strings.Contains(err.Error(), "refusing to checkpoint") {
+		t.Fatalf("checkpoint error does not carry the shard's cause: %v", err)
+	}
+
+	for s := 0; s < n; s++ {
+		got := r.dirs[s].LastCheckpointEpoch()
+		if s == wedged {
+			if got != 0 {
+				t.Fatalf("wedged shard %d checkpointed to epoch %d", s, got)
+			}
+			continue
+		}
+		if want := r.Store(s).Epoch(); got != want {
+			t.Fatalf("healthy shard %d checkpoint epoch %d, want %d (its checkpoint must not be held back)", s, got, want)
+		}
+	}
+}

@@ -329,8 +329,19 @@ reqs:
 			r.rejErr.Add(1)
 			continue
 		}
+		// Resolve staged label names under the leader serialization (the
+		// only place interner growth happens in a sharded store) BEFORE
+		// splitDelta copies the specs into sub-deltas; novel names commit
+		// only if the global verdict accepts the delta.
+		commitLabels, rollbackLabels, err := req.d.ResolveLabels(snaps[0].G.Interner())
+		if err != nil {
+			req.err = err
+			r.rejErr.Add(1)
+			continue
+		}
 		sp, err := splitDelta(req.d, r.m, graphs, nextID)
 		if err != nil {
+			rollbackLabels()
 			req.err = err
 			r.rejErr.Add(1)
 			continue
@@ -403,6 +414,7 @@ reqs:
 		}
 		for i := range sp.parts {
 			if err := stageBeginErrs[i]; err != nil {
+				rollbackLabels()
 				beginErr = err
 				break reqs
 			}
@@ -419,10 +431,12 @@ reqs:
 			for i := len(sp.parts) - 1; i >= 0; i-- {
 				txns[sp.parts[i]].UnstageLast()
 			}
+			rollbackLabels()
 			req.err = &access.ViolationError{Violations: viols}
 			r.rejViol.Add(1)
 			continue
 		}
+		commitLabels()
 		seq++
 		nextID += graph.NodeID(len(req.d.AddNodes))
 		nodeDelta += sp.nodeDelta

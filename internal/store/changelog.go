@@ -93,6 +93,20 @@ func (cl *ChangeLog) Record(epoch uint64, vector []uint64, rows []graph.NodeID, 
 	cl.mu.Unlock()
 }
 
+// Reset empties the ring. A follower re-bootstrapping from a primary
+// checkpoint jumps its epoch discontiguously; the ring requires
+// contiguous ascending epochs, so the pre-jump records must go —
+// revalidation across the jump degrades to recomputation, which is the
+// sound direction.
+func (cl *ChangeLog) Reset() {
+	cl.mu.Lock()
+	for i := range cl.slots {
+		cl.slots[i] = changeSlot{}
+	}
+	cl.next, cl.n = 0, 0
+	cl.mu.Unlock()
+}
+
 // Since returns the union of changes in epochs (e, newest], where newest
 // is the latest recorded epoch. cur is the caller's published version;
 // ok requires the span to be fully covered: nothing recorded is fine only

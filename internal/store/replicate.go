@@ -1,0 +1,156 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"boundedg/internal/access"
+	"boundedg/internal/graph"
+)
+
+// Replica apply paths. A follower store is an ordinary Store (same
+// double-instance copy-on-write, same indexes, same change ring, so the
+// whole read path — queries, cache, revalidation — works unmodified) that
+// is never driven by Apply. Instead the replication client feeds it whole
+// primary epochs through ApplyReplicated, and re-anchors it on a primary
+// checkpoint through ResetReplicated after a log rotation it could not
+// ride across.
+
+// ApplyReplicated applies one streamed epoch: every delta of the
+// primary's group commit for that epoch, in record order, published as a
+// single snapshot — exactly the atomicity the primary gave them. epoch
+// must be the successor of the published epoch (chunks arrive in order
+// from a cursor; a gap means the stream protocol was violated).
+//
+// The deltas were accepted by the primary, so any rejection here means
+// the replica has diverged from the primary's history: the store wedges
+// (writes barred, readers keep the last consistent epoch) and the error
+// is returned for the caller to surface. Callers hand over the deltas —
+// they must not be reused afterwards.
+func (st *Store) ApplyReplicated(epoch uint64, deltas []*graph.Delta) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		if st.wedged {
+			return ErrWedged
+		}
+		return ErrClosed
+	}
+	started := time.Now()
+	cur := st.cur.Load()
+	if epoch != cur.Epoch+1 {
+		return fmt.Errorf("store: replicated epoch %d does not follow published epoch %d", epoch, cur.Epoch)
+	}
+	if st.shadow == nil {
+		st.shadow = &state{g: cur.G.Clone(), idx: cur.Idx.Clone()}
+	}
+	st.waitDrained(st.prev)
+	st.prev = nil
+	for _, ld := range st.lag {
+		if err := st.shadow.idx.ReplayDelta(st.shadow.g, ld.d, ld.rows); err != nil {
+			panic("store: lag replay diverged: " + err.Error())
+		}
+	}
+	st.lag = nil
+
+	var rows []graph.NodeID
+	var labels []graph.Label
+	var acceptedLag []lagEntry
+	for i, d := range deltas {
+		commitLabels, _, err := d.ResolveLabels(st.shadow.g.Interner())
+		if err != nil {
+			st.closed, st.wedged = true, true
+			return fmt.Errorf("store: replicated epoch %d delta %d: %w", epoch, i, err)
+		}
+		var dLabels []graph.Label
+		for _, sp := range d.AddNodes {
+			dLabels = append(dLabels, sp.Label)
+		}
+		for _, v := range d.DelNodes {
+			if st.shadow.g.Contains(v) {
+				dLabels = append(dLabels, st.shadow.g.LabelOf(v))
+			}
+		}
+		res, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, d)
+		if err != nil {
+			// The primary committed this delta; a reject here means the two
+			// histories no longer agree. Wedge rather than serve a state
+			// that silently drifted.
+			st.closed, st.wedged = true, true
+			return fmt.Errorf("store: replica diverged from primary at epoch %d delta %d: %w", epoch, i, err)
+		}
+		commitLabels()
+		rows = append(rows, res.Touched...)
+		labels = append(labels, dLabels...)
+		acceptedLag = append(acceptedLag, lagEntry{d: d.Clone(), rows: st.lagRows(res.Touched)})
+	}
+
+	if st.clog != nil {
+		st.clog.Record(epoch, nil, rows, labels)
+	}
+	nrows := len(rows)
+	if st.ownRow != nil {
+		kept := rows[:0]
+		for _, v := range rows {
+			if st.ownRow(v) {
+				kept = append(kept, v)
+			}
+		}
+		rows = kept
+	}
+	next := &Snapshot{
+		G:     st.shadow.g,
+		Fz:    cur.Fz.Refresh(st.shadow.g, rows),
+		Idx:   st.shadow.idx,
+		Epoch: epoch,
+		st:    st.shadow,
+	}
+	st.cur.Store(next)
+	cur.retired.Store(true)
+	st.prev = cur
+	st.shadow = cur.st
+	st.lag = acceptedLag
+
+	st.applied.Add(uint64(len(deltas)))
+	st.batches.Add(1)
+	st.touched.Add(uint64(nrows))
+	st.lastApplyNS.Store(time.Since(started).Nanoseconds())
+	return nil
+}
+
+// ResetReplicated re-anchors the store on a checkpoint state: a follower
+// whose stream cursor a log rotation invalidated re-bootstraps from the
+// primary's latest checkpoint, which is at or ahead of everything the
+// follower has published. The store takes ownership of g and idx (built
+// over g), publishes them as epoch, and discards both copy-on-write
+// instances of the old lineage — the next ApplyReplicated re-clones.
+// The change ring is emptied: its epochs are contiguous by construction
+// and the jump is not, so revalidation across it degrades to
+// recomputation.
+func (st *Store) ResetReplicated(epoch uint64, g *graph.Graph, idx *access.IndexSet) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		if st.wedged {
+			return ErrWedged
+		}
+		return ErrClosed
+	}
+	cur := st.cur.Load()
+	if epoch < cur.Epoch {
+		return fmt.Errorf("store: reset to epoch %d would rewind published epoch %d", epoch, cur.Epoch)
+	}
+	s := &state{g: g, idx: idx}
+	next := &Snapshot{G: g, Fz: g.Freeze(), Idx: idx, Epoch: epoch, st: s}
+	st.cur.Store(next)
+	cur.retired.Store(true)
+	// Both old instances are of the abandoned lineage: neither can serve
+	// as the next shadow. Readers still pinning them drain on their own.
+	st.prev = nil
+	st.shadow = nil
+	st.lag = nil
+	if st.clog != nil {
+		st.clog.Reset()
+	}
+	return nil
+}

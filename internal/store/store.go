@@ -402,6 +402,16 @@ func (st *Store) commitBatch(batch []*commitReq) {
 	var rows []graph.NodeID
 	var labels []graph.Label
 	for _, req := range batch {
+		// Resolve any staged label names under the writer lock — the only
+		// place interner growth is serialized. Novel labels commit into
+		// the interner only if this delta is accepted below; a rejected
+		// delta rolls back to its staged form and leaks nothing.
+		commitLabels, rollbackLabels, err := req.d.ResolveLabels(st.shadow.g.Interner())
+		if err != nil {
+			st.rejErr.Add(1)
+			req.err = err
+			continue
+		}
 		// Labels of nodes this delta inserts or deletes, for the change
 		// ring: type-1 index entries shift on exactly these. Deleted
 		// labels must be read before the apply tears the nodes down; the
@@ -417,6 +427,7 @@ func (st *Store) commitBatch(batch []*commitReq) {
 		}
 		res, err := st.shadow.idx.ApplyDeltaTx(st.shadow.g, req.d)
 		if err != nil {
+			rollbackLabels()
 			var verr *access.ViolationError
 			if errors.As(err, &verr) {
 				st.rejViol.Add(1)
@@ -426,6 +437,7 @@ func (st *Store) commitBatch(batch []*commitReq) {
 			req.err = err
 			continue
 		}
+		commitLabels()
 		req.res = Result{Epoch: epoch, NewIDs: res.NewIDs, TouchedRows: len(res.Touched)}
 		rows = append(rows, res.Touched...) // Touched includes the new IDs
 		labels = append(labels, reqLabels...)
@@ -499,6 +511,13 @@ func (st *Store) commitBatch(batch []*commitReq) {
 		st:    st.shadow,
 	}
 	st.cur.Store(next)
+	if wlog != nil {
+		// The epoch is visible: its records are immutable history now.
+		// Advance the log's published offset so a replication stream may
+		// serve them (appends are quiesced under st.mu, so Stats().Offset
+		// is exactly the end of this batch's records).
+		wlog.PublishTo(wlog.Stats().Offset)
+	}
 	wlog = nil // published: the batch's records are committed, never rewound
 	cur.retired.Store(true)
 	st.prev = cur

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"boundedg/internal/access"
@@ -44,6 +45,7 @@ type Dir struct {
 	in        *graph.Interner
 	enveloped bool                // sharded dir: logs carry Envelopes ("bgwal002")
 	log       atomic.Pointer[Log] // swapped at checkpoints; nil until Init/Recover
+	mmu       sync.Mutex          // guards m: checkpoint commits swap it while streams read it
 	m         manifest            // valid once recovered or initialized
 
 	// Crash-injection points for tests: called between the checkpoint
@@ -91,7 +93,53 @@ func OpenDirEnveloped(path string, in *graph.Interner) (*Dir, error) {
 func (d *Dir) Log() *Log { return d.log.Load() }
 
 // LastCheckpointEpoch returns the epoch of the current checkpoint.
-func (d *Dir) LastCheckpointEpoch() uint64 { return d.m.Epoch }
+func (d *Dir) LastCheckpointEpoch() uint64 { return d.manifestSnapshot().Epoch }
+
+// Enveloped reports whether this directory's logs carry sharded
+// envelopes ("bgwal002") rather than plain delta records.
+func (d *Dir) Enveloped() bool { return d.enveloped }
+
+// manifestSnapshot copies the current manifest under its lock — the
+// checkpoint commit path swaps it while stream and bootstrap handlers
+// read it.
+func (d *Dir) manifestSnapshot() manifest {
+	d.mmu.Lock()
+	defer d.mmu.Unlock()
+	return d.m
+}
+
+func (d *Dir) setManifest(m manifest) {
+	d.mmu.Lock()
+	d.m = m
+	d.mmu.Unlock()
+}
+
+// ReadCheckpoint returns the current checkpoint epoch and the raw JSON of
+// its graph and index snapshot files, for serving to a bootstrapping
+// follower. The files are immutable once the manifest names them, but a
+// concurrent checkpoint commit may delete them after rotating past — a
+// read that loses that race re-reads the (new) manifest and retries.
+func (d *Dir) ReadCheckpoint() (uint64, []byte, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		m := d.manifestSnapshot()
+		if m.Graph == "" {
+			return 0, nil, nil, errors.New("wal: dir not initialized")
+		}
+		gj, err := os.ReadFile(filepath.Join(d.path, m.Graph))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ij, err := os.ReadFile(filepath.Join(d.path, m.Index))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return m.Epoch, gj, ij, nil
+	}
+	return 0, nil, nil, fmt.Errorf("wal: read checkpoint: %w", lastErr)
+}
 
 // Close closes the current log.
 func (d *Dir) Close() error {
@@ -158,7 +206,7 @@ func (d *Dir) Recover() (*graph.Graph, *access.IndexSet, *RecoverInfo, error) {
 	info.Truncated = oi.Truncated
 	info.TruncateReason = oi.TruncateReason
 	d.log.Store(l)
-	d.m = m
+	d.setManifest(m)
 	d.removeStale()
 	return g, idx, info, nil
 }
@@ -210,7 +258,7 @@ func (d *Dir) LoadSnapshot() (*graph.Graph, *access.IndexSet, uint64, string, er
 	if err != nil {
 		return nil, nil, 0, "", err
 	}
-	d.m = m
+	d.setManifest(m)
 	return g, idx, m.Epoch, filepath.Join(d.path, m.Log), nil
 }
 
@@ -221,8 +269,8 @@ func (d *Dir) AdoptLog(l *Log) error {
 	if d.log.Load() != nil {
 		return errors.New("wal: dir already has a log")
 	}
-	if l.BaseEpoch() != d.m.Epoch {
-		return fmt.Errorf("wal: log base epoch %d does not match checkpoint epoch %d", l.BaseEpoch(), d.m.Epoch)
+	if ce := d.LastCheckpointEpoch(); l.BaseEpoch() != ce {
+		return fmt.Errorf("wal: log base epoch %d does not match checkpoint epoch %d", l.BaseEpoch(), ce)
 	}
 	d.log.Store(l)
 	d.removeStale()
@@ -238,7 +286,7 @@ func (d *Dir) Checkpoint(epoch uint64, g *graph.Graph, idx *access.IndexSet) err
 	if d.log.Load() == nil {
 		return errors.New("wal: dir not initialized")
 	}
-	if epoch == d.m.Epoch {
+	if epoch == d.LastCheckpointEpoch() {
 		// Nothing committed since the last checkpoint: the files on disk
 		// are already exactly this state.
 		return nil
@@ -312,10 +360,11 @@ func (p *PendingCheckpoint) Epoch() uint64 { return p.epoch }
 // removed best-effort; removeStale would collect them later anyway.
 func (p *PendingCheckpoint) Discard() {
 	d := p.d
-	if p.m.Graph != d.m.Graph {
+	cur := d.manifestSnapshot()
+	if p.m.Graph != cur.Graph {
 		_ = os.Remove(filepath.Join(d.path, p.m.Graph))
 	}
-	if p.m.Index != d.m.Index {
+	if p.m.Index != cur.Index {
 		_ = os.Remove(filepath.Join(d.path, p.m.Index))
 	}
 }
@@ -391,7 +440,7 @@ func (p *PendingCheckpoint) Commit() error {
 		d.hookAfterManifest()
 	}
 	d.log.Store(nl)
-	d.m = m
+	d.setManifest(m)
 	d.removeStale()
 	if old != nil {
 		// The swap is durable; the old log is unreferenced, so a close
@@ -410,7 +459,8 @@ func (d *Dir) removeStale() {
 	if err != nil {
 		return
 	}
-	keep := map[string]bool{manifestName: true, d.m.Graph: true, d.m.Index: true, d.m.Log: true}
+	m := d.manifestSnapshot()
+	keep := map[string]bool{manifestName: true, m.Graph: true, m.Index: true, m.Log: true}
 	for _, e := range entries {
 		name := e.Name()
 		if keep[name] {

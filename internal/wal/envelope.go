@@ -105,6 +105,13 @@ func decodeEnvelope(payload []byte, in *graph.Interner) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: envelope delta: %w", err)
 	}
+	// Envelope records were accepted before logging; commit any staged
+	// labels directly (recovery is single-threaded).
+	commitLabels, _, err := d.ResolveLabels(in)
+	if err != nil {
+		return nil, fmt.Errorf("wal: envelope delta: %w", err)
+	}
+	commitLabels()
 	if len(e.AddIDs) != len(d.AddNodes) {
 		return nil, fmt.Errorf("wal: envelope has %d node IDs for %d AddNodes", len(e.AddIDs), len(d.AddNodes))
 	}

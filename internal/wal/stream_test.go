@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"boundedg/internal/graph"
+)
+
+// TestChunkCodecRoundTrip checks the stream chunk wire framing: a
+// round-trip preserves every field, a clean EOF and a torn read are
+// distinguished, and a flipped header byte fails the CRC.
+func TestChunkCodecRoundTrip(t *testing.T) {
+	c := Chunk{Epoch: 7, EndOffset: 12345, PrimaryEpoch: 9, Frames: []byte("not real frames but opaque here")}
+	var buf bytes.Buffer
+	if err := WriteChunk(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+
+	got, err := ReadChunk(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != c.Epoch || got.EndOffset != c.EndOffset || got.PrimaryEpoch != c.PrimaryEpoch || !bytes.Equal(got.Frames, c.Frames) {
+		t.Fatalf("round trip: %+v != %+v", got, c)
+	}
+	if _, err := ReadChunk(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	for cut := 1; cut < len(wire); cut++ {
+		if _, err := ReadChunk(bytes.NewReader(wire[:cut])); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	bad := append([]byte(nil), wire...)
+	bad[5] ^= 0x40 // inside the epoch field, covered by the header CRC
+	if _, err := ReadChunk(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+}
+
+// streamTestLog creates a log, appends n single-delta epochs, syncs, and
+// publishes everything — the state a replication tailer reads from.
+func streamTestLog(t *testing.T, n int) (*Log, []int64) {
+	t.Helper()
+	in := graph.NewInterner()
+	l, err := Create(filepath.Join(t.TempDir(), "wal.log"), in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var offs []int64
+	for i := 0; i < n; i++ {
+		off, err := l.Append(uint64(i+1), testDelta(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.PublishTo(l.Stats().Offset)
+	return l, offs
+}
+
+// TestParseFramesRoundTripAndCorruption reads committed record frames
+// back off a real log file and checks ParseFrames recovers them, and that
+// any truncation or bit flip is an error (stream bytes are supposed to be
+// fully committed — there is no torn-tail tolerance on the wire).
+func TestParseFramesRoundTrip(t *testing.T) {
+	l, offs := streamTestLog(t, 3)
+	tl, err := l.NewTailer(HeaderSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	var frames []byte
+	for range offs {
+		c, err := tl.Next(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, c.Frames...)
+	}
+
+	recs, err := ParseFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Epoch != uint64(i+1) {
+			t.Fatalf("record %d epoch %d", i, r.Epoch)
+		}
+		if _, err := graph.ReadDeltaJSON(bytes.NewReader(r.Payload), graph.NewInterner()); err != nil {
+			t.Fatalf("record %d payload does not decode: %v", i, err)
+		}
+	}
+	// Truncation anywhere but a record boundary must fail (a boundary
+	// prefix is simply a shorter, still-valid frame run).
+	boundary := map[int]bool{}
+	pos := 0
+	for _, r := range recs {
+		pos += frameSize + len(r.Payload)
+		boundary[pos] = true
+	}
+	for cut := 1; cut < len(frames); cut++ {
+		if boundary[cut] {
+			continue
+		}
+		if _, err := ParseFrames(frames[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for pos := 0; pos < len(frames); pos++ {
+		bad := append([]byte(nil), frames...)
+		bad[pos] ^= 0x01
+		if _, err := ParseFrames(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+}
+
+// TestPublishWaitRetire checks the published-offset synchronization: the
+// offset is monotonic, a blocked waiter is woken by a publish that
+// crosses its threshold, retirement wakes everyone, and done cancels.
+func TestPublishWaitRetire(t *testing.T) {
+	in := graph.NewInterner()
+	l, err := Create(filepath.Join(t.TempDir(), "wal.log"), in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Published() != HeaderSize() {
+		t.Fatalf("fresh log published %d, want %d", l.Published(), HeaderSize())
+	}
+	off1, err := l.Append(1, testDelta(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.PublishTo(off1)
+	l.PublishTo(off1 - 4) // regression must be ignored
+	if l.Published() != off1 {
+		t.Fatalf("published %d, want %d", l.Published(), off1)
+	}
+
+	type res struct {
+		pub     int64
+		retired bool
+	}
+	woken := make(chan res, 1)
+	go func() {
+		pub, ret := l.WaitPublished(nil, off1)
+		woken <- res{pub, ret}
+	}()
+	select {
+	case r := <-woken:
+		t.Fatalf("waiter returned %+v before a publish", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	off2, err := l.Append(2, testDelta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.PublishTo(off2)
+	select {
+	case r := <-woken:
+		if r.pub != off2 || r.retired {
+			t.Fatalf("waiter woke with %+v, want pub %d", r, off2)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish did not wake the waiter")
+	}
+
+	// done closes first: the wait returns without a publish.
+	done := make(chan struct{})
+	go func() {
+		l.WaitPublished(done, off2)
+		woken <- res{}
+	}()
+	close(done)
+	select {
+	case <-woken:
+	case <-time.After(5 * time.Second):
+		t.Fatal("done did not cancel the wait")
+	}
+
+	// Retirement wakes waiters with the flag set.
+	go func() {
+		pub, ret := l.WaitPublished(nil, off2)
+		woken <- res{pub, ret}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-woken:
+		if !r.retired {
+			t.Fatalf("waiter woke with %+v after Close, want retired", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retirement did not wake the waiter")
+	}
+}
+
+// TestTailerGroupsByEpoch checks the tailer's chunking invariant: one
+// chunk per epoch, all of the epoch's records, end offsets on record
+// boundaries, live appends picked up after a wait, and io.EOF exactly at
+// retirement.
+func TestTailerGroupsByEpoch(t *testing.T) {
+	in := graph.NewInterner()
+	l, err := Create(filepath.Join(t.TempDir(), "wal.log"), in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Epoch 1: two records; epoch 2: one; epoch 3: three.
+	shape := []int{2, 1, 3}
+	ends := make([]int64, len(shape))
+	k := 0
+	for e, n := range shape {
+		for i := 0; i < n; i++ {
+			off, err := l.Append(uint64(e+1), testDelta(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ends[e] = off
+			k++
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.PublishTo(l.Stats().Offset)
+
+	if _, err := l.NewTailer(HeaderSize() - 1); err == nil {
+		t.Fatal("offset below the header accepted")
+	}
+	if _, err := l.NewTailer(l.Published() + 1); err == nil {
+		t.Fatal("offset beyond the published prefix accepted")
+	}
+
+	tl, err := l.NewTailer(HeaderSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	for e, n := range shape {
+		c, err := tl.Next(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Epoch != uint64(e+1) || c.EndOffset != ends[e] {
+			t.Fatalf("chunk %d: epoch %d end %d, want epoch %d end %d", e, c.Epoch, c.EndOffset, e+1, ends[e])
+		}
+		recs, err := ParseFrames(c.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != n {
+			t.Fatalf("chunk %d: %d records, want %d", e, len(recs), n)
+		}
+		for _, r := range recs {
+			if r.Epoch != c.Epoch {
+				t.Fatalf("chunk %d carries epoch %d record", e, r.Epoch)
+			}
+		}
+	}
+
+	// The tailer is drained; a live append must wake it.
+	got := make(chan Chunk, 1)
+	fail := make(chan error, 1)
+	go func() {
+		c, err := tl.Next(nil)
+		if err != nil {
+			fail <- err
+			return
+		}
+		got <- c
+	}()
+	time.Sleep(10 * time.Millisecond)
+	off, err := l.Append(4, testDelta(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.PublishTo(off)
+	select {
+	case c := <-got:
+		if c.Epoch != 4 || c.EndOffset != off {
+			t.Fatalf("live chunk %+v, want epoch 4 end %d", c, off)
+		}
+	case err := <-fail:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("live publish did not wake the tailer")
+	}
+
+	// Retirement drains to io.EOF.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Next(nil); err != io.EOF {
+		t.Fatalf("after retirement: %v, want io.EOF", err)
+	}
+}

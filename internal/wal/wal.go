@@ -47,6 +47,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"boundedg/internal/graph"
@@ -83,6 +84,17 @@ type Log struct {
 	off     atomic.Int64 // end offset = durable size of the valid prefix
 	records atomic.Uint64
 	syncs   atomic.Uint64
+
+	// Replication-stream state (see stream.go): published is the offset
+	// through the last published epoch — the prefix a tailing reader may
+	// serve (appends past it may still be rewound); retired flips when
+	// the log is closed or rotated away, ending every tail; notify is the
+	// broadcast channel tailers wait on (closed and replaced on every
+	// publish/retire).
+	published atomic.Int64
+	retired   atomic.Bool
+	notifyMu  sync.Mutex
+	notify    chan struct{}
 
 	closed bool
 }
@@ -129,8 +141,9 @@ func create(path string, in *graph.Interner, base uint64, mg string) (*Log, erro
 		f.Close()
 		return nil, fmt.Errorf("wal: sync log header: %w", err)
 	}
-	l := &Log{f: f, in: in, base: base, path: path}
+	l := &Log{f: f, in: in, base: base, path: path, notify: make(chan struct{})}
 	l.off.Store(int64(headerSize))
+	l.published.Store(int64(headerSize))
 	return l, nil
 }
 
@@ -156,6 +169,13 @@ func Open(path string, in *graph.Interner, replay func(epoch uint64, d *graph.De
 		if err != nil {
 			return fmt.Sprintf("record payload does not decode: %v", err), nil
 		}
+		// Every logged record was accepted before it was appended, so any
+		// staged labels commit to the interner unconditionally here.
+		commit, _, err := d.ResolveLabels(in)
+		if err != nil {
+			return fmt.Sprintf("record payload does not decode: %v", err), nil
+		}
+		commit()
 		if replay != nil {
 			return "", replay(epoch, d)
 		}
@@ -200,7 +220,7 @@ func openLog(path string, in *graph.Interner, mg string, limit int64, handle fun
 		return nil, OpenInfo{}, fmt.Errorf("wal: %s has a corrupt header", path)
 	}
 
-	l := &Log{f: f, in: in, base: base, path: path}
+	l := &Log{f: f, in: in, base: base, path: path, notify: make(chan struct{})}
 	info := OpenInfo{}
 	pos := int64(headerSize)
 	prevEpoch := base
@@ -277,6 +297,9 @@ func openLog(path string, in *graph.Interner, mg string, limit int64, handle fun
 		return nil, info, fmt.Errorf("wal: seek to log end: %w", err)
 	}
 	l.off.Store(pos)
+	// Every replayed record published before the restart; the whole valid
+	// prefix is immediately streamable.
+	l.published.Store(pos)
 	l.records.Store(info.Records)
 	return l, info, nil
 }
@@ -352,12 +375,17 @@ func (l *Log) Rewind(pre LogStats) error {
 	return nil
 }
 
-// Close syncs and closes the file. Further Append/Sync calls fail.
+// Close syncs and closes the file. Further Append/Sync calls fail, and
+// every tailing reader is woken to observe the retirement (a checkpoint
+// rotation closes the old log, ending its streams; the followers then
+// reconnect against the new log).
 func (l *Log) Close() error {
 	if l.closed {
 		return nil
 	}
 	l.closed = true
+	l.retired.Store(true)
+	l.wake()
 	err := l.f.Sync()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
