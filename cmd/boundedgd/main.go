@@ -102,6 +102,8 @@ type options struct {
 
 	shards int
 
+	maxSubs int
+
 	follow string
 }
 
@@ -129,6 +131,7 @@ func registerFlags(fs *flag.FlagSet, opt *options) {
 	fs.StringVar(&opt.wal, "wal", "", "write-ahead-log directory for durable updates (requires -mutable); recovers from it when it holds state")
 	fs.BoolVar(&opt.fsync, "fsync", true, "fsync the WAL once per group commit (false trades host-crash durability for latency)")
 	fs.DurationVar(&opt.checkpoint, "checkpoint", 5*time.Minute, "WAL checkpoint interval: rewrite the snapshot and rotate the log (0 disables; shutdown always checkpoints)")
+	fs.IntVar(&opt.maxSubs, "max-subs", 64, "concurrent continuous-query subscriptions (POST /subscribe; 0 disables)")
 	fs.StringVar(&opt.follow, "follow", "", "run as a read-only follower of this primary URL: bootstrap from its checkpoint, then stream and replay its WAL (replaces the graph-source flags)")
 }
 
@@ -510,6 +513,11 @@ func serveHTTP(opt options, eng *runtime.Engine, in *graph.Interner, started tim
 		// "unset, use the library default", so translate explicitly.
 		opt.timeout = -1
 	}
+	if opt.maxSubs == 0 {
+		// The operator said "no subscriptions"; server.Config treats zero
+		// as "unset, use the library default", so translate explicitly.
+		opt.maxSubs = -1
+	}
 	cfg := server.Config{
 		DefaultLimit:  opt.limit,
 		MaxLimit:      opt.maxLimit,
@@ -517,6 +525,7 @@ func serveHTTP(opt options, eng *runtime.Engine, in *graph.Interner, started tim
 		CacheSize:     opt.cache,
 		MaxSteps:      opt.maxSteps,
 		EnableUpdates: opt.mutable,
+		MaxSubs:       opt.maxSubs,
 	}
 	if configure != nil {
 		configure(&cfg)

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -10,6 +12,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"boundedg/internal/access"
 	"boundedg/internal/core"
@@ -571,4 +574,84 @@ func TestShardedDaemonRestart(t *testing.T) {
 	if final.Count != want.Count {
 		t.Fatalf("boot 3 answers diverge: %d matches vs %d", final.Count, want.Count)
 	}
+}
+
+// TestSubscriptionDaemonDrain is the graceful-shutdown regression for
+// continuous queries at the daemon level: with live subscription streams
+// open — one actively reading, two stalled — the drain path run() wires
+// (server.Shutdown under the -drain budget, then engine close) must
+// complete promptly instead of waiting on consumers, the bug class the
+// WAL streaming endpoint hit in an earlier release.
+func TestSubscriptionDaemonDrain(t *testing.T) {
+	dir, _ := writeFixture(t)
+	g, in, idx, err := load(options{graph: filepath.Join(dir, "g.json"), index: filepath.Join(dir, "idx.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(g, idx)
+	eng, err := runtime.NewFromStore(st, runtime.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(eng, in, server.Config{
+		EnableUpdates: true,
+		MaxSubs:       8,
+		SubHeartbeat:  20 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stream := &http.Client{Transport: ts.Client().Transport} // no timeout: stream bodies live long
+	var drained [3]*http.Response
+	for i := range drained {
+		body := `{"pattern": "u1: award\nu2: year\nu3: movie\nu3 -> u1, u2"}`
+		resp, err := http.Post(ts.URL+"/subscribe", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr server.SubscribeResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&sr); derr != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("subscribe %d: status %d err %v", i, resp.StatusCode, derr)
+		}
+		resp.Body.Close()
+		sresp, err := stream.Get(ts.URL + sr.Events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("stream %d: status %d", i, sresp.StatusCode)
+		}
+		drained[i] = sresp
+	}
+	readerDone := make(chan struct{})
+	go func() { // one live reader; the other two streams stay stalled
+		defer close(readerDone)
+		io.Copy(io.Discard, drained[0].Body)
+	}()
+	defer drained[1].Body.Close()
+	defer drained[2].Body.Close()
+
+	// Mid-delivery churn, then the drain run() performs on SIGINT/SIGTERM.
+	resp, err := http.Post(ts.URL+"/update", "application/json", strings.NewReader(`{"add_edges": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("drain with live subscription streams: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %s, over the budget", elapsed)
+	}
+	select {
+	case <-readerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("the reading subscriber never saw its stream end")
+	}
+	drained[0].Body.Close()
 }

@@ -51,6 +51,8 @@ type options struct {
 	queries  int
 	timeout  time.Duration
 
+	subscribers int
+
 	sweep bool
 	out   string
 }
@@ -72,6 +74,7 @@ func registerFlags(fs *flag.FlagSet, opt *options) {
 	fs.DurationVar(&opt.duration, "duration", 10*time.Second, "measured window")
 	fs.IntVar(&opt.queries, "queries", 16, "distinct generated query patterns cycled by readers")
 	fs.DurationVar(&opt.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	fs.IntVar(&opt.subscribers, "subscribers", 0, "continuous-query subscriptions held open for the run, each folding its event stream and checked against /query after the load stops")
 	fs.BoolVar(&opt.sweep, "sweep", false, "run the {read-heavy, write-heavy} x {uniform, zipf} grid plus the read-mostly cache scenario (ignores -read-pct/-zipf)")
 	fs.StringVar(&opt.out, "out", "", "write the JSON report here ('' = stdout; -sweep default BENCH_loadgen.json)")
 }
@@ -91,6 +94,7 @@ func (opt *options) config() loadgen.Config {
 		Duration:     opt.duration,
 		Queries:      opt.queries,
 		Timeout:      opt.timeout,
+		Subscribers:  opt.subscribers,
 	}
 }
 
@@ -147,6 +151,10 @@ func logRun(r *loadgen.Report) {
 	lag := ""
 	if r.Replication != nil {
 		lag = fmt.Sprintf("  lag max/mean %d/%.1f catchup %.0fms", r.Replication.MaxLag, r.Replication.MeanLag, r.Replication.CatchupMS)
+	}
+	if s := r.Subscriptions; s != nil {
+		lag += fmt.Sprintf("  subs %d: %.0f ev/s (%d diff, %d resync)  converge %.0fms, %d mismatch",
+			s.Subscribers, s.EventsPerSec, s.Diffs, s.Resyncs, s.ConvergeMS, s.Mismatches)
 	}
 	log.Printf("%s: %.0f ops/s  read p50/p99 %s/%s (%d ops, %d err)  write p50/p99 %s/%s (%d ops, %d rej, %d err)  gsn %d->%d%s",
 		name, r.OpsPerSec,

@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strings"
@@ -72,6 +73,12 @@ type Config struct {
 	// Queries is the number of generated patterns cycled by readers
 	// (default 16).
 	Queries int
+	// Subscribers opens this many continuous-query subscriptions
+	// (POST /subscribe + event stream) against Addr for the whole run,
+	// each folding its stream locally; the report gains a Subscriptions
+	// block with event rates and a post-run folded-state-vs-/query
+	// convergence check. 0 (default) disables.
+	Subscribers int
 	// Timeout bounds each HTTP request (default 30s).
 	Timeout time.Duration
 	// Client overrides the HTTP client (tests inject the httptest
@@ -198,6 +205,40 @@ type Report struct {
 	// Replication summarizes its lag behind the primary.
 	FollowerAddr string     `json:"follower_addr,omitempty"`
 	Replication  *LagReport `json:"replication,omitempty"`
+
+	// Subscriptions is set when Config.Subscribers > 0.
+	Subscriptions *SubReport `json:"subscriptions,omitempty"`
+}
+
+// SubReport summarizes the subscriber workers' view of the run. The
+// event counters cover the measured window; the convergence figures
+// come from the post-run check, where each subscriber's folded stream
+// state must reach the answer a fresh /query returns once writes stop.
+type SubReport struct {
+	Subscribers int `json:"subscribers"`
+	// Events counts every stream event observed in the measured window;
+	// Diffs/Resyncs/Heartbeats split it by type (init events make up
+	// the remainder).
+	Events     uint64 `json:"events"`
+	Diffs      uint64 `json:"diffs"`
+	Resyncs    uint64 `json:"resyncs"`
+	Heartbeats uint64 `json:"heartbeats"`
+	// Reconnects counts stream re-establishments after the first
+	// connect, summed over subscribers.
+	Reconnects uint64 `json:"reconnects"`
+	// EventsPerSec is Events over the measured window.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// FoldErrors counts protocol violations while folding (a diff that
+	// removed an absent row or added a duplicate) — always 0 against a
+	// correct server.
+	FoldErrors uint64 `json:"fold_errors"`
+	// ConvergeMS is how long after the load stopped the slowest
+	// subscriber needed to fold its way to the oracle answer, or -1 if
+	// one had not within 10s (then Mismatches > 0).
+	ConvergeMS float64 `json:"converge_ms"`
+	// Mismatches counts subscribers whose folded state never converged
+	// to the post-run /query answer — always 0 against a correct server.
+	Mismatches uint64 `json:"mismatches"`
 }
 
 // LagReport summarizes a follower's replication lag over a run, from its
@@ -298,6 +339,57 @@ func Run(cfg Config) (*Report, error) {
 		}(w)
 	}
 
+	// Subscriber workers hold one event stream each for the whole run;
+	// they outlive the load (stopped by subStop, not stop) so the
+	// post-run convergence check can watch their folded state catch up.
+	var (
+		subs    []*subscriber
+		subWg   sync.WaitGroup
+		subStop chan struct{}
+	)
+	if cfg.Subscribers > 0 {
+		// Only bounded patterns can subscribe (the stream's first
+		// evaluation refuses unbounded ones with 422, and the post-run
+		// convergence oracle re-runs the query) — probe each candidate
+		// with a cheap /query before handing it to a subscriber.
+		var patterns []string
+		for _, q := range qs {
+			b, err := json.Marshal(server.QueryRequest{Pattern: q.String(), Sem: "subgraph", Limit: 1})
+			if err != nil {
+				return nil, err
+			}
+			resp, err := cfg.Client.Post(cfg.Addr+"/query", "application/json", bytes.NewReader(b))
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: probing subscriber pattern: %w", err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				patterns = append(patterns, q.String())
+			}
+			if len(patterns) == cfg.Subscribers {
+				break
+			}
+		}
+		if len(patterns) == 0 {
+			return nil, fmt.Errorf("loadgen: no bounded query pattern for subscribers")
+		}
+		// The shared client's request timeout would kill a long-lived
+		// stream response mid-run; streams get a timeout-free copy.
+		stream := *cfg.Client
+		stream.Timeout = 0
+		subStop = make(chan struct{})
+		for i := 0; i < cfg.Subscribers; i++ {
+			s := &subscriber{pattern: patterns[i%len(patterns)], limit: 10000}
+			subs = append(subs, s)
+			subWg.Add(1)
+			go func() {
+				defer subWg.Done()
+				runSubscriber(cfg, &stream, s, &measured, subStop)
+			}()
+		}
+	}
+
 	// Lag sampler: poll the follower's replication block through the
 	// measured window.
 	var (
@@ -371,6 +463,25 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.OpsPerSec = float64(rep.Read.Ops+rep.Write.Ops) / elapsed.Seconds()
 	rep.Cache = cacheDelta(startStats.Cache, endStats.Cache)
+	if cfg.Subscribers > 0 {
+		convMS, mismatches, cerr := subsConverge(cfg, subs)
+		close(subStop)
+		subWg.Wait()
+		if cerr != nil {
+			return nil, cerr
+		}
+		sr := &SubReport{Subscribers: cfg.Subscribers, ConvergeMS: convMS, Mismatches: mismatches}
+		for _, s := range subs {
+			sr.Events += s.events.Load()
+			sr.Diffs += s.diffs.Load()
+			sr.Resyncs += s.resyncs.Load()
+			sr.Heartbeats += s.heartbeats.Load()
+			sr.Reconnects += s.reconnects.Load()
+			sr.FoldErrors += s.foldErrs.Load()
+		}
+		sr.EventsPerSec = float64(sr.Events) / elapsed.Seconds()
+		rep.Subscriptions = sr
+	}
 	if cfg.FollowerAddr != "" {
 		close(lagStop)
 		<-lagDone

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -262,5 +263,105 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := Run(Config{Addr: "x", ReadPct: 1.5}); err == nil {
 		t.Fatal("ReadPct > 1 accepted")
+	}
+}
+
+// TestSubscribersSmoke is the continuous-query smoke: an in-process
+// mutable daemon under a short zipf write mix with subscribers folding
+// their event streams the whole time. The folded streams must fold
+// cleanly (no protocol violations) and, once the writers stop, converge
+// to what a fresh /query returns — the same equality the CI
+// subscription job gates on. BOUNDEDG_SUBSMOKE_DURATION overrides the
+// measured window.
+func TestSubscribersSmoke(t *testing.T) {
+	const (
+		dataset = "imdb"
+		scale   = 0.2
+		seed    = 5
+	)
+	dur := 2 * time.Second
+	if s := os.Getenv("BOUNDEDG_SUBSMOKE_DURATION"); s != "" {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad BOUNDEDG_SUBSMOKE_DURATION %q: %v", s, err)
+		}
+		dur = v
+	}
+	d, err := exp.Gen(dataset, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatalf("index build: %v", viols[0])
+	}
+	eng, err := runtime.New(d.G, idx, runtime.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, d.In, server.Config{
+		EnableUpdates: true,
+		MaxSubs:       8,
+		SubHeartbeat:  50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+		eng.Close()
+	}()
+
+	rep, err := Run(Config{
+		Addr:        ts.URL,
+		Dataset:     dataset,
+		Scale:       scale,
+		Seed:        seed,
+		Workers:     4,
+		ReadPct:     0.5,
+		ZipfS:       1.2,
+		Warmup:      200 * time.Millisecond,
+		Duration:    dur,
+		Subscribers: 4,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Read.Errors != 0 || rep.Write.Errors != 0 {
+		t.Fatalf("errors: read=%d write=%d", rep.Read.Errors, rep.Write.Errors)
+	}
+	s := rep.Subscriptions
+	if s == nil {
+		t.Fatal("report lacks the subscriptions block")
+	}
+	if s.Subscribers != 4 {
+		t.Fatalf("subscribers = %d, want 4", s.Subscribers)
+	}
+	if s.FoldErrors != 0 {
+		t.Fatalf("%d fold errors: a stream disagreed with its own diffs", s.FoldErrors)
+	}
+	if s.Mismatches != 0 {
+		t.Fatalf("%d subscribers never converged to the /query answer (converge_ms %v)", s.Mismatches, s.ConvergeMS)
+	}
+	if s.Events == 0 {
+		t.Fatal("subscribers measured zero events over the run")
+	}
+	if s.ConvergeMS < 0 {
+		t.Fatalf("convergence failed: %+v", *s)
+	}
+
+	// The block must survive the JSON round trip under these names.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"subscriptions"`, `"subscribers"`, `"events"`, `"diffs"`, `"resyncs"`,
+		`"heartbeats"`, `"reconnects"`, `"events_per_sec"`, `"fold_errors"`,
+		`"converge_ms"`, `"mismatches"`,
+	} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Fatalf("report JSON lacks %s:\n%s", field, raw)
+		}
 	}
 }

@@ -1,0 +1,220 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boundedg/internal/graph"
+	"boundedg/internal/server"
+	"boundedg/internal/sub"
+)
+
+// subscriber is one continuous-query worker: it registers a
+// subscription and folds its event stream into rows, reconnecting on
+// stream loss, so the run can check the folded state against a fresh
+// /query once the writers stop.
+type subscriber struct {
+	pattern string
+	limit   int
+
+	mu    sync.Mutex
+	rows  [][]graph.NodeID
+	epoch uint64
+
+	events, diffs, resyncs, heartbeats atomic.Uint64
+	reconnects, foldErrs               atomic.Uint64
+}
+
+// fold applies one event to the folded state. It returns false on a
+// protocol violation — the local state and the stream disagree — in
+// which case the caller drops the connection and resyncs via the init
+// event of a fresh stream.
+func (s *subscriber) fold(ev sub.Event, measured bool) bool {
+	if measured {
+		s.events.Add(1)
+		switch ev.Type {
+		case sub.TypeDiff:
+			s.diffs.Add(1)
+		case sub.TypeResync:
+			s.resyncs.Add(1)
+		case sub.TypeHeartbeat:
+			s.heartbeats.Add(1)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows, err := sub.Fold(s.rows, ev)
+	if err != nil {
+		s.foldErrs.Add(1)
+		return false
+	}
+	s.rows = rows
+	if ev.Epoch > s.epoch {
+		s.epoch = ev.Epoch
+	}
+	return true
+}
+
+// folded snapshots the current folded rows.
+func (s *subscriber) folded() [][]graph.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// runSubscriber registers s's pattern and folds its event stream until
+// stop closes. stream must be a client WITHOUT a request timeout — the
+// response body lives for the whole run; cfg.Client (with its timeout)
+// still handles the short registration POST.
+func runSubscriber(cfg Config, stream *http.Client, s *subscriber, measured *atomic.Bool, stop chan struct{}) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	eventsPath := ""
+	connected := false
+	for ctx.Err() == nil {
+		if eventsPath == "" {
+			body, err := json.Marshal(server.SubscribeRequest{Pattern: s.pattern, Limit: s.limit})
+			if err != nil {
+				return
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Addr+"/subscribe", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := cfg.Client.Do(req)
+			if err != nil {
+				sleepCtx(ctx, 100*time.Millisecond)
+				continue
+			}
+			var sr server.SubscribeResponse
+			derr := json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || derr != nil {
+				sleepCtx(ctx, 100*time.Millisecond)
+				continue
+			}
+			s.limit = sr.Limit
+			eventsPath = sr.Events
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Addr+eventsPath, nil)
+		if err != nil {
+			return
+		}
+		resp, err := stream.Do(req)
+		if err != nil {
+			sleepCtx(ctx, 50*time.Millisecond)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			// The subscription is gone (daemon restart); re-register.
+			resp.Body.Close()
+			eventsPath = ""
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			sleepCtx(ctx, 100*time.Millisecond)
+			continue
+		}
+		if connected && measured.Load() {
+			s.reconnects.Add(1)
+		}
+		connected = true
+		dec := sub.NewDecoder(resp.Body)
+		for {
+			ev, err := dec.Next()
+			if err != nil {
+				break
+			}
+			if !s.fold(ev, measured.Load()) {
+				break
+			}
+		}
+		resp.Body.Close()
+	}
+}
+
+// rowsEqual compares two sorted row sets.
+func rowsEqual(a, b [][]graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// subsConverge checks, after the writers have stopped, that every
+// subscriber's folded stream state reaches the answer a fresh /query
+// returns. Truncated oracle answers (Complete false) are skipped —
+// which rows survive a limit cut is search-order dependent.
+func subsConverge(cfg Config, subs []*subscriber) (convergeMS float64, mismatches uint64, err error) {
+	t0 := time.Now()
+	deadline := t0.Add(10 * time.Second)
+	for _, s := range subs {
+		body, err := json.Marshal(server.QueryRequest{Pattern: s.pattern, Sem: "subgraph", Limit: s.limit})
+		if err != nil {
+			return 0, 0, err
+		}
+		resp, err := cfg.Client.Post(cfg.Addr+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, 0, fmt.Errorf("loadgen: convergence oracle query: %w", err)
+		}
+		var qr server.QueryResponse
+		derr := json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			return 0, 0, fmt.Errorf("loadgen: convergence oracle query: HTTP %d", resp.StatusCode)
+		}
+		if !qr.Complete {
+			continue
+		}
+		for {
+			if rowsEqual(s.folded(), qr.Matches) {
+				break
+			}
+			if time.Now().After(deadline) {
+				mismatches++
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if mismatches == 0 {
+		convergeMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	} else {
+		convergeMS = -1
+	}
+	return convergeMS, mismatches, nil
+}

@@ -273,6 +273,18 @@ func (e *Engine) Version() uint64 {
 	return e.src.Epoch()
 }
 
+// PublishSignal returns a channel closed the next time a new version is
+// published (a store epoch, or a router GSN when sharded). One-shot
+// level trigger: grab the channel before reading Version, act, then
+// block on it; re-grab after each wake. Subscription dispatchers use
+// this to sleep between commits without polling.
+func (e *Engine) PublishSignal() <-chan struct{} {
+	if e.router != nil {
+		return e.router.PublishSignal()
+	}
+	return e.src.PublishSignal()
+}
+
 // ChangedSince reports the union of changes between version e and some
 // version S ≥ the current one (store epochs, or GSNs when sharded) — the
 // revalidation input for caches holding results computed at e. ok is

@@ -46,6 +46,7 @@ import (
 	"boundedg/internal/pattern"
 	"boundedg/internal/runtime"
 	"boundedg/internal/store"
+	"boundedg/internal/sub"
 	"boundedg/internal/wal"
 )
 
@@ -85,6 +86,21 @@ type Config struct {
 	// ReplicationStats, when set (follower mode), contributes the
 	// "replication" block of GET /stats.
 	ReplicationStats func() ReplicationStats
+	// MaxSubs caps concurrent subscriptions (POST /subscribe, the
+	// boundedgd -max-subs flag). 0 means the default of 64; negative
+	// disables the subscription endpoints entirely.
+	MaxSubs int
+	// SubQueueCap bounds each subscription's pending event queue; a
+	// consumer that falls further behind loses the incremental stream
+	// and is forced through a resync event. Defaults to 64.
+	SubQueueCap int
+	// SubHeartbeat is the idle heartbeat interval on subscription event
+	// streams. Defaults to 15s.
+	SubHeartbeat time.Duration
+	// SubWriteTimeout bounds each event-frame write, so a consumer that
+	// stops reading cannot pin a stream handler (and a draining server)
+	// indefinitely. Defaults to 5s.
+	SubWriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +121,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 512
+	}
+	if c.SubHeartbeat <= 0 {
+		c.SubHeartbeat = 15 * time.Second
+	}
+	if c.SubWriteTimeout <= 0 {
+		c.SubWriteTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -272,21 +294,36 @@ type ShardStats struct {
 // the per-shard epoch vector, and Shards the per-shard breakdown; the
 // top-level WAL block then only reports Enabled (offsets are per shard).
 type StatsResponse struct {
-	UptimeSec   float64           `json:"uptime_sec"`
-	Epoch       uint64            `json:"epoch"`
-	Vector      []uint64          `json:"vector,omitempty"`
-	GraphNodes  int               `json:"graph_nodes"`
-	GraphEdges  int               `json:"graph_edges"`
-	Constraints int               `json:"constraints"`
-	Engine      runtime.Stats     `json:"engine"`
-	Cache       CacheStats        `json:"cache"`
-	Updates     UpdateStats       `json:"updates"`
-	WAL         WALStats          `json:"wal"`
-	Latency     LatencyStats      `json:"latency"`
-	Shards      []ShardStats      `json:"shards,omitempty"`
-	Replication *ReplicationStats `json:"replication,omitempty"`
-	Served      uint64            `json:"served"`
-	Errors      uint64            `json:"errors"`
+	UptimeSec     float64            `json:"uptime_sec"`
+	Epoch         uint64             `json:"epoch"`
+	Vector        []uint64           `json:"vector,omitempty"`
+	GraphNodes    int                `json:"graph_nodes"`
+	GraphEdges    int                `json:"graph_edges"`
+	Constraints   int                `json:"constraints"`
+	Engine        runtime.Stats      `json:"engine"`
+	Cache         CacheStats         `json:"cache"`
+	Updates       UpdateStats        `json:"updates"`
+	WAL           WALStats           `json:"wal"`
+	Latency       LatencyStats       `json:"latency"`
+	Shards        []ShardStats       `json:"shards,omitempty"`
+	Replication   *ReplicationStats  `json:"replication,omitempty"`
+	Subscriptions *SubscriptionStats `json:"subscriptions,omitempty"`
+	Served        uint64             `json:"served"`
+	Errors        uint64             `json:"errors"`
+}
+
+// SubscriptionStats reports the subscription hub's counters in /stats
+// (omitted when subscriptions are disabled). Skipped counts epoch
+// publications a subscription ignored because its footprint proved the
+// answer unchanged; Skipped dwarfing Evals means the dispatcher is
+// doing its job. Resyncs counts dropped incremental streams — slow
+// consumers forced through a full-answer resync event.
+type SubscriptionStats struct {
+	Active  int    `json:"active"`
+	Events  uint64 `json:"events"`
+	Resyncs uint64 `json:"resyncs"`
+	Skipped uint64 `json:"skipped"`
+	Evals   uint64 `json:"evals"`
 }
 
 // Server serves bounded pattern queries over HTTP. Construct with New;
@@ -299,6 +336,10 @@ type Server struct {
 
 	results  *lru // cacheKey -> *QueryResponse
 	patterns *lru // canonical text -> *pattern.Pattern
+
+	// hub dispatches epoch publications to subscriptions; nil when
+	// Config.MaxSubs is negative (subscriptions disabled).
+	hub *sub.Hub
 
 	mux   *http.ServeMux
 	hs    *http.Server
@@ -346,12 +387,23 @@ func New(eng *runtime.Engine, in *graph.Interner, cfg Config) *Server {
 		start:    time.Now(),
 		draining: make(chan struct{}),
 	}
+	if cfg.MaxSubs >= 0 {
+		s.hub = sub.NewHub(eng, sub.Config{
+			MaxSubs:  cfg.MaxSubs,
+			QueueCap: cfg.SubQueueCap,
+			Timeout:  cfg.Timeout,
+			MaxSteps: cfg.MaxSteps,
+		})
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/wal/checkpoint", s.handleWALCheckpoint)
 	s.mux.HandleFunc("/wal/stream", s.handleWALStream)
+	s.mux.HandleFunc("POST /subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("GET /subscribe/{id}/events", s.handleSubscribeEvents)
+	s.mux.HandleFunc("DELETE /subscribe/{id}", s.handleUnsubscribe)
 	s.hs = &http.Server{
 		Handler: s.mux,
 		// Bound the whole request read, not just the headers: the
@@ -387,7 +439,14 @@ func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
 // refused by the closed listener. The engine is NOT closed here — the
 // caller owns it.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.drainOnce.Do(func() { close(s.draining) })
+	s.drainOnce.Do(func() {
+		close(s.draining)
+		if s.hub != nil {
+			// Stop the dispatcher and close every subscription; live
+			// event streams end at a frame boundary via draining/Closed.
+			s.hub.Close()
+		}
+	})
 	return s.hs.Shutdown(ctx)
 }
 
@@ -808,6 +867,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.ReplicationStats != nil {
 		rs := s.cfg.ReplicationStats()
 		resp.Replication = &rs
+	}
+	if s.hub != nil {
+		hs := s.hub.Stats()
+		resp.Subscriptions = &SubscriptionStats{
+			Active:  hs.Active,
+			Events:  hs.Events,
+			Resyncs: hs.Resyncs,
+			Skipped: hs.Skipped,
+			Evals:   hs.Evals,
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

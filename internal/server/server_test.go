@@ -46,6 +46,7 @@ func newEnv(t *testing.T, d *workload.Dataset, cfg Config) *env {
 	srv := New(eng, d.In, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
+		srv.Shutdown(context.Background())
 		ts.Close()
 		eng.Close()
 	})

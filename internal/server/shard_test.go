@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,6 +51,7 @@ func newShardedEnv(t *testing.T, d *workload.Dataset, n int, cfg Config) *env {
 	srv := New(eng, d.In, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
+		srv.Shutdown(context.Background())
 		ts.Close()
 		eng.Close()
 	})

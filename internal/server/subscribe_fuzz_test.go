@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"boundedg/internal/access"
+	"boundedg/internal/runtime"
+	"boundedg/internal/sub"
+	"boundedg/internal/workload"
+)
+
+// FuzzSubscribeRequest fuzzes the subscription registration surface and
+// the event-frame round trip behind it: arbitrary request bodies must
+// map to a known status class (never a panic or a 5xx other than the
+// documented ones), and every accepted registration must open a stream
+// whose first frame is a well-formed, foldable init event. Pattern
+// seeds are drawn from the same hand-written corpus FuzzParsePattern
+// starts from, wrapped in request JSON.
+func FuzzSubscribeRequest(f *testing.F) {
+	for _, p := range []string{
+		"",
+		"u1: movie",
+		"u1: award\nu2: year\nu3: movie\nu3 -> u1, u2",
+		"a: x (= \"UK\")\nb: y (> -42)\na -> b",
+		"u1: movie\nu1 -> u1",
+		"x: (>= 1)",
+		"x: l (>= 1",
+		"-> b",
+		"q: v (= \"quote \\\" in string\")",
+		"u1: movie\r\nu2: year\r\nu1 -> u2\r\n",
+	} {
+		body, err := json.Marshal(SubscribeRequest{Pattern: p})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"pattern": "u1: movie", "sem": "subgraph", "limit": 5}`))
+	f.Add([]byte(`{"pattern": "u1: movie", "sem": "simulation"}`))
+	f.Add([]byte(`{"pattern": "u1: movie", "limit": -3}`))
+	f.Add([]byte(`{"pattern": "u1: movie", "limit": 1e9}`))
+	f.Add([]byte(`{"pattern": "u1: movie", "unknown": 1}`))
+	f.Add([]byte(`{"pattern": 7}`))
+
+	d := workload.IMDb(0.03, 5)
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		f.Fatalf("index build: %v", viols[0])
+	}
+	eng, err := runtime.New(d.G, idx, runtime.Config{Workers: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := New(eng, d.In, Config{
+		MaxLimit:        1000,
+		DefaultLimit:    100,
+		MaxSubs:         1 << 20,
+		Timeout:         2 * time.Second,
+		MaxSteps:        50_000,
+		SubHeartbeat:    time.Hour, // only the init frame is read
+		SubWriteTimeout: 2 * time.Second,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+		eng.Close()
+	})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(ts.URL+"/subscribe", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			io.Copy(io.Discard, resp.Body)
+			return
+		default:
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d outside the documented classes: %s", resp.StatusCode, raw)
+		}
+		var sr SubscribeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatalf("accepted registration with undecodable response: %v", err)
+		}
+		if sr.Limit < 1 || sr.Limit > 1000 {
+			t.Fatalf("limit %d escaped the [1, MaxLimit] clamp", sr.Limit)
+		}
+		if want := fmt.Sprintf("/subscribe/%d/events", sr.ID); sr.Events != want {
+			t.Fatalf("events path %q, want %q", sr.Events, want)
+		}
+
+		// The stream must either refuse with a documented evaluation
+		// status or open with a foldable init frame.
+		sresp, err := http.Get(ts.URL + sr.Events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch sresp.StatusCode {
+		case http.StatusOK:
+			ev, err := sub.NewDecoder(sresp.Body).Next()
+			if err != nil {
+				t.Fatalf("first frame: %v", err)
+			}
+			if ev.Type != sub.TypeInit {
+				t.Fatalf("stream opened with %q, want init", ev.Type)
+			}
+			if _, err := sub.Fold(nil, ev); err != nil {
+				t.Fatalf("init frame does not fold: %v", err)
+			}
+			if len(ev.Rows) > sr.Limit {
+				t.Fatalf("init carries %d rows over the %d limit", len(ev.Rows), sr.Limit)
+			}
+		case http.StatusUnprocessableEntity, http.StatusGatewayTimeout,
+			http.StatusServiceUnavailable, http.StatusInternalServerError:
+			io.Copy(io.Discard, sresp.Body)
+		default:
+			t.Fatalf("stream status %d outside the documented classes", sresp.StatusCode)
+		}
+		sresp.Body.Close()
+
+		// Free the slot so long fuzz runs never exhaust the cap.
+		dreq, err := http.NewRequest(http.MethodDelete, ts.URL+fmt.Sprintf("/subscribe/%d", sr.ID), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp, err := http.DefaultClient.Do(dreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, dresp.Body)
+		dresp.Body.Close()
+	})
+}
+
+// TestSubscribeRequestRegressions promotes the interesting fuzz corpus
+// shapes to named, always-run cases: each body must land in its exact
+// status class.
+func TestSubscribeRequestRegressions(t *testing.T) {
+	d := workload.IMDb(0.03, 5)
+	cfg := subTestConfig()
+	cfg.DefaultLimit = 100
+	cfg.MaxLimit = 1000
+	e := newEnv(t, d, cfg)
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"empty pattern", `{"pattern": ""}`, http.StatusBadRequest},
+		{"empty object", `{}`, http.StatusBadRequest},
+		{"non-json", `not json`, http.StatusBadRequest},
+		{"pattern wrong type", `{"pattern": 7}`, http.StatusBadRequest},
+		{"limit wrong type", `{"pattern": "u1: movie", "limit": "ten"}`, http.StatusBadRequest},
+		{"float limit", `{"pattern": "u1: movie", "limit": 1e9}`, http.StatusBadRequest},
+		{"unknown field", `{"pattern": "u1: movie", "unknown": 1}`, http.StatusBadRequest},
+		{"simulation sem", `{"pattern": "u1: movie", "sem": "simulation"}`, http.StatusBadRequest},
+		{"unterminated predicate", `{"pattern": "x: l (>= 1"}`, http.StatusBadRequest},
+		{"edge without source", `{"pattern": "-> b"}`, http.StatusBadRequest},
+		{"unknown label", `{"pattern": "u: label_the_interner_has_never_seen"}`, http.StatusBadRequest},
+		{"crlf pattern accepted", "{\"pattern\": \"u1: movie\\r\\nu2: year\\r\\nu1 -> u2\\r\\n\"}", http.StatusOK},
+		{"negative limit adopts default", `{"pattern": "u1: movie", "limit": -3}`, http.StatusOK},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(e.ts.URL+"/subscribe", "application/json", bytes.NewReader([]byte(c.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != c.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, c.status, raw)
+			}
+			if c.status == http.StatusOK {
+				var sr SubscribeResponse
+				if err := json.Unmarshal(raw, &sr); err != nil {
+					t.Fatal(err)
+				}
+				if sr.Limit != 100 && c.name == "negative limit adopts default" {
+					t.Fatalf("limit %d, want the 100 default", sr.Limit)
+				}
+			}
+		})
+	}
+
+	// Oversized body: the same MaxBytesReader guard as /query.
+	big := fmt.Sprintf(`{"pattern": %q}`, "u: "+string(bytes.Repeat([]byte{'a'}, 2<<20)))
+	resp, err := http.Post(e.ts.URL+"/subscribe", "application/json", bytes.NewReader([]byte(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}

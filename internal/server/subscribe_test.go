@@ -1,0 +1,807 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/pattern"
+	"boundedg/internal/sub"
+	"boundedg/internal/workload"
+)
+
+// subTestConfig is the server shape the subscription tests run: updates
+// on, limits high enough that every bounded answer is complete, and a
+// fast heartbeat so idle subscriptions certify epochs quickly.
+func subTestConfig() Config {
+	return Config{
+		EnableUpdates: true,
+		MaxLimit:      1 << 20,
+		DefaultLimit:  1 << 20,
+		MaxSubs:       16,
+		SubHeartbeat:  15 * time.Millisecond,
+	}
+}
+
+// postSubscribe registers a pattern and fails the test on a non-200.
+func postSubscribe(t *testing.T, e *env, req SubscribeRequest) SubscribeResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(e.ts.URL+"/subscribe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("subscribe status %d: %s", resp.StatusCode, raw)
+	}
+	var sr SubscribeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// openStream GETs a subscription's event stream with a timeout-free
+// client (the body lives as long as the subscription) and returns the
+// response without consuming any frames. A non-200 comes back with the
+// decoded error and a nil body.
+func openStream(t *testing.T, e *env, path string) (*http.Response, int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, e.ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: e.ts.Client().Transport}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, resp.StatusCode
+	}
+	return resp, resp.StatusCode
+}
+
+// streamState is the folded view one consumer holds of a subscription
+// stream: the rows, their completeness, the highest epoch the stream has
+// certified, and any protocol error. It survives reconnects — a fresh
+// stream's init event simply replaces the rows, which is exactly the
+// documented resync-by-reconnect contract.
+type streamState struct {
+	mu       sync.Mutex
+	rows     [][]graph.NodeID
+	complete bool
+	claim    uint64
+	resyncs  int
+	err      error
+}
+
+func (ss *streamState) apply(ev sub.Event) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	rows, err := sub.Fold(ss.rows, ev)
+	if err != nil {
+		ss.err = err
+		return err
+	}
+	ss.rows = rows
+	switch ev.Type {
+	case sub.TypeInit, sub.TypeDiff:
+		ss.complete = ev.Complete
+	case sub.TypeResync:
+		ss.complete = ev.Complete
+		ss.resyncs++
+	}
+	if ev.Epoch > ss.claim {
+		ss.claim = ev.Epoch
+	}
+	return nil
+}
+
+func (ss *streamState) snapshot() (rows [][]graph.NodeID, complete bool, claim uint64, resyncs int, err error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.rows, ss.complete, ss.claim, ss.resyncs, ss.err
+}
+
+// consume folds frames from resp into ss until the stream ends; the
+// returned channel closes when the reader exits. Decoder errors (clean
+// or mid-frame EOF on close/kill) end the reader silently; fold errors
+// are recorded in ss.err for the main goroutine to fail on.
+func consume(resp *http.Response, ss *streamState) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer resp.Body.Close()
+		dec := sub.NewDecoder(resp.Body)
+		for {
+			ev, err := dec.Next()
+			if err != nil {
+				return
+			}
+			if ss.apply(ev) != nil {
+				return
+			}
+		}
+	}()
+	return done
+}
+
+// waitClaim blocks until the stream has certified epoch (a diff at or
+// past it, or a heartbeat claiming no change through it).
+func waitClaim(t *testing.T, ss *streamState, epoch uint64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, _, claim, _, err := ss.snapshot()
+		if err != nil {
+			t.Fatalf("%s: stream fold error: %v", what, err)
+		}
+		if claim >= epoch {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: stream never certified epoch %d (claim %d)", what, epoch, claim)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// oracleQuery re-runs the full query over /query and returns the sorted
+// answer — the ground truth every folded stream must equal.
+func oracleQuery(t *testing.T, e *env, pattern string) ([][]graph.NodeID, bool) {
+	t.Helper()
+	body, err := json.Marshal(QueryRequest{Pattern: pattern, Sem: "subgraph", Limit: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(e.ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("oracle decode (status %d): %v", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oracle query status %d", resp.StatusCode)
+	}
+	rows := make([][]graph.NodeID, len(qr.Matches))
+	for i, m := range qr.Matches {
+		rows[i] = append([]graph.NodeID(nil), m...)
+	}
+	match.SortMatches(rows)
+	return rows, qr.Complete
+}
+
+func sameRows(a, b [][]graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyOracle posts one delta and, if accepted, replays it on the oracle
+// graph so the update generator keeps tracking live nodes.
+func applyOracle(t *testing.T, e *env, oracle *graph.Graph, d *graph.Delta) (uint64, bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf, e.d.In); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(e.ts.URL+"/update", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false
+	}
+	var ur UpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Clone().Apply(oracle); err != nil {
+		t.Fatalf("oracle rejected a server-accepted delta: %v", err)
+	}
+	return ur.Epoch, true
+}
+
+// TestSubscriptionDifferential is the headline differential property
+// test: live subscriptions fold their event streams while a serialized
+// update stream mutates the graph, and after every accepted update —
+// once the stream certifies that epoch — the folded answer must be
+// row-identical to an oracle re-running the full query over /query.
+// Every third round one subscription's incremental stream is forcibly
+// dropped, so the resync path is differential-tested too. Runs across
+// all three workload generators, unsharded and sharded.
+func TestSubscriptionDifferential(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  func(float64, int64) *workload.Dataset
+	}{
+		{"imdb", workload.IMDb},
+		{"dbpedia", workload.DBpedia},
+		{"webbase", workload.WebBase},
+	}
+	for gi, g := range gens {
+		seed := int64(40 + gi)
+		t.Run(g.name+"/unsharded", func(t *testing.T) {
+			d := g.gen(0.05, seed)
+			oracle := d.G.Clone()
+			e := newEnv(t, d, subTestConfig())
+			runSubscriptionDifferential(t, e, oracle, seed)
+		})
+		for _, n := range shardSweep(t, []int{2}) {
+			t.Run(fmt.Sprintf("%s/shards=%d", g.name, n), func(t *testing.T) {
+				d := g.gen(0.05, seed)
+				oracle := d.G.Clone()
+				e := newShardedEnv(t, d, n, subTestConfig())
+				runSubscriptionDifferential(t, e, oracle, seed)
+			})
+		}
+	}
+}
+
+func runSubscriptionDifferential(t *testing.T, e *env, oracle *graph.Graph, seed int64) {
+	t.Helper()
+	queries := workload.DefaultQueryGen.GenerateSized(e.d, 12, 3, 4)
+	if len(queries) == 0 {
+		t.Fatal("no queries generated")
+	}
+
+	// Register subscriptions until three streams are live; queries whose
+	// first evaluation is unbounded open with 422 and are unsubscribed.
+	type liveSub struct {
+		id      uint64
+		q       *pattern.Pattern
+		pattern string
+		st      *streamState
+		done    <-chan struct{}
+	}
+	var subs []liveSub
+	for _, q := range queries {
+		if len(subs) == 3 {
+			break
+		}
+		src := q.String()
+		var qr QueryResponse
+		if status := e.post(t, QueryRequest{Pattern: src, Sem: "subgraph"}, &qr); status != http.StatusOK || qr.Count == 0 {
+			continue // unbounded or empty answer: no diffs to test against
+		}
+		sr := postSubscribe(t, e, SubscribeRequest{Pattern: src})
+		resp, status := openStream(t, e, sr.Events)
+		if status != http.StatusOK {
+			t.Fatalf("stream open for %q: status %d", src, status)
+		}
+		st := &streamState{}
+		subs = append(subs, liveSub{id: sr.ID, q: q, pattern: src, st: st, done: consume(resp, st)})
+	}
+	if len(subs) == 0 {
+		t.Fatal("no bounded non-empty query to subscribe to")
+	}
+
+	check := func(round int, epoch uint64) {
+		t.Helper()
+		for _, ls := range subs {
+			waitClaim(t, ls.st, epoch, fmt.Sprintf("round %d sub %d", round, ls.id))
+			want, complete := oracleQuery(t, e, ls.pattern)
+			rows, gotComplete, _, _, err := ls.st.snapshot()
+			if err != nil {
+				t.Fatalf("round %d sub %d: fold error: %v", round, ls.id, err)
+			}
+			if !sameRows(rows, want) {
+				t.Fatalf("round %d sub %d: folded stream diverged from oracle at epoch %d: %d rows vs %d",
+					round, ls.id, epoch, len(rows), len(want))
+			}
+			if gotComplete != complete {
+				t.Fatalf("round %d sub %d: complete = %v, oracle %v", round, ls.id, gotComplete, complete)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+
+	// flipEdge targets a subscription's own answer: a matched row's
+	// pattern edge maps to a live graph edge, so deleting it provably
+	// removes rows (a removal diff) and re-adding it restores them (an
+	// addition diff) — the two incremental directions the random deltas
+	// alone rarely hit.
+	flipEdge := func(round int, ls *liveSub) {
+		t.Helper()
+		rows, _, _, _, _ := ls.st.snapshot()
+		edges := ls.q.EdgeList()
+		if len(rows) == 0 || len(edges) == 0 {
+			return
+		}
+		r := rows[rng.Intn(len(rows))]
+		pe := edges[rng.Intn(len(edges))]
+		ge := [2]graph.NodeID{r[int(pe[0])], r[int(pe[1])]}
+		epoch, ok := applyOracle(t, e, oracle, &graph.Delta{DelEdges: [][2]graph.NodeID{ge}})
+		if !ok {
+			return // schema bound rejection; the random deltas still ran
+		}
+		check(round, epoch)
+		if epoch, ok = applyOracle(t, e, oracle, &graph.Delta{AddEdges: [][2]graph.NodeID{ge}}); ok {
+			check(round, epoch)
+		}
+	}
+
+	rounds, accepted := 8, 0
+	for round := 0; round < rounds; round++ {
+		for tries := 0; tries < 20; tries++ {
+			if epoch, ok := applyOracle(t, e, oracle, shardUpdateDelta(rng, oracle)); ok {
+				accepted++
+				check(round, epoch)
+				break
+			}
+		}
+		flipEdge(round, &subs[round%len(subs)])
+		if round%3 == 2 {
+			// Drop one subscription's incremental stream mid-flight; the
+			// consumer must converge again via the resync event.
+			sb, ok := e.srv.hub.Get(subs[round%len(subs)].id)
+			if !ok {
+				t.Fatalf("round %d: subscription vanished", round)
+			}
+			sb.ForceResync()
+			epoch := e.eng.Version()
+			check(round, epoch)
+		}
+	}
+	if accepted < rounds/2 {
+		t.Fatalf("only %d/%d rounds found an acceptable delta", accepted, rounds)
+	}
+
+	// The fault injection must actually have exercised the resync path.
+	totalResyncs := 0
+	for _, ls := range subs {
+		_, _, _, r, _ := ls.st.snapshot()
+		totalResyncs += r
+	}
+	if totalResyncs == 0 {
+		t.Fatal("no stream ever delivered a resync event despite forced drops")
+	}
+	var stats StatsResponse
+	getJSON(t, e.ts.URL+"/stats", &stats)
+	if stats.Subscriptions == nil {
+		t.Fatal("/stats has no subscriptions block while subscriptions are active")
+	}
+	if stats.Subscriptions.Active != len(subs) || stats.Subscriptions.Events == 0 || stats.Subscriptions.Resyncs == 0 {
+		t.Fatalf("implausible subscription stats: %+v", *stats.Subscriptions)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s (status %d): %v", url, resp.StatusCode, err)
+	}
+}
+
+// TestSubscriptionKillReconnect kills the consumer's connection at every
+// frame boundary of a short schedule — and, separately, mid-frame — and
+// checks that a reconnect (whose fresh init event replaces the folded
+// state) converges to the oracle answer after each kill. This is the
+// documented recovery path for consumers that lose a connection.
+func TestSubscriptionKillReconnect(t *testing.T) {
+	d := workload.IMDb(0.05, 21)
+	oracle := d.G.Clone()
+	e := newEnv(t, d, subTestConfig())
+
+	queries := workload.DefaultQueryGen.Generate(e.d, 12, 4)
+	var pat string
+	var sr SubscribeResponse
+	for _, q := range queries {
+		cand := postSubscribe(t, e, SubscribeRequest{Pattern: q.String()})
+		resp, status := openStream(t, e, cand.Events)
+		if status == http.StatusOK {
+			resp.Body.Close()
+			pat, sr = q.String(), cand
+			break
+		}
+		e.srv.hub.Unsubscribe(cand.ID)
+	}
+	if pat == "" {
+		t.Fatal("no bounded query to subscribe to")
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	st := &streamState{}
+	update := func() uint64 {
+		t.Helper()
+		for tries := 0; tries < 20; tries++ {
+			if epoch, ok := applyOracle(t, e, oracle, shardUpdateDelta(rng, oracle)); ok {
+				return epoch
+			}
+		}
+		t.Fatal("no acceptable delta in 20 tries")
+		return 0
+	}
+	converge := func(epoch uint64, what string) {
+		t.Helper()
+		waitClaim(t, st, epoch, what)
+		want, _ := oracleQuery(t, e, pat)
+		rows, _, _, _, err := st.snapshot()
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if !sameRows(rows, want) {
+			t.Fatalf("%s: folded state diverged after reconnect (%d rows vs %d)", what, len(rows), len(want))
+		}
+	}
+
+	// Kill at every frame boundary: iteration k reads exactly k frames
+	// (init plus k-1 diffs/heartbeats), then drops the connection between
+	// frames. Each reconnect must land a consistent init.
+	for k := 1; k <= 6; k++ {
+		epoch := update()
+		resp, status := openStream(t, e, sr.Events)
+		if status != http.StatusOK {
+			t.Fatalf("kill %d: reconnect status %d", k, status)
+		}
+		dec := sub.NewDecoder(resp.Body)
+		for i := 0; i < k; i++ {
+			ev, err := dec.Next()
+			if err != nil {
+				t.Fatalf("kill %d frame %d: %v", k, i, err)
+			}
+			if i == 0 && ev.Type != sub.TypeInit {
+				t.Fatalf("kill %d: stream opened with %q, want init", k, ev.Type)
+			}
+			if err := st.apply(ev); err != nil {
+				t.Fatalf("kill %d frame %d: fold: %v", k, i, err)
+			}
+		}
+		resp.Body.Close() // kill at the frame boundary
+		converge(epoch, fmt.Sprintf("kill after %d frames", k))
+	}
+
+	// Kill mid-frame: read a fixed number of raw bytes that ends inside
+	// the init frame, then drop the connection. The truncated tail must
+	// decode as io.ErrUnexpectedEOF (never as a frame), and the next
+	// reconnect must still converge.
+	for _, cut := range []int{1, 9, 40} {
+		epoch := update()
+		resp, status := openStream(t, e, sr.Events)
+		if status != http.StatusOK {
+			t.Fatalf("mid-frame cut %d: reconnect status %d", cut, status)
+		}
+		buf := make([]byte, cut)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			t.Fatalf("mid-frame cut %d: short read: %v", cut, err)
+		}
+		resp.Body.Close()
+		dec := sub.NewDecoder(bytes.NewReader(buf))
+		for {
+			_, err := dec.Next()
+			if err == io.ErrUnexpectedEOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("mid-frame cut %d: decoder error %v, want io.ErrUnexpectedEOF tail", cut, err)
+			}
+		}
+		// The partial read folded nothing; reconnect and converge.
+		resp, status = openStream(t, e, sr.Events)
+		if status != http.StatusOK {
+			t.Fatalf("mid-frame cut %d: reconnect status %d", cut, status)
+		}
+		ev, err := sub.NewDecoder(resp.Body).Next()
+		if err != nil || ev.Type != sub.TypeInit {
+			t.Fatalf("mid-frame cut %d: reconnect first frame %v, %v", cut, ev.Type, err)
+		}
+		if err := st.apply(ev); err != nil {
+			t.Fatalf("mid-frame cut %d: fold: %v", cut, err)
+		}
+		resp.Body.Close()
+		converge(epoch, fmt.Sprintf("mid-frame cut at %d bytes", cut))
+	}
+}
+
+// TestSubscriptionStalledReader is the isolation fault-injection test: a
+// subscriber that never reads a single byte of its stream must not add
+// latency to the /update commit path, must not wedge epoch publication,
+// and must not block graceful shutdown. The latency bound is generous
+// (this runner is noisy) — the failure mode it guards against is a
+// commit waiting on a consumer timeout, which costs seconds, not
+// milliseconds.
+func TestSubscriptionStalledReader(t *testing.T) {
+	d := workload.IMDb(0.05, 31)
+	cfg := subTestConfig()
+	cfg.SubQueueCap = 2
+	cfg.SubWriteTimeout = 250 * time.Millisecond
+	e := newEnv(t, d, cfg)
+
+	var before QueryResponse
+	if status := e.post(t, QueryRequest{Pattern: moviePattern}, &before); status != http.StatusOK {
+		t.Fatalf("seed query status %d", status)
+	}
+	if before.Count == 0 {
+		t.Fatal("no matches to mutate")
+	}
+
+	sr := postSubscribe(t, e, SubscribeRequest{Pattern: moviePattern})
+	resp, status := openStream(t, e, sr.Events)
+	if status != http.StatusOK {
+		t.Fatalf("stream open status %d", status)
+	}
+	defer resp.Body.Close() // never read from it: the consumer is stalled
+
+	// Hammer the commit path with answer-changing deletions while the
+	// subscriber's queue (capacity 2) overflows behind the stalled
+	// stream. Every commit must stay far under the consumer timeouts.
+	var movies []graph.NodeID
+	seen := map[graph.NodeID]bool{}
+	for _, m := range before.Matches {
+		if id := m[2]; !seen[id] {
+			seen[id] = true
+			movies = append(movies, id)
+		}
+	}
+	epoch0 := e.eng.Version()
+	accepted := 0
+	const bound = 2 * time.Second
+	for i, m := range movies {
+		if i >= 30 {
+			break
+		}
+		body := fmt.Sprintf(`{"del_nodes": [%d]}`, m)
+		start := time.Now()
+		resp, err := http.Post(e.ts.URL+"/update", "application/json", bytes.NewReader([]byte(body)))
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		ok := resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+		if elapsed > bound {
+			t.Fatalf("update %d took %s with a stalled subscriber (bound %s)", i, elapsed, bound)
+		}
+		if ok {
+			accepted++
+		}
+	}
+	if accepted < 3 {
+		t.Fatalf("only %d deletions accepted; commit path barely exercised", accepted)
+	}
+	if v := e.eng.Version(); v < epoch0+uint64(accepted) {
+		t.Fatalf("publication wedged: version %d after %d accepted updates from %d", v, accepted, epoch0)
+	}
+
+	// Graceful shutdown must complete within budget with the stalled
+	// stream still open.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := e.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with stalled subscriber: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %s, over the drain budget", elapsed)
+	}
+}
+
+// moviePattern is effectively bounded under the IMDb workload schema.
+// Vars order: u1 award, u2 year, u3 movie.
+const moviePattern = "u1: award\nu2: year\nu3: movie\nu3 -> u1, u2"
+
+// TestSubscriptionShutdownDrain is the graceful-shutdown regression for
+// the stream-stall bug class (/wal/stream, PR 9): with several live
+// subscribers — active readers and stalled ones — the drain must
+// complete within its budget and every reader must observe its stream
+// end.
+func TestSubscriptionShutdownDrain(t *testing.T) {
+	d := workload.IMDb(0.05, 41)
+	e := newEnv(t, d, subTestConfig())
+
+	var readers []<-chan struct{}
+	for i := 0; i < 4; i++ {
+		sr := postSubscribe(t, e, SubscribeRequest{Pattern: moviePattern})
+		resp, status := openStream(t, e, sr.Events)
+		if status != http.StatusOK {
+			t.Fatalf("stream %d open status %d", i, status)
+		}
+		if i < 2 {
+			readers = append(readers, consume(resp, &streamState{}))
+		} else {
+			defer resp.Body.Close() // stalled: never read
+		}
+	}
+
+	// A little churn so streams are mid-delivery when the drain lands.
+	var q QueryResponse
+	if status := e.post(t, QueryRequest{Pattern: moviePattern}, &q); status != http.StatusOK || q.Count == 0 {
+		t.Fatalf("seed query: status %d count %d", status, q.Count)
+	}
+	for i := 0; i < 3 && i < len(q.Matches); i++ {
+		body := fmt.Sprintf(`{"del_nodes": [%d]}`, q.Matches[i][2])
+		resp, err := http.Post(e.ts.URL+"/update", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := e.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain with live subscribers: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %s, over budget", elapsed)
+	}
+	for i, done := range readers {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("reader %d never saw its stream end after the drain", i)
+		}
+	}
+}
+
+// TestSubscribeValidation pins the request-surface contract of the three
+// subscription endpoints.
+func TestSubscribeValidation(t *testing.T) {
+	d := workload.IMDb(0.05, 51)
+	cfg := subTestConfig()
+	cfg.MaxSubs = 2
+	cfg.DefaultLimit = 100
+	cfg.MaxLimit = 1000
+	e := newEnv(t, d, cfg)
+
+	post := func(body string) (int, ErrorResponse) {
+		t.Helper()
+		resp, err := http.Post(e.ts.URL+"/subscribe", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return resp.StatusCode, er
+	}
+
+	// Same validation path as /query: strict decode, unknown labels
+	// rejected without touching the engine's interner.
+	if status, _ := post(`{"pattern": "u: movie", "bogus": 1}`); status != http.StatusBadRequest {
+		t.Fatalf("unknown request field: status %d", status)
+	}
+	if status, _ := post(`not json`); status != http.StatusBadRequest {
+		t.Fatalf("non-JSON body: status %d", status)
+	}
+	if status, _ := post(`{"pattern": "u: no_such_label_anywhere"}`); status != http.StatusBadRequest {
+		t.Fatalf("unknown label: status %d", status)
+	}
+	if status, _ := post(`{"pattern": "u: movie", "sem": "simulation"}`); status != http.StatusBadRequest {
+		t.Fatalf("simulation semantics: status %d", status)
+	}
+	if status, _ := post(`{"pattern": "u: movie", "sem": "nonsense"}`); status != http.StatusBadRequest {
+		t.Fatalf("bad semantics: status %d", status)
+	}
+
+	// Limit clamping mirrors /query: zero adopts the default, excess is
+	// clamped to the max.
+	sr := postSubscribe(t, e, SubscribeRequest{Pattern: moviePattern})
+	if sr.Limit != 100 {
+		t.Fatalf("default limit = %d, want 100", sr.Limit)
+	}
+	if want := fmt.Sprintf("/subscribe/%d/events", sr.ID); sr.Events != want {
+		t.Fatalf("events path %q, want %q", sr.Events, want)
+	}
+	if len(sr.Vars) != 3 || sr.Vars[0] != "u1" || sr.Vars[2] != "u3" {
+		t.Fatalf("vars = %v", sr.Vars)
+	}
+	sr2 := postSubscribe(t, e, SubscribeRequest{Pattern: moviePattern, Limit: 1 << 30})
+	if sr2.Limit != 1000 {
+		t.Fatalf("clamped limit = %d, want 1000", sr2.Limit)
+	}
+
+	// At the cap: 429, distinct from every other error class.
+	if status, _ := post(fmt.Sprintf("{\"pattern\": %q}", moviePattern)); status != http.StatusTooManyRequests {
+		t.Fatalf("over cap: status %d", status)
+	}
+
+	// DELETE frees a slot and ends the live stream.
+	resp, status := openStream(t, e, sr.Events)
+	if status != http.StatusOK {
+		t.Fatalf("stream open status %d", status)
+	}
+	done := consume(resp, &streamState{})
+	req, err := http.NewRequest(http.MethodDelete, e.ts.URL+fmt.Sprintf("/subscribe/%d", sr.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("unsubscribe status %d", dresp.StatusCode)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not end after DELETE")
+	}
+	if _, status := openStream(t, e, sr.Events); status != http.StatusNotFound {
+		t.Fatalf("stream of a deleted subscription: status %d, want 404", status)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, e.ts.URL+fmt.Sprintf("/subscribe/%d", sr.ID), nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double unsubscribe status %d, want 404", dresp.StatusCode)
+	}
+	if _, err := http.Post(e.ts.URL+"/subscribe", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf("{\"pattern\": %q}", moviePattern)))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubscribeDisabled: a daemon started with subscriptions disabled
+// (-max-subs 0, server MaxSubs < 0) refuses all three endpoints with
+// 404 and serves no subscriptions stats block.
+func TestSubscribeDisabled(t *testing.T) {
+	d := workload.IMDb(0.05, 61)
+	cfg := subTestConfig()
+	cfg.MaxSubs = -1
+	e := newEnv(t, d, cfg)
+
+	body := fmt.Sprintf("{\"pattern\": %q}", moviePattern)
+	resp, err := http.Post(e.ts.URL+"/subscribe", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("subscribe while disabled: status %d, want 404", resp.StatusCode)
+	}
+	if _, status := openStream(t, e, "/subscribe/1/events"); status != http.StatusNotFound {
+		t.Fatalf("events while disabled: status %d, want 404", status)
+	}
+	var stats StatsResponse
+	getJSON(t, e.ts.URL+"/stats", &stats)
+	if stats.Subscriptions != nil {
+		t.Fatalf("stats has a subscriptions block while disabled: %+v", *stats.Subscriptions)
+	}
+}

@@ -110,6 +110,12 @@ type Router struct {
 	scrTouched []access.TouchedEntry
 	scrWorst   []int
 
+	// pubCh is the GSN-publication broadcast channel: closed (and
+	// replaced lazily) each time a batch publishes a new GSN. Same
+	// protocol as store.Store.PublishSignal.
+	pubMu sync.Mutex
+	pubCh chan struct{}
+
 	// hookBeforeShardLog, when set, runs immediately before shard s's
 	// records are appended; an error fails that shard's log step with
 	// nothing appended — the kill-point for "this shard never synced".
@@ -159,6 +165,31 @@ func (r *Router) Schema() *access.Schema { return r.stores[0].Schema() }
 
 // GSN returns the current global sequence number.
 func (r *Router) GSN() uint64 { return r.gsn.Load() }
+
+// PublishSignal returns a channel closed the next time a batch publishes
+// a new GSN. Same one-shot level-trigger protocol as
+// store.Store.PublishSignal: grab the channel before reading GSN, then
+// block; re-grab after each wake.
+func (r *Router) PublishSignal() <-chan struct{} {
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	if r.pubCh == nil {
+		r.pubCh = make(chan struct{})
+	}
+	return r.pubCh
+}
+
+// signalPublish wakes PublishSignal waiters; called after each commit
+// releases the publication lock.
+func (r *Router) signalPublish() {
+	r.pubMu.Lock()
+	ch := r.pubCh
+	r.pubCh = nil
+	r.pubMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
 
 // Store returns shard s's store (tests and stats).
 func (r *Router) Store(s int) *store.Store { return r.stores[s] }
@@ -599,6 +630,7 @@ reqs:
 	r.clog.Record(epoch, vector, batchRows, batchLabels)
 	r.gsn.Store(epoch)
 	r.mu.Unlock()
+	r.signalPublish()
 	txnsOpen = false
 
 	r.seq.Store(seq)

@@ -167,6 +167,12 @@ type Store struct {
 	// it to exercise the wedge/rewind machinery.
 	hookAppend func(i int) error
 
+	// pubCh is the epoch-publication broadcast channel: closed (and
+	// replaced lazily) each time a new snapshot is published. Nil until
+	// someone asks; see PublishSignal.
+	pubMu sync.Mutex
+	pubCh chan struct{}
+
 	applied, batches, rejViol, rejErr, touched atomic.Uint64
 	lastApplyNS                                atomic.Int64
 	lastCheckpoint                             atomic.Uint64
@@ -264,6 +270,34 @@ func (st *Store) Acquire() *Snapshot {
 
 // Epoch returns the current epoch without pinning.
 func (st *Store) Epoch() uint64 { return st.cur.Load().Epoch }
+
+// PublishSignal returns a channel that is closed the next time an epoch
+// is published (commit, replicated apply, or checkpoint re-anchor). It
+// is a one-shot level trigger, not a queue: grab the channel BEFORE
+// reading Epoch, act on what Epoch says, then block on the channel —
+// that order cannot miss a publication. Consecutive publications may
+// coalesce into one close; callers re-read Epoch after each wake.
+func (st *Store) PublishSignal() <-chan struct{} {
+	st.pubMu.Lock()
+	defer st.pubMu.Unlock()
+	if st.pubCh == nil {
+		st.pubCh = make(chan struct{})
+	}
+	return st.pubCh
+}
+
+// signalPublish wakes PublishSignal waiters. Called after st.cur.Store
+// on every publish path; never blocks, so the commit path pays only a
+// mutex tap when nobody is subscribed.
+func (st *Store) signalPublish() {
+	st.pubMu.Lock()
+	ch := st.pubCh
+	st.pubCh = nil
+	st.pubMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
 
 // Schema returns the access schema (immutable across epochs).
 func (st *Store) Schema() *access.Schema { return st.cur.Load().Idx.Schema() }
@@ -511,6 +545,7 @@ func (st *Store) commitBatch(batch []*commitReq) {
 		st:    st.shadow,
 	}
 	st.cur.Store(next)
+	st.signalPublish()
 	if wlog != nil {
 		// The epoch is visible: its records are immutable history now.
 		// Advance the log's published offset so a replication stream may

@@ -177,6 +177,7 @@ func (t *Txn) Commit(epoch uint64) {
 		st:    st.shadow,
 	}
 	st.cur.Store(next)
+	st.signalPublish()
 	cur.retired.Store(true)
 	st.prev = cur
 	st.shadow = cur.st

@@ -1,0 +1,218 @@
+package sub
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"boundedg/internal/graph"
+)
+
+// Event types, in the order a consumer sees them: one "init" opens every
+// stream, "diff"/"heartbeat" carry the steady state, and "resync"
+// replaces a dropped incremental stream with a fresh full answer.
+const (
+	// TypeInit is the first event of a stream: the full current answer.
+	TypeInit = "init"
+	// TypeDiff is an incremental change: rows added to and removed from
+	// the previous answer, stamped with the epoch that caused them.
+	TypeDiff = "diff"
+	// TypeResync is a full answer replacing whatever the consumer held:
+	// the incremental stream was dropped (queue overflow, evaluation
+	// failure) and diffs restart from this state.
+	TypeResync = "resync"
+	// TypeHeartbeat claims liveness and certifies that the answer is
+	// unchanged through Epoch. Its epoch may lag a concurrently queued
+	// diff — a heartbeat never certifies past events not yet delivered.
+	TypeHeartbeat = "heartbeat"
+)
+
+// Event is one frame of a subscription stream. On the wire it is a
+// server-sent event: "event: <type>" followed by one "data:" line
+// holding the JSON of the remaining fields.
+//
+// Every event is a point claim at Epoch: init/resync claim Rows is the
+// full answer at Epoch, diff claims the previous answer plus
+// Added minus Removed is the answer at Epoch, heartbeat claims the
+// answer is unchanged through Epoch. Row lists are sorted
+// lexicographically (match.SortMatches order), so folding a stream
+// yields byte-identical rows to a fresh full evaluation.
+type Event struct {
+	Type string `json:"-"`
+	// Epoch stamps the claim; on a sharded daemon it is the global
+	// sequence number and Vector the per-shard epoch vector.
+	Epoch  uint64   `json:"epoch"`
+	Vector []uint64 `json:"vector,omitempty"`
+	// Rows is the full answer (init and resync only).
+	Rows [][]graph.NodeID `json:"rows,omitempty"`
+	// Added and Removed are the diff against the previous claim (diff
+	// only), each sorted.
+	Added   [][]graph.NodeID `json:"added,omitempty"`
+	Removed [][]graph.NodeID `json:"removed,omitempty"`
+	// Complete reports whether the answer at Epoch exhausted the match
+	// space (false when the subscription's limit truncated it).
+	// Meaningful on init, diff and resync.
+	Complete bool `json:"complete"`
+}
+
+// WriteEvent encodes ev as one server-sent-event frame on w.
+func WriteEvent(w io.Writer, ev Event) error {
+	if ev.Type == "" || strings.ContainsAny(ev.Type, "\r\n:") {
+		return fmt.Errorf("sub: bad event type %q", ev.Type)
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	// json.Marshal escapes control characters, so data is one line.
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
+
+// Decoder reads server-sent-event frames from a subscription stream.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder returns a Decoder reading frames from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: bufio.NewReader(r)} }
+
+// Next returns the next event. It returns io.EOF at a clean stream end
+// (between frames) and io.ErrUnexpectedEOF when the stream dies
+// mid-frame. Comment lines and unknown SSE fields are skipped, per the
+// SSE grammar; multiple data lines concatenate with a newline.
+func (d *Decoder) Next() (Event, error) {
+	var typ string
+	var data []string
+	started := false
+	for {
+		line, err := d.r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && !started && line == "" {
+				return Event{}, io.EOF
+			}
+			if err == io.EOF {
+				return Event{}, io.ErrUnexpectedEOF
+			}
+			return Event{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if !started {
+				continue
+			}
+			break
+		}
+		started = true
+		if strings.HasPrefix(line, ":") {
+			continue
+		}
+		field, val, _ := strings.Cut(line, ":")
+		val = strings.TrimPrefix(val, " ")
+		switch field {
+		case "event":
+			typ = val
+		case "data":
+			data = append(data, val)
+		}
+	}
+	if typ == "" {
+		return Event{}, fmt.Errorf("sub: frame without an event field")
+	}
+	var ev Event
+	if len(data) > 0 {
+		if err := json.Unmarshal([]byte(strings.Join(data, "\n")), &ev); err != nil {
+			return Event{}, fmt.Errorf("sub: bad %s payload: %w", typ, err)
+		}
+	}
+	ev.Type = typ
+	return ev, nil
+}
+
+// rowCompare orders rows lexicographically — the same order
+// match.SortMatches establishes (rows of one subscription share a
+// length, so the length tiebreak never fires there).
+func rowCompare(a, b []graph.NodeID) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// DiffRows computes new minus old and old minus new over two sorted row
+// sets by one merge walk; both outputs come back sorted.
+func DiffRows(old, cur [][]graph.NodeID) (added, removed [][]graph.NodeID) {
+	i, j := 0, 0
+	for i < len(old) && j < len(cur) {
+		switch c := rowCompare(old[i], cur[j]); {
+		case c < 0:
+			removed = append(removed, old[i])
+			i++
+		case c > 0:
+			added = append(added, cur[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, cur[j:]...)
+	return added, removed
+}
+
+// Fold applies one event to a folded answer state and returns the new
+// rows. It is strict: a diff removing an absent row or adding a present
+// one errors, because it means the producer and consumer disagree on the
+// previous state — exactly the bug class the differential tests hunt.
+func Fold(rows [][]graph.NodeID, ev Event) ([][]graph.NodeID, error) {
+	switch ev.Type {
+	case TypeInit, TypeResync:
+		return ev.Rows, nil
+	case TypeHeartbeat:
+		return rows, nil
+	case TypeDiff:
+		return applyDiff(rows, ev.Removed, ev.Added)
+	}
+	return rows, fmt.Errorf("sub: unknown event type %q", ev.Type)
+}
+
+// applyDiff merges a sorted diff into sorted rows.
+func applyDiff(rows, removed, added [][]graph.NodeID) ([][]graph.NodeID, error) {
+	// Remove first: removed ⊆ rows must hold.
+	kept := make([][]graph.NodeID, 0, len(rows))
+	i := 0
+	for _, r := range removed {
+		for i < len(rows) && rowCompare(rows[i], r) < 0 {
+			kept = append(kept, rows[i])
+			i++
+		}
+		if i >= len(rows) || rowCompare(rows[i], r) != 0 {
+			return nil, fmt.Errorf("sub: diff removes absent row %v", r)
+		}
+		i++
+	}
+	kept = append(kept, rows[i:]...)
+	// Insert added: added ∩ kept must be empty.
+	out := make([][]graph.NodeID, 0, len(kept)+len(added))
+	i = 0
+	for _, a := range added {
+		for i < len(kept) && rowCompare(kept[i], a) < 0 {
+			out = append(out, kept[i])
+			i++
+		}
+		if i < len(kept) && rowCompare(kept[i], a) == 0 {
+			return nil, fmt.Errorf("sub: diff adds duplicate row %v", a)
+		}
+		out = append(out, a)
+	}
+	out = append(out, kept[i:]...)
+	return out, nil
+}

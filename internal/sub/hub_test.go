@@ -1,0 +1,307 @@
+package sub
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"boundedg/internal/access"
+	"boundedg/internal/core"
+	"boundedg/internal/graph"
+	"boundedg/internal/match"
+	"boundedg/internal/pattern"
+	"boundedg/internal/runtime"
+	"boundedg/internal/workload"
+)
+
+// moviePattern is effectively bounded under the IMDb workload schema
+// (the same query cmd/boundedgd's stack test leans on). Vars order:
+// u1 award, u2 year, u3 movie.
+const moviePattern = "u1: award\nu2: year\nu3: movie\nu3 -> u1, u2"
+
+func newTestEngine(t *testing.T) (*runtime.Engine, *workload.Dataset) {
+	t.Helper()
+	d := workload.IMDb(0.05, 7)
+	idx, viols := access.Build(d.G, d.Schema)
+	if viols != nil {
+		t.Fatalf("index build: %v", viols[0])
+	}
+	eng, err := runtime.New(d.G, idx, runtime.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng, d
+}
+
+func parsePattern(t *testing.T, d *workload.Dataset, src string) *pattern.Pattern {
+	t.Helper()
+	q, err := pattern.Parse(src, d.In)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHubRegisterLifecycle covers the registration surface: the cap, id
+// handout, unsubscribe semantics and the closed-hub refusal.
+func TestHubRegisterLifecycle(t *testing.T) {
+	eng, d := newTestEngine(t)
+	h := NewHub(eng, Config{MaxSubs: 2})
+	q := parsePattern(t, d, moviePattern)
+
+	s1, err := h.Register(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register(q, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register(q, 10); err != ErrTooManySubs {
+		t.Fatalf("over-cap register: %v, want ErrTooManySubs", err)
+	}
+	if got, ok := h.Get(s1.ID()); !ok || got != s1 {
+		t.Fatalf("Get(%d) = %v, %v", s1.ID(), got, ok)
+	}
+	if st := h.Stats(); st.Active != 2 {
+		t.Fatalf("Active = %d, want 2", st.Active)
+	}
+
+	if !h.Unsubscribe(s1.ID()) {
+		t.Fatal("Unsubscribe returned false for a live id")
+	}
+	select {
+	case <-s1.Closed():
+	default:
+		t.Fatal("unsubscribed sub not closed")
+	}
+	if h.Unsubscribe(s1.ID()) {
+		t.Fatal("double Unsubscribe returned true")
+	}
+	if _, ok := s1.Attach(); ok {
+		t.Fatal("Attach succeeded on a closed sub")
+	}
+	s3, err := h.Register(q, 10)
+	if err != nil {
+		t.Fatalf("register after unsubscribe freed a slot: %v", err)
+	}
+
+	h.Close()
+	h.Close() // idempotent
+	if _, err := h.Register(q, 10); err != ErrClosed {
+		t.Fatalf("register after close: %v, want ErrClosed", err)
+	}
+	select {
+	case <-s3.Closed():
+	default:
+		t.Fatal("hub close did not close the remaining sub")
+	}
+}
+
+// TestSubAttachPreemption: a reconnect (second Attach) must preempt the
+// previous consumer — its generation stops draining — and wipe stale
+// queued diffs, since the new stream opens with a full init answer.
+func TestSubAttachPreemption(t *testing.T) {
+	eng, d := newTestEngine(t)
+	h := NewHub(eng, Config{})
+	defer h.Close()
+	s, err := h.Register(parsePattern(t, d, moviePattern), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen1, ok := s.Attach()
+	if !ok {
+		t.Fatal("first attach failed")
+	}
+	s.enqueue(Event{Type: TypeDiff, Epoch: 1})
+	gen2, ok := s.Attach()
+	if !ok {
+		t.Fatal("second attach failed")
+	}
+	if _, _, ok := s.TakeEvents(gen1); ok {
+		t.Fatal("preempted generation still drains")
+	}
+	evs, needResync, ok := s.TakeEvents(gen2)
+	if !ok || needResync || len(evs) != 0 {
+		t.Fatalf("fresh generation: evs=%v resync=%v ok=%v (stale diff must be wiped)", evs, needResync, ok)
+	}
+
+	// Detach by a stale generation must not release the live consumer.
+	s.Detach(gen1)
+	s.qmu.Lock()
+	attached := s.attached
+	s.qmu.Unlock()
+	if !attached {
+		t.Fatal("stale Detach released the live consumer")
+	}
+	s.Detach(gen2)
+}
+
+// subEval mirrors the hub's evaluation settings for oracle answers.
+func subEval(t *testing.T, eng *runtime.Engine, q *pattern.Pattern, limit int) [][]graph.NodeID {
+	t.Helper()
+	res := eng.Eval(context.Background(), runtime.Query{
+		Pattern: q,
+		Sem:     core.Subgraph,
+		Sub:     match.SubgraphOptions{StoreMatches: true, MaxMatches: limit},
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return sortedRows(res.Sub.Matches)
+}
+
+// TestHubOverflowForcesResync drives the deterministic overflow path: a
+// consumer that attaches but never drains gets its queue wiped at the
+// bound, TakeEvents reports the dropped stream, and FullEval restores a
+// state identical to a fresh engine evaluation. Commits never block on
+// the stalled consumer — each ApplyDelta below completes while the queue
+// is already full.
+func TestHubOverflowForcesResync(t *testing.T) {
+	eng, d := newTestEngine(t)
+	h := NewHub(eng, Config{QueueCap: 2})
+	defer h.Close()
+	q := parsePattern(t, d, moviePattern)
+	s, err := h.Register(q, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, ok := s.Attach()
+	if !ok {
+		t.Fatal("attach failed")
+	}
+	init, err := s.FullEval(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var movies []graph.NodeID
+	seen := map[graph.NodeID]bool{}
+	for _, r := range init.Rows {
+		if m := r[2]; !seen[m] {
+			seen[m] = true
+			movies = append(movies, m)
+		}
+	}
+	if len(movies) < 4 {
+		t.Fatalf("only %d distinct matched movies; dataset too small to overflow a 2-deep queue", len(movies))
+	}
+
+	// Each accepted deletion changes the answer, so each dispatch
+	// produces one diff; waiting for the certified mark between commits
+	// defeats wakeup coalescing. Diffs 1 and 2 fill the queue, diff 3
+	// overflows it.
+	applied := 0
+	for _, m := range movies {
+		out, err := eng.ApplyDelta(&graph.Delta{DelNodes: []graph.NodeID{m}})
+		if err != nil {
+			continue // schema bound rejection: try the next movie
+		}
+		applied++
+		waitFor(t, "dispatcher to certify the deletion epoch", func() bool {
+			return s.Certified() >= out.Epoch
+		})
+		if applied == 3 {
+			break
+		}
+	}
+	if applied < 3 {
+		t.Fatalf("only %d deletions accepted", applied)
+	}
+
+	st := h.Stats()
+	if st.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d, want 1 (exactly one overflow)", st.Resyncs)
+	}
+	if st.Events != 3 {
+		t.Fatalf("Events = %d, want 3 diffs produced", st.Events)
+	}
+	evs, needResync, ok := s.TakeEvents(gen)
+	if !ok || !needResync || len(evs) != 0 {
+		t.Fatalf("after overflow: evs=%d resync=%v ok=%v, want empty queue with resync pending", len(evs), needResync, ok)
+	}
+
+	rv, err := s.FullEval(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := subEval(t, eng, q, 1<<20); !reflect.DeepEqual(rv.Rows, want) {
+		t.Fatalf("resync answer diverges from a fresh evaluation: %d vs %d rows", len(rv.Rows), len(want))
+	}
+	if _, needResync, _ := s.TakeEvents(gen); needResync {
+		t.Fatal("FullEval did not clear the resync flag")
+	}
+}
+
+// TestHubFootprintSkip proves the dispatcher's skip path: an update
+// disjoint from a subscription's read footprint advances its certified
+// mark without re-evaluating and without producing an event — the same
+// proof the result cache uses for revalidation.
+func TestHubFootprintSkip(t *testing.T) {
+	eng, d := newTestEngine(t)
+	h := NewHub(eng, Config{})
+	defer h.Close()
+	q := parsePattern(t, d, moviePattern)
+	s, err := h.Register(q, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, ok := s.Attach()
+	if !ok {
+		t.Fatal("attach failed")
+	}
+	if _, err := s.FullEval(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	evals0 := h.Stats().Evals
+
+	// A pad region under a label the pattern never reads: changes there
+	// are provably invisible to the subscription.
+	patternLabels := map[string]bool{"award": true, "year": true, "movie": true}
+	var epoch uint64
+	added := false
+	for _, l := range d.G.Labels() {
+		if patternLabels[d.In.Name(l)] {
+			continue
+		}
+		out, err := eng.ApplyDelta(&graph.Delta{
+			AddNodes: []graph.NodeSpec{{Label: l}, {Label: l}},
+			AddEdges: [][2]graph.NodeID{{graph.NewNodeRef(0), graph.NewNodeRef(1)}},
+		})
+		if err == nil {
+			epoch, added = out.Epoch, true
+			break
+		}
+	}
+	if !added {
+		t.Skip("no off-pattern label has schema headroom for a pad region")
+	}
+
+	waitFor(t, "dispatcher to certify the disjoint update", func() bool {
+		return s.Certified() >= epoch
+	})
+	st := h.Stats()
+	if st.Evals != evals0 {
+		t.Fatalf("Evals = %d, want %d: a disjoint update must be skipped, not re-evaluated", st.Evals, evals0)
+	}
+	if st.Skipped == 0 {
+		t.Fatal("Skipped = 0, want at least one footprint skip")
+	}
+	if evs, needResync, ok := s.TakeEvents(gen); !ok || needResync || len(evs) != 0 {
+		t.Fatalf("skip produced delivery-side activity: evs=%d resync=%v ok=%v", len(evs), needResync, ok)
+	}
+}
